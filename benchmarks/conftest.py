@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table/figure of the paper at a configurable
+scale.  The scale is chosen with the ``REPRO_BENCH_SCALE`` environment
+variable (``smoke``, ``default`` or ``paper``; default ``default``).  Every
+benchmark writes its formatted result table to ``benchmarks/results/`` so
+the regenerated numbers survive pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.eval.experiments import get_scale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The experiment scale selected via ``REPRO_BENCH_SCALE``."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "default")
+    return get_scale(name)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    """Directory where regenerated tables are written."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(results_dir: Path, name: str, text: str) -> None:
+    """Persist one regenerated table and echo it to stdout."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n===== {name} =====\n{text}\n")

@@ -1,0 +1,44 @@
+"""Ablation bench: sensitivity of L2Q to the underlying retrieval model.
+
+The paper's offline search engine is a Dirichlet-smoothed language model;
+this bench swaps in BM25 and checks that the L2Q pipeline still works and
+stays in a similar effectiveness band, i.e. the contribution is not an
+artifact of one ranker.  Runs at a small scale regardless of
+``REPRO_BENCH_SCALE``.
+"""
+
+from conftest import save_result
+
+from repro.core.config import L2QConfig
+from repro.corpus.synthetic import build_corpus
+from repro.eval.runner import ExperimentRunner
+
+
+def _evaluate(ranker: str) -> dict:
+    corpus = build_corpus("researcher", num_entities=20, pages_per_entity=10, seed=7)
+    config = L2QConfig(ranker=ranker)
+    runner = ExperimentRunner(corpus, config=config, base_seed=43)
+    series = runner.evaluate_methods(
+        ["L2QBAL", "MQ"], num_queries_list=(3,), num_splits=1,
+        max_test_entities=2, aspects=corpus.aspects[:2])
+    return {method: s.f_score[3] for method, s in series.items()}
+
+
+def _run_both():
+    return {ranker: _evaluate(ranker) for ranker in ("dirichlet", "bm25")}
+
+
+def test_ablation_retrieval_model(benchmark, results_dir):
+    results = benchmark.pedantic(_run_both, rounds=1, iterations=1)
+
+    lines = ["Ranker ablation (normalised F-score, 3 queries)"]
+    for ranker, scores in results.items():
+        for method, f_score in scores.items():
+            lines.append(f"  {ranker:10s} {method:7s} F = {f_score:.3f}")
+    save_result(results_dir, "ablation_ranker", "\n".join(lines))
+
+    for ranker, scores in results.items():
+        for f_score in scores.values():
+            assert 0.0 <= f_score <= 1.0
+    # The pipeline should remain functional and broadly comparable under BM25.
+    assert abs(results["dirichlet"]["L2QBAL"] - results["bm25"]["L2QBAL"]) <= 0.35

@@ -1,0 +1,33 @@
+"""Regenerates Fig. 9: tested entity aspects and aspect-classifier accuracy.
+
+Paper reference values: paragraph frequencies between 2K and 107K and
+classifier accuracies between 0.85 and 0.99 across the 7 aspects of each
+domain.  Our corpus is smaller, so frequencies are scaled down, but the
+accuracy band and the relative frequency ordering (RESEARCH / DRIVING are
+the most frequent aspects) should reproduce.
+"""
+
+from conftest import save_result
+
+from repro.eval.experiments import run_fig09
+from repro.eval.reporting import format_fig09
+
+
+def test_fig09_aspect_classifiers(benchmark, scale, results_dir):
+    result = benchmark.pedantic(run_fig09, args=(scale,), rounds=1, iterations=1)
+    save_result(results_dir, "fig09_aspect_classifiers", format_fig09(result))
+
+    for domain, rows in result.rows_by_domain.items():
+        assert len(rows) == 7
+        # Accuracy band of the paper's Fig. 9 (0.85-0.99); allow a little slack.
+        assert result.mean_accuracy(domain) >= 0.85
+        for row in rows:
+            assert row.paragraph_frequency > 0
+
+    # RESEARCH and DRIVING are the dominant aspects in their domains.
+    researcher_rows = {r.aspect: r for r in result.rows_by_domain["researcher"]}
+    car_rows = {r.aspect: r for r in result.rows_by_domain["car"]}
+    assert researcher_rows["RESEARCH"].paragraph_frequency == max(
+        r.paragraph_frequency for r in researcher_rows.values())
+    assert car_rows["DRIVING"].paragraph_frequency == max(
+        r.paragraph_frequency for r in car_rows.values())

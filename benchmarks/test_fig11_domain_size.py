@@ -1,0 +1,39 @@
+"""Regenerates Fig. 11: effect of domain size on the full approaches.
+
+Paper claims to reproduce (in shape): using more domain entities improves
+L2QP's precision and L2QR's recall, with the largest jump already happening
+between 0% and a small fraction of the domain.
+"""
+
+from conftest import save_result
+
+from repro.eval.experiments import run_fig11
+from repro.eval.reporting import format_fig11
+
+
+def test_fig11_effect_of_domain_size(benchmark, scale, results_dir):
+    fractions = (0.0, 0.25, 1.0) if scale.name != "paper" else (0.0, 0.05, 0.10, 0.25, 1.0)
+    result = benchmark.pedantic(run_fig11, args=(scale,),
+                                kwargs={"fractions": fractions},
+                                rounds=1, iterations=1)
+    save_result(results_dir, "fig11_domain_size", format_fig11(result))
+
+    for domain in result.precision_by_domain:
+        precision = result.precision_by_domain[domain]
+        recall = result.recall_by_domain[domain]
+        for value in list(precision.values()) + list(recall.values()):
+            assert 0.0 <= value <= 1.0
+
+    if scale.name == "smoke":
+        return
+
+    # Averaged over the two domains, the full domain should not be worse than
+    # no domain data at all (the paper's main point).
+    def mean_over_domains(values_by_domain, fraction):
+        values = [values_by_domain[d][fraction] for d in values_by_domain]
+        return sum(values) / len(values)
+
+    assert mean_over_domains(result.precision_by_domain, 1.0) >= \
+        mean_over_domains(result.precision_by_domain, 0.0) - 0.03
+    assert mean_over_domains(result.recall_by_domain, 1.0) >= \
+        mean_over_domains(result.recall_by_domain, 0.0) - 0.03

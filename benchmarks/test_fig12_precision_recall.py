@@ -1,0 +1,40 @@
+"""Regenerates Fig. 12: precision and recall vs number of queries.
+
+Paper claims to reproduce (in shape): L2QP attains the best precision and
+L2QR the best recall among {L2QP, L2QR, LM, AQ, HR, MQ}, across query
+budgets from 2 to 5.  We assert the weaker aggregate versions (averaged over
+both domains and all budgets): L2QP has the best precision of the
+*algorithmic* methods and L2QR the best recall of the algorithmic methods.
+"""
+
+from conftest import save_result
+
+from repro.eval.experiments import run_fig12
+from repro.eval.reporting import format_fig12
+
+ALGORITHMIC = ("LM", "AQ", "HR")
+
+
+def test_fig12_precision_and_recall_vs_baselines(benchmark, scale, results_dir):
+    result = benchmark.pedantic(run_fig12, args=(scale,), rounds=1, iterations=1)
+    save_result(results_dir, "fig12_precision_recall", format_fig12(result))
+
+    for domain, series in result.series_by_domain.items():
+        assert set(series) == {"L2QP", "L2QR", "LM", "AQ", "HR", "MQ"}
+        for method_series in series.values():
+            assert method_series.budgets() == sorted(scale.num_queries_list)
+
+    if scale.name == "smoke":
+        # Smoke scale only checks that the experiment runs end to end.
+        return
+
+    l2qp_precision = result.mean_over_domains("L2QP", "precision")
+    l2qr_recall = result.mean_over_domains("L2QR", "recall")
+
+    best_algorithmic_precision = max(
+        result.mean_over_domains(m, "precision") for m in ALGORITHMIC)
+    best_algorithmic_recall = max(
+        result.mean_over_domains(m, "recall") for m in ALGORITHMIC)
+
+    assert l2qp_precision >= best_algorithmic_precision - 0.05
+    assert l2qr_recall >= best_algorithmic_recall - 0.05

@@ -1,0 +1,28 @@
+"""Regenerates Fig. 14: average time cost per query (selection vs fetch).
+
+Paper reference values: 1.4-2.4 seconds of selection time per query against
+~8-18 seconds of fetch time — i.e. selection is a minor overhead dominated
+by the (I/O-bound) fetch.  Our graphs are smaller, so absolute selection
+times are lower, but the claim to reproduce is the *relationship*:
+per-query selection time is small compared to the simulated fetch time.
+"""
+
+from conftest import save_result
+
+from repro.eval.experiments import run_fig14
+from repro.eval.reporting import format_fig14
+
+
+def test_fig14_selection_vs_fetch_time(benchmark, scale, results_dir):
+    result = benchmark.pedantic(run_fig14, args=(scale,), rounds=1, iterations=1)
+    save_result(results_dir, "fig14_efficiency", format_fig14(result))
+
+    for domain, report in result.reports_by_domain.items():
+        assert set(report.selection_seconds) == {"L2QP", "L2QR", "L2QBAL"}
+        for method, seconds in report.selection_seconds.items():
+            assert seconds >= 0.0
+            # Selection must stay a minor overhead relative to fetch.
+            assert seconds < report.fetch_seconds
+        assert report.fetch_seconds > 0.0
+        for count in report.queries_measured.values():
+            assert count >= 1

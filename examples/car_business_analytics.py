@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Business-analytics scenario: focused harvesting of car-model aspects.
+
+The paper's first motivating application is business analytics — gathering
+the pages that discuss one specific aspect of a product (e.g. SAFETY or
+PRICE of a car model) so that downstream sentiment analysis can drill into
+customer opinions.  This example harvests the SAFETY and PRICE aspects for
+several 2009 car models and shows which queries the learner chose, together
+with how much of the relevant material each strategy recovered.
+
+Run with::
+
+    python examples/car_business_analytics.py
+"""
+
+from repro.core.config import L2QConfig
+from repro.core.queries import format_query
+from repro.corpus.synthetic import build_corpus
+from repro.eval.metrics import compute_metrics
+from repro.eval.runner import ExperimentRunner
+
+ASPECTS = ("SAFETY", "PRICE")
+METHODS = ("L2QBAL", "AQ", "MQ")
+NUM_QUERIES = 3
+NUM_MODELS = 2
+
+
+def main() -> None:
+    corpus = build_corpus("car", num_entities=20, pages_per_entity=16, seed=3)
+    runner = ExperimentRunner(corpus, config=L2QConfig(), base_seed=13)
+    split = runner.default_split(0)
+    prepared = runner.prepare(split)
+    models = list(split.test_entities)[:NUM_MODELS]
+
+    for entity_id in models:
+        entity = corpus.get_entity(entity_id)
+        print(f"=== {entity.name} ===")
+        for aspect in ASPECTS:
+            relevant = [p.page_id for p in corpus.relevant_pages(entity_id, aspect)]
+            if not relevant:
+                continue
+            print(f"  aspect {aspect}  ({len(relevant)} relevant pages in the corpus)")
+            for method in METHODS:
+                run = runner.harvest_once(prepared, method, entity_id, aspect, NUM_QUERIES)
+                metrics = compute_metrics(run.gathered_after(NUM_QUERIES), relevant)
+                queries = ", ".join(format_query(q) for q in run.queries())
+                print(f"    {method:7s} F={metrics.f_score:.2f} "
+                      f"(P={metrics.precision:.2f}, R={metrics.recall:.2f})  "
+                      f"queries: {queries}")
+        print()
+
+    print("Pages harvested this way feed directly into per-aspect sentiment "
+          "analysis or price-tracking dashboards — the downstream applications "
+          "the paper motivates.")
+
+
+if __name__ == "__main__":
+    main()

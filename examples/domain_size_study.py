@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Mini domain-size study: how many peer entities does L2Q need?
+
+A small-scale interactive version of the paper's Fig. 11: sweep the fraction
+of domain entities available to the domain phase and watch the precision of
+L2QP and the recall of L2QR improve.  Even a modest number of peer entities
+already buys most of the benefit, which is the paper's practical argument
+for domain-aware L2Q.
+
+Run with::
+
+    python examples/domain_size_study.py
+"""
+
+from repro.core.config import L2QConfig
+from repro.corpus.synthetic import build_corpus
+from repro.eval.runner import ExperimentRunner
+
+FRACTIONS = (0.0, 0.25, 1.0)
+NUM_QUERIES = 3
+
+
+def main() -> None:
+    corpus = build_corpus("researcher", num_entities=24, pages_per_entity=16, seed=3)
+    runner = ExperimentRunner(corpus, config=L2QConfig(), base_seed=19)
+
+    print("Fraction of domain entities -> normalised precision (L2QP) "
+          "and recall (L2QR), 3 queries\n")
+    print(f"{'domain used':>12s} {'L2QP precision':>16s} {'L2QR recall':>13s}")
+    for fraction in FRACTIONS:
+        series = runner.evaluate_methods(
+            ("L2QP", "L2QR"), num_queries_list=(NUM_QUERIES,),
+            domain_fraction=fraction, max_test_entities=2,
+            aspects=corpus.aspects[:3])
+        precision = series["L2QP"].precision[NUM_QUERIES]
+        recall = series["L2QR"].recall[NUM_QUERIES]
+        print(f"{int(fraction * 100):>11d}% {precision:>16.3f} {recall:>13.3f}")
+
+    print("\nInterpretation: 0% disables the domain phase entirely; even a "
+          "quarter of the peer entities recovers most of the gain, matching "
+          "the paper's observation that a small domain sample is already useful.")
+
+
+if __name__ == "__main__":
+    main()

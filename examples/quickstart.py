@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Quickstart: harvest pages for one entity aspect with L2Q.
+
+This example walks through the whole pipeline on a small synthetic corpus:
+
+1. build an offline web corpus for the *researcher* domain;
+2. split entities into domain / target sets and train the aspect classifiers;
+3. learn the domain model (template utilities) for the RESEARCH aspect;
+4. run the iterative harvesting loop with the full L2QBAL strategy;
+5. report the fired queries and the precision / recall / F-score of the
+   gathered pages against the ground truth.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.aspects.classifier import AspectClassifierSuite
+from repro.aspects.relevance import ClassifierRelevance
+from repro.core.config import L2QConfig
+from repro.core.domain_phase import DomainPhase
+from repro.core.harvester import Harvester
+from repro.core.queries import format_query
+from repro.core.selection import make_selector
+from repro.corpus.synthetic import build_corpus
+from repro.eval.metrics import compute_metrics
+from repro.eval.splits import split_entities
+from repro.search.engine import SearchEngine
+
+ASPECT = "RESEARCH"
+NUM_QUERIES = 3
+
+
+def main() -> None:
+    # 1. An offline corpus standing in for the crawled Web (Sect. VI-A).
+    corpus = build_corpus("researcher", num_entities=24, pages_per_entity=16, seed=3)
+    print(f"Corpus: {corpus.num_entities()} researchers, {corpus.num_pages()} pages")
+
+    # 2. Domain / target split and the pre-trained aspect classifier.
+    split = split_entities(corpus.entity_ids(), seed=1)
+    domain_corpus = corpus.subset(split.domain_entities)
+    suite = AspectClassifierSuite.train_on_corpus(domain_corpus)
+    relevance = ClassifierRelevance(ASPECT, suite)
+    print(f"Aspect classifier accuracy for {ASPECT}: {suite.accuracy_of(ASPECT):.2f}")
+
+    # 3. Domain phase: learn template utilities once for this aspect.
+    config = L2QConfig()
+    domain_model = DomainPhase(domain_corpus, config).learn(ASPECT, relevance)
+    print(f"Domain phase learnt {len(domain_model.template_precision)} templates "
+          f"from {domain_model.num_domain_pages} peer pages")
+
+    # 4. Harvest pages for one target entity with the balanced strategy.
+    target_id = split.test_entities[0]
+    target = corpus.get_entity(target_id)
+    engine = SearchEngine(corpus, top_k=config.top_k)
+    harvester = Harvester(corpus, engine, config)
+    result = harvester.harvest(target_id, ASPECT, make_selector("L2QBAL", config),
+                               relevance, num_queries=NUM_QUERIES,
+                               domain_model=domain_model)
+
+    print(f"\nTarget entity : {target.name}  (seed query: {format_query(target.seed_query)})")
+    print(f"Fired queries :")
+    for record in result.iterations:
+        print(f"  #{record.index + 1}: {format_query(record.query)!r} "
+              f"-> {len(record.result_page_ids)} results, "
+              f"{len(record.new_page_ids)} new pages")
+
+    # 5. Evaluate against the ground-truth relevant pages.
+    relevant = [p.page_id for p in corpus.relevant_pages(target_id, ASPECT)]
+    metrics = compute_metrics(result.gathered_after(NUM_QUERIES), relevant)
+    print(f"\nGathered {len(result.gathered_after(NUM_QUERIES))} pages, "
+          f"{len(relevant)} relevant pages exist")
+    print(f"Precision = {metrics.precision:.2f}  Recall = {metrics.recall:.2f}  "
+          f"F-score = {metrics.f_score:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Aspect classification substrate: features, Naive Bayes, classifier suite, relevance."""
+
+from repro.aspects.classifier import (
+    IRRELEVANT,
+    RELEVANT,
+    AspectAccuracy,
+    AspectClassifierSuite,
+)
+from repro.aspects.features import BagOfWordsExtractor
+from repro.aspects.naive_bayes import MultinomialNaiveBayes
+from repro.aspects.relevance import (
+    AllRelevant,
+    ClassifierRelevance,
+    OracleRelevance,
+    RelevanceFunction,
+)
+
+__all__ = [
+    "AllRelevant",
+    "AspectAccuracy",
+    "AspectClassifierSuite",
+    "BagOfWordsExtractor",
+    "ClassifierRelevance",
+    "IRRELEVANT",
+    "MultinomialNaiveBayes",
+    "OracleRelevance",
+    "RELEVANT",
+    "RelevanceFunction",
+]

@@ -1,0 +1,63 @@
+"""Feature extraction for the aspect classifiers.
+
+The classifiers operate on paragraphs represented as bags of words.  The
+extractor optionally drops stopwords and rare terms, which both improves
+accuracy and keeps the models small.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.corpus.tokenizer import DEFAULT_STOPWORDS
+
+
+class BagOfWordsExtractor:
+    """Turns token sequences into bag-of-words count dictionaries."""
+
+    def __init__(self, remove_stopwords: bool = True,
+                 min_document_frequency: int = 1,
+                 stopwords: Optional[Iterable[str]] = None) -> None:
+        if min_document_frequency < 1:
+            raise ValueError("min_document_frequency must be >= 1")
+        self.remove_stopwords = remove_stopwords
+        self.min_document_frequency = min_document_frequency
+        self.stopwords = frozenset(stopwords) if stopwords is not None else DEFAULT_STOPWORDS
+        self._vocabulary: Optional[frozenset] = None
+
+    # -- Fitting -------------------------------------------------------------
+    def fit(self, documents: Sequence[Sequence[str]]) -> "BagOfWordsExtractor":
+        """Learn the feature vocabulary from training documents."""
+        df: Counter = Counter()
+        for tokens in documents:
+            df.update({t for t in self._filter(tokens)})
+        self._vocabulary = frozenset(
+            term for term, count in df.items() if count >= self.min_document_frequency
+        )
+        return self
+
+    @property
+    def vocabulary(self) -> frozenset:
+        """The learned feature vocabulary (raises if not fitted)."""
+        if self._vocabulary is None:
+            raise RuntimeError("extractor is not fitted; call fit() first")
+        return self._vocabulary
+
+    # -- Transformation ------------------------------------------------------------
+    def transform(self, tokens: Sequence[str]) -> Dict[str, int]:
+        """Return the bag-of-words features of one document."""
+        filtered = self._filter(tokens)
+        if self._vocabulary is not None:
+            filtered = [t for t in filtered if t in self._vocabulary]
+        return dict(Counter(filtered))
+
+    def transform_many(self, documents: Sequence[Sequence[str]]) -> List[Dict[str, int]]:
+        """Transform a batch of documents."""
+        return [self.transform(tokens) for tokens in documents]
+
+    # -- Internals -------------------------------------------------------------------
+    def _filter(self, tokens: Sequence[str]) -> List[str]:
+        if not self.remove_stopwords:
+            return list(tokens)
+        return [t for t in tokens if t not in self.stopwords]

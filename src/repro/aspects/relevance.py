@@ -1,0 +1,82 @@
+"""Relevance functions ``Y`` mapping pages to relevant / irrelevant.
+
+The paper's target aspect is given by a function ``Y : P -> {1, 0}``
+(Sect. I, *Input*), materialised in the experiments by a pre-trained
+classifier per aspect whose output is treated as ground truth.  Two
+implementations are provided:
+
+* :class:`OracleRelevance` reads the generator's ground-truth paragraph
+  labels — this is what the evaluation metrics use;
+* :class:`ClassifierRelevance` wraps a trained
+  :class:`~repro.aspects.classifier.AspectClassifierSuite` — this is what the
+  L2Q learner itself sees, mirroring the paper's setup where the learner only
+  has classifier output.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Optional
+
+from repro.aspects.classifier import AspectClassifierSuite
+from repro.corpus.document import Page
+
+
+class RelevanceFunction(ABC):
+    """Abstract relevance function ``Y`` for one target aspect."""
+
+    def __init__(self, aspect: str) -> None:
+        self.aspect = aspect
+
+    @abstractmethod
+    def __call__(self, page: Page) -> int:
+        """Return 1 if ``page`` is relevant to the target aspect, else 0."""
+
+    def score(self, page: Page) -> float:
+        """Real-valued relevance (defaults to the binary label)."""
+        return float(self(page))
+
+
+class OracleRelevance(RelevanceFunction):
+    """Ground-truth relevance from the synthetic generator's labels."""
+
+    def __call__(self, page: Page) -> int:
+        return int(page.has_aspect(self.aspect))
+
+
+class ClassifierRelevance(RelevanceFunction):
+    """Relevance given by a trained aspect classifier (with memoisation)."""
+
+    def __init__(self, aspect: str, suite: AspectClassifierSuite) -> None:
+        super().__init__(aspect)
+        self.suite = suite
+        self._label_cache: Dict[str, int] = {}
+        self._score_cache: Dict[str, float] = {}
+
+    def __call__(self, page: Page) -> int:
+        label = self._label_cache.get(page.page_id)
+        if label is None:
+            label = self.suite.classify_page(page, self.aspect)
+            self._label_cache[page.page_id] = label
+        return label
+
+    def score(self, page: Page) -> float:
+        value = self._score_cache.get(page.page_id)
+        if value is None:
+            value = self.suite.page_probability(page, self.aspect)
+            self._score_cache[page.page_id] = value
+        return value
+
+
+class AllRelevant(RelevanceFunction):
+    """The ``Y*`` function of Sect. V-B: every page counts as relevant.
+
+    Used to compute the denominator of collective precision
+    (the collective recall w.r.t. *all* pages).
+    """
+
+    def __init__(self, aspect: str = "*") -> None:
+        super().__init__(aspect)
+
+    def __call__(self, page: Page) -> int:
+        return 1

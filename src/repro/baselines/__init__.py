@@ -1,0 +1,16 @@
+"""Baseline query-selection strategies (LM, AQ, HR, MQ) and the ideal oracle."""
+
+from repro.baselines.adaptive_querying import AdaptiveQueryingSelection
+from repro.baselines.harvest_rate import HarvestRateSelection, HarvestRateStatistics
+from repro.baselines.lm_feedback import LanguageModelFeedbackSelection
+from repro.baselines.manual import ManualQuerySelection
+from repro.baselines.oracle import IdealSelection
+
+__all__ = [
+    "AdaptiveQueryingSelection",
+    "HarvestRateSelection",
+    "HarvestRateStatistics",
+    "IdealSelection",
+    "LanguageModelFeedbackSelection",
+    "ManualQuerySelection",
+]

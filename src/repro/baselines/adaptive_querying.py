@@ -1,0 +1,76 @@
+"""The AQ baseline: adaptive query selection.
+
+Adapted from Zerfos, Cho & Ntoulas, *Downloading textual hidden web content
+through keyword queries* (JCDL 2005), which crawls a text database by
+repeatedly choosing the keyword expected to return the most new documents,
+using statistics estimated from the documents downloaded so far.  As the
+paper notes, the original policy has no notion of relevance, so *"the query
+statistics are only computed over relevant pages instead of all pages"*
+(Sect. VI-C).
+
+Implementation: for every candidate query enumerated from the current
+result pages, estimate
+
+* ``support`` — how many classifier-relevant current pages contain the
+  query (the adaptive frequency statistic), and
+* ``novelty`` — one minus the fraction of the query's containing pages that
+  every past query already covers (a crude estimate of how many *new*
+  documents the query would return, the heart of the adaptive policy).
+
+The score is ``support * novelty``; the best unfired candidate wins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.core.queries import Query, QueryEnumerator, query_contained_in_page
+from repro.core.selection import QuerySelector, first_unfired
+from repro.core.session import HarvestSession
+
+
+class AdaptiveQueryingSelection(QuerySelector):
+    """Frequency-adaptive query selection restricted to relevant pages."""
+
+    name = "AQ"
+
+    def select(self, session: HarvestSession) -> Optional[Query]:
+        if not session.current_pages:
+            return None
+        relevant_pages = session.relevant_current_pages()
+        scoring_pages = relevant_pages if relevant_pages else session.current_pages
+
+        enumerator = QueryEnumerator(
+            max_length=session.config.max_query_length,
+            min_word_length=session.config.min_query_word_length,
+            exclude_words=set(session.entity.seed_query) | set(session.entity.name_tokens),
+        )
+        statistics = enumerator.enumerate_from_pages(session.current_pages)
+        candidates = sorted(statistics.queries())
+        if not candidates:
+            return None
+
+        covered_by_past = self._pages_covered_by_past(session)
+        scores: Dict[Query, float] = {}
+        for query in candidates:
+            containing = [p for p in session.current_pages
+                          if query_contained_in_page(query, p)]
+            support = sum(1 for p in scoring_pages if query_contained_in_page(query, p))
+            if containing:
+                already = sum(1 for p in containing if p.page_id in covered_by_past)
+                novelty = 1.0 - already / len(containing)
+            else:
+                novelty = 1.0
+            scores[query] = support * (0.5 + 0.5 * novelty)
+
+        ranked = sorted(candidates, key=lambda q: (-scores[q], q))
+        return first_unfired(ranked, session)
+
+    @staticmethod
+    def _pages_covered_by_past(session: HarvestSession) -> Set[str]:
+        covered: Set[str] = set()
+        for query in session.past_queries:
+            for page in session.current_pages:
+                if query_contained_in_page(query, page):
+                    covered.add(page.page_id)
+        return covered

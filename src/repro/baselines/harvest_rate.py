@@ -1,0 +1,130 @@
+"""The HR baseline: harvest-rate heuristic query selection.
+
+Adapted from Wu, Wen, Liu & Ma, *Query selection techniques for efficient
+crawling of structured web sources* (ICDE 2006).  The original method crawls
+structured databases by preferring queries with a high *harvest rate* (the
+fraction of retrieved records that are new/useful), estimated from current
+results and from domain data.  Following the paper's adaptation
+(Sect. VI-C): the query/record model becomes a bag of words, relevance is
+incorporated (harvest rate = fraction of containing pages that are
+relevant), and the statistics of each query are averaged over its templates
+because HR is the only baseline that exploits domain data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.aspects.relevance import RelevanceFunction
+from repro.core.config import L2QConfig
+from repro.core.queries import Query, QueryEnumerator, prune_queries, query_contained_in_page
+from repro.core.selection import QuerySelector, first_unfired
+from repro.core.session import HarvestSession
+from repro.core.templates import Template, TemplateIndex
+from repro.corpus.corpus import Corpus
+
+
+@dataclass
+class HarvestRateStatistics:
+    """Domain-side harvest-rate statistics, computed once per (domain, aspect)."""
+
+    query_harvest_rate: Dict[Query, float] = field(default_factory=dict)
+    template_harvest_rate: Dict[Template, float] = field(default_factory=dict)
+    query_templates: Dict[Query, tuple] = field(default_factory=dict)
+
+    @classmethod
+    def from_corpus(cls, domain_corpus: Corpus, relevance: RelevanceFunction,
+                    config: Optional[L2QConfig] = None) -> "HarvestRateStatistics":
+        """Estimate harvest rates of domain queries and their templates."""
+        config = config if config is not None else L2QConfig()
+        pages = list(domain_corpus.iter_pages())
+        statistics = cls()
+        if not pages:
+            return statistics
+
+        enumerator = QueryEnumerator(
+            max_length=config.max_query_length,
+            min_word_length=config.min_query_word_length,
+        )
+        query_stats = enumerator.enumerate_from_pages(pages)
+        queries = prune_queries(query_stats,
+                                min_page_frequency=config.domain_min_query_pages,
+                                max_queries=config.max_domain_queries)
+
+        relevant_ids = {p.page_id for p in pages if relevance(p) == 1}
+        for query in queries:
+            containing = query_stats.pages.get(query, set())
+            if not containing:
+                continue
+            relevant = len(containing & relevant_ids)
+            statistics.query_harvest_rate[query] = relevant / len(containing)
+
+        template_index = TemplateIndex(domain_corpus.type_system)
+        template_index.add_queries(statistics.query_harvest_rate)
+        template_totals: Dict[Template, List[float]] = {}
+        for query, rate in statistics.query_harvest_rate.items():
+            templates = template_index.templates_of(query)
+            statistics.query_templates[query] = templates
+            for template in templates:
+                template_totals.setdefault(template, []).append(rate)
+        statistics.template_harvest_rate = {
+            template: sum(values) / len(values)
+            for template, values in template_totals.items()
+        }
+        return statistics
+
+    def domain_score(self, query: Query) -> Optional[float]:
+        """Template-averaged domain harvest rate of a query (None if unseen)."""
+        templates = self.query_templates.get(query, ())
+        template_rates = [self.template_harvest_rate[t] for t in templates
+                          if t in self.template_harvest_rate]
+        direct = self.query_harvest_rate.get(query)
+        if template_rates and direct is not None:
+            return 0.5 * (direct + sum(template_rates) / len(template_rates))
+        if template_rates:
+            return sum(template_rates) / len(template_rates)
+        return direct
+
+
+class HarvestRateSelection(QuerySelector):
+    """Harvest-rate query selection combining domain and current statistics."""
+
+    name = "HR"
+
+    def __init__(self, domain_statistics: Optional[HarvestRateStatistics] = None) -> None:
+        self.domain_statistics = domain_statistics or HarvestRateStatistics()
+
+    def select(self, session: HarvestSession) -> Optional[Query]:
+        if not session.current_pages:
+            return None
+        enumerator = QueryEnumerator(
+            max_length=session.config.max_query_length,
+            min_word_length=session.config.min_query_word_length,
+            exclude_words=set(session.entity.seed_query) | set(session.entity.name_tokens),
+        )
+        statistics = enumerator.enumerate_from_pages(session.current_pages)
+        candidates = set(statistics.queries())
+        # HR also exploits domain data: add domain queries it has statistics for.
+        excluded_words = set(session.entity.seed_query) | set(session.entity.name_tokens)
+        for query in self.domain_statistics.query_harvest_rate:
+            if not any(word in excluded_words for word in query):
+                candidates.add(query)
+        if not candidates:
+            return None
+
+        relevant_ids = {p.page_id for p in session.relevant_current_pages()}
+        scores: Dict[Query, float] = {}
+        for query in candidates:
+            containing = [p for p in session.current_pages
+                          if query_contained_in_page(query, p)]
+            current_rate: Optional[float] = None
+            if containing:
+                current_rate = sum(1 for p in containing
+                                   if p.page_id in relevant_ids) / len(containing)
+            domain_rate = self.domain_statistics.domain_score(query)
+            components = [v for v in (current_rate, domain_rate) if v is not None]
+            scores[query] = sum(components) / len(components) if components else 0.0
+
+        ranked = sorted(candidates, key=lambda q: (-scores[q], q))
+        return first_unfired(ranked, session)

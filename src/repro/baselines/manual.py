@@ -1,0 +1,38 @@
+"""The MQ baseline: manually designed queries.
+
+The paper's MQ baseline asked nine graduate students to provide five queries
+per (domain, aspect) — generic keywords such as ``award`` or
+``distinguished`` for the researcher AWARD aspect.  The study itself cannot
+be repeated offline, so the reproduction ships an equivalent fixed list of
+generic aspect keywords per domain/aspect in the domain specifications
+(:class:`~repro.corpus.domains.AspectSpec.manual_queries`); MQ fires them in
+order.  Like the original baseline these queries are entity-independent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.queries import Query
+from repro.core.selection import QuerySelector
+from repro.core.session import HarvestSession
+from repro.corpus.domains import DomainSpec
+
+
+class ManualQuerySelection(QuerySelector):
+    """Fires a fixed, human-designed query list for the target aspect."""
+
+    name = "MQ"
+
+    def __init__(self, domain_spec: Optional[DomainSpec] = None) -> None:
+        self.domain_spec = domain_spec
+
+    def _queries_for(self, session: HarvestSession) -> List[Query]:
+        spec = self.domain_spec if self.domain_spec is not None else session.corpus.domain_spec
+        return spec.manual_queries(session.aspect)
+
+    def select(self, session: HarvestSession) -> Optional[Query]:
+        for query in self._queries_for(session):
+            if not session.is_fired(query):
+                return query
+        return None

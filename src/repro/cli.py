@@ -1,0 +1,147 @@
+"""Command-line interface for the L2Q reproduction.
+
+Three subcommands cover the common workflows:
+
+``repro-l2q corpus``
+    Generate a synthetic corpus and print its summary statistics.
+
+``repro-l2q harvest``
+    Run the full harvesting loop for one (entity, aspect) pair with a chosen
+    strategy and print the fired queries and resulting metrics.
+
+``repro-l2q experiment``
+    Regenerate one of the paper's figures (fig09 ... fig14) and print the
+    corresponding table.
+
+Usage examples::
+
+    python -m repro.cli corpus --domain car --entities 20
+    python -m repro.cli harvest --domain researcher --aspect RESEARCH --method L2QBAL
+    python -m repro.cli experiment --figure fig13 --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.config import L2QConfig
+from repro.core.queries import format_query
+from repro.corpus.domains import available_domains
+from repro.corpus.synthetic import build_corpus
+from repro.eval import experiments, reporting
+from repro.eval.metrics import compute_metrics
+from repro.eval.runner import ExperimentRunner
+
+_FIGURES = {
+    "fig09": (experiments.run_fig09, reporting.format_fig09),
+    "fig10": (experiments.run_fig10, reporting.format_fig10),
+    "fig11": (experiments.run_fig11, reporting.format_fig11),
+    "fig12": (experiments.run_fig12, reporting.format_fig12),
+    "fig13": (experiments.run_fig13, reporting.format_fig13),
+    "fig14": (experiments.run_fig14, reporting.format_fig14),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-l2q",
+        description="Reproduction of 'Learning to Query' (ICDE 2016)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    corpus = subparsers.add_parser("corpus", help="generate a corpus and print statistics")
+    _add_corpus_arguments(corpus)
+
+    harvest = subparsers.add_parser("harvest", help="harvest one entity aspect")
+    _add_corpus_arguments(harvest)
+    harvest.add_argument("--aspect", default=None,
+                         help="target aspect (defaults to the domain's first aspect)")
+    harvest.add_argument("--method", default="L2QBAL",
+                         help="selection strategy (e.g. L2QBAL, L2QP, MQ, LM)")
+    harvest.add_argument("--queries", type=int, default=3,
+                         help="number of queries after the seed (default 3)")
+    harvest.add_argument("--entity", default=None,
+                         help="entity id to harvest (defaults to the first test entity)")
+
+    experiment = subparsers.add_parser("experiment", help="regenerate a paper figure")
+    experiment.add_argument("--figure", choices=sorted(_FIGURES), required=True)
+    experiment.add_argument("--scale", choices=["smoke", "default", "paper"],
+                            default="smoke")
+    experiment.add_argument("--domains", nargs="+", default=list(experiments.DOMAINS),
+                            choices=available_domains())
+    return parser
+
+
+def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--domain", default="researcher", choices=available_domains())
+    parser.add_argument("--entities", type=int, default=24)
+    parser.add_argument("--pages", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=3)
+
+
+def _command_corpus(args: argparse.Namespace, out) -> int:
+    corpus = build_corpus(args.domain, num_entities=args.entities,
+                          pages_per_entity=args.pages, seed=args.seed)
+    for name, value in corpus.stats().as_rows():
+        print(f"{name:30s} {value}", file=out)
+    return 0
+
+
+def _command_harvest(args: argparse.Namespace, out) -> int:
+    corpus = build_corpus(args.domain, num_entities=args.entities,
+                          pages_per_entity=args.pages, seed=args.seed)
+    aspect = args.aspect or corpus.aspects[0]
+    if aspect not in corpus.aspects:
+        print(f"unknown aspect {aspect!r}; available: {corpus.aspects}", file=out)
+        return 2
+    runner = ExperimentRunner(corpus, config=L2QConfig(num_queries=args.queries))
+    split = runner.default_split(0)
+    prepared = runner.prepare(split)
+    entity_id = args.entity or split.test_entities[0]
+    if entity_id not in corpus.entities:
+        print(f"unknown entity {entity_id!r}", file=out)
+        return 2
+
+    result = runner.harvest_once(prepared, args.method, entity_id, aspect, args.queries)
+    entity = corpus.get_entity(entity_id)
+    print(f"entity : {entity.name} ({entity_id})", file=out)
+    print(f"aspect : {aspect}", file=out)
+    print(f"method : {args.method}", file=out)
+    for record in result.iterations:
+        print(f"  query #{record.index + 1}: {format_query(record.query)!r} "
+              f"({len(record.new_page_ids)} new pages)", file=out)
+    relevant = [p.page_id for p in corpus.relevant_pages(entity_id, aspect)]
+    metrics = compute_metrics(result.gathered_after(args.queries), relevant)
+    print(f"gathered {len(result.gathered_after(args.queries))} pages; "
+          f"precision={metrics.precision:.3f} recall={metrics.recall:.3f} "
+          f"f-score={metrics.f_score:.3f}", file=out)
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace, out) -> int:
+    run, render = _FIGURES[args.figure]
+    scale = experiments.get_scale(args.scale)
+    result = run(scale, domains=tuple(args.domains))
+    print(render(result), file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.command == "corpus":
+        return _command_corpus(args, out)
+    if args.command == "harvest":
+        return _command_harvest(args, out)
+    if args.command == "experiment":
+        return _command_experiment(args, out)
+    parser.error(f"unknown command {args.command!r}")
+    return 2  # pragma: no cover - parser.error raises
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""Context-aware L2Q: collective utilities over the past queries (Sect. V).
+
+Different queries retrieve redundant pages, so the best individual query is
+not necessarily the best addition to the queries already fired.  The paper
+defines the *collective recall* of the context ``Phi`` plus a candidate
+``q`` by inclusion-exclusion::
+
+    R(Phi u {q}) = R(Phi) + R(q) - Delta(Phi, q)
+    Delta(Phi, q) = R^(Y~)(q) * R(Phi)
+
+where ``R^(Y~)(q)`` is the recall of ``q`` w.r.t. the relevant pages already
+gathered, and the base case ``R({q(0)}) = r0`` is the seed-query parameter.
+Collective precision is the ratio of two collective recalls, the numerator
+w.r.t. the target aspect ``Y`` and the denominator w.r.t. ``Y*`` (all pages
+relevant)::
+
+    P(Phi u {q})  proportional to  R(Phi u {q}) / R*(Phi u {q})
+
+:class:`ContextTracker` maintains ``R(Phi)`` and ``R*(Phi)`` across
+iterations and evaluates the collective utilities of candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.entity_phase import EntityUtilities
+from repro.core.queries import Query
+
+_EPSILON = 1e-12
+
+
+@dataclass
+class CollectiveUtilities:
+    """Collective utilities of the context plus one candidate query."""
+
+    query: Query
+    collective_recall: float
+    collective_recall_all: float
+
+    @property
+    def collective_precision(self) -> float:
+        """``R(Phi u {q}) / R*(Phi u {q})`` (Eq. 27).
+
+        The paper's derivation drops the constant prior ``P(w in Omega(Y))``,
+        so this quantity is only *proportional* to the collective precision;
+        it is used for ranking candidates and is therefore not clamped to 1.
+        """
+        return max(self.collective_recall, 0.0) / max(self.collective_recall_all, _EPSILON)
+
+    @property
+    def balanced(self) -> float:
+        """Geometric mean of collective precision and recall (L2QBAL)."""
+        precision = self.collective_precision
+        recall = max(self.collective_recall, 0.0)
+        return (precision * recall) ** 0.5
+
+
+class ContextTracker:
+    """Tracks the collective recall of the fired queries ``Phi``."""
+
+    def __init__(self, seed_recall_r0: float = 0.3,
+                 seed_recall_all: Optional[float] = None) -> None:
+        if not 0.0 < seed_recall_r0 < 1.0:
+            raise ValueError("seed_recall_r0 must be in (0, 1)")
+        self.seed_recall_r0 = seed_recall_r0
+        self.seed_recall_all = (seed_recall_all if seed_recall_all is not None
+                                else seed_recall_r0)
+        # R(Phi) w.r.t. Y and w.r.t. Y*: base case is the seed query q(0).
+        self.context_recall = seed_recall_r0
+        self.context_recall_all = self.seed_recall_all
+        self.past_queries: List[Query] = []
+
+    # -- Evaluation ----------------------------------------------------------
+    def evaluate(self, query: Query, utilities: EntityUtilities) -> CollectiveUtilities:
+        """Collective utilities of ``Phi u {query}`` (Eqs. 26-27)."""
+        recall_q = utilities.recall.query(query)
+        redundancy = utilities.recall_current.query(query) * self.context_recall
+        collective_recall = self.context_recall + recall_q - redundancy
+
+        recall_all_q = utilities.recall_all.query(query)
+        redundancy_all = utilities.recall_current_all.query(query) * self.context_recall_all
+        collective_recall_all = self.context_recall_all + recall_all_q - redundancy_all
+
+        return CollectiveUtilities(
+            query=query,
+            collective_recall=_clamp(collective_recall),
+            collective_recall_all=_clamp(collective_recall_all),
+        )
+
+    # -- Updates ---------------------------------------------------------------
+    def update(self, query: Query, utilities: EntityUtilities) -> None:
+        """Fold the selected query into the context (``Phi <- Phi u {q*}``)."""
+        collective = self.evaluate(query, utilities)
+        self.context_recall = collective.collective_recall
+        self.context_recall_all = collective.collective_recall_all
+        self.past_queries.append(query)
+
+    def __len__(self) -> int:
+        return len(self.past_queries)
+
+
+def _clamp(value: float, low: float = 0.0, high: float = 1.0) -> float:
+    return min(max(value, low), high)

@@ -1,0 +1,142 @@
+"""The domain phase of domain-aware L2Q (Sect. IV-B).
+
+Executed once per (domain, aspect): from the pages of the peer (domain)
+entities, enumerate queries and templates, build the domain reinforcement
+graph, and infer the utilities of templates (and queries).  The resulting
+:class:`DomainModel` is what the per-iteration entity phase consumes — the
+template utilities become extra regularization, and the frequently-occurring
+domain queries expand the target entity's candidate pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.aspects.relevance import AllRelevant, RelevanceFunction
+from repro.core.config import L2QConfig
+from repro.core.queries import Query, QueryEnumerator, prune_queries
+from repro.core.templates import Template
+from repro.core.utility import (
+    GraphAssembler,
+    precision_page_regularization,
+    recall_page_regularization,
+)
+from repro.corpus.corpus import Corpus
+from repro.corpus.document import Page
+
+
+@dataclass
+class DomainModel:
+    """Knowledge learnt once from the domain entities for one target aspect."""
+
+    domain: str
+    aspect: str
+    num_domain_entities: int
+    num_domain_pages: int
+    template_precision: Dict[Template, float] = field(default_factory=dict)
+    template_recall: Dict[Template, float] = field(default_factory=dict)
+    template_recall_all: Dict[Template, float] = field(default_factory=dict)
+    query_precision: Dict[Query, float] = field(default_factory=dict)
+    query_recall: Dict[Query, float] = field(default_factory=dict)
+    query_entity_support: Dict[Query, int] = field(default_factory=dict)
+    frequent_queries: List[Query] = field(default_factory=list)
+
+    def best_queries_by_precision(self, limit: int = 0) -> List[Query]:
+        """Domain queries ranked by learnt precision (for the +q ablation)."""
+        ranked = sorted(self.query_precision, key=lambda q: (-self.query_precision[q], q))
+        return ranked[:limit] if limit > 0 else ranked
+
+    def best_queries_by_recall(self, limit: int = 0) -> List[Query]:
+        """Domain queries ranked by learnt recall (for the +q ablation)."""
+        ranked = sorted(self.query_recall, key=lambda q: (-self.query_recall[q], q))
+        return ranked[:limit] if limit > 0 else ranked
+
+    def is_empty(self) -> bool:
+        """True when the model was learnt from zero domain entities."""
+        return self.num_domain_entities == 0 or not self.query_precision
+
+
+class DomainPhase:
+    """Learns a :class:`DomainModel` from a domain corpus."""
+
+    def __init__(self, domain_corpus: Corpus, config: Optional[L2QConfig] = None) -> None:
+        self.corpus = domain_corpus
+        self.config = config if config is not None else L2QConfig()
+        self.config.validate()
+        self._assembler = GraphAssembler(domain_corpus.type_system, self.config)
+
+    # -- Public API ----------------------------------------------------------
+    def learn(self, aspect: str, relevance: RelevanceFunction) -> DomainModel:
+        """Run the domain phase for one aspect.
+
+        Parameters
+        ----------
+        aspect:
+            The target aspect name (used only for bookkeeping).
+        relevance:
+            The relevance function ``Y`` (normally the pre-trained aspect
+            classifier) evaluated on domain pages to derive regularization.
+        """
+        pages = list(self.corpus.iter_pages())
+        num_entities = self.corpus.num_entities()
+        model = DomainModel(
+            domain=self.corpus.domain,
+            aspect=aspect,
+            num_domain_entities=num_entities,
+            num_domain_pages=len(pages),
+        )
+        if not pages:
+            return model
+
+        queries, statistics = self._enumerate_domain_queries(pages)
+        if not queries:
+            return model
+
+        assembled = self._assembler.assemble(pages, queries, use_templates=True)
+        solver = assembled.solver(self.config)
+
+        precision = solver.solve_precision(
+            page_regularization=precision_page_regularization(pages, relevance))
+        recall = solver.solve_recall(
+            page_regularization=recall_page_regularization(pages, relevance))
+        recall_all = solver.solve_recall(
+            page_regularization=recall_page_regularization(pages, AllRelevant()))
+
+        model.template_precision = precision.template_utilities()
+        model.template_recall = recall.template_utilities()
+        model.template_recall_all = recall_all.template_utilities()
+        model.query_precision = precision.query_utilities()
+        model.query_recall = recall.query_utilities()
+        model.query_entity_support = {
+            query: statistics.entity_support(query) for query in queries
+        }
+
+        threshold = self.config.domain_support_threshold(num_entities)
+        model.frequent_queries = sorted(
+            (q for q in queries if statistics.entity_support(q) >= threshold),
+            key=lambda q: (-statistics.entity_support(q), q),
+        )
+        return model
+
+    # -- Internals -------------------------------------------------------------
+    def _enumerate_domain_queries(self, pages: Sequence[Page]):
+        enumerator = QueryEnumerator(
+            max_length=self.config.max_query_length,
+            min_word_length=self.config.min_query_word_length,
+        )
+        statistics = enumerator.enumerate_from_pages(pages)
+        queries = prune_queries(
+            statistics,
+            min_page_frequency=self.config.domain_min_query_pages,
+            max_queries=self.config.max_domain_queries,
+        )
+        return queries, statistics
+
+
+def learn_domain_models(domain_corpus: Corpus, relevance_by_aspect: Dict[str, RelevanceFunction],
+                        config: Optional[L2QConfig] = None) -> Dict[str, DomainModel]:
+    """Convenience: learn one :class:`DomainModel` per aspect."""
+    phase = DomainPhase(domain_corpus, config)
+    return {aspect: phase.learn(aspect, relevance)
+            for aspect, relevance in relevance_by_aspect.items()}

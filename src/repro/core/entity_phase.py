@@ -1,0 +1,195 @@
+"""The entity phase of domain-aware L2Q (Sect. IV-C).
+
+Executed for every query selection: from the target entity's current result
+pages ``P_E`` (plus frequently-occurring domain queries), build the entity
+reinforcement graph, inject regularization from the current pages and from
+the domain-phase template utilities (scaled by the adaptation parameter
+``lambda``), and solve for the utilities ``U_E(q)`` of every candidate
+query.
+
+Besides the precision and recall of Sect. IV, the entity phase also solves
+the auxiliary recall problems needed by context-aware L2Q (Sect. V):
+
+* recall w.r.t. ``Y~`` (relevant pages among the *current* pages only, no
+  domain-template regularization) — used for the redundancy term
+  ``Delta(Phi, q) = R^(Y~)(q) * R(Phi)``;
+* recall w.r.t. ``Y*`` (every page relevant) and its ``Y~*`` restriction —
+  used for the denominator of collective precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.aspects.relevance import AllRelevant, RelevanceFunction
+from repro.core.config import L2QConfig
+from repro.core.domain_phase import DomainModel
+from repro.core.queries import Query, QueryEnumerator, prune_queries
+from repro.core.utility import (
+    AssembledGraph,
+    GraphAssembler,
+    precision_page_regularization,
+    recall_page_regularization,
+    template_regularization,
+)
+from repro.corpus.document import Entity, Page
+from repro.corpus.knowledge_base import TypeSystem
+from repro.graph.random_walk import UtilityVector
+
+
+@dataclass
+class EntityUtilities:
+    """All per-candidate utilities computed by one entity-phase run."""
+
+    candidates: List[Query]
+    assembled: AssembledGraph
+    precision: UtilityVector
+    recall: UtilityVector
+    recall_current: UtilityVector
+    recall_all: UtilityVector
+    recall_current_all: UtilityVector
+
+    def precision_of(self, query: Query) -> float:
+        """Inferred (individual) precision of a candidate query."""
+        return self.precision.query(query)
+
+    def recall_of(self, query: Query) -> float:
+        """Inferred (individual) recall of a candidate query."""
+        return self.recall.query(query)
+
+    def ranked_by_precision(self) -> List[Query]:
+        """Candidates sorted by decreasing precision (ties lexicographic)."""
+        return sorted(self.candidates, key=lambda q: (-self.precision_of(q), q))
+
+    def ranked_by_recall(self) -> List[Query]:
+        """Candidates sorted by decreasing recall (ties lexicographic)."""
+        return sorted(self.candidates, key=lambda q: (-self.recall_of(q), q))
+
+
+class EntityPhase:
+    """Builds the entity graph and infers candidate-query utilities."""
+
+    def __init__(self, type_system: TypeSystem, config: Optional[L2QConfig] = None) -> None:
+        self.type_system = type_system
+        self.config = config if config is not None else L2QConfig()
+        self.config.validate()
+        self._assembler = GraphAssembler(type_system, self.config)
+
+    # -- Candidate enumeration --------------------------------------------------
+    def enumerate_candidates(self, entity: Entity, current_pages: Sequence[Page],
+                             domain_model: Optional[DomainModel] = None,
+                             exclude: Optional[Set[Query]] = None) -> List[Query]:
+        """Build the candidate query set ``Q_E``.
+
+        Candidates come from the current result pages; when a domain model
+        is available, queries occurring with many domain entities are added
+        as well, so that useful queries not yet visible in ``P_E`` remain
+        reachable (Sect. IV-C, *Entity graph*).
+        """
+        enumerator = QueryEnumerator(
+            max_length=self.config.max_query_length,
+            min_word_length=self.config.min_query_word_length,
+            exclude_words=set(entity.seed_query) | set(entity.name_tokens),
+        )
+        statistics = enumerator.enumerate_from_pages(list(current_pages))
+        candidates = prune_queries(statistics, min_page_frequency=1,
+                                   max_queries=self.config.max_entity_candidates)
+        seen = set(candidates)
+        if domain_model is not None and not domain_model.is_empty():
+            excluded_words = set(entity.seed_query) | set(entity.name_tokens)
+            observed_words = set()
+            for page in current_pages:
+                observed_words.update(page.token_set)
+            for query in domain_model.frequent_queries:
+                if query in seen:
+                    continue
+                if any(word in excluded_words for word in query):
+                    continue
+                # Require at least partial evidence for the target entity:
+                # a frequent domain query none of whose words occur on any
+                # current page has no grounding for this entity and would be
+                # ranked purely by template transfer.
+                if not any(word in observed_words for word in query):
+                    continue
+                candidates.append(query)
+                seen.add(query)
+                if len(candidates) >= self.config.max_entity_candidates * 2:
+                    break
+        if exclude:
+            candidates = [q for q in candidates if q not in exclude]
+        return candidates
+
+    # -- Utility inference ----------------------------------------------------------
+    def compute(self, entity: Entity, current_pages: Sequence[Page],
+                relevance: RelevanceFunction,
+                domain_model: Optional[DomainModel] = None,
+                use_templates: bool = True,
+                exclude: Optional[Set[Query]] = None) -> EntityUtilities:
+        """Run the entity phase and return all candidate utilities.
+
+        Parameters
+        ----------
+        entity:
+            The target entity.
+        current_pages:
+            The pages gathered so far (``P_E``).
+        relevance:
+            The relevance function ``Y`` (normally the aspect classifier).
+        domain_model:
+            Template knowledge from the domain phase; ``None`` disables
+            domain awareness (the plain P / R strategies of Sect. VI-B).
+        use_templates:
+            Whether to build the template layer at all.
+        exclude:
+            Queries to exclude from the candidate set (e.g. already fired).
+        """
+        pages = list(current_pages)
+        candidates = self.enumerate_candidates(entity, pages, domain_model, exclude)
+        assembled = self._assembler.assemble(pages, candidates, use_templates=use_templates)
+        solver = assembled.solver(self.config)
+
+        page_precision_reg = precision_page_regularization(pages, relevance)
+        page_recall_reg = recall_page_regularization(pages, relevance)
+        all_relevant = AllRelevant()
+        page_recall_all_reg = recall_page_regularization(pages, all_relevant)
+
+        template_precision_reg: Dict = {}
+        template_recall_reg: Dict = {}
+        template_recall_all_reg: Dict = {}
+        if use_templates and domain_model is not None and not domain_model.is_empty():
+            graph_templates = assembled.graph.templates.keys()
+            template_precision_reg = template_regularization(
+                domain_model.template_precision, graph_templates,
+                self.config.adaptation_lambda)
+            template_recall_reg = template_regularization(
+                domain_model.template_recall, graph_templates,
+                self.config.adaptation_lambda)
+            template_recall_all_reg = template_regularization(
+                domain_model.template_recall_all, graph_templates,
+                self.config.adaptation_lambda)
+
+        precision = solver.solve_precision(
+            page_regularization=page_precision_reg,
+            template_regularization=template_precision_reg)
+        recall = solver.solve_recall(
+            page_regularization=page_recall_reg,
+            template_regularization=template_recall_reg)
+        # Y~: recall restricted to the currently gathered relevant pages —
+        # no domain-template regularization (the domain speaks about the
+        # whole universe, not about what has already been downloaded).
+        recall_current = solver.solve_recall(page_regularization=page_recall_reg)
+        recall_all = solver.solve_recall(
+            page_regularization=page_recall_all_reg,
+            template_regularization=template_recall_all_reg)
+        recall_current_all = solver.solve_recall(page_regularization=page_recall_all_reg)
+
+        return EntityUtilities(
+            candidates=candidates,
+            assembled=assembled,
+            precision=precision,
+            recall=recall,
+            recall_current=recall_current,
+            recall_all=recall_all,
+            recall_current_all=recall_current_all,
+        )

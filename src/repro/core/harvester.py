@@ -1,0 +1,171 @@
+"""The iterative harvesting loop of Fig. 1.
+
+Starting from the entity's seed query, each iteration asks the query
+selector for the next query, fires it against the search engine, and folds
+the new result pages into the working set.  Selection (CPU) and fetch
+(simulated I/O) times are recorded separately so that the efficiency
+experiment of Fig. 14 can be reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.aspects.relevance import RelevanceFunction
+from repro.core.config import L2QConfig
+from repro.core.domain_phase import DomainModel
+from repro.core.queries import Query
+from repro.core.selection import QuerySelector
+from repro.core.session import HarvestSession
+from repro.corpus.corpus import Corpus
+from repro.search.engine import SearchEngine
+from repro.utils.rng import SeededRandom
+from repro.utils.timing import Stopwatch, TimingAccumulator
+
+SELECTION_TIME = "selection"
+FETCH_TIME = "fetch"
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """What happened in one iteration of the harvesting loop."""
+
+    index: int
+    query: Query
+    result_page_ids: tuple
+    new_page_ids: tuple
+    selection_seconds: float
+    fetch_seconds: float
+
+
+@dataclass
+class HarvestResult:
+    """The outcome of one complete harvesting run."""
+
+    entity_id: str
+    aspect: str
+    selector_name: str
+    seed_page_ids: List[str] = field(default_factory=list)
+    iterations: List[IterationRecord] = field(default_factory=list)
+    timing: TimingAccumulator = field(default_factory=TimingAccumulator)
+
+    @property
+    def num_queries(self) -> int:
+        """Number of non-seed queries fired."""
+        return len(self.iterations)
+
+    def queries(self) -> List[Query]:
+        """The fired queries in order."""
+        return [record.query for record in self.iterations]
+
+    def gathered_after(self, num_queries: Optional[int] = None) -> List[str]:
+        """Cumulative gathered page ids after ``num_queries`` iterations.
+
+        The seed-query results count as gathered (iteration 0).  ``None``
+        means "after all iterations".
+        """
+        limit = len(self.iterations) if num_queries is None else num_queries
+        gathered: List[str] = []
+        seen = set()
+        for page_id in self.seed_page_ids:
+            if page_id not in seen:
+                seen.add(page_id)
+                gathered.append(page_id)
+        for record in self.iterations[:limit]:
+            for page_id in record.result_page_ids:
+                if page_id not in seen:
+                    seen.add(page_id)
+                    gathered.append(page_id)
+        return gathered
+
+    def average_selection_seconds(self) -> float:
+        """Mean per-query selection time."""
+        return self.timing.average(SELECTION_TIME)
+
+    def average_fetch_seconds(self) -> float:
+        """Mean per-query (simulated) fetch time."""
+        return self.timing.average(FETCH_TIME)
+
+
+class Harvester:
+    """Drives the iterative harvesting loop for one corpus and engine."""
+
+    def __init__(self, corpus: Corpus, engine: SearchEngine,
+                 config: Optional[L2QConfig] = None) -> None:
+        self.corpus = corpus
+        self.engine = engine
+        self.config = config if config is not None else L2QConfig()
+        self.config.validate()
+
+    def harvest(self, entity_id: str, aspect: str, selector: QuerySelector,
+                relevance: RelevanceFunction, num_queries: Optional[int] = None,
+                domain_model: Optional[DomainModel] = None,
+                seed: Optional[int] = None) -> HarvestResult:
+        """Run the full loop of Fig. 1 for one entity and aspect.
+
+        Parameters
+        ----------
+        entity_id / aspect:
+            The harvesting target.
+        selector:
+            A *fresh* query-selection strategy instance.
+        relevance:
+            The learner-visible relevance function (aspect classifier).
+        num_queries:
+            Number of queries to fire after the seed (defaults to the
+            configured ``num_queries``).
+        domain_model:
+            Domain-phase knowledge, if the strategy is domain aware.
+        seed:
+            Randomness seed for this run (defaults to the configured seed).
+        """
+        entity = self.corpus.get_entity(entity_id)
+        budget = num_queries if num_queries is not None else self.config.num_queries
+        rng = SeededRandom(seed if seed is not None else self.config.random_seed)
+        session = HarvestSession(
+            corpus=self.corpus,
+            engine=self.engine,
+            entity=entity,
+            aspect=aspect,
+            relevance=relevance,
+            config=self.config,
+            rng=rng.spawn(entity_id, aspect, selector.name),
+            domain_model=domain_model,
+        )
+        result = HarvestResult(entity_id=entity_id, aspect=aspect,
+                               selector_name=selector.name)
+
+        # Iteration 0: the seed query.
+        seed_results = self.engine.seed_results(entity_id)
+        seed_pages = self.engine.fetch_pages(seed_results)
+        session.add_pages(seed_pages)
+        result.seed_page_ids = [r.page_id for r in seed_results]
+        result.timing.add(
+            FETCH_TIME, len(seed_results) * self.engine.simulated_fetch_seconds_per_page)
+
+        selector.prepare(session)
+
+        for index in range(budget):
+            with Stopwatch() as select_watch:
+                query = selector.select(session)
+            if query is None:
+                break
+            results = self.engine.search(entity_id, list(query))
+            pages = self.engine.fetch_pages(results)
+            new_pages = session.add_pages(pages)
+            session.record_query(query)
+            fetch_seconds = len(results) * self.engine.simulated_fetch_seconds_per_page
+            result.timing.add(SELECTION_TIME, select_watch.elapsed)
+            result.timing.add(FETCH_TIME, fetch_seconds)
+            result.iterations.append(IterationRecord(
+                index=index,
+                query=query,
+                result_page_ids=tuple(r.page_id for r in results),
+                new_page_ids=tuple(p.page_id for p in new_pages),
+                selection_seconds=select_watch.elapsed,
+                fetch_seconds=fetch_seconds,
+            ))
+            selector.observe(session, query, new_pages)
+
+        return result

@@ -1,0 +1,256 @@
+"""Query-selection strategies.
+
+This module implements the strategy ladder the paper evaluates in Sect. VI-B
+(Fig. 10) and the full approaches of Sect. VI-C:
+
+===========  =================================================================
+``RND``      Random candidate query (reference point).
+``P`` / ``R``        Utility inference only (Sect. III) — no domain, no context.
+``P+q`` / ``R+q``    Directly reuse the best domain *queries* (shows entity variation).
+``P+t`` / ``R+t``    Domain-aware through *templates* (Sect. IV) — no context.
+``L2QP`` / ``L2QR``  Full approach: domain + context aware (Sect. V).
+``L2QBAL``   Geometric mean of collective precision and recall (Sect. VI-C).
+===========  =================================================================
+
+Every strategy implements :class:`QuerySelector`; instances are stateful per
+harvesting run, so callers should create a fresh selector per harvest (the
+factory :func:`make_selector` does exactly that).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.config import L2QConfig
+from repro.core.context import ContextTracker
+from repro.core.entity_phase import EntityPhase, EntityUtilities
+from repro.core.queries import Query, QueryEnumerator
+from repro.core.session import HarvestSession
+
+OBJECTIVE_PRECISION = "precision"
+OBJECTIVE_RECALL = "recall"
+OBJECTIVE_BALANCED = "balanced"
+
+
+class QuerySelector(ABC):
+    """Interface of a query-selection strategy."""
+
+    #: Human-readable strategy name (used in reports).
+    name: str = "selector"
+
+    def prepare(self, session: HarvestSession) -> None:
+        """Called once before the first selection of a harvesting run."""
+
+    @abstractmethod
+    def select(self, session: HarvestSession) -> Optional[Query]:
+        """Return the next query to fire, or ``None`` to stop early."""
+
+    def observe(self, session: HarvestSession, query: Query,
+                new_pages: Sequence) -> None:
+        """Called after the selected query has been fired."""
+
+
+def first_unfired(ranked: Sequence[Query], session: HarvestSession) -> Optional[Query]:
+    """First query in ``ranked`` that has not been fired yet."""
+    for query in ranked:
+        if not session.is_fired(query):
+            return query
+    return None
+
+
+# ---------------------------------------------------------------------------
+# RND
+# ---------------------------------------------------------------------------
+
+class RandomSelection(QuerySelector):
+    """Uniformly random choice among the current candidate queries."""
+
+    name = "RND"
+
+    def select(self, session: HarvestSession) -> Optional[Query]:
+        enumerator = QueryEnumerator(
+            max_length=session.config.max_query_length,
+            min_word_length=session.config.min_query_word_length,
+            exclude_words=set(session.entity.seed_query) | set(session.entity.name_tokens),
+        )
+        statistics = enumerator.enumerate_from_pages(session.current_pages)
+        candidates = sorted(q for q in statistics.queries() if not session.is_fired(q))
+        if not candidates:
+            return None
+        return session.rng.choice(candidates)
+
+
+# ---------------------------------------------------------------------------
+# P / R — utility inference without domain or context
+# ---------------------------------------------------------------------------
+
+class UtilityOnlySelection(QuerySelector):
+    """Optimise inferred precision or recall; no domain, no context (Sect. III)."""
+
+    def __init__(self, objective: str) -> None:
+        if objective not in (OBJECTIVE_PRECISION, OBJECTIVE_RECALL):
+            raise ValueError("objective must be 'precision' or 'recall'")
+        self.objective = objective
+        self.name = "P" if objective == OBJECTIVE_PRECISION else "R"
+
+    def select(self, session: HarvestSession) -> Optional[Query]:
+        phase = EntityPhase(session.corpus.type_system, session.config)
+        utilities = phase.compute(
+            entity=session.entity,
+            current_pages=session.current_pages,
+            relevance=session.relevance,
+            domain_model=None,
+            use_templates=False,
+            exclude=set(session.fired_queries),
+        )
+        ranked = (utilities.ranked_by_precision()
+                  if self.objective == OBJECTIVE_PRECISION
+                  else utilities.ranked_by_recall())
+        return first_unfired(ranked, session)
+
+
+# ---------------------------------------------------------------------------
+# P+q / R+q — direct transfer of domain queries (entity-variation ablation)
+# ---------------------------------------------------------------------------
+
+class DomainQuerySelection(QuerySelector):
+    """Fire the domain queries with the highest domain-phase utility, verbatim."""
+
+    def __init__(self, objective: str) -> None:
+        if objective not in (OBJECTIVE_PRECISION, OBJECTIVE_RECALL):
+            raise ValueError("objective must be 'precision' or 'recall'")
+        self.objective = objective
+        self.name = "P+q" if objective == OBJECTIVE_PRECISION else "R+q"
+
+    def select(self, session: HarvestSession) -> Optional[Query]:
+        model = session.domain_model
+        if model is None or model.is_empty():
+            return None
+        ranked = (model.best_queries_by_precision()
+                  if self.objective == OBJECTIVE_PRECISION
+                  else model.best_queries_by_recall())
+        excluded_words = set(session.entity.seed_query) | set(session.entity.name_tokens)
+        usable = [q for q in ranked if not any(w in excluded_words for w in q)]
+        return first_unfired(usable, session)
+
+
+# ---------------------------------------------------------------------------
+# P+t / R+t — domain-aware via templates, without context awareness
+# ---------------------------------------------------------------------------
+
+class TemplateSelection(QuerySelector):
+    """Optimise inferred precision or recall with template-based domain awareness."""
+
+    def __init__(self, objective: str) -> None:
+        if objective not in (OBJECTIVE_PRECISION, OBJECTIVE_RECALL):
+            raise ValueError("objective must be 'precision' or 'recall'")
+        self.objective = objective
+        self.name = "P+t" if objective == OBJECTIVE_PRECISION else "R+t"
+
+    def select(self, session: HarvestSession) -> Optional[Query]:
+        phase = EntityPhase(session.corpus.type_system, session.config)
+        utilities = phase.compute(
+            entity=session.entity,
+            current_pages=session.current_pages,
+            relevance=session.relevance,
+            domain_model=session.domain_model,
+            use_templates=True,
+            exclude=set(session.fired_queries),
+        )
+        ranked = (utilities.ranked_by_precision()
+                  if self.objective == OBJECTIVE_PRECISION
+                  else utilities.ranked_by_recall())
+        return first_unfired(ranked, session)
+
+
+# ---------------------------------------------------------------------------
+# L2QP / L2QR / L2QBAL — full approach (domain + context aware)
+# ---------------------------------------------------------------------------
+
+class ContextAwareSelection(QuerySelector):
+    """The full L2Q approach: collective utilities over the query context."""
+
+    def __init__(self, objective: str, config: Optional[L2QConfig] = None) -> None:
+        if objective not in (OBJECTIVE_PRECISION, OBJECTIVE_RECALL, OBJECTIVE_BALANCED):
+            raise ValueError(
+                "objective must be 'precision', 'recall' or 'balanced'")
+        self.objective = objective
+        self.name = {"precision": "L2QP", "recall": "L2QR", "balanced": "L2QBAL"}[objective]
+        self._config = config
+        self._tracker: Optional[ContextTracker] = None
+
+    def prepare(self, session: HarvestSession) -> None:
+        config = self._config or session.config
+        self._tracker = ContextTracker(seed_recall_r0=config.seed_recall_r0)
+
+    def select(self, session: HarvestSession) -> Optional[Query]:
+        if self._tracker is None:
+            self.prepare(session)
+        assert self._tracker is not None
+        phase = EntityPhase(session.corpus.type_system, session.config)
+        utilities = phase.compute(
+            entity=session.entity,
+            current_pages=session.current_pages,
+            relevance=session.relevance,
+            domain_model=session.domain_model,
+            use_templates=True,
+            exclude=set(session.fired_queries),
+        )
+        best_query: Optional[Query] = None
+        best_score: Optional[tuple] = None
+        for query in sorted(utilities.candidates):
+            if session.is_fired(query):
+                continue
+            collective = self._tracker.evaluate(query, utilities)
+            score = self._score(collective, utilities, query)
+            if best_score is None or score > best_score:
+                best_score = score
+                best_query = query
+        if best_query is not None:
+            self._tracker.update(best_query, utilities)
+        return best_query
+
+    def _score(self, collective, utilities: EntityUtilities, query: Query) -> tuple:
+        """Primary score is the collective utility; ties break on the
+        individual inferred utility so that near-identical collective values
+        (common in the first iteration) still prefer genuinely useful queries."""
+        if self.objective == OBJECTIVE_PRECISION:
+            return (collective.collective_precision, utilities.precision_of(query))
+        if self.objective == OBJECTIVE_RECALL:
+            return (collective.collective_recall, utilities.recall_of(query))
+        individual = (max(utilities.precision_of(query), 0.0)
+                      * max(utilities.recall_of(query), 0.0)) ** 0.5
+        return (collective.balanced, individual)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_FACTORY: Dict[str, Callable[[L2QConfig], QuerySelector]] = {
+    "RND": lambda config: RandomSelection(),
+    "P": lambda config: UtilityOnlySelection(OBJECTIVE_PRECISION),
+    "R": lambda config: UtilityOnlySelection(OBJECTIVE_RECALL),
+    "P+q": lambda config: DomainQuerySelection(OBJECTIVE_PRECISION),
+    "R+q": lambda config: DomainQuerySelection(OBJECTIVE_RECALL),
+    "P+t": lambda config: TemplateSelection(OBJECTIVE_PRECISION),
+    "R+t": lambda config: TemplateSelection(OBJECTIVE_RECALL),
+    "L2QP": lambda config: ContextAwareSelection(OBJECTIVE_PRECISION, config),
+    "L2QR": lambda config: ContextAwareSelection(OBJECTIVE_RECALL, config),
+    "L2QBAL": lambda config: ContextAwareSelection(OBJECTIVE_BALANCED, config),
+}
+
+
+def selector_names() -> List[str]:
+    """Names of all built-in L2Q strategies."""
+    return sorted(_FACTORY)
+
+
+def make_selector(name: str, config: Optional[L2QConfig] = None) -> QuerySelector:
+    """Create a fresh selector instance by strategy name."""
+    try:
+        factory = _FACTORY[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown selector {name!r}; available: {selector_names()}") from exc
+    return factory(config if config is not None else L2QConfig())

@@ -1,0 +1,75 @@
+"""The mutable state of one harvesting run (one entity, one aspect).
+
+A :class:`HarvestSession` is created by the harvester and passed to the
+query selector on every iteration; it bundles everything a selection
+strategy may legitimately look at: the current result pages, the past
+queries, the learner-visible relevance function, the domain model and the
+configuration.  Ground-truth relevance is *not* part of the session — only
+the oracle/ideal selector receives it, explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set
+
+from repro.aspects.relevance import RelevanceFunction
+from repro.core.config import L2QConfig
+from repro.core.domain_phase import DomainModel
+from repro.core.queries import Query
+from repro.corpus.corpus import Corpus
+from repro.corpus.document import Entity, Page
+from repro.search.engine import SearchEngine
+from repro.utils.rng import SeededRandom
+
+
+@dataclass
+class HarvestSession:
+    """Mutable state shared between the harvester and the query selector."""
+
+    corpus: Corpus
+    engine: SearchEngine
+    entity: Entity
+    aspect: str
+    relevance: RelevanceFunction
+    config: L2QConfig
+    rng: SeededRandom
+    domain_model: Optional[DomainModel] = None
+    current_pages: List[Page] = field(default_factory=list)
+    past_queries: List[Query] = field(default_factory=list)
+    fired_queries: Set[Query] = field(default_factory=set)
+    _current_page_ids: Set[str] = field(default_factory=set)
+
+    # -- Page management -----------------------------------------------------
+    def add_pages(self, pages: Sequence[Page]) -> List[Page]:
+        """Add newly retrieved pages, returning only the genuinely new ones."""
+        added: List[Page] = []
+        for page in pages:
+            if page.page_id in self._current_page_ids:
+                continue
+            self._current_page_ids.add(page.page_id)
+            self.current_pages.append(page)
+            added.append(page)
+        return added
+
+    def has_page(self, page_id: str) -> bool:
+        """Whether a page has already been gathered in this session."""
+        return page_id in self._current_page_ids
+
+    def current_page_ids(self) -> List[str]:
+        """Ids of all gathered pages, in gathering order."""
+        return [page.page_id for page in self.current_pages]
+
+    def relevant_current_pages(self) -> List[Page]:
+        """Current pages the (learner-visible) relevance function accepts."""
+        return [page for page in self.current_pages if self.relevance(page) == 1]
+
+    # -- Query management --------------------------------------------------------
+    def record_query(self, query: Query) -> None:
+        """Record a fired query into the context ``Phi``."""
+        self.past_queries.append(query)
+        self.fired_queries.add(query)
+
+    def is_fired(self, query: Query) -> bool:
+        """Whether ``query`` has already been fired in this session."""
+        return query in self.fired_queries

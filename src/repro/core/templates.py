@@ -1,0 +1,141 @@
+"""Templates: query abstractions that generalise across entities.
+
+Definition 1 of the paper: given a set of types (each a set of words), a
+*template* is a sequence of units where each unit is either a literal word
+or a type; a template *abstracts* a query when literal units match exactly
+and type units contain the corresponding query word.
+
+Templates are represented as tuples of unit strings; a type unit is written
+``"<type_name>"`` (angle brackets never occur in canonical word tokens, so
+the encoding is unambiguous).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.queries import Query
+from repro.corpus.knowledge_base import TypeSystem
+
+Template = Tuple[str, ...]
+
+_TYPE_PREFIX = "<"
+_TYPE_SUFFIX = ">"
+
+
+def type_unit(type_name: str) -> str:
+    """Encode a type as a template unit string."""
+    return f"{_TYPE_PREFIX}{type_name}{_TYPE_SUFFIX}"
+
+
+def is_type_unit(unit: str) -> bool:
+    """Whether a template unit denotes a type (as opposed to a literal word)."""
+    return unit.startswith(_TYPE_PREFIX) and unit.endswith(_TYPE_SUFFIX)
+
+
+def unit_type_name(unit: str) -> Optional[str]:
+    """The type name of a type unit, or ``None`` for literal units."""
+    if is_type_unit(unit):
+        return unit[len(_TYPE_PREFIX):-len(_TYPE_SUFFIX)]
+    return None
+
+
+def format_template(template: Template) -> str:
+    """Human-readable rendering of a template."""
+    return " ".join(template)
+
+
+def abstract_query(query: Query, type_system: TypeSystem,
+                   max_templates: int = 16) -> List[Template]:
+    """Return the templates that abstract ``query``.
+
+    Every typed word may independently stay literal or be abstracted to any
+    of its types; the fully-literal combination (the query itself) is
+    excluded because it carries no generalisation power.  The number of
+    returned templates is capped at ``max_templates`` (deterministically, by
+    preferring more-abstract templates first).
+    """
+    per_word_options: List[List[str]] = []
+    any_typed = False
+    for word in query:
+        options = [word]
+        for name in type_system.types_of(word):
+            options.append(type_unit(name))
+            any_typed = True
+        per_word_options.append(options)
+    if not any_typed:
+        return []
+
+    templates: Set[Template] = set()
+    for combination in product(*per_word_options):
+        template = tuple(combination)
+        if template == tuple(query):
+            continue
+        templates.add(template)
+
+    ordered = sorted(templates,
+                     key=lambda t: (-sum(1 for unit in t if is_type_unit(unit)), t))
+    return ordered[:max_templates]
+
+
+def template_abstracts(template: Template, query: Query, type_system: TypeSystem) -> bool:
+    """Whether ``template`` abstracts ``query`` (Definition 1)."""
+    if len(template) != len(query):
+        return False
+    for unit, word in zip(template, query):
+        name = unit_type_name(unit)
+        if name is None:
+            if unit != word:
+                return False
+        else:
+            if name not in type_system.types_of(word):
+                return False
+    return True
+
+
+def template_abstraction_level(template: Template) -> int:
+    """Number of type units in the template (0 = fully literal)."""
+    return sum(1 for unit in template if is_type_unit(unit))
+
+
+class TemplateIndex:
+    """Maps queries to their templates and vice versa for one graph build."""
+
+    def __init__(self, type_system: TypeSystem, max_templates_per_query: int = 16) -> None:
+        self.type_system = type_system
+        self.max_templates_per_query = max_templates_per_query
+        self._query_templates: Dict[Query, Tuple[Template, ...]] = {}
+        self._template_queries: Dict[Template, Set[Query]] = {}
+
+    def add_query(self, query: Query) -> Tuple[Template, ...]:
+        """Register a query, computing (and caching) its templates."""
+        cached = self._query_templates.get(query)
+        if cached is not None:
+            return cached
+        templates = tuple(abstract_query(query, self.type_system,
+                                         max_templates=self.max_templates_per_query))
+        self._query_templates[query] = templates
+        for template in templates:
+            self._template_queries.setdefault(template, set()).add(query)
+        return templates
+
+    def add_queries(self, queries: Iterable[Query]) -> None:
+        """Register many queries."""
+        for query in queries:
+            self.add_query(query)
+
+    def templates_of(self, query: Query) -> Tuple[Template, ...]:
+        """Templates of a registered query (empty tuple if unknown/untyped)."""
+        return self._query_templates.get(query, ())
+
+    def queries_of(self, template: Template) -> FrozenSet[Query]:
+        """Registered queries abstracted by ``template``."""
+        return frozenset(self._template_queries.get(template, ()))
+
+    def templates(self) -> List[Template]:
+        """All templates seen so far."""
+        return list(self._template_queries)
+
+    def __len__(self) -> int:
+        return len(self._template_queries)

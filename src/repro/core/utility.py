@@ -1,0 +1,148 @@
+"""Graph assembly and utility regularization for L2Q inference.
+
+This module turns a working set of pages plus a candidate query pool into a
+:class:`~repro.graph.reinforcement.ReinforcementGraph` (optionally extended
+with templates) and provides the utility-regularization vectors of Sect. III
+(Eqs. 11-12): every relevant page is guided towards precision 1, and the
+relevant pages share a total recall mass of 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.aspects.relevance import RelevanceFunction
+from repro.core.config import L2QConfig
+from repro.core.queries import Query, query_contained_in_page
+from repro.core.templates import Template, TemplateIndex
+from repro.corpus.document import Page
+from repro.corpus.knowledge_base import TypeSystem
+from repro.graph.reinforcement import ReinforcementGraph, ReinforcementGraphBuilder
+from repro.graph.random_walk import UtilitySolver
+
+
+@dataclass
+class AssembledGraph:
+    """A built reinforcement graph together with its bookkeeping."""
+
+    graph: ReinforcementGraph
+    pages: List[Page]
+    queries: List[Query]
+    templates: List[Template]
+    template_index: Optional[TemplateIndex]
+
+    def solver(self, config: L2QConfig) -> UtilitySolver:
+        """Create a solver with the configured alpha / iteration limits."""
+        return UtilitySolver(self.graph, alpha=config.alpha,
+                             max_iterations=config.max_solver_iterations,
+                             tolerance=config.solver_tolerance)
+
+
+class GraphAssembler:
+    """Builds reinforcement graphs from pages, candidate queries and templates."""
+
+    def __init__(self, type_system: TypeSystem, config: Optional[L2QConfig] = None) -> None:
+        self.type_system = type_system
+        self.config = config if config is not None else L2QConfig()
+
+    def assemble(self, pages: Sequence[Page], queries: Sequence[Query],
+                 use_templates: bool = True,
+                 edge_weights: Optional[Mapping[Tuple[str, Query], float]] = None) -> AssembledGraph:
+        """Build the graph.
+
+        Parameters
+        ----------
+        pages:
+            The page vertices (e.g. current result pages ``P_E`` or domain
+            pages ``P_D``).
+        queries:
+            The candidate query vertices.  Edges connect a query to every
+            page that contains all of its words ("page p can be retrieved by
+            query q"); queries with no containing page still become vertices
+            (they may be connected through templates).
+        use_templates:
+            Whether to add the template layer (Sect. IV).
+        edge_weights:
+            Optional override of page-query edge weights keyed by
+            ``(page_id, query)``; defaults to binary containment weights.
+        """
+        builder = ReinforcementGraphBuilder()
+        for page in pages:
+            builder.add_page(page.page_id)
+        for query in queries:
+            builder.add_query(query)
+
+        for page in pages:
+            for query in queries:
+                if not query_contained_in_page(query, page):
+                    continue
+                weight = 1.0
+                if edge_weights is not None:
+                    weight = float(edge_weights.get((page.page_id, query), 1.0))
+                builder.connect_page_query(page.page_id, query, weight)
+
+        template_index: Optional[TemplateIndex] = None
+        if use_templates:
+            template_index = TemplateIndex(self.type_system)
+            for query in queries:
+                for template in template_index.add_query(query):
+                    builder.connect_query_template(query, template, 1.0)
+
+        graph = builder.build()
+        return AssembledGraph(
+            graph=graph,
+            pages=list(pages),
+            queries=list(queries),
+            templates=graph.templates.keys(),
+            template_index=template_index,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Utility regularization (Eqs. 11-12)
+# ---------------------------------------------------------------------------
+
+def precision_page_regularization(pages: Sequence[Page],
+                                  relevance: RelevanceFunction) -> Dict[str, float]:
+    """``P_hat(p) = Y(p)``: every relevant page is guided towards precision 1."""
+    return {page.page_id: float(relevance(page)) for page in pages}
+
+
+def recall_page_regularization(pages: Sequence[Page],
+                               relevance: RelevanceFunction) -> Dict[str, float]:
+    """``R_hat(p) = Y(p) / sum_p' Y(p')``: relevant pages share recall mass 1."""
+    labels = {page.page_id: float(relevance(page)) for page in pages}
+    total = sum(labels.values())
+    if total <= 0:
+        return {page_id: 0.0 for page_id in labels}
+    return {page_id: value / total for page_id, value in labels.items()}
+
+
+def template_regularization(template_utilities: Mapping[Template, float],
+                            templates: Iterable[Template],
+                            adaptation_lambda: float,
+                            normalize: bool = True) -> Dict[Template, float]:
+    """``U_hat_E(t) = lambda * U_D(t)`` for templates learnt in the domain phase.
+
+    Only templates that appear both in the domain model and in the entity
+    graph receive regularization (``t in T_E intersect T_D``, Eqs. 21-22).
+
+    ``normalize`` rescales the domain utilities by their maximum before
+    applying ``lambda``.  The paper's domain graph and ours differ in size by
+    orders of magnitude, and recall-mode utilities scale inversely with graph
+    size; normalising makes the adaptation strength ``lambda`` comparable
+    across modes and corpus scales (the ranking of templates is unchanged).
+    """
+    values = {t: float(v) for t, v in template_utilities.items() if v > 0}
+    if not values:
+        return {}
+    scale = max(values.values()) if normalize else 1.0
+    if scale <= 0:
+        return {}
+    regularization: Dict[Template, float] = {}
+    for template in templates:
+        domain_value = values.get(template)
+        if domain_value is not None:
+            regularization[template] = adaptation_lambda * domain_value / scale
+    return regularization

@@ -1,0 +1,149 @@
+"""Core document data model: paragraphs, pages and entities.
+
+The paper models every page as a bag of words and segments each page into
+paragraphs so that aspect relevance can be judged at a finer granularity
+(Sect. VI-A).  The harvesting pipeline and the search engine both operate on
+:class:`Page` objects; the aspect classifiers operate on :class:`Paragraph`
+objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Paragraph:
+    """A single paragraph of a Web page.
+
+    Attributes
+    ----------
+    paragraph_id:
+        Globally unique identifier (``"<page_id>#<index>"`` by convention).
+    tokens:
+        The tokenised content of the paragraph.  Multi-word phrases that the
+        knowledge base knows about are represented as single underscored
+        tokens (e.g. ``"data_mining"``).
+    aspect:
+        The ground-truth aspect this paragraph talks about, or ``None`` for
+        background / boilerplate paragraphs.  In the paper this label is
+        produced by a CRF classifier whose output is treated as ground
+        truth; in the reproduction the synthetic generator records the label
+        directly and a trained classifier is evaluated against it (Fig. 9).
+    """
+
+    paragraph_id: str
+    tokens: Tuple[str, ...]
+    aspect: Optional[str] = None
+
+    @property
+    def text(self) -> str:
+        """A human-readable rendering of the paragraph."""
+        return " ".join(token.replace("_", " ") for token in self.tokens)
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+
+@dataclass(frozen=True)
+class Page:
+    """A Web page belonging to exactly one entity.
+
+    Attributes
+    ----------
+    page_id:
+        Globally unique page identifier.
+    entity_id:
+        Identifier of the entity the page is about.
+    paragraphs:
+        The ordered paragraphs of the page.
+    """
+
+    page_id: str
+    entity_id: str
+    paragraphs: Tuple[Paragraph, ...]
+
+    @property
+    def tokens(self) -> Tuple[str, ...]:
+        """All tokens of the page in order (concatenation of paragraphs)."""
+        out: List[str] = []
+        for paragraph in self.paragraphs:
+            out.extend(paragraph.tokens)
+        return tuple(out)
+
+    @property
+    def token_set(self) -> FrozenSet[str]:
+        """The set of distinct tokens on the page (bag-of-words view)."""
+        return frozenset(self.tokens)
+
+    @property
+    def text(self) -> str:
+        """A human-readable rendering of the page."""
+        return "\n".join(paragraph.text for paragraph in self.paragraphs)
+
+    def aspects(self) -> FrozenSet[str]:
+        """The set of ground-truth aspects covered by this page."""
+        return frozenset(p.aspect for p in self.paragraphs if p.aspect is not None)
+
+    def has_aspect(self, aspect: str) -> bool:
+        """Whether any paragraph of the page is about ``aspect``."""
+        return any(p.aspect == aspect for p in self.paragraphs)
+
+    def contains_all(self, words: Sequence[str]) -> bool:
+        """Whether the page contains every word in ``words``."""
+        token_set = self.token_set
+        return all(word in token_set for word in words)
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self.paragraphs)
+
+
+@dataclass
+class Entity:
+    """A real-world entity (a researcher or a car model).
+
+    Attributes
+    ----------
+    entity_id:
+        Unique identifier within the corpus.
+    domain:
+        Domain name, e.g. ``"researcher"`` or ``"car"``.
+    name_tokens:
+        The tokens of the entity's name (e.g. ``("marc", "snir")``).
+    seed_query:
+        The seed query ``q(0)`` that uniquely identifies the entity
+        (name + institute for researchers, make + model for cars).  The seed
+        query is implicitly appended to every subsequent query fired for the
+        entity (paper Sect. I, *Input*).
+    attributes:
+        Mapping from knowledge-base type name to the entity-specific values
+        of that type, e.g. ``{"topic": ("parallel_computing", "hpc")}``.
+        These drive *entity variation*: peers share the types but not the
+        values (paper Fig. 3).
+    """
+
+    entity_id: str
+    domain: str
+    name_tokens: Tuple[str, ...]
+    seed_query: Tuple[str, ...]
+    attributes: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        """Human-readable entity name."""
+        return " ".join(self.name_tokens)
+
+    def attribute_values(self, type_name: str) -> Tuple[str, ...]:
+        """Return the entity's values for ``type_name`` (empty if none)."""
+        return self.attributes.get(type_name, ())
+
+    def all_attribute_words(self) -> FrozenSet[str]:
+        """Return every entity-specific attribute word."""
+        words: List[str] = []
+        for values in self.attributes.values():
+            words.extend(values)
+        return frozenset(words)
+
+    def __hash__(self) -> int:
+        return hash(self.entity_id)

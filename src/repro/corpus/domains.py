@@ -1,0 +1,587 @@
+"""Domain specifications for the two evaluation domains of the paper.
+
+The paper evaluates on *researchers* (996 prolific DBLP authors) and *cars*
+(143 consumer models released in 2009), each with seven target aspects
+(Fig. 9).  Since the original crawled Web corpus is unavailable, each domain
+is described here declaratively — aspects with paragraph templates, a type
+inventory with word pools, entity naming and seed-query rules — and the
+synthetic generator (:mod:`repro.corpus.synthetic`) instantiates concrete
+entities and pages from the specification.
+
+The specification is deliberately structured so that the phenomena the paper
+relies on are present:
+
+* **Entity variation** (Fig. 3): aspect paragraphs mention *entity-specific*
+  attribute values (topics, venues, trims, engines, ...), so the concrete
+  useful queries differ across peer entities.
+* **Template consistency**: those values are all drawn from shared
+  knowledge-base types, so the useful *templates* (e.g. ``<topic> <journal>``)
+  are consistent across the domain.
+* **Redundancy**: several templates for the same aspect reuse the same
+  attribute values, so different queries retrieve overlapping page sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.corpus.knowledge_base import TypeSystem, build_type_system
+
+
+@dataclass(frozen=True)
+class AspectSpec:
+    """Specification of one target aspect of a domain.
+
+    Attributes
+    ----------
+    name:
+        Aspect name, e.g. ``"RESEARCH"``.
+    weight:
+        Relative frequency of paragraphs about this aspect, proportional to
+        the paragraph counts reported in the paper's Fig. 9.
+    sentence_templates:
+        Paragraph sentence patterns.  Each template is a whitespace-separated
+        token string in which ``{type}`` slots are filled with one of the
+        entity's attribute values of that type and ``{~type}`` slots are
+        filled with a random value from the domain-wide pool (modelling
+        mentions of other entities / noise).
+    signature_words:
+        Generic (entity-independent) words characteristic of the aspect.
+    manual_queries:
+        Up to five generic queries a human would type for this aspect,
+        used by the MQ baseline (Sect. VI-C).
+    """
+
+    name: str
+    weight: float
+    sentence_templates: Tuple[str, ...]
+    signature_words: Tuple[str, ...]
+    manual_queries: Tuple[Tuple[str, ...], ...]
+
+
+@dataclass(frozen=True)
+class TypePool:
+    """A knowledge-base type together with its domain word pool.
+
+    Attributes
+    ----------
+    name:
+        Type name, e.g. ``"topic"``.
+    words:
+        Hand-written pool of realistic values.
+    synthetic_count:
+        Number of additional synthetic values (``"<name>_NN"``) appended to
+        the pool so that entities rarely collide on attribute values even in
+        large corpora.
+    per_entity:
+        How many values each entity samples from the pool as its own
+        attributes (0 means the type exists in the knowledge base but is not
+        an entity attribute).
+    """
+
+    name: str
+    words: Tuple[str, ...]
+    synthetic_count: int = 0
+    per_entity: int = 0
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """Full declarative specification of a domain."""
+
+    name: str
+    aspects: Tuple[AspectSpec, ...]
+    type_pools: Tuple[TypePool, ...]
+    background_templates: Tuple[str, ...]
+    first_name_pool: Tuple[str, ...]
+    last_name_pool: Tuple[str, ...]
+    seed_attribute_types: Tuple[str, ...]
+    generic_words: Tuple[str, ...] = field(default=())
+
+    def aspect_names(self) -> List[str]:
+        """Names of all target aspects, in specification order."""
+        return [a.name for a in self.aspects]
+
+    def aspect(self, name: str) -> AspectSpec:
+        """Return the aspect spec with the given name."""
+        for aspect in self.aspects:
+            if aspect.name == name:
+                return aspect
+        raise KeyError(f"unknown aspect {name!r} in domain {self.name!r}")
+
+    def type_pool(self, name: str) -> TypePool:
+        """Return the type pool with the given name."""
+        for pool in self.type_pools:
+            if pool.name == name:
+                return pool
+        raise KeyError(f"unknown type {name!r} in domain {self.name!r}")
+
+    def expanded_pools(self) -> Dict[str, Tuple[str, ...]]:
+        """Return each type's full word pool including synthetic values."""
+        pools: Dict[str, Tuple[str, ...]] = {}
+        for pool in self.type_pools:
+            synthetic = tuple(
+                f"{pool.name}_{index:03d}" for index in range(pool.synthetic_count)
+            )
+            pools[pool.name] = tuple(pool.words) + synthetic
+        return pools
+
+    def build_type_system(self) -> TypeSystem:
+        """Materialise the knowledge base (dictionary + regex types)."""
+        dictionary = {name: list(words) for name, words in self.expanded_pools().items()}
+        return build_type_system(dictionary)
+
+    def manual_queries(self, aspect: str) -> List[Tuple[str, ...]]:
+        """The MQ baseline queries for ``aspect``."""
+        return [tuple(q) for q in self.aspect(aspect).manual_queries]
+
+
+# ---------------------------------------------------------------------------
+# Researcher domain
+# ---------------------------------------------------------------------------
+
+_RESEARCHER_FIRST_NAMES = (
+    "alan", "barbara", "carlos", "diana", "edward", "fatima", "george", "helen",
+    "ivan", "julia", "kevin", "laura", "martin", "nadia", "oscar", "priya",
+    "qiang", "rachel", "stefan", "tanya", "umar", "vera", "wei", "xiaoming",
+    "yuki", "zoltan", "andre", "bianca", "chen", "dmitri", "elena", "farid",
+)
+
+_RESEARCHER_LAST_NAMES = (
+    "anderson", "baker", "chen", "dubois", "evans", "fischer", "garcia", "huang",
+    "ivanov", "johnson", "kumar", "larsen", "moreau", "nakamura", "olsen",
+    "patel", "qureshi", "rossi", "schmidt", "tanaka", "ueda", "vasquez",
+    "wagner", "xu", "yamamoto", "zhang", "brooks", "castillo", "dawson",
+    "eriksen", "foster", "grant", "harper", "ingram", "jensen", "keller",
+)
+
+_TOPICS = (
+    "parallel computing", "data mining", "machine learning", "databases",
+    "information retrieval", "computer vision", "natural language processing",
+    "distributed systems", "computer networks", "operating systems",
+    "computational complexity", "graph algorithms", "cryptography",
+    "computer security", "software engineering", "programming languages",
+    "human computer interaction", "bioinformatics", "robotics",
+    "reinforcement learning", "deep learning", "query optimization",
+    "stream processing", "cloud computing", "sensor networks",
+    "social network analysis", "recommender systems", "knowledge graphs",
+    "computer architecture", "high performance computing", "compilers",
+    "formal verification", "quantum computing", "numerical analysis",
+    "computational geometry", "speech recognition", "text mining",
+    "transfer learning", "crowdsourcing", "data integration",
+)
+
+_JOURNALS = (
+    "tkde", "jmlr", "ijhpca", "tods", "vldb journal", "tois", "tocs", "jacm",
+    "tpami", "tissec", "jair", "tcs journal", "sicomp", "toplas", "tochi",
+    "bioinformatics journal", "tkdd", "tweb", "tist", "pvldb",
+)
+
+_CONFERENCES = (
+    "icde", "sigmod", "vldb", "kdd", "icml", "nips", "sigir", "www", "acl",
+    "emnlp", "cvpr", "iccv", "sosp", "osdi", "nsdi", "podc", "focs", "stoc",
+    "chi", "icse", "pldi", "popl", "aaai", "ijcai", "cikm", "wsdm", "recsys",
+)
+
+_INSTITUTES = (
+    "uiuc", "stanford", "mit", "cmu", "berkeley", "cornell", "princeton",
+    "gatech", "umich", "uwashington", "ucla", "usc", "columbia", "nyu",
+    "eth zurich", "epfl", "oxford", "cambridge", "tsinghua", "pku",
+    "nus", "ntu singapore", "hkust", "kaist", "toronto", "waterloo",
+    "ibm research", "microsoft research", "google research", "bell labs",
+    "baidu research", "yahoo labs", "att labs", "adsc singapore",
+)
+
+_AWARDS = (
+    "acm fellow", "ieee fellow", "turing award", "best paper award",
+    "test of time award", "sloan fellowship", "nsf career award",
+    "distinguished scientist", "sigmod contributions award",
+    "dissertation award", "young investigator award", "humboldt award",
+)
+
+_DEGREES = ("phd", "msc", "bsc", "postdoc")
+
+_LOCATIONS = (
+    "urbana", "champaign", "palo alto", "seattle", "pittsburgh", "boston",
+    "singapore", "beijing", "zurich", "london", "new york", "san francisco",
+    "mountain view", "austin", "atlanta", "toronto", "hong kong", "tokyo",
+)
+
+_RESEARCHER_ASPECTS = (
+    AspectSpec(
+        name="RESEARCH",
+        weight=107.0,
+        sentence_templates=(
+            "he conducts research on {topic} and {topic} systems",
+            "her research interests include {topic} and {topic}",
+            "he published many papers on {topic} research in {journal}",
+            "recent {journal} article presents new results on {topic}",
+            "his {topic} paper appeared in {conference} proceedings",
+            "the group studies {topic} with applications to {topic}",
+            "ongoing research projects focus on {topic} methods",
+            "she leads a research project on {topic} funded since {~year}",
+            "research on {topic} published in {journal} and {conference}",
+            "his work on {topic} is widely cited in the {topic} community",
+        ),
+        signature_words=("research", "papers", "projects", "interests", "published"),
+        manual_queries=(
+            ("research",), ("research", "interests"), ("publications",),
+            ("papers",), ("research", "projects"),
+        ),
+    ),
+    AspectSpec(
+        name="BIOGRAPHY",
+        weight=8.0,
+        sentence_templates=(
+            "short biography he was born in {location} and grew up there",
+            "biography sketch he joined {institute} after years in {location}",
+            "his bio mentions early life in {location} and a move to {location}",
+            "a brief biography of the professor and his career journey",
+            "he spent his childhood in {location} before moving abroad",
+        ),
+        signature_words=("biography", "bio", "born", "life", "career"),
+        manual_queries=(
+            ("biography",), ("bio",), ("born",), ("career",), ("life", "story"),
+        ),
+    ),
+    AspectSpec(
+        name="PRESENTATION",
+        weight=10.0,
+        sentence_templates=(
+            "he gave a keynote talk on {topic} at {conference}",
+            "slides of her invited presentation on {topic} are available",
+            "tutorial presentation on {topic} delivered at {conference}",
+            "the seminar talk covered {topic} and open problems",
+            "invited speaker at {conference} presenting {topic} results",
+            "download the talk slides about {topic} from the workshop",
+        ),
+        signature_words=("talk", "keynote", "slides", "presentation", "tutorial", "seminar"),
+        manual_queries=(
+            ("talk",), ("keynote",), ("slides",), ("presentation",), ("invited", "talk"),
+        ),
+    ),
+    AspectSpec(
+        name="AWARD",
+        weight=11.0,
+        sentence_templates=(
+            "he received the {award} for contributions to {topic}",
+            "she was named {award} in {~year}",
+            "winner of the {award} at {conference}",
+            "the {award} recognizes his work on {topic}",
+            "honored with the {award} by the society",
+            "recipient of the {award} and the {award}",
+        ),
+        signature_words=("award", "received", "winner", "honored", "recipient", "prize"),
+        manual_queries=(
+            ("award",), ("distinguished",), ("award", "won"), ("fellow",), ("prize",),
+        ),
+    ),
+    AspectSpec(
+        name="EDUCATION",
+        weight=11.0,
+        sentence_templates=(
+            "he obtained his {degree} from {institute} in {~year}",
+            "she completed a {degree} degree at {institute}",
+            "{degree} in computer science from {institute} advised by professor {person}",
+            "graduated with a {degree} from {institute} studying {topic}",
+            "his {degree} thesis on {topic} was supervised by {person}",
+        ),
+        signature_words=("degree", "graduated", "thesis", "studied", "education"),
+        manual_queries=(
+            ("phd",), ("education",), ("graduated",), ("degree",), ("thesis",),
+        ),
+    ),
+    AspectSpec(
+        name="EMPLOYMENT",
+        weight=3.0,
+        sentence_templates=(
+            "he is a professor at {institute} since {~year}",
+            "she was a senior manager at {institute} before joining {institute}",
+            "currently employed as a research scientist at {institute}",
+            "he worked at {institute} in {location} for several years",
+            "faculty position at {institute} department of computer science",
+        ),
+        signature_words=("professor", "employed", "position", "faculty", "worked", "job"),
+        manual_queries=(
+            ("professor",), ("employment",), ("position",), ("worked",), ("faculty",),
+        ),
+    ),
+    AspectSpec(
+        name="CONTACT",
+        weight=7.0,
+        sentence_templates=(
+            "contact him at {email} or call {phonenum}",
+            "office located at {location} email {email}",
+            "visit his homepage {url} for contact details",
+            "phone {phonenum} fax available on request",
+            "reach her via {email} office hours by appointment",
+        ),
+        signature_words=("contact", "email", "office", "phone", "homepage"),
+        manual_queries=(
+            ("contact",), ("email",), ("office",), ("phone",), ("homepage",),
+        ),
+    ),
+)
+
+_RESEARCHER_BACKGROUND = (
+    "visit him at the siebel center on the main campus",
+    "the department hosts weekly colloquia open to the public",
+    "this page was last updated recently and may contain outdated links",
+    "copyright notice all rights reserved by the university",
+    "he enjoys hiking photography and classical music on weekends",
+    "site navigation home people news events publications contact",
+    "the weather in {location} was pleasant during the visit",
+    "list of courses taught this semester is posted on the portal",
+)
+
+_RESEARCHER_TYPE_POOLS = (
+    TypePool("topic", _TOPICS, synthetic_count=60, per_entity=3),
+    TypePool("journal", _JOURNALS, synthetic_count=30, per_entity=2),
+    TypePool("conference", _CONFERENCES, synthetic_count=30, per_entity=2),
+    TypePool("institute", _INSTITUTES, synthetic_count=40, per_entity=1),
+    TypePool("award", _AWARDS, synthetic_count=20, per_entity=2),
+    TypePool("degree", _DEGREES, synthetic_count=0, per_entity=1),
+    TypePool("person", _RESEARCHER_LAST_NAMES, synthetic_count=40, per_entity=1),
+    TypePool("location", _LOCATIONS, synthetic_count=20, per_entity=2),
+)
+
+
+def researcher_domain() -> DomainSpec:
+    """Return the specification of the researcher domain."""
+    return DomainSpec(
+        name="researcher",
+        aspects=_RESEARCHER_ASPECTS,
+        type_pools=_RESEARCHER_TYPE_POOLS,
+        background_templates=_RESEARCHER_BACKGROUND,
+        first_name_pool=_RESEARCHER_FIRST_NAMES,
+        last_name_pool=_RESEARCHER_LAST_NAMES,
+        seed_attribute_types=("institute",),
+        generic_words=("professor", "university", "computer", "science", "group", "page"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Car domain
+# ---------------------------------------------------------------------------
+
+_CAR_MAKES = (
+    "acura", "audi", "bmw", "buick", "cadillac", "chevrolet", "chrysler",
+    "dodge", "ford", "gmc", "honda", "hyundai", "infiniti", "jaguar", "jeep",
+    "kia", "lexus", "lincoln", "mazda", "mercedes", "mini", "mitsubishi",
+    "nissan", "pontiac", "porsche", "saab", "saturn", "scion", "subaru",
+    "suzuki", "toyota", "volkswagen", "volvo",
+)
+
+_CAR_MODEL_WORDS = (
+    "sedan", "coupe", "hatchback", "wagon", "crossover", "roadster",
+    "series3", "series5", "accord", "civic", "camry", "corolla", "altima",
+    "fusion", "malibu", "impala", "sonata", "elantra", "optima", "forte",
+    "outback", "legacy", "passat", "jetta", "golf", "mazda3", "mazda6",
+    "rav4", "crv", "escape", "equinox", "tucson", "sportage", "rogue",
+)
+
+_TRIMS = (
+    "base trim", "sport trim", "limited trim", "touring trim", "premium trim",
+    "se trim", "le trim", "xle trim", "ex trim", "lx trim", "sel trim",
+    "platinum trim", "gt trim", "signature trim",
+)
+
+_ENGINES = (
+    "v6 engine", "v8 engine", "turbo four", "inline four", "hybrid drive",
+    "diesel engine", "flat six", "supercharged v6", "twin turbo", "cvt transmission",
+    "six speed manual", "eight speed automatic", "dual clutch gearbox",
+)
+
+_FEATURES = (
+    "sunroof", "navigation system", "leather seats", "bluetooth", "backup camera",
+    "heated seats", "keyless entry", "premium audio", "alloy wheels",
+    "adaptive cruise", "lane assist", "panoramic roof", "third row seating",
+    "towing package", "remote start", "apple carplay", "fog lights",
+)
+
+_SAFETY_FEATURES = (
+    "airbags", "stability control", "abs brakes", "traction control",
+    "blind spot monitor", "collision warning", "crash test", "rollover rating",
+    "child seat anchors", "tire pressure monitor", "side curtain airbags",
+)
+
+_RATING_SITES = (
+    "edmunds", "kbb", "consumer reports", "jd power", "motor trend",
+    "car and driver", "nhtsa", "iihs", "autoblog", "truecar",
+)
+
+_DEALERS = (
+    "downtown motors", "city auto mall", "lakeside dealership", "metro cars",
+    "sunrise autos", "valley imports", "summit auto group", "riverside motors",
+)
+
+_CAR_LOCATIONS = (
+    "detroit", "chicago", "los angeles", "houston", "phoenix", "denver",
+    "miami", "seattle", "atlanta", "dallas", "portland", "boston",
+)
+
+_CAR_ASPECTS = (
+    AspectSpec(
+        name="DRIVING",
+        weight=16.0,
+        sentence_templates=(
+            "the {engine} delivers smooth acceleration and confident handling",
+            "driving impressions the {trim} feels agile on winding roads",
+            "test drive revealed the {engine} is responsive yet quiet",
+            "steering feedback is precise and the ride comfort is excellent",
+            "on the highway the {engine} cruises effortlessly with little noise",
+            "the suspension tuned for the {trim} absorbs bumps well",
+            "acceleration from the {engine} reaches sixty in under seven seconds",
+        ),
+        signature_words=("driving", "handling", "acceleration", "ride", "steering", "drive"),
+        manual_queries=(
+            ("driving",), ("handling",), ("test", "drive"), ("acceleration",), ("ride", "quality"),
+        ),
+    ),
+    AspectSpec(
+        name="VERDICT",
+        weight=7.0,
+        sentence_templates=(
+            "overall verdict {rating_site} rates it highly among competitors",
+            "the final verdict praises the {trim} as a strong value",
+            "editors at {rating_site} conclude it is a compelling choice",
+            "our verdict the car earns a solid recommendation this year",
+            "review summary {rating_site} gives it four out of five stars",
+        ),
+        signature_words=("verdict", "overall", "review", "recommendation", "conclusion", "stars"),
+        manual_queries=(
+            ("review",), ("verdict",), ("overall", "rating"), ("pros", "cons"), ("editor", "review"),
+        ),
+    ),
+    AspectSpec(
+        name="INTERIOR",
+        weight=7.0,
+        sentence_templates=(
+            "the cabin offers {feature} and {feature} as standard",
+            "interior quality impresses with {feature} on the {trim}",
+            "rear seat space is generous and the {feature} works well",
+            "the dashboard layout includes {feature} and soft touch materials",
+            "cargo room expands with folding seats and optional {feature}",
+        ),
+        signature_words=("interior", "cabin", "seats", "dashboard", "cargo", "room"),
+        manual_queries=(
+            ("interior",), ("cabin",), ("seats",), ("cargo", "space"), ("dashboard",),
+        ),
+    ),
+    AspectSpec(
+        name="EXTERIOR",
+        weight=5.0,
+        sentence_templates=(
+            "exterior styling features sculpted lines and {feature}",
+            "the {trim} adds {feature} and a distinctive grille",
+            "body panels look sharp with optional {feature}",
+            "new exterior colors and {feature} refresh the design this year",
+        ),
+        signature_words=("exterior", "styling", "design", "grille", "body", "looks"),
+        manual_queries=(
+            ("exterior",), ("styling",), ("design",), ("body",), ("looks",),
+        ),
+    ),
+    AspectSpec(
+        name="PRICE",
+        weight=8.0,
+        sentence_templates=(
+            "pricing starts at {price} for the {trim}",
+            "msrp of {price} undercuts rival models by a wide margin",
+            "the {trim} costs {price} at {dealer}",
+            "invoice price near {price} leaves room for negotiation",
+            "lease deals from {dealer} start around {price} per term",
+        ),
+        signature_words=("price", "msrp", "cost", "pricing", "invoice", "lease"),
+        manual_queries=(
+            ("price",), ("msrp",), ("cost",), ("invoice", "price"), ("lease", "deals"),
+        ),
+    ),
+    AspectSpec(
+        name="RELIABILITY",
+        weight=2.0,
+        sentence_templates=(
+            "reliability ratings from {rating_site} are above average",
+            "owners report few problems after years of dependable service",
+            "the {engine} has a strong reliability record according to {rating_site}",
+            "predicted reliability earns top marks from {rating_site}",
+        ),
+        signature_words=("reliability", "dependable", "problems", "ratings", "record"),
+        manual_queries=(
+            ("reliability",), ("problems",), ("dependability",), ("reliability", "ratings"), ("issues",),
+        ),
+    ),
+    AspectSpec(
+        name="SAFETY",
+        weight=2.0,
+        sentence_templates=(
+            "safety equipment includes {safety_feature} and {safety_feature}",
+            "{rating_site} crash test results award five stars overall",
+            "standard {safety_feature} improves occupant protection",
+            "the {trim} earns a top safety pick thanks to {safety_feature}",
+        ),
+        signature_words=("safety", "crash", "protection", "stars", "rating"),
+        manual_queries=(
+            ("safety",), ("crash", "test"), ("safety", "rating"), ("airbags",), ("safety", "features"),
+        ),
+    ),
+)
+
+_CAR_BACKGROUND = (
+    "find dealers near you and schedule a visit online",
+    "sign up for our newsletter to receive the latest automotive news",
+    "compare up to four vehicles side by side with our tool",
+    "photo gallery videos and full specifications available below",
+    "advertisement special financing offers may apply see site for details",
+    "the {dealer} showroom in {location} is open seven days a week",
+)
+
+_CAR_TYPE_POOLS = (
+    TypePool("trim", _TRIMS, synthetic_count=20, per_entity=2),
+    TypePool("engine", _ENGINES, synthetic_count=20, per_entity=2),
+    TypePool("feature", _FEATURES, synthetic_count=30, per_entity=3),
+    TypePool("safety_feature", _SAFETY_FEATURES, synthetic_count=15, per_entity=2),
+    TypePool("rating_site", _RATING_SITES, synthetic_count=10, per_entity=2),
+    TypePool("dealer", _DEALERS, synthetic_count=30, per_entity=1),
+    TypePool("price", (), synthetic_count=120, per_entity=2),
+    TypePool("location", _CAR_LOCATIONS, synthetic_count=10, per_entity=1),
+    TypePool("make", _CAR_MAKES, synthetic_count=0, per_entity=0),
+    TypePool("model", _CAR_MODEL_WORDS, synthetic_count=40, per_entity=0),
+)
+
+
+def car_domain() -> DomainSpec:
+    """Return the specification of the car domain."""
+    return DomainSpec(
+        name="car",
+        aspects=_CAR_ASPECTS,
+        type_pools=_CAR_TYPE_POOLS,
+        background_templates=_CAR_BACKGROUND,
+        first_name_pool=_CAR_MAKES,
+        last_name_pool=_CAR_MODEL_WORDS,
+        seed_attribute_types=(),
+        generic_words=("car", "vehicle", "model", "year", "new", "auto"),
+    )
+
+
+_DOMAIN_FACTORIES = {
+    "researcher": researcher_domain,
+    "car": car_domain,
+}
+
+
+def get_domain(name: str) -> DomainSpec:
+    """Return a domain specification by name (``"researcher"`` or ``"car"``)."""
+    try:
+        factory = _DOMAIN_FACTORIES[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown domain {name!r}; available: {sorted(_DOMAIN_FACTORIES)}"
+        ) from exc
+    return factory()
+
+
+def available_domains() -> List[str]:
+    """Names of all built-in domains."""
+    return sorted(_DOMAIN_FACTORIES)

@@ -1,0 +1,332 @@
+"""Synthetic web-corpus generator.
+
+The paper's corpora (996 DBLP researchers and 143 car models, ~50 pages per
+entity crawled from the live Web) are not available offline, so this module
+generates a structurally equivalent corpus:
+
+* every entity has its own realisations of the domain's knowledge-base types
+  (its topics, venues, trims, engines, ...), producing the *entity variation*
+  of the paper's Fig. 3;
+* every page consists of paragraphs generated from per-aspect sentence
+  templates that interleave entity attributes with generic aspect words, so
+  useful queries exist at both the concrete (entity-specific) and template
+  (domain-wide) level;
+* multiple templates of an aspect reuse the same attribute values, so
+  different useful queries retrieve overlapping page sets — the redundancy
+  that motivates context-aware L2Q.
+
+Generation is fully deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.corpus.corpus import Corpus
+from repro.corpus.document import Entity, Page, Paragraph
+from repro.corpus.domains import DomainSpec, get_domain
+from repro.corpus.knowledge_base import TypeSystem
+from repro.utils.rng import SeededRandom
+
+
+@dataclass
+class CorpusConfig:
+    """Configuration of the synthetic corpus generator.
+
+    The defaults are laptop-scale (the paper's full scale of 996 entities x
+    50 pages is reachable by raising ``num_entities`` / ``pages_per_entity``).
+    """
+
+    domain: str = "researcher"
+    num_entities: int = 60
+    pages_per_entity: int = 16
+    paragraphs_per_page: Tuple[int, int] = (2, 5)
+    sentences_per_paragraph: Tuple[int, int] = (1, 3)
+    aspects_per_page: Tuple[int, int] = (1, 2)
+    aspect_weight_damping: float = 0.5
+    background_probability: float = 0.25
+    min_pages_per_aspect: int = 3
+    include_entity_name_probability: float = 0.35
+    noise_word_probability: float = 0.15
+    signature_cross_talk_probability: float = 0.45
+    background_signature_words_mean: float = 1.5
+    hub_page_fraction: float = 0.2
+    seed: int = 7
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` for out-of-range settings."""
+        if self.num_entities <= 0:
+            raise ValueError("num_entities must be positive")
+        if self.pages_per_entity <= 0:
+            raise ValueError("pages_per_entity must be positive")
+        if self.paragraphs_per_page[0] < 1 or self.paragraphs_per_page[0] > self.paragraphs_per_page[1]:
+            raise ValueError("paragraphs_per_page must be a (min, max) pair with 1 <= min <= max")
+        if self.sentences_per_paragraph[0] < 1 or self.sentences_per_paragraph[0] > self.sentences_per_paragraph[1]:
+            raise ValueError("sentences_per_paragraph must be a (min, max) pair with 1 <= min <= max")
+        if self.aspects_per_page[0] < 1 or self.aspects_per_page[0] > self.aspects_per_page[1]:
+            raise ValueError("aspects_per_page must be a (min, max) pair with 1 <= min <= max")
+        if self.aspect_weight_damping <= 0:
+            raise ValueError("aspect_weight_damping must be positive")
+        if not 0.0 <= self.hub_page_fraction < 1.0:
+            raise ValueError("hub_page_fraction must be in [0, 1)")
+        if self.background_signature_words_mean < 0:
+            raise ValueError("background_signature_words_mean must be non-negative")
+        if not 0.0 <= self.background_probability < 1.0:
+            raise ValueError("background_probability must be in [0, 1)")
+        if self.min_pages_per_aspect < 0:
+            raise ValueError("min_pages_per_aspect must be non-negative")
+
+
+class CorpusGenerator:
+    """Generates a :class:`~repro.corpus.corpus.Corpus` from a domain spec."""
+
+    def __init__(self, config: CorpusConfig, domain_spec: Optional[DomainSpec] = None) -> None:
+        config.validate()
+        self.config = config
+        self.domain_spec = domain_spec if domain_spec is not None else get_domain(config.domain)
+        self.type_system: TypeSystem = self.domain_spec.build_type_system()
+        self._pools: Dict[str, Tuple[str, ...]] = self.domain_spec.expanded_pools()
+        self._rng = SeededRandom(config.seed).spawn("corpus", self.domain_spec.name)
+
+    # -- Public API ----------------------------------------------------------
+    def generate(self) -> Corpus:
+        """Generate the full corpus."""
+        entities = self._generate_entities()
+        pages: Dict[str, Page] = {}
+        for entity in entities.values():
+            for page in self._generate_entity_pages(entity):
+                pages[page.page_id] = page
+        return Corpus(self.domain_spec, entities, pages, type_system=self.type_system)
+
+    # -- Entities -------------------------------------------------------------
+    def _generate_entities(self) -> Dict[str, Entity]:
+        rng = self._rng.spawn("entities")
+        entities: Dict[str, Entity] = {}
+        used_names: set = set()
+        for index in range(self.config.num_entities):
+            entity_rng = rng.spawn(index)
+            name_tokens = self._sample_name(entity_rng, used_names, index)
+            attributes = self._sample_attributes(entity_rng, index)
+            entity_id = f"{self.domain_spec.name}_{index:04d}"
+            seed_query = self._seed_query(name_tokens, attributes)
+            entities[entity_id] = Entity(
+                entity_id=entity_id,
+                domain=self.domain_spec.name,
+                name_tokens=name_tokens,
+                seed_query=seed_query,
+                attributes=attributes,
+            )
+        return entities
+
+    def _sample_name(self, rng: SeededRandom, used: set, index: int) -> Tuple[str, ...]:
+        for _ in range(200):
+            first = rng.choice(self.domain_spec.first_name_pool)
+            last = rng.choice(self.domain_spec.last_name_pool)
+            name = (TypeSystem.canonical(first), TypeSystem.canonical(last))
+            if name not in used:
+                used.add(name)
+                return name
+        # Fallback: disambiguate with the entity index to guarantee uniqueness.
+        name = (TypeSystem.canonical(rng.choice(self.domain_spec.first_name_pool)),
+                f"entity{index:04d}")
+        used.add(name)
+        return name
+
+    def _sample_attributes(self, rng: SeededRandom, index: int) -> Dict[str, Tuple[str, ...]]:
+        attributes: Dict[str, Tuple[str, ...]] = {}
+        for pool in self.domain_spec.type_pools:
+            if pool.per_entity <= 0:
+                continue
+            values = self._pools[pool.name]
+            if not values:
+                continue
+            attributes[pool.name] = tuple(rng.spawn(pool.name).sample(values, pool.per_entity))
+        # Per-entity well-formed strings recognised by regex types.
+        attributes["email"] = (f"contact{index:04d}@example{index % 37:02d}.edu",)
+        attributes["url"] = (f"www.example{index % 37:02d}.edu/home{index:04d}",)
+        attributes["phonenum"] = (f"+1-555-{1000 + index:04d}",)
+        return attributes
+
+    def _seed_query(self, name_tokens: Tuple[str, ...],
+                    attributes: Dict[str, Tuple[str, ...]]) -> Tuple[str, ...]:
+        seed = list(name_tokens)
+        for type_name in self.domain_spec.seed_attribute_types:
+            values = attributes.get(type_name, ())
+            if values:
+                seed.append(values[0])
+        return tuple(seed)
+
+    # -- Pages -------------------------------------------------------------------
+    def _generate_entity_pages(self, entity: Entity) -> List[Page]:
+        rng = self._rng.spawn("pages", entity.entity_id)
+        aspect_names = [a.name for a in self.domain_spec.aspects]
+        # Dampen the aspect weights so that the dominant aspect (e.g. RESEARCH
+        # for researchers) does not appear on virtually every page, which
+        # would make page-level precision trivially 1 for every method.
+        aspect_weights = [a.weight ** self.config.aspect_weight_damping
+                          for a in self.domain_spec.aspects]
+
+        plans: List[List[Optional[str]]] = []
+        for page_index in range(self.config.pages_per_entity):
+            page_rng = rng.spawn(page_index)
+            num_paragraphs = page_rng.randint(*self.config.paragraphs_per_page)
+            if page_rng.random() < self.config.hub_page_fraction:
+                # Hub / listing pages: navigation, news listings, boilerplate.
+                # They contain generic words of many aspects (so generic
+                # queries retrieve them) but no actual aspect content.
+                plans.append([None] * num_paragraphs)
+                continue
+            # Each content page focuses on a small number of aspects, as real
+            # entity pages do (a contact page, a research overview, a review).
+            num_focus = page_rng.randint(*self.config.aspects_per_page)
+            focus_aspects = self._sample_focus_aspects(
+                page_rng, aspect_names, aspect_weights, num_focus)
+            plan: List[Optional[str]] = []
+            for _ in range(num_paragraphs):
+                if page_rng.random() < self.config.background_probability:
+                    plan.append(None)
+                else:
+                    plan.append(page_rng.choice(focus_aspects))
+            if all(aspect is None for aspect in plan):
+                plan.append(page_rng.choice(focus_aspects))
+            plans.append(plan)
+
+        self._ensure_aspect_coverage(plans, aspect_names, rng.spawn("coverage"))
+
+        pages: List[Page] = []
+        for page_index, plan in enumerate(plans):
+            page_id = f"{entity.entity_id}_p{page_index:03d}"
+            page_rng = rng.spawn("fill", page_index)
+            paragraphs = tuple(
+                self._generate_paragraph(entity, aspect, f"{page_id}#{para_index}",
+                                         page_rng.spawn(para_index))
+                for para_index, aspect in enumerate(plan)
+            )
+            pages.append(Page(page_id=page_id, entity_id=entity.entity_id,
+                              paragraphs=paragraphs))
+        return pages
+
+    @staticmethod
+    def _sample_focus_aspects(rng: SeededRandom, aspect_names: Sequence[str],
+                              aspect_weights: Sequence[float], count: int) -> List[str]:
+        """Sample ``count`` distinct focus aspects proportionally to the weights."""
+        remaining = list(zip(aspect_names, aspect_weights))
+        chosen: List[str] = []
+        for _ in range(min(count, len(remaining))):
+            names = [name for name, _ in remaining]
+            weights = [weight for _, weight in remaining]
+            pick = rng.weighted_choice(names, weights)
+            chosen.append(pick)
+            remaining = [(n, w) for n, w in remaining if n != pick]
+        return chosen
+
+    def _ensure_aspect_coverage(self, plans: List[List[Optional[str]]],
+                                aspect_names: Sequence[str], rng: SeededRandom) -> None:
+        """Guarantee every aspect occurs on at least ``min_pages_per_aspect`` pages.
+
+        Rare aspects (e.g. EMPLOYMENT for researchers, SAFETY for cars) would
+        otherwise be missing entirely for some entities, which would make
+        recall undefined for those (entity, aspect) pairs.
+        """
+        target = min(self.config.min_pages_per_aspect, len(plans))
+        for aspect in aspect_names:
+            pages_with_aspect = [i for i, plan in enumerate(plans) if aspect in plan]
+            missing = target - len(pages_with_aspect)
+            if missing <= 0:
+                continue
+            candidates = [i for i in range(len(plans)) if i not in pages_with_aspect]
+            for page_index in rng.sample(candidates, missing):
+                plans[page_index].append(aspect)
+
+    # -- Paragraphs -----------------------------------------------------------------
+    def _generate_paragraph(self, entity: Entity, aspect: Optional[str],
+                            paragraph_id: str, rng: SeededRandom) -> Paragraph:
+        if aspect is None:
+            templates = self.domain_spec.background_templates
+            num_sentences = 1
+        else:
+            templates = self.domain_spec.aspect(aspect).sentence_templates
+            num_sentences = rng.randint(*self.config.sentences_per_paragraph)
+
+        tokens: List[str] = []
+        for _ in range(num_sentences):
+            template = rng.choice(templates)
+            tokens.extend(self._fill_template(template, entity, rng))
+
+        if aspect is not None:
+            signature = self.domain_spec.aspect(aspect).signature_words
+            if signature and rng.random() < 0.5:
+                tokens.append(TypeSystem.canonical(rng.choice(signature)))
+            # Cross-talk: generic words of *other* aspects leak into this
+            # paragraph (e.g. "award-winning design" on an EXTERIOR page),
+            # so that generic single-keyword queries are noisy while
+            # entity-specific attribute words stay discriminative — the
+            # paper's motivation for learning entity-specific queries.
+            if rng.random() < self.config.signature_cross_talk_probability:
+                tokens.append(self._foreign_signature_word(aspect, rng))
+        else:
+            # Background / boilerplate paragraphs sprinkle generic words of
+            # arbitrary aspects ("news events research awards contact"),
+            # which makes generic one-word queries retrieve irrelevant pages.
+            num_signature = rng.poisson_like(
+                self.config.background_signature_words_mean, 4)
+            for _ in range(num_signature):
+                tokens.append(self._foreign_signature_word(None, rng))
+
+        if rng.random() < self.config.include_entity_name_probability:
+            tokens.extend(entity.name_tokens)
+        if self.domain_spec.generic_words and rng.random() < self.config.noise_word_probability:
+            tokens.append(TypeSystem.canonical(rng.choice(self.domain_spec.generic_words)))
+
+        return Paragraph(paragraph_id=paragraph_id, tokens=tuple(tokens), aspect=aspect)
+
+    def _foreign_signature_word(self, aspect: Optional[str], rng: SeededRandom) -> str:
+        """A generic signature word of some aspect other than ``aspect``."""
+        other_aspects = [a for a in self.domain_spec.aspects
+                         if a.name != aspect and a.signature_words]
+        chosen = rng.choice(other_aspects)
+        return TypeSystem.canonical(rng.choice(chosen.signature_words))
+
+    def _fill_template(self, template: str, entity: Entity,
+                       rng: SeededRandom) -> List[str]:
+        tokens: List[str] = []
+        for raw in template.split():
+            if raw.startswith("{") and raw.endswith("}"):
+                slot = raw[1:-1]
+                tokens.append(self._fill_slot(slot, entity, rng))
+            else:
+                tokens.append(TypeSystem.canonical(raw))
+        return tokens
+
+    def _fill_slot(self, slot: str, entity: Entity, rng: SeededRandom) -> str:
+        if slot.startswith("~"):
+            type_name = slot[1:]
+            pool = self._pools.get(type_name, ())
+            if pool:
+                return rng.choice(pool)
+            if type_name == "year":
+                return str(rng.randint(1995, 2015))
+            return type_name
+        values = entity.attribute_values(slot)
+        if values:
+            return rng.choice(values)
+        pool = self._pools.get(slot, ())
+        if pool:
+            return rng.choice(pool)
+        if slot == "year":
+            return str(rng.randint(1995, 2015))
+        return slot
+
+
+def build_corpus(domain: str = "researcher", num_entities: int = 60,
+                 pages_per_entity: int = 16, seed: int = 7,
+                 **overrides) -> Corpus:
+    """Convenience wrapper: build a synthetic corpus for a built-in domain.
+
+    Parameters mirror :class:`CorpusConfig`; extra keyword arguments are
+    forwarded to it.
+    """
+    config = CorpusConfig(domain=domain, num_entities=num_entities,
+                          pages_per_entity=pages_per_entity, seed=seed, **overrides)
+    return CorpusGenerator(config).generate()

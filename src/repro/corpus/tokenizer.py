@@ -1,0 +1,92 @@
+"""Tokenisation with knowledge-base phrase merging.
+
+The paper tokenises each page into *words*, where a word is either a single
+keyword or a phrase that can be mapped to a type (Sect. VI, *Candidate query
+enumeration*).  The tokenizer therefore performs greedy longest-match phrase
+merging against the knowledge base, so that e.g. ``"data mining"`` becomes
+the single token ``"data_mining"`` which the type system knows is a
+``<topic>``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import FrozenSet, Iterable, List, Optional, Sequence
+
+from repro.corpus.knowledge_base import TypeSystem
+
+# A compact English stopword list; enough to keep function words out of the
+# candidate query space without an external dependency.
+DEFAULT_STOPWORDS: FrozenSet[str] = frozenset(
+    """a an and are as at be been before but by can did do does for from had has
+    have he her him his i if in into is it its of on or our she so than that the
+    their them then there these they this to was we were while who will with you
+    your not new also many very when where which what how after about over under
+    between both each more most other some such only own same too just now his
+    hers theirs ours mine yours am being during through against once here all
+    any because until again further off above below out up down no nor""".split()
+)
+
+_WORD_RE = re.compile(r"[a-z0-9@#$+._/:-]+")
+
+
+class Tokenizer:
+    """Lowercasing, punctuation-stripping tokenizer with phrase merging."""
+
+    def __init__(self, type_system: Optional[TypeSystem] = None,
+                 stopwords: Optional[Iterable[str]] = None,
+                 max_phrase_length: int = 4) -> None:
+        self.type_system = type_system
+        self.stopwords: FrozenSet[str] = (
+            frozenset(stopwords) if stopwords is not None else DEFAULT_STOPWORDS
+        )
+        self.max_phrase_length = max_phrase_length
+        self._phrases: FrozenSet[str] = (
+            type_system.known_phrases() if type_system is not None else frozenset()
+        )
+
+    # -- Public API ----------------------------------------------------------
+    def tokenize(self, text: str) -> List[str]:
+        """Tokenise ``text`` into canonical tokens with phrases merged."""
+        raw = self._basic_tokens(text)
+        if not self._phrases:
+            return raw
+        return self._merge_phrases(raw)
+
+    def content_tokens(self, text_or_tokens) -> List[str]:
+        """Tokenise and drop stopwords (used for query enumeration)."""
+        tokens = (self.tokenize(text_or_tokens)
+                  if isinstance(text_or_tokens, str) else list(text_or_tokens))
+        return [t for t in tokens if not self.is_stopword(t)]
+
+    def is_stopword(self, token: str) -> bool:
+        """Whether ``token`` is a stopword (pure numbers do not count)."""
+        return token in self.stopwords
+
+    # -- Internals -------------------------------------------------------------
+    def _basic_tokens(self, text: str) -> List[str]:
+        lowered = text.lower()
+        return _WORD_RE.findall(lowered)
+
+    def _merge_phrases(self, tokens: Sequence[str]) -> List[str]:
+        """Greedy longest-match merge of known multi-word phrases."""
+        merged: List[str] = []
+        i = 0
+        n = len(tokens)
+        while i < n:
+            match_length = 0
+            match_token = None
+            upper = min(self.max_phrase_length, n - i)
+            for length in range(upper, 1, -1):
+                candidate = "_".join(tokens[i:i + length])
+                if candidate in self._phrases:
+                    match_length = length
+                    match_token = candidate
+                    break
+            if match_token is not None:
+                merged.append(match_token)
+                i += match_length
+            else:
+                merged.append(tokens[i])
+                i += 1
+        return merged

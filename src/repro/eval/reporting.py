@@ -1,0 +1,145 @@
+"""Plain-text reporting of experiment results, matching the paper's rows."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.eval.experiments import (
+    ComparisonResult,
+    Fig9Result,
+    Fig10Result,
+    Fig11Result,
+    Fig14Result,
+    HeadlineSummary,
+)
+from repro.eval.metrics import MetricSeries
+
+
+def _format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render a simple aligned text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_fig09(result: Fig9Result) -> str:
+    """Fig. 9: tested aspects, paragraph frequency and classifier accuracy."""
+    sections: List[str] = []
+    for domain, rows in result.rows_by_domain.items():
+        table_rows = [
+            [row.aspect, str(row.paragraph_frequency), f"{row.accuracy:.2f}"]
+            for row in rows
+        ]
+        sections.append(f"[{domain}]")
+        sections.append(_format_table(["Aspect", "Frequency", "Accuracy"], table_rows))
+        sections.append("")
+    return "\n".join(sections).rstrip()
+
+
+def format_fig10(result: Fig10Result) -> str:
+    """Fig. 10: normalised precision / recall of the strategy ladder."""
+    sections: List[str] = ["(a) Comparison of precision"]
+    for domain, values in result.precision_by_domain.items():
+        rows = [[method, f"{value:.3f}"] for method, value in values.items()]
+        sections.append(f"[{domain}]  ({result.num_queries} queries)")
+        sections.append(_format_table(["Method", "Precision"], rows))
+        sections.append("")
+    sections.append("(b) Comparison of recall")
+    for domain, values in result.recall_by_domain.items():
+        rows = [[method, f"{value:.3f}"] for method, value in values.items()]
+        sections.append(f"[{domain}]  ({result.num_queries} queries)")
+        sections.append(_format_table(["Method", "Recall"], rows))
+        sections.append("")
+    return "\n".join(sections).rstrip()
+
+
+def format_fig11(result: Fig11Result) -> str:
+    """Fig. 11: effect of domain size on the full approaches."""
+    sections: List[str] = ["(a) Precision for L2QP"]
+    for domain, values in result.precision_by_domain.items():
+        rows = [[f"{int(fraction * 100)}%", f"{values[fraction]:.3f}"]
+                for fraction in result.fractions]
+        sections.append(f"[{domain}]")
+        sections.append(_format_table(["Domain entities used", "Precision"], rows))
+        sections.append("")
+    sections.append("(b) Recall for L2QR")
+    for domain, values in result.recall_by_domain.items():
+        rows = [[f"{int(fraction * 100)}%", f"{values[fraction]:.3f}"]
+                for fraction in result.fractions]
+        sections.append(f"[{domain}]")
+        sections.append(_format_table(["Domain entities used", "Recall"], rows))
+        sections.append("")
+    return "\n".join(sections).rstrip()
+
+
+def _format_series_table(series_by_method: Mapping[str, MetricSeries],
+                         metric: str) -> str:
+    methods = list(series_by_method)
+    budgets = sorted(next(iter(series_by_method.values())).precision) if series_by_method else []
+    headers = ["Method"] + [f"{k} queries" for k in budgets]
+    rows = []
+    for method in methods:
+        series = series_by_method[method]
+        values = {"precision": series.precision, "recall": series.recall,
+                  "f_score": series.f_score}[metric]
+        rows.append([method] + [f"{values[k]:.3f}" for k in budgets])
+    return _format_table(headers, rows)
+
+
+def format_fig12(result: ComparisonResult) -> str:
+    """Fig. 12: precision and recall vs number of queries against baselines."""
+    sections: List[str] = ["(a) Comparison of precision"]
+    for domain, series in result.series_by_domain.items():
+        sections.append(f"[{domain}]")
+        sections.append(_format_series_table(series, "precision"))
+        sections.append("")
+    sections.append("(b) Comparison of recall")
+    for domain, series in result.series_by_domain.items():
+        sections.append(f"[{domain}]")
+        sections.append(_format_series_table(series, "recall"))
+        sections.append("")
+    return "\n".join(sections).rstrip()
+
+
+def format_fig13(result: ComparisonResult) -> str:
+    """Fig. 13: F-score of the balanced strategy against baselines."""
+    sections: List[str] = ["Comparison of F-scores with balanced strategy"]
+    for domain, series in result.series_by_domain.items():
+        sections.append(f"[{domain}]")
+        sections.append(_format_series_table(series, "f_score"))
+        sections.append("")
+    return "\n".join(sections).rstrip()
+
+
+def format_fig14(result: Fig14Result) -> str:
+    """Fig. 14: average time cost per query (seconds)."""
+    rows = []
+    for domain, report in result.reports_by_domain.items():
+        row = [domain]
+        for method in sorted(report.selection_seconds):
+            row.append(f"{report.selection_seconds[method]:.3f}")
+        row.append(f"~{report.fetch_seconds:.1f}")
+        rows.append(row)
+    first = next(iter(result.reports_by_domain.values()))
+    headers = ["Domain"] + [f"{m} (selection)" for m in sorted(first.selection_seconds)] + ["Fetch"]
+    return _format_table(headers, rows)
+
+
+def format_headline(summary: HeadlineSummary) -> str:
+    """The paper's headline claim, measured on this reproduction."""
+    return "\n".join([
+        f"L2QBAL mean normalised F-score          : {summary.l2qbal_f_score:.3f}",
+        (f"Best algorithmic baseline ({summary.best_algorithmic_baseline})"
+         f"          : {summary.best_algorithmic_f_score:.3f}"),
+        f"Manual baseline (MQ)                     : {summary.manual_f_score:.3f}",
+        (f"Improvement over best algorithmic       : "
+         f"{summary.improvement_over_algorithmic * 100:.1f}% (paper: ~16%)"),
+        (f"Improvement over manual                 : "
+         f"{summary.improvement_over_manual * 100:.1f}% (paper: ~10%)"),
+    ])

@@ -1,0 +1,316 @@
+"""Experiment orchestration: splits, domain preparation, harvesting, scoring.
+
+:class:`ExperimentRunner` reproduces the paper's evaluation protocol
+(Sect. VI-A):
+
+1. split the entities of a domain into domain / validation / test sets;
+2. train the per-aspect classifiers (whose output the learner treats as the
+   relevance function ``Y``);
+3. run the one-off domain phase per aspect on the domain entities' pages;
+4. for every test entity and aspect, run the harvesting loop with each
+   method and with the infeasible *ideal* upper bound;
+5. report precision / recall / F-score normalised against the ideal,
+   averaged over entities, aspects and repeated splits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.aspects.classifier import AspectClassifierSuite
+from repro.aspects.relevance import ClassifierRelevance, OracleRelevance, RelevanceFunction
+from repro.baselines.adaptive_querying import AdaptiveQueryingSelection
+from repro.baselines.harvest_rate import HarvestRateSelection, HarvestRateStatistics
+from repro.baselines.lm_feedback import LanguageModelFeedbackSelection
+from repro.baselines.manual import ManualQuerySelection
+from repro.baselines.oracle import IdealSelection
+from repro.core.config import L2QConfig
+from repro.core.domain_phase import DomainModel, DomainPhase
+from repro.core.harvester import HarvestResult, Harvester
+from repro.core.selection import QuerySelector, make_selector, selector_names
+from repro.corpus.corpus import Corpus
+from repro.eval.metrics import HarvestMetrics, MetricSeries, compute_metrics
+from repro.eval.splits import EntitySplit, split_entities, subsample_entities
+from repro.search.engine import SearchEngine
+from repro.utils.rng import derive_seed
+
+#: Methods that consume the domain phase output.
+DOMAIN_AWARE_METHODS = frozenset({"P+q", "R+q", "P+t", "R+t", "L2QP", "L2QR", "L2QBAL", "HR"})
+#: Baseline method names handled outside the core selector registry.
+BASELINE_METHODS = frozenset({"LM", "AQ", "HR", "MQ", "IDEAL"})
+
+
+@dataclass
+class PreparedSplit:
+    """Everything derived from one entity split, ready for harvesting."""
+
+    split: EntitySplit
+    corpus: Corpus
+    domain_corpus: Corpus
+    classifier_suite: AspectClassifierSuite
+    relevance_by_aspect: Dict[str, RelevanceFunction]
+    ground_truth_by_aspect: Dict[str, RelevanceFunction]
+    engine: SearchEngine
+    config: L2QConfig
+    domain_fraction: float = 1.0
+    _domain_models: Dict[str, DomainModel] = field(default_factory=dict)
+    _hr_statistics: Dict[str, HarvestRateStatistics] = field(default_factory=dict)
+
+    def domain_model(self, aspect: str) -> DomainModel:
+        """Lazily learn (and cache) the domain model for one aspect."""
+        model = self._domain_models.get(aspect)
+        if model is None:
+            phase = DomainPhase(self.domain_corpus, self.config)
+            model = phase.learn(aspect, self.relevance_by_aspect[aspect])
+            self._domain_models[aspect] = model
+        return model
+
+    def hr_statistics(self, aspect: str) -> HarvestRateStatistics:
+        """Lazily compute (and cache) the HR baseline statistics for one aspect."""
+        stats = self._hr_statistics.get(aspect)
+        if stats is None:
+            stats = HarvestRateStatistics.from_corpus(
+                self.domain_corpus, self.relevance_by_aspect[aspect], self.config)
+            self._hr_statistics[aspect] = stats
+        return stats
+
+
+@dataclass
+class EfficiencyReport:
+    """Per-method selection time vs fetch time (the Fig. 14 rows)."""
+
+    selection_seconds: Dict[str, float]
+    fetch_seconds: float
+    queries_measured: Dict[str, int]
+
+
+class ExperimentRunner:
+    """Runs the paper's evaluation protocol over one corpus."""
+
+    def __init__(self, corpus: Corpus, config: Optional[L2QConfig] = None,
+                 base_seed: int = 99) -> None:
+        self.corpus = corpus
+        self.config = config if config is not None else L2QConfig()
+        self.config.validate()
+        self.base_seed = base_seed
+
+    # -- Preparation ------------------------------------------------------------
+    def prepare(self, split: EntitySplit, domain_fraction: float = 1.0) -> PreparedSplit:
+        """Prepare one split: train classifiers and set up the engine.
+
+        ``domain_fraction`` subsamples the entities visible to the *domain
+        phase* only (Fig. 11); the aspect classifiers are always trained on
+        the full domain half, mirroring the paper where the classifier is a
+        fixed, pre-trained component.
+        """
+        classifier_corpus = self.corpus.subset(split.domain_entities) \
+            if split.domain_entities else self.corpus.subset(split.test_entities)
+        suite = AspectClassifierSuite.train_on_corpus(
+            classifier_corpus, seed=derive_seed(self.base_seed, "classifier", split.seed))
+
+        if domain_fraction >= 1.0:
+            domain_entity_ids: Sequence[str] = split.domain_entities
+        else:
+            domain_entity_ids = subsample_entities(
+                split.domain_entities, domain_fraction,
+                seed=derive_seed(self.base_seed, "domain-fraction", split.seed))
+        domain_corpus = self.corpus.subset(domain_entity_ids) if domain_entity_ids \
+            else self.corpus.subset([])
+
+        relevance = {aspect: ClassifierRelevance(aspect, suite)
+                     for aspect in self.corpus.aspects}
+        ground_truth = {aspect: OracleRelevance(aspect) for aspect in self.corpus.aspects}
+        engine = SearchEngine(self.corpus, ranker=self.config.ranker,
+                              top_k=self.config.top_k, mu=self.config.dirichlet_mu)
+        return PreparedSplit(
+            split=split,
+            corpus=self.corpus,
+            domain_corpus=domain_corpus,
+            classifier_suite=suite,
+            relevance_by_aspect=relevance,
+            ground_truth_by_aspect=ground_truth,
+            engine=engine,
+            config=self.config,
+            domain_fraction=domain_fraction,
+        )
+
+    def default_split(self, split_seed: int = 0) -> EntitySplit:
+        """The canonical 50/25/25 split of this corpus's entities."""
+        return split_entities(self.corpus.entity_ids(),
+                              seed=derive_seed(self.base_seed, "split", split_seed))
+
+    # -- Selector creation ----------------------------------------------------------
+    def create_selector(self, method: str, prepared: PreparedSplit,
+                        aspect: str) -> QuerySelector:
+        """Create a fresh selector instance for one harvesting run."""
+        if method in selector_names():
+            return make_selector(method, self.config)
+        if method == "LM":
+            return LanguageModelFeedbackSelection()
+        if method == "AQ":
+            return AdaptiveQueryingSelection()
+        if method == "HR":
+            return HarvestRateSelection(prepared.hr_statistics(aspect))
+        if method == "MQ":
+            return ManualQuerySelection(self.corpus.domain_spec)
+        if method == "IDEAL":
+            return IdealSelection(prepared.ground_truth_by_aspect[aspect])
+        raise KeyError(f"unknown method {method!r}")
+
+    # -- Single harvest -------------------------------------------------------------
+    def harvest_once(self, prepared: PreparedSplit, method: str, entity_id: str,
+                     aspect: str, num_queries: int) -> HarvestResult:
+        """Run one harvesting loop for (method, entity, aspect)."""
+        selector = self.create_selector(method, prepared, aspect)
+        harvester = Harvester(self.corpus, prepared.engine, self.config)
+        domain_model = (prepared.domain_model(aspect)
+                        if method in DOMAIN_AWARE_METHODS else None)
+        relevance = (prepared.ground_truth_by_aspect[aspect] if method == "IDEAL"
+                     else prepared.relevance_by_aspect[aspect])
+        return harvester.harvest(
+            entity_id=entity_id,
+            aspect=aspect,
+            selector=selector,
+            relevance=relevance,
+            num_queries=num_queries,
+            domain_model=domain_model,
+            seed=derive_seed(self.base_seed, "harvest", prepared.split.seed,
+                             method, entity_id, aspect),
+        )
+
+    # -- Full evaluation ----------------------------------------------------------------
+    def evaluate_methods(self, methods: Sequence[str],
+                         num_queries_list: Sequence[int] = (2, 3, 4, 5),
+                         num_splits: int = 1,
+                         domain_fraction: float = 1.0,
+                         max_test_entities: Optional[int] = None,
+                         aspects: Optional[Sequence[str]] = None,
+                         normalize: bool = True) -> Dict[str, MetricSeries]:
+        """Evaluate methods over test entities, aspects and repeated splits.
+
+        Returns one :class:`MetricSeries` per method with ideal-normalised
+        precision, recall and F-score per query budget.
+        """
+        if not methods:
+            raise ValueError("at least one method is required")
+        budgets = sorted(set(num_queries_list))
+        max_budget = budgets[-1]
+        aspect_list = list(aspects) if aspects is not None else list(self.corpus.aspects)
+
+        collected: Dict[str, Dict[int, List[HarvestMetrics]]] = {
+            method: {k: [] for k in budgets} for method in methods
+        }
+
+        for split_index in range(num_splits):
+            split = self.default_split(split_index)
+            prepared = self.prepare(split, domain_fraction=domain_fraction)
+            test_entities = list(split.test_entities)
+            if max_test_entities is not None:
+                test_entities = test_entities[:max_test_entities]
+
+            for aspect in aspect_list:
+                for entity_id in test_entities:
+                    relevant = [p.page_id
+                                for p in self.corpus.relevant_pages(entity_id, aspect)]
+                    if not relevant:
+                        continue
+                    ideal_by_budget: Dict[int, HarvestMetrics] = {}
+                    if normalize:
+                        ideal_run = self.harvest_once(prepared, "IDEAL", entity_id,
+                                                      aspect, max_budget)
+                        ideal_by_budget = {
+                            k: compute_metrics(ideal_run.gathered_after(k), relevant)
+                            for k in budgets
+                        }
+                    for method in methods:
+                        run = self.harvest_once(prepared, method, entity_id,
+                                                aspect, max_budget)
+                        for k in budgets:
+                            metrics = compute_metrics(run.gathered_after(k), relevant)
+                            if normalize:
+                                metrics = metrics.normalized_by(ideal_by_budget[k])
+                            collected[method][k].append(metrics)
+
+        return {method: _series_from(method, collected[method]) for method in methods}
+
+    # -- Efficiency (Fig. 14) --------------------------------------------------------------
+    def measure_efficiency(self, methods: Sequence[str] = ("L2QP", "L2QR", "L2QBAL"),
+                           num_queries: int = 3,
+                           max_test_entities: int = 2,
+                           aspects: Optional[Sequence[str]] = None) -> EfficiencyReport:
+        """Measure per-query selection time and (simulated) fetch time."""
+        split = self.default_split(0)
+        prepared = self.prepare(split)
+        aspect_list = list(aspects) if aspects is not None else list(self.corpus.aspects)[:2]
+        test_entities = list(split.test_entities)[:max_test_entities]
+
+        selection: Dict[str, List[float]] = {m: [] for m in methods}
+        queries: Dict[str, int] = {m: 0 for m in methods}
+        fetch: List[float] = []
+        for method in methods:
+            for aspect in aspect_list:
+                for entity_id in test_entities:
+                    run = self.harvest_once(prepared, method, entity_id, aspect, num_queries)
+                    for record in run.iterations:
+                        selection[method].append(record.selection_seconds)
+                        fetch.append(record.fetch_seconds)
+                        queries[method] += 1
+
+        return EfficiencyReport(
+            selection_seconds={m: (sum(v) / len(v) if v else 0.0)
+                               for m, v in selection.items()},
+            fetch_seconds=(sum(fetch) / len(fetch) if fetch else 0.0),
+            queries_measured=queries,
+        )
+
+    # -- Parameter validation --------------------------------------------------------------------
+    def validate_seed_recall(self, candidates: Sequence[float] = (0.1, 0.3, 0.5, 0.7),
+                             method: str = "L2QBAL", num_queries: int = 3,
+                             max_validation_entities: int = 3,
+                             aspects: Optional[Sequence[str]] = None) -> Tuple[float, Dict[float, float]]:
+        """Choose the seed-recall parameter ``r0`` on the validation entities.
+
+        Mirrors the paper's cross-validation of ``r0`` (Sect. V-A).  Returns
+        the best value and the mean F-score of every candidate.
+        """
+        split = self.default_split(0)
+        prepared = self.prepare(split)
+        aspect_list = list(aspects) if aspects is not None else list(self.corpus.aspects)[:2]
+        validation = list(split.validation_entities)[:max_validation_entities]
+        scores: Dict[float, float] = {}
+        original = self.config.seed_recall_r0
+        try:
+            for r0 in candidates:
+                self.config.seed_recall_r0 = r0
+                per_run: List[float] = []
+                for aspect in aspect_list:
+                    for entity_id in validation:
+                        relevant = [p.page_id
+                                    for p in self.corpus.relevant_pages(entity_id, aspect)]
+                        if not relevant:
+                            continue
+                        run = self.harvest_once(prepared, method, entity_id, aspect, num_queries)
+                        per_run.append(compute_metrics(run.gathered_after(num_queries),
+                                                       relevant).f_score)
+                scores[r0] = sum(per_run) / len(per_run) if per_run else 0.0
+        finally:
+            self.config.seed_recall_r0 = original
+        best = max(scores, key=lambda r: (scores[r], -r))
+        return best, scores
+
+
+def _series_from(method: str, per_budget: Dict[int, List[HarvestMetrics]]) -> MetricSeries:
+    precision: Dict[int, float] = {}
+    recall: Dict[int, float] = {}
+    f_score: Dict[int, float] = {}
+    for budget, metrics in per_budget.items():
+        if metrics:
+            precision[budget] = sum(m.precision for m in metrics) / len(metrics)
+            recall[budget] = sum(m.recall for m in metrics) / len(metrics)
+            f_score[budget] = sum(m.f_score for m in metrics) / len(metrics)
+        else:
+            precision[budget] = 0.0
+            recall[budget] = 0.0
+            f_score[budget] = 0.0
+    return MetricSeries(method=method, precision=precision, recall=recall, f_score=f_score)

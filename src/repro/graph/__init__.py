@@ -1,0 +1,27 @@
+"""Graph substrate: reinforcement graph and the utility (random-walk) solver."""
+
+from repro.graph.random_walk import (
+    MODE_PRECISION,
+    MODE_RECALL,
+    UtilitySolver,
+    UtilityVector,
+    normalize_columns,
+    normalize_rows,
+)
+from repro.graph.reinforcement import (
+    ReinforcementGraph,
+    ReinforcementGraphBuilder,
+    VertexIndex,
+)
+
+__all__ = [
+    "MODE_PRECISION",
+    "MODE_RECALL",
+    "ReinforcementGraph",
+    "ReinforcementGraphBuilder",
+    "UtilitySolver",
+    "UtilityVector",
+    "VertexIndex",
+    "normalize_columns",
+    "normalize_rows",
+]

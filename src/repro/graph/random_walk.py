@@ -1,0 +1,233 @@
+"""Utility inference by iterative propagation on the reinforcement graph.
+
+The paper shows (Sect. III, *Solution*) that the regularized mutual
+reinforcement equations (Eq. 13/19/20) are equivalent to random walks with
+restart: probabilistic precision ``P`` is the stationary distribution of the
+*backward* walk and probabilistic recall ``R`` of the *forward* walk, with
+restart probability ``alpha`` and preference vector equal to the utility
+regularization.  Rather than materialising the walk matrices we iterate the
+reinforcement rules directly, which is the same fixed point:
+
+Precision (Eqs. 6, 8, 15, 17) — each vertex *averages* its neighbours:
+
+* ``P(q) = mean( C_PQ^T P_P , RQ_T P_T )``   (page side and template side)
+* ``P(p) = R_PQ P_Q``
+* ``P(t) = C_QT^T P_Q``
+
+Recall (Eqs. 7, 9, 16, 18) — each vertex's mass is *split* among retrievers:
+
+* ``R(q) = mean( R_PQ^T R_P , C_QT R_T )``
+* ``R(p) = C_PQ R_Q``
+* ``R(t) = R_QT^T R_Q``
+
+where ``R_X`` / ``C_X`` denote row- / column-stochastic normalisations of the
+biadjacency matrices, and each update is blended with the regularization
+vector: ``U <- (1 - alpha) F(U) + alpha U_hat`` (Eq. 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Mapping, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.graph.reinforcement import ReinforcementGraph
+
+MODE_PRECISION = "precision"
+MODE_RECALL = "recall"
+_MODES = (MODE_PRECISION, MODE_RECALL)
+
+
+def normalize_rows(matrix: sparse.csr_matrix) -> sparse.csr_matrix:
+    """Return a row-stochastic copy of ``matrix`` (zero rows stay zero)."""
+    matrix = matrix.tocsr(copy=True).astype(np.float64)
+    row_sums = np.asarray(matrix.sum(axis=1)).ravel()
+    scale = np.divide(1.0, row_sums, out=np.zeros_like(row_sums), where=row_sums > 0)
+    diagonal = sparse.diags(scale)
+    return (diagonal @ matrix).tocsr()
+
+
+def normalize_columns(matrix: sparse.csr_matrix) -> sparse.csr_matrix:
+    """Return a column-stochastic copy of ``matrix`` (zero columns stay zero)."""
+    matrix = matrix.tocsc(copy=True).astype(np.float64)
+    col_sums = np.asarray(matrix.sum(axis=0)).ravel()
+    scale = np.divide(1.0, col_sums, out=np.zeros_like(col_sums), where=col_sums > 0)
+    diagonal = sparse.diags(scale)
+    return (matrix @ diagonal).tocsr()
+
+
+@dataclass
+class UtilityVector:
+    """Solved utilities for every vertex of a reinforcement graph."""
+
+    mode: str
+    page_values: np.ndarray
+    query_values: np.ndarray
+    template_values: np.ndarray
+    graph: ReinforcementGraph
+    iterations: int
+    converged: bool
+
+    def page(self, page_key: Hashable) -> float:
+        """Utility of a page vertex (0.0 if the page is not in the graph)."""
+        index = self.graph.pages.index_of(page_key)
+        return float(self.page_values[index]) if index is not None else 0.0
+
+    def query(self, query_key: Hashable) -> float:
+        """Utility of a query vertex (0.0 if the query is not in the graph)."""
+        index = self.graph.queries.index_of(query_key)
+        return float(self.query_values[index]) if index is not None else 0.0
+
+    def template(self, template_key: Hashable) -> float:
+        """Utility of a template vertex (0.0 if absent)."""
+        index = self.graph.templates.index_of(template_key)
+        return float(self.template_values[index]) if index is not None else 0.0
+
+    def query_utilities(self) -> Dict[Hashable, float]:
+        """All query utilities as a dictionary."""
+        return {self.graph.queries.key_of(i): float(v)
+                for i, v in enumerate(self.query_values)}
+
+    def template_utilities(self) -> Dict[Hashable, float]:
+        """All template utilities as a dictionary."""
+        return {self.graph.templates.key_of(i): float(v)
+                for i, v in enumerate(self.template_values)}
+
+    def page_utilities(self) -> Dict[Hashable, float]:
+        """All page utilities as a dictionary."""
+        return {self.graph.pages.key_of(i): float(v)
+                for i, v in enumerate(self.page_values)}
+
+
+class UtilitySolver:
+    """Solves Eq. 13 / 19 / 20 on a reinforcement graph by power iteration."""
+
+    def __init__(self, graph: ReinforcementGraph, alpha: float = 0.15,
+                 max_iterations: int = 100, tolerance: float = 1e-6) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ValueError("alpha must lie strictly between 0 and 1")
+        if max_iterations <= 0:
+            raise ValueError("max_iterations must be positive")
+        self.graph = graph
+        self.alpha = float(alpha)
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+
+        pq = graph.page_query
+        qt = graph.query_template
+        # Row-stochastic over a page's query neighbours / a query's template neighbours.
+        self._pq_row = normalize_rows(pq)
+        self._qt_row = normalize_rows(qt)
+        # Column-stochastic over a query's page neighbours / a template's query neighbours.
+        self._pq_col = normalize_columns(pq)
+        self._qt_col = normalize_columns(qt)
+        # Which queries have neighbours on each side (for averaging the two sides).
+        self._query_has_pages = np.asarray(pq.sum(axis=0)).ravel() > 0
+        self._query_has_templates = np.asarray(qt.sum(axis=1)).ravel() > 0
+
+    # -- Public API ----------------------------------------------------------
+    def solve(self, mode: str,
+              page_regularization: Optional[Mapping[Hashable, float]] = None,
+              query_regularization: Optional[Mapping[Hashable, float]] = None,
+              template_regularization: Optional[Mapping[Hashable, float]] = None) -> UtilityVector:
+        """Solve for the utilities of every vertex.
+
+        Parameters
+        ----------
+        mode:
+            ``"precision"`` or ``"recall"``.
+        page_regularization / query_regularization / template_regularization:
+            The utility regularization ``U_hat`` per vertex key.  Missing
+            vertices default to 0 (no regularization), as in the paper.
+        """
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+
+        page_hat = self._vector(self.graph.pages, page_regularization)
+        query_hat = self._vector(self.graph.queries, query_regularization)
+        template_hat = self._vector(self.graph.templates, template_regularization)
+
+        pages = page_hat.copy()
+        queries = query_hat.copy()
+        templates = template_hat.copy()
+
+        converged = False
+        iteration = 0
+        for iteration in range(1, self.max_iterations + 1):
+            if mode == MODE_PRECISION:
+                new_queries = self._combine_sides(
+                    self._pq_col.T @ pages, self._qt_row @ templates)
+                new_pages = self._pq_row @ queries
+                new_templates = self._qt_col.T @ queries
+            else:
+                new_queries = self._combine_sides(
+                    self._pq_row.T @ pages, self._qt_col @ templates)
+                new_pages = self._pq_col @ queries
+                new_templates = self._qt_row.T @ queries
+
+            new_pages = (1.0 - self.alpha) * new_pages + self.alpha * page_hat
+            new_queries = (1.0 - self.alpha) * new_queries + self.alpha * query_hat
+            new_templates = (1.0 - self.alpha) * new_templates + self.alpha * template_hat
+
+            delta = 0.0
+            if new_pages.size:
+                delta = max(delta, float(np.max(np.abs(new_pages - pages))))
+            if new_queries.size:
+                delta = max(delta, float(np.max(np.abs(new_queries - queries))))
+            if new_templates.size:
+                delta = max(delta, float(np.max(np.abs(new_templates - templates))))
+
+            pages, queries, templates = new_pages, new_queries, new_templates
+            if delta < self.tolerance:
+                converged = True
+                break
+
+        return UtilityVector(
+            mode=mode,
+            page_values=pages,
+            query_values=queries,
+            template_values=templates,
+            graph=self.graph,
+            iterations=iteration,
+            converged=converged,
+        )
+
+    def solve_precision(self, **kwargs) -> UtilityVector:
+        """Shorthand for ``solve(MODE_PRECISION, ...)``."""
+        return self.solve(MODE_PRECISION, **kwargs)
+
+    def solve_recall(self, **kwargs) -> UtilityVector:
+        """Shorthand for ``solve(MODE_RECALL, ...)``."""
+        return self.solve(MODE_RECALL, **kwargs)
+
+    # -- Internals -------------------------------------------------------------
+    def _combine_sides(self, from_pages: np.ndarray, from_templates: np.ndarray) -> np.ndarray:
+        """Average the page-side and template-side estimates per query.
+
+        The paper combines the two sides "by taking their average as the
+        final utility of q" (Sect. IV-A).  Queries connected to only one side
+        use that side alone.
+        """
+        num_queries = self.graph.num_queries
+        if num_queries == 0:
+            return np.zeros(0)
+        combined = np.zeros(num_queries)
+        both = self._query_has_pages & self._query_has_templates
+        only_pages = self._query_has_pages & ~self._query_has_templates
+        only_templates = ~self._query_has_pages & self._query_has_templates
+        combined[both] = 0.5 * (from_pages[both] + from_templates[both])
+        combined[only_pages] = from_pages[only_pages]
+        combined[only_templates] = from_templates[only_templates]
+        return combined
+
+    @staticmethod
+    def _vector(index, regularization: Optional[Mapping[Hashable, float]]) -> np.ndarray:
+        values = np.zeros(len(index))
+        if regularization:
+            for key, value in regularization.items():
+                position = index.index_of(key)
+                if position is not None:
+                    values[position] = float(value)
+        return values

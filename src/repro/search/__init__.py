@@ -1,0 +1,23 @@
+"""Search-engine substrate: inverted index, rankers and the entity-scoped engine."""
+
+from repro.search.bm25 import BM25Ranker
+from repro.search.engine import (
+    RANKER_BM25,
+    RANKER_DIRICHLET,
+    FetchStatistics,
+    SearchEngine,
+    SearchResult,
+)
+from repro.search.index import InvertedIndex
+from repro.search.language_model import DirichletLanguageModel
+
+__all__ = [
+    "BM25Ranker",
+    "DirichletLanguageModel",
+    "FetchStatistics",
+    "InvertedIndex",
+    "RANKER_BM25",
+    "RANKER_DIRICHLET",
+    "SearchEngine",
+    "SearchResult",
+]

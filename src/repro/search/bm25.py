@@ -1,0 +1,76 @@
+"""Okapi BM25 ranking — an alternative ranker used for ablation.
+
+The paper uses a Dirichlet-smoothed language model as its offline search
+engine; BM25 is provided so that the sensitivity of L2Q to the underlying
+retrieval model can be measured (``benchmarks/test_ablation_ranker.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.search.index import InvertedIndex
+
+
+class BM25Ranker:
+    """Okapi BM25 with the standard ``k1``/``b`` parameterisation."""
+
+    def __init__(self, index: InvertedIndex, k1: float = 1.2, b: float = 0.75) -> None:
+        if k1 < 0:
+            raise ValueError("k1 must be non-negative")
+        if not 0.0 <= b <= 1.0:
+            raise ValueError("b must be in [0, 1]")
+        self.index = index
+        self.k1 = float(k1)
+        self.b = float(b)
+
+    def idf(self, term: str) -> float:
+        """Robertson-Sparck-Jones IDF (floored at 0)."""
+        n = self.index.num_documents
+        df = self.index.document_frequency(term)
+        if n == 0 or df == 0:
+            return 0.0
+        return max(0.0, math.log((n - df + 0.5) / (df + 0.5) + 1.0))
+
+    def score(self, query: Sequence[str], doc_id: str) -> float:
+        """BM25 score of ``doc_id`` for ``query``."""
+        if doc_id not in self.index:
+            raise KeyError(f"unknown document {doc_id!r}")
+        avgdl = self.index.average_document_length or 1.0
+        dl = self.index.document_length(doc_id)
+        total = 0.0
+        for term in query:
+            tf = self.index.term_frequency(term, doc_id)
+            if tf == 0:
+                continue
+            idf = self.idf(term)
+            denominator = tf + self.k1 * (1.0 - self.b + self.b * dl / avgdl)
+            total += idf * tf * (self.k1 + 1.0) / denominator
+        return total
+
+    def rank(self, query: Sequence[str], top_k: int = 0,
+             require_match: bool = True) -> List[Tuple[str, float]]:
+        """Rank documents for ``query`` (same contract as the language model)."""
+        query = [t for t in query if t]
+        if not query:
+            return []
+        if require_match:
+            candidates = sorted(self.index.matching_documents(query))
+        else:
+            candidates = self.index.document_ids()
+        scored = [(doc_id, self.score(query, doc_id)) for doc_id in candidates]
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        if top_k > 0:
+            scored = scored[:top_k]
+        return scored
+
+    def retrieval_scores(self, query: Sequence[str]) -> Dict[str, float]:
+        """Normalised retrieval scores over matching documents (sum to 1)."""
+        ranked = self.rank(query, top_k=0, require_match=True)
+        if not ranked:
+            return {}
+        total = sum(max(score, 0.0) for _, score in ranked)
+        if total <= 0:
+            return {doc_id: 1.0 / len(ranked) for doc_id, _ in ranked}
+        return {doc_id: max(score, 0.0) / total for doc_id, score in ranked}

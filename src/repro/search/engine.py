@@ -1,0 +1,163 @@
+"""The search-engine facade used by the harvesting loop.
+
+The paper's workflow (Fig. 1) fires each selected query against a search
+engine with the entity's seed query appended, so that every result page is
+about the target entity.  Over the offline corpus this is equivalent to
+ranking only within the target entity's page universe, which is exactly what
+:class:`SearchEngine` does: it maintains one per-entity index and ranks the
+entity's pages with a Dirichlet-smoothed language model (or BM25), returning
+the top-``k`` results (``k = 5`` in the paper).
+
+The engine also keeps *fetch accounting*: how many queries were fired and
+how many result pages were downloaded, plus a simulated per-page fetch cost
+so that the efficiency experiment (Fig. 14) can contrast selection time with
+fetch time without actually sleeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.corpus.corpus import Corpus
+from repro.corpus.document import Page
+from repro.search.bm25 import BM25Ranker
+from repro.search.index import InvertedIndex
+from repro.search.language_model import DirichletLanguageModel
+
+RANKER_DIRICHLET = "dirichlet"
+RANKER_BM25 = "bm25"
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One ranked result: a page and its retrieval score."""
+
+    page_id: str
+    score: float
+
+
+@dataclass
+class FetchStatistics:
+    """Accounting of the (simulated) cost of talking to the search engine."""
+
+    queries_fired: int = 0
+    pages_fetched: int = 0
+    simulated_fetch_seconds: float = 0.0
+    queries_by_entity: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, entity_id: str, num_results: int, per_page_cost: float) -> None:
+        """Record one fired query and its fetched results."""
+        self.queries_fired += 1
+        self.pages_fetched += num_results
+        self.simulated_fetch_seconds += per_page_cost * num_results
+        self.queries_by_entity[entity_id] = self.queries_by_entity.get(entity_id, 0) + 1
+
+
+class SearchEngine:
+    """Entity-scoped top-k retrieval over an offline corpus."""
+
+    def __init__(self, corpus: Corpus, ranker: str = RANKER_DIRICHLET,
+                 top_k: int = 5, mu: float = 100.0,
+                 bm25_k1: float = 1.2, bm25_b: float = 0.75,
+                 simulated_fetch_seconds_per_page: float = 2.5) -> None:
+        if top_k <= 0:
+            raise ValueError("top_k must be positive")
+        if ranker not in (RANKER_DIRICHLET, RANKER_BM25):
+            raise ValueError(f"unknown ranker {ranker!r}")
+        self.corpus = corpus
+        self.ranker_name = ranker
+        self.top_k = top_k
+        self.mu = mu
+        self.bm25_k1 = bm25_k1
+        self.bm25_b = bm25_b
+        self.simulated_fetch_seconds_per_page = simulated_fetch_seconds_per_page
+        self.fetch_statistics = FetchStatistics()
+        self._entity_indexes: Dict[str, InvertedIndex] = {}
+        self._entity_rankers: Dict[str, object] = {}
+
+    # -- Index management -----------------------------------------------------
+    def _index_for(self, entity_id: str) -> InvertedIndex:
+        index = self._entity_indexes.get(entity_id)
+        if index is None:
+            pages = self.corpus.pages_of(entity_id)
+            if not pages:
+                raise KeyError(f"entity {entity_id!r} has no pages in the corpus")
+            index = InvertedIndex.from_documents({p.page_id: p.tokens for p in pages})
+            self._entity_indexes[entity_id] = index
+        return index
+
+    def _ranker_for(self, entity_id: str):
+        ranker = self._entity_rankers.get(entity_id)
+        if ranker is None:
+            index = self._index_for(entity_id)
+            if self.ranker_name == RANKER_DIRICHLET:
+                ranker = DirichletLanguageModel(index, mu=self.mu)
+            else:
+                ranker = BM25Ranker(index, k1=self.bm25_k1, b=self.bm25_b)
+            self._entity_rankers[entity_id] = ranker
+        return ranker
+
+    # -- Retrieval --------------------------------------------------------------
+    def search(self, entity_id: str, query: Sequence[str],
+               top_k: Optional[int] = None, record_fetch: bool = True) -> List[SearchResult]:
+        """Fire ``query`` for ``entity_id`` and return the top results.
+
+        The entity's seed query is conceptually appended to ``query``; over
+        the offline corpus that reduces to scoping the ranking to the
+        entity's own pages, which is how the paper's experiments operate.
+        """
+        ranker = self._ranker_for(entity_id)
+        k = top_k if top_k is not None else self.top_k
+        ranked = ranker.rank(list(query), top_k=k, require_match=True)
+        results = [SearchResult(page_id=page_id, score=score) for page_id, score in ranked]
+        if record_fetch:
+            self.fetch_statistics.record(entity_id, len(results),
+                                         self.simulated_fetch_seconds_per_page)
+        return results
+
+    def fetch_pages(self, results: Sequence[SearchResult]) -> List[Page]:
+        """Materialise result pages from the corpus."""
+        return [self.corpus.get_page(r.page_id) for r in results]
+
+    def retrievable_pages(self, entity_id: str, query: Sequence[str],
+                          top_k: Optional[int] = None) -> List[str]:
+        """Page ids ``query`` would retrieve, without recording a fetch.
+
+        Used by the oracle/ideal strategy, which is allowed to peek at the
+        engine (the paper's ideal solution feeds every candidate query to the
+        search engine to compute the upper bound).
+        """
+        return [r.page_id for r in self.search(entity_id, query, top_k=top_k,
+                                               record_fetch=False)]
+
+    def seed_results(self, entity_id: str, top_k: Optional[int] = None) -> List[SearchResult]:
+        """Fire the entity's seed query ``q(0)`` and return the results.
+
+        The seed query uniquely identifies the entity; within the entity's
+        own page universe it behaves as a broad entity query, so we rank the
+        entity's pages by the seed terms (name and seed attributes), which
+        naturally favours hub-like pages mentioning the entity's name.
+        """
+        entity = self.corpus.get_entity(entity_id)
+        results = self.search(entity_id, list(entity.seed_query), top_k=top_k)
+        if results:
+            return results
+        # Degenerate corner: the seed terms may not literally occur on any
+        # page; fall back to the entity's name tokens, then to arbitrary pages.
+        results = self.search(entity_id, list(entity.name_tokens), top_k=top_k)
+        if results:
+            return results
+        pages = self.corpus.pages_of(entity_id)[: (top_k or self.top_k)]
+        self.fetch_statistics.record(entity_id, len(pages),
+                                     self.simulated_fetch_seconds_per_page)
+        return [SearchResult(page_id=p.page_id, score=0.0) for p in pages]
+
+    # -- Introspection --------------------------------------------------------------
+    def reset_statistics(self) -> None:
+        """Clear the fetch accounting (used between experiment runs)."""
+        self.fetch_statistics = FetchStatistics()
+
+    def entity_index(self, entity_id: str) -> InvertedIndex:
+        """Expose the per-entity index (useful for tests and baselines)."""
+        return self._index_for(entity_id)

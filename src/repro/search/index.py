@@ -1,0 +1,116 @@
+"""Inverted index with collection statistics.
+
+The index is the storage layer beneath the retrieval models
+(:mod:`repro.search.language_model`, :mod:`repro.search.bm25`).  Documents
+are arbitrary token sequences keyed by a string id; in this project they are
+the pages of one entity (the seed query scopes retrieval to a single
+entity's page universe, see :mod:`repro.search.engine`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+
+class InvertedIndex:
+    """A simple in-memory inverted index."""
+
+    def __init__(self) -> None:
+        self._postings: Dict[str, Dict[str, int]] = defaultdict(dict)
+        self._doc_lengths: Dict[str, int] = {}
+        self._collection_frequency: Counter = Counter()
+        self._total_tokens = 0
+
+    # -- Construction ------------------------------------------------------
+    def add_document(self, doc_id: str, tokens: Sequence[str]) -> None:
+        """Index one document.  Re-adding an existing id raises ``ValueError``."""
+        if doc_id in self._doc_lengths:
+            raise ValueError(f"document {doc_id!r} already indexed")
+        counts = Counter(tokens)
+        self._doc_lengths[doc_id] = len(tokens)
+        self._total_tokens += len(tokens)
+        for term, tf in counts.items():
+            self._postings[term][doc_id] = tf
+            self._collection_frequency[term] += tf
+
+    @classmethod
+    def from_documents(cls, documents: Mapping[str, Sequence[str]]) -> "InvertedIndex":
+        """Build an index from a ``{doc_id: tokens}`` mapping."""
+        index = cls()
+        for doc_id in sorted(documents):
+            index.add_document(doc_id, documents[doc_id])
+        return index
+
+    # -- Document statistics ---------------------------------------------------
+    @property
+    def num_documents(self) -> int:
+        """Number of indexed documents."""
+        return len(self._doc_lengths)
+
+    @property
+    def total_tokens(self) -> int:
+        """Total number of tokens across all documents."""
+        return self._total_tokens
+
+    @property
+    def average_document_length(self) -> float:
+        """Mean document length in tokens (0.0 for an empty index)."""
+        if not self._doc_lengths:
+            return 0.0
+        return self._total_tokens / len(self._doc_lengths)
+
+    def document_ids(self) -> List[str]:
+        """All indexed document ids, sorted."""
+        return sorted(self._doc_lengths)
+
+    def document_length(self, doc_id: str) -> int:
+        """Length of one document (raises ``KeyError`` if unknown)."""
+        return self._doc_lengths[doc_id]
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._doc_lengths
+
+    # -- Term statistics -----------------------------------------------------------
+    def term_frequency(self, term: str, doc_id: str) -> int:
+        """Frequency of ``term`` in ``doc_id`` (0 if absent)."""
+        return self._postings.get(term, {}).get(doc_id, 0)
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents containing ``term``."""
+        return len(self._postings.get(term, {}))
+
+    def collection_frequency(self, term: str) -> int:
+        """Total occurrences of ``term`` in the collection."""
+        return self._collection_frequency.get(term, 0)
+
+    def collection_probability(self, term: str) -> float:
+        """Maximum-likelihood collection probability of ``term``."""
+        if self._total_tokens == 0:
+            return 0.0
+        return self._collection_frequency.get(term, 0) / self._total_tokens
+
+    def postings(self, term: str) -> Dict[str, int]:
+        """Return a copy of the postings for ``term`` (``{doc_id: tf}``)."""
+        return dict(self._postings.get(term, {}))
+
+    def matching_documents(self, terms: Iterable[str],
+                           require_all: bool = False) -> Set[str]:
+        """Documents containing any (or all) of ``terms``."""
+        term_list = list(terms)
+        if not term_list:
+            return set()
+        sets = [set(self._postings.get(term, {})) for term in term_list]
+        if require_all:
+            result = sets[0]
+            for other in sets[1:]:
+                result &= other
+            return result
+        result = set()
+        for other in sets:
+            result |= other
+        return result
+
+    def vocabulary(self) -> List[str]:
+        """All indexed terms, sorted."""
+        return sorted(self._postings)

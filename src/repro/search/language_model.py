@@ -1,0 +1,93 @@
+"""Query-likelihood language model with Dirichlet smoothing.
+
+This is the retrieval model the paper itself uses as its offline "search
+engine": *"we used a language model with Dirichlet smoothing [29] as the
+search engine"* (Sect. VI-A).  The score of a document ``d`` for a query
+``q`` is::
+
+    score(q, d) = sum_{w in q} log( (tf(w, d) + mu * p(w | C)) / (|d| + mu) )
+
+where ``p(w | C)`` is the collection language model and ``mu`` the Dirichlet
+prior.  Unseen query terms (zero collection probability) are smoothed with a
+small epsilon so the score remains finite.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.search.index import InvertedIndex
+
+_UNSEEN_EPSILON = 1e-9
+
+
+class DirichletLanguageModel:
+    """Ranks documents of an :class:`InvertedIndex` by query likelihood."""
+
+    def __init__(self, index: InvertedIndex, mu: float = 100.0) -> None:
+        if mu <= 0:
+            raise ValueError("the Dirichlet prior mu must be positive")
+        self.index = index
+        self.mu = float(mu)
+
+    def term_probability(self, term: str, doc_id: str) -> float:
+        """Smoothed probability of ``term`` under the document model of ``doc_id``."""
+        tf = self.index.term_frequency(term, doc_id)
+        collection_p = self.index.collection_probability(term)
+        if collection_p <= 0.0:
+            collection_p = _UNSEEN_EPSILON
+        doc_length = self.index.document_length(doc_id)
+        return (tf + self.mu * collection_p) / (doc_length + self.mu)
+
+    def score(self, query: Sequence[str], doc_id: str) -> float:
+        """Log query likelihood of ``query`` under ``doc_id``'s document model."""
+        if not query:
+            return float("-inf")
+        return sum(math.log(self.term_probability(term, doc_id)) for term in query)
+
+    def rank(self, query: Sequence[str], top_k: int = 0,
+             require_match: bool = True) -> List[Tuple[str, float]]:
+        """Rank documents for ``query``.
+
+        Parameters
+        ----------
+        query:
+            Query tokens.
+        top_k:
+            If positive, truncate the ranking to the top ``top_k`` documents.
+        require_match:
+            If True (the default), only documents containing at least one
+            query term are returned — a pure smoothing score over unrelated
+            documents is not a retrieval.
+        """
+        query = [t for t in query if t]
+        if not query:
+            return []
+        if require_match:
+            candidates = sorted(self.index.matching_documents(query))
+        else:
+            candidates = self.index.document_ids()
+        scored = [(doc_id, self.score(query, doc_id)) for doc_id in candidates]
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        if top_k > 0:
+            scored = scored[:top_k]
+        return scored
+
+    def retrieval_scores(self, query: Sequence[str]) -> Dict[str, float]:
+        """Return the normalised retrieval scores of all matching documents.
+
+        The scores are exponentiated log-likelihoods normalised to sum to 1,
+        usable as edge weights ``W_pq`` in the reinforcement graph ("we can
+        use a retrieval model to quantify the strength between page p and
+        query q", Sect. III).
+        """
+        ranked = self.rank(query, top_k=0, require_match=True)
+        if not ranked:
+            return {}
+        max_log = max(score for _, score in ranked)
+        weights = {doc_id: math.exp(score - max_log) for doc_id, score in ranked}
+        total = sum(weights.values())
+        if total <= 0:
+            return {doc_id: 1.0 / len(weights) for doc_id in weights}
+        return {doc_id: weight / total for doc_id, weight in weights.items()}

@@ -1,0 +1,35 @@
+"""Project-wide logging configuration.
+
+The library never configures the root logger on import; applications and
+benchmarks opt in by calling :func:`configure_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def configure_logging(level: int = logging.INFO, fmt: Optional[str] = None) -> None:
+    """Configure the ``repro`` logger hierarchy with a stream handler.
+
+    Calling this more than once is safe: existing handlers attached to the
+    ``repro`` logger are replaced rather than duplicated.
+    """
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter(fmt or _FORMAT))
+    logger.addHandler(handler)
+    logger.propagate = False
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a child logger under the ``repro`` namespace."""
+    if name.startswith("repro"):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")

@@ -1,0 +1,54 @@
+"""Small text-statistics helpers shared by the corpus and search packages."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def term_frequencies(tokens: Sequence[str]) -> Dict[str, int]:
+    """Return a term-frequency dictionary for a token sequence."""
+    return dict(Counter(tokens))
+
+
+def document_frequencies(documents: Iterable[Sequence[str]]) -> Dict[str, int]:
+    """Return, for each term, the number of documents containing it."""
+    df: Counter = Counter()
+    for tokens in documents:
+        df.update(set(tokens))
+    return dict(df)
+
+
+def ngrams(tokens: Sequence[str], n: int) -> List[Tuple[str, ...]]:
+    """Return all contiguous ``n``-grams of ``tokens`` (empty list if too short)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if len(tokens) < n:
+        return []
+    return [tuple(tokens[i:i + n]) for i in range(len(tokens) - n + 1)]
+
+
+def jaccard(a: Iterable[str], b: Iterable[str]) -> float:
+    """Return the Jaccard similarity of two token collections."""
+    sa, sb = set(a), set(b)
+    if not sa and not sb:
+        return 1.0
+    union = sa | sb
+    if not union:
+        return 0.0
+    return len(sa & sb) / len(union)
+
+
+def vocabulary_size(documents: Iterable[Sequence[str]]) -> int:
+    """Return the number of distinct terms across ``documents``."""
+    vocab = set()
+    for tokens in documents:
+        vocab.update(tokens)
+    return len(vocab)
+
+
+def average_length(documents: Sequence[Sequence[str]]) -> float:
+    """Return the mean token count per document (0.0 for no documents)."""
+    if not documents:
+        return 0.0
+    return sum(len(tokens) for tokens in documents) / len(documents)

@@ -1,0 +1,70 @@
+"""Wall-clock timing helpers used for the efficiency experiment (Fig. 14)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+class Stopwatch:
+    """A context-manager stopwatch measuring elapsed wall-clock seconds.
+
+    Example
+    -------
+    >>> with Stopwatch() as sw:
+    ...     _ = sum(range(1000))
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class TimingAccumulator:
+    """Accumulates named timing samples and reports their averages.
+
+    Used by the harvester to separate *selection* time (CPU-bound query
+    selection) from *fetch* time (simulated I/O to the search engine),
+    mirroring the columns of the paper's Fig. 14.
+    """
+
+    samples: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record one sample for category ``name``."""
+        self.samples.setdefault(name, []).append(float(seconds))
+
+    def merge(self, other: "TimingAccumulator") -> None:
+        """Fold another accumulator's samples into this one."""
+        for name, values in other.samples.items():
+            self.samples.setdefault(name, []).extend(values)
+
+    def total(self, name: str) -> float:
+        """Return the sum of samples recorded for ``name`` (0.0 if none)."""
+        return float(sum(self.samples.get(name, [])))
+
+    def count(self, name: str) -> int:
+        """Return how many samples were recorded for ``name``."""
+        return len(self.samples.get(name, []))
+
+    def average(self, name: str) -> float:
+        """Return the mean sample for ``name`` (0.0 if none recorded)."""
+        values = self.samples.get(name, [])
+        if not values:
+            return 0.0
+        return float(sum(values)) / len(values)
+
+    def categories(self) -> List[str]:
+        """Return the list of recorded category names."""
+        return sorted(self.samples)

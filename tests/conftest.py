@@ -1,0 +1,93 @@
+"""Shared fixtures for the test suite.
+
+The expensive objects (corpora, prepared splits) are session-scoped so the
+whole suite stays fast; tests must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.document import Entity, Page, Paragraph
+from repro.corpus.synthetic import CorpusConfig, CorpusGenerator
+from repro.eval.runner import ExperimentRunner
+from repro.eval.splits import split_entities
+
+
+def make_paragraph(paragraph_id, tokens, aspect=None):
+    """Build a paragraph from a token list (helper used across tests)."""
+    return Paragraph(paragraph_id=paragraph_id, tokens=tuple(tokens), aspect=aspect)
+
+
+def make_page(page_id, entity_id, paragraph_specs):
+    """Build a page from ``[(tokens, aspect), ...]`` specs."""
+    paragraphs = tuple(
+        make_paragraph(f"{page_id}#{i}", tokens, aspect)
+        for i, (tokens, aspect) in enumerate(paragraph_specs)
+    )
+    return Page(page_id=page_id, entity_id=entity_id, paragraphs=paragraphs)
+
+
+@pytest.fixture(scope="session")
+def researcher_corpus():
+    """A small deterministic researcher corpus shared across the suite."""
+    config = CorpusConfig(domain="researcher", num_entities=16, pages_per_entity=10,
+                          seed=11)
+    return CorpusGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def car_corpus():
+    """A small deterministic car corpus shared across the suite."""
+    config = CorpusConfig(domain="car", num_entities=12, pages_per_entity=10, seed=11)
+    return CorpusGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def researcher_runner(researcher_corpus):
+    """An experiment runner over the shared researcher corpus."""
+    return ExperimentRunner(researcher_corpus, base_seed=5)
+
+
+@pytest.fixture(scope="session")
+def researcher_split(researcher_corpus):
+    """A canonical split of the shared researcher corpus."""
+    return split_entities(researcher_corpus.entity_ids(), seed=1)
+
+
+@pytest.fixture(scope="session")
+def researcher_prepared(researcher_runner, researcher_split):
+    """A prepared split (classifiers trained, engine built) for the researcher corpus."""
+    return researcher_runner.prepare(researcher_split)
+
+
+# -- Tiny hand-built fixtures (the paper's running example of Fig. 2) -------
+
+@pytest.fixture()
+def snir_pages():
+    """Six pages mirroring the paper's running example for Marc Snir (Fig. 2a)."""
+    specs = [
+        ("p1", [["conducts", "research", "parallel", "hpc", "systems"]], "RESEARCH"),
+        ("p2", [["published", "papers", "parallel", "hpc", "research"]], "RESEARCH"),
+        ("p3", [["research", "complexity", "parallel", "algorithms", "valuable"]], "RESEARCH"),
+        ("p4", [["studies", "computational", "complexity", "u_illinois"]], "RESEARCH"),
+        ("p5", [["visit", "siebel", "center", "u_illinois"]], None),
+        ("p6", [["senior", "manager", "ibm", "joining", "u_illinois"]], None),
+    ]
+    pages = []
+    for page_id, paragraphs, aspect in specs:
+        pages.append(make_page(page_id, "snir",
+                               [(tokens, aspect) for tokens in paragraphs]))
+    return pages
+
+
+@pytest.fixture()
+def snir_entity():
+    """The target entity of the running example."""
+    return Entity(
+        entity_id="snir",
+        domain="researcher",
+        name_tokens=("marc", "snir"),
+        seed_query=("marc", "snir", "uiuc"),
+        attributes={"topic": ("parallel", "hpc"), "institute": ("u_illinois",)},
+    )

@@ -1,0 +1,86 @@
+"""Tests for the per-aspect classifier suite (the Fig. 9 infrastructure)."""
+
+import pytest
+
+from conftest import make_page
+
+from repro.aspects.classifier import AspectClassifierSuite
+
+
+@pytest.fixture(scope="module")
+def trained_suite(researcher_corpus):
+    return AspectClassifierSuite.train_on_corpus(researcher_corpus, seed=3)
+
+
+class TestTraining:
+    def test_requires_aspects(self):
+        with pytest.raises(ValueError):
+            AspectClassifierSuite([])
+
+    def test_requires_paragraphs(self):
+        with pytest.raises(ValueError):
+            AspectClassifierSuite(["RESEARCH"]).fit([])
+
+    def test_invalid_holdout_fraction(self, researcher_corpus):
+        suite = AspectClassifierSuite(researcher_corpus.aspects)
+        with pytest.raises(ValueError):
+            suite.fit(list(researcher_corpus.iter_paragraphs()), holdout_fraction=1.0)
+
+    def test_unfitted_suite_raises(self, researcher_corpus):
+        suite = AspectClassifierSuite(researcher_corpus.aspects)
+        page = next(researcher_corpus.iter_pages())
+        with pytest.raises(RuntimeError):
+            suite.classify_page(page, "RESEARCH")
+
+
+class TestAccuracy:
+    def test_report_covers_every_aspect(self, trained_suite, researcher_corpus):
+        report = trained_suite.accuracy_report()
+        assert [row.aspect for row in report] == researcher_corpus.aspects
+
+    def test_accuracy_in_papers_band(self, trained_suite, researcher_corpus):
+        # Paper Fig. 9: classifier accuracy between 0.85 and 0.99.
+        for aspect in researcher_corpus.aspects:
+            assert trained_suite.accuracy_of(aspect) >= 0.80
+
+    def test_frequency_matches_corpus(self, trained_suite, researcher_corpus):
+        for row in trained_suite.accuracy_report():
+            assert row.paragraph_frequency == \
+                researcher_corpus.aspect_paragraph_count(row.aspect)
+
+
+class TestPrediction:
+    def test_classify_paragraph_binary(self, trained_suite, researcher_corpus):
+        paragraph = next(researcher_corpus.iter_paragraphs())
+        assert trained_suite.classify_paragraph(paragraph, "RESEARCH") in (0, 1)
+
+    def test_page_relevant_if_any_paragraph_relevant(self, trained_suite):
+        page = make_page("pX", "eX", [
+            (["conducts", "research", "parallel_computing", "papers", "published",
+              "research", "projects"], "RESEARCH"),
+            (["visit", "siebel", "center"], None),
+        ])
+        assert trained_suite.classify_page(page, "RESEARCH") == 1
+
+    def test_page_probability_bounds(self, trained_suite, researcher_corpus):
+        for page in list(researcher_corpus.iter_pages())[:20]:
+            probability = trained_suite.page_probability(page, "RESEARCH")
+            assert 0.0 <= probability <= 1.0
+
+    def test_empty_page_probability_zero(self, trained_suite):
+        from repro.corpus.document import Page
+        empty = Page(page_id="empty", entity_id="eX", paragraphs=())
+        assert trained_suite.page_probability(empty, "RESEARCH") == 0.0
+
+    def test_page_level_agreement_with_ground_truth(self, trained_suite, researcher_corpus):
+        # The classifier output is treated as ground truth by the paper, so
+        # page-level agreement on the synthetic corpus should be high.
+        agreements = 0
+        total = 0
+        for page in list(researcher_corpus.iter_pages())[:100]:
+            for aspect in ("RESEARCH", "CONTACT"):
+                total += 1
+                predicted = trained_suite.classify_page(page, aspect)
+                actual = int(page.has_aspect(aspect))
+                agreements += int(predicted == actual)
+        assert agreements / total >= 0.75

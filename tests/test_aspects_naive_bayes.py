@@ -1,0 +1,86 @@
+"""Tests for the multinomial Naive Bayes classifier."""
+
+import pytest
+
+from repro.aspects.naive_bayes import MultinomialNaiveBayes
+
+
+def _toy_training_set():
+    documents = [
+        {"award": 2, "received": 1},
+        {"award": 1, "winner": 1},
+        {"prize": 1, "award": 1},
+        {"research": 2, "parallel": 1},
+        {"research": 1, "papers": 2},
+        {"parallel": 1, "systems": 1},
+    ]
+    labels = [1, 1, 1, 0, 0, 0]
+    return documents, labels
+
+
+class TestFit:
+    def test_empty_training_set_rejected(self):
+        with pytest.raises(ValueError):
+            MultinomialNaiveBayes().fit([], [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MultinomialNaiveBayes().fit([{"a": 1}], [0, 1])
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            MultinomialNaiveBayes().fit([{"a": -1}], [0])
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            MultinomialNaiveBayes(alpha=0.0)
+
+    def test_classes_recorded(self):
+        docs, labels = _toy_training_set()
+        model = MultinomialNaiveBayes().fit(docs, labels)
+        assert set(model.classes) == {0, 1}
+
+
+class TestPredict:
+    def setup_method(self):
+        docs, labels = _toy_training_set()
+        self.model = MultinomialNaiveBayes().fit(docs, labels)
+
+    def test_predicts_obvious_classes(self):
+        assert self.model.predict({"award": 3}) == 1
+        assert self.model.predict({"research": 3, "parallel": 1}) == 0
+
+    def test_predict_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MultinomialNaiveBayes().predict({"a": 1})
+
+    def test_predict_many(self):
+        predictions = self.model.predict_many([{"award": 1}, {"research": 1}])
+        assert predictions == [1, 0]
+
+    def test_predict_proba_normalised(self):
+        probabilities = self.model.predict_proba({"award": 1, "research": 1})
+        assert sum(probabilities.values()) == pytest.approx(1.0)
+        assert all(0.0 <= p <= 1.0 for p in probabilities.values())
+
+    def test_unknown_features_fall_back_to_prior(self):
+        probabilities = self.model.predict_proba({"zzz": 1})
+        # Balanced training set: unknown evidence gives roughly the prior.
+        assert probabilities[0] == pytest.approx(0.5, abs=0.1)
+
+    def test_score_accuracy(self):
+        docs, labels = _toy_training_set()
+        assert self.model.score(docs, labels) == 1.0
+
+    def test_score_empty(self):
+        assert self.model.score([], []) == 0.0
+
+    def test_score_length_mismatch(self):
+        with pytest.raises(ValueError):
+            self.model.score([{"a": 1}], [])
+
+
+class TestSingleClass:
+    def test_single_class_training_predicts_that_class(self):
+        model = MultinomialNaiveBayes().fit([{"a": 1}, {"b": 1}], [1, 1])
+        assert model.predict({"c": 1}) == 1

@@ -1,0 +1,42 @@
+"""Tests for the relevance functions Y."""
+
+from conftest import make_page
+
+from repro.aspects.classifier import AspectClassifierSuite
+from repro.aspects.relevance import AllRelevant, ClassifierRelevance, OracleRelevance
+
+
+class TestOracleRelevance:
+    def test_matches_ground_truth_labels(self):
+        page = make_page("p1", "e1", [(["award", "received"], "AWARD")])
+        assert OracleRelevance("AWARD")(page) == 1
+        assert OracleRelevance("RESEARCH")(page) == 0
+
+    def test_score_equals_label(self):
+        page = make_page("p1", "e1", [(["award"], "AWARD")])
+        assert OracleRelevance("AWARD").score(page) == 1.0
+
+
+class TestAllRelevant:
+    def test_everything_relevant(self):
+        page = make_page("p1", "e1", [(["anything"], None)])
+        y_star = AllRelevant()
+        assert y_star(page) == 1
+        assert y_star.score(page) == 1.0
+
+
+class TestClassifierRelevance:
+    def test_labels_binary_and_cached(self, researcher_corpus):
+        suite = AspectClassifierSuite.train_on_corpus(researcher_corpus, seed=3)
+        relevance = ClassifierRelevance("RESEARCH", suite)
+        page = next(researcher_corpus.iter_pages())
+        first = relevance(page)
+        assert first in (0, 1)
+        assert relevance(page) == first
+        assert page.page_id in relevance._label_cache
+
+    def test_score_in_unit_interval(self, researcher_corpus):
+        suite = AspectClassifierSuite.train_on_corpus(researcher_corpus, seed=3)
+        relevance = ClassifierRelevance("CONTACT", suite)
+        for page in list(researcher_corpus.iter_pages())[:10]:
+            assert 0.0 <= relevance.score(page) <= 1.0

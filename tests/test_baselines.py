@@ -1,0 +1,167 @@
+"""Tests for the baseline strategies (LM, AQ, HR, MQ) and the ideal oracle."""
+
+import pytest
+
+from repro.aspects.relevance import OracleRelevance
+from repro.baselines.adaptive_querying import AdaptiveQueryingSelection
+from repro.baselines.harvest_rate import HarvestRateSelection, HarvestRateStatistics
+from repro.baselines.lm_feedback import LanguageModelFeedbackSelection
+from repro.baselines.manual import ManualQuerySelection
+from repro.baselines.oracle import IdealSelection
+from repro.core.config import L2QConfig
+from repro.core.session import HarvestSession
+from repro.utils.rng import SeededRandom
+
+
+@pytest.fixture()
+def session(researcher_corpus, researcher_prepared):
+    split = researcher_prepared.split
+    entity_id = split.test_entities[1] if len(split.test_entities) > 1 else split.test_entities[0]
+    engine = researcher_prepared.engine
+    aspect = "AWARD"
+    session = HarvestSession(
+        corpus=researcher_corpus,
+        engine=engine,
+        entity=researcher_corpus.get_entity(entity_id),
+        aspect=aspect,
+        relevance=researcher_prepared.relevance_by_aspect[aspect],
+        config=L2QConfig(),
+        rng=SeededRandom(7),
+        domain_model=researcher_prepared.domain_model(aspect),
+    )
+    session.add_pages(engine.fetch_pages(engine.seed_results(entity_id)))
+    return session
+
+
+class TestLanguageModelFeedback:
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            LanguageModelFeedbackSelection(k=0)
+        with pytest.raises(ValueError):
+            LanguageModelFeedbackSelection(background_weight=1.0)
+
+    def test_selects_query_from_current_pages(self, session):
+        query = LanguageModelFeedbackSelection().select(session)
+        assert query is not None
+        observed = set()
+        for page in session.current_pages:
+            observed.update(page.token_set)
+        assert all(word in observed for word in query)
+
+    def test_no_pages_returns_none(self, session):
+        session.current_pages = []
+        assert LanguageModelFeedbackSelection().select(session) is None
+
+    def test_skips_fired_queries(self, session):
+        selector = LanguageModelFeedbackSelection()
+        first = selector.select(session)
+        session.record_query(first)
+        second = selector.select(session)
+        assert second != first
+
+
+class TestAdaptiveQuerying:
+    def test_selects_query_supported_by_relevant_pages(self, session):
+        query = AdaptiveQueryingSelection().select(session)
+        assert query is not None
+        assert not session.is_fired(query)
+
+    def test_no_pages_returns_none(self, session):
+        session.current_pages = []
+        assert AdaptiveQueryingSelection().select(session) is None
+
+    def test_prefers_novel_queries_over_exhausted_ones(self, session):
+        selector = AdaptiveQueryingSelection()
+        first = selector.select(session)
+        session.record_query(first)
+        second = selector.select(session)
+        assert second != first
+
+
+class TestHarvestRate:
+    def test_statistics_from_domain_corpus(self, researcher_corpus):
+        domain_corpus = researcher_corpus.subset(researcher_corpus.entity_ids()[:4])
+        stats = HarvestRateStatistics.from_corpus(
+            domain_corpus, OracleRelevance("AWARD"), L2QConfig())
+        assert stats.query_harvest_rate
+        assert stats.template_harvest_rate
+        for rate in stats.query_harvest_rate.values():
+            assert 0.0 <= rate <= 1.0
+        for rate in stats.template_harvest_rate.values():
+            assert 0.0 <= rate <= 1.0
+
+    def test_statistics_from_empty_corpus(self, researcher_corpus):
+        stats = HarvestRateStatistics.from_corpus(
+            researcher_corpus.subset([]), OracleRelevance("AWARD"))
+        assert not stats.query_harvest_rate
+        assert stats.domain_score(("anything",)) is None
+
+    def test_domain_score_averages_templates(self, researcher_corpus):
+        domain_corpus = researcher_corpus.subset(researcher_corpus.entity_ids()[:4])
+        stats = HarvestRateStatistics.from_corpus(
+            domain_corpus, OracleRelevance("AWARD"), L2QConfig())
+        query = next(iter(stats.query_harvest_rate))
+        score = stats.domain_score(query)
+        assert score is not None
+        assert 0.0 <= score <= 1.0
+
+    def test_selection_with_and_without_domain_statistics(self, session,
+                                                          researcher_corpus):
+        bare = HarvestRateSelection()
+        assert bare.select(session) is not None
+        domain_corpus = researcher_corpus.subset(researcher_corpus.entity_ids()[:4])
+        stats = HarvestRateStatistics.from_corpus(
+            domain_corpus, OracleRelevance("AWARD"), L2QConfig())
+        informed = HarvestRateSelection(stats)
+        assert informed.select(session) is not None
+
+    def test_no_pages_returns_none(self, session):
+        session.current_pages = []
+        assert HarvestRateSelection().select(session) is None
+
+
+class TestManualQuerying:
+    def test_fires_aspect_queries_in_order(self, session):
+        selector = ManualQuerySelection()
+        expected = session.corpus.domain_spec.manual_queries("AWARD")
+        fired = []
+        for _ in range(len(expected)):
+            query = selector.select(session)
+            fired.append(query)
+            session.record_query(query)
+        assert fired == expected
+
+    def test_exhausted_returns_none(self, session):
+        selector = ManualQuerySelection()
+        for query in session.corpus.domain_spec.manual_queries("AWARD"):
+            session.record_query(query)
+        assert selector.select(session) is None
+
+    def test_explicit_domain_spec(self, session, researcher_corpus):
+        selector = ManualQuerySelection(researcher_corpus.domain_spec)
+        assert selector.select(session) is not None
+
+
+class TestIdealSelection:
+    def test_selects_query_improving_coverage(self, session):
+        ground_truth = OracleRelevance("AWARD")
+        selector = IdealSelection(ground_truth)
+        selector.prepare(session)
+        query = selector.select(session)
+        assert query is not None
+        retrieved = session.engine.retrievable_pages(session.entity.entity_id, list(query))
+        relevant = {p.page_id for p in session.corpus.relevant_pages(
+            session.entity.entity_id, "AWARD")}
+        assert set(retrieved) & relevant
+
+    def test_no_relevant_pages_returns_none(self, session):
+        class NothingRelevant(OracleRelevance):
+            def __call__(self, page):
+                return 0
+        selector = IdealSelection(NothingRelevant("AWARD"))
+        selector.prepare(session)
+        assert selector.select(session) is None
+
+    def test_prepare_called_lazily(self, session):
+        selector = IdealSelection(OracleRelevance("AWARD"))
+        assert selector.select(session) is not None

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_corpus_defaults(self):
+        args = build_parser().parse_args(["corpus"])
+        assert args.domain == "researcher"
+        assert args.entities == 24
+
+    def test_experiment_requires_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment"])
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["corpus", "--domain", "movies"])
+
+
+class TestCorpusCommand:
+    def test_prints_statistics(self):
+        out = io.StringIO()
+        code = main(["corpus", "--domain", "car", "--entities", "6", "--pages", "6"],
+                    out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "domain" in text and "car" in text
+        assert "pages" in text
+
+
+class TestHarvestCommand:
+    def test_harvest_with_manual_queries(self):
+        out = io.StringIO()
+        code = main(["harvest", "--domain", "researcher", "--entities", "12",
+                     "--pages", "8", "--method", "MQ", "--queries", "2",
+                     "--aspect", "CONTACT"], out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "query #1" in text
+        assert "f-score=" in text
+
+    def test_unknown_aspect_fails(self):
+        out = io.StringIO()
+        code = main(["harvest", "--domain", "researcher", "--entities", "12",
+                     "--pages", "8", "--aspect", "HOBBY"], out=out)
+        assert code == 2
+        assert "unknown aspect" in out.getvalue()
+
+    def test_unknown_entity_fails(self):
+        out = io.StringIO()
+        code = main(["harvest", "--domain", "researcher", "--entities", "12",
+                     "--pages", "8", "--entity", "ghost"], out=out)
+        assert code == 2
+
+
+class TestExperimentCommand:
+    def test_fig09_smoke(self):
+        out = io.StringIO()
+        code = main(["experiment", "--figure", "fig09", "--scale", "smoke",
+                     "--domains", "researcher"], out=out)
+        assert code == 0
+        assert "RESEARCH" in out.getvalue()

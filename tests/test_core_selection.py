@@ -1,0 +1,160 @@
+"""Tests for the query-selection strategies."""
+
+import pytest
+
+from repro.core.config import L2QConfig
+from repro.core.selection import (
+    ContextAwareSelection,
+    DomainQuerySelection,
+    QuerySelector,
+    RandomSelection,
+    TemplateSelection,
+    UtilityOnlySelection,
+    first_unfired,
+    make_selector,
+    selector_names,
+)
+from repro.core.session import HarvestSession
+from repro.search.engine import SearchEngine
+from repro.utils.rng import SeededRandom
+
+
+@pytest.fixture()
+def session(researcher_corpus, researcher_prepared):
+    """A harvest session seeded with the entity's seed-query results."""
+    split = researcher_prepared.split
+    entity_id = split.test_entities[0]
+    engine = researcher_prepared.engine
+    aspect = "RESEARCH"
+    session = HarvestSession(
+        corpus=researcher_corpus,
+        engine=engine,
+        entity=researcher_corpus.get_entity(entity_id),
+        aspect=aspect,
+        relevance=researcher_prepared.relevance_by_aspect[aspect],
+        config=L2QConfig(),
+        rng=SeededRandom(3),
+        domain_model=researcher_prepared.domain_model(aspect),
+    )
+    session.add_pages(engine.fetch_pages(engine.seed_results(entity_id)))
+    return session
+
+
+class TestRegistry:
+    def test_all_paper_strategies_registered(self):
+        assert set(selector_names()) == {
+            "RND", "P", "R", "P+q", "R+q", "P+t", "R+t", "L2QP", "L2QR", "L2QBAL"}
+
+    def test_make_selector_returns_fresh_instances(self):
+        a = make_selector("L2QP")
+        b = make_selector("L2QP")
+        assert a is not b
+        assert isinstance(a, ContextAwareSelection)
+
+    def test_unknown_selector(self):
+        with pytest.raises(KeyError):
+            make_selector("UNKNOWN")
+
+    def test_names_match_paper_labels(self):
+        assert make_selector("P+t").name == "P+t"
+        assert make_selector("L2QBAL").name == "L2QBAL"
+        assert make_selector("RND").name == "RND"
+
+    def test_invalid_objectives(self):
+        with pytest.raises(ValueError):
+            UtilityOnlySelection("f-score")
+        with pytest.raises(ValueError):
+            DomainQuerySelection("balanced")
+        with pytest.raises(ValueError):
+            TemplateSelection("other")
+        with pytest.raises(ValueError):
+            ContextAwareSelection("other")
+
+
+class TestFirstUnfired:
+    def test_skips_fired(self, session):
+        session.record_query(("alpha",))
+        assert first_unfired([("alpha",), ("beta",)], session) == ("beta",)
+
+    def test_returns_none_when_exhausted(self, session):
+        session.record_query(("alpha",))
+        assert first_unfired([("alpha",)], session) is None
+
+
+class TestSelectorsReturnValidQueries:
+    @pytest.mark.parametrize("name", ["RND", "P", "R", "P+t", "R+t",
+                                      "L2QP", "L2QR", "L2QBAL"])
+    def test_returns_unfired_candidate(self, session, name):
+        selector = make_selector(name, session.config)
+        selector.prepare(session)
+        query = selector.select(session)
+        assert query is not None
+        assert isinstance(query, tuple)
+        assert 1 <= len(query) <= session.config.max_query_length
+        assert not session.is_fired(query)
+
+    def test_domain_query_selector_uses_domain_ranking(self, session):
+        selector = make_selector("P+q", session.config)
+        query = selector.select(session)
+        assert query in session.domain_model.query_precision
+
+    def test_domain_query_selector_without_domain_returns_none(self, session):
+        session.domain_model = None
+        selector = make_selector("P+q", session.config)
+        assert selector.select(session) is None
+
+    def test_selection_avoids_seed_words(self, session):
+        for name in ("P+t", "L2QBAL"):
+            selector = make_selector(name, session.config)
+            selector.prepare(session)
+            query = selector.select(session)
+            assert not (set(query) & set(session.entity.seed_query))
+
+    def test_random_selection_deterministic_given_rng(self, researcher_corpus,
+                                                      researcher_prepared):
+        def fresh_session():
+            split = researcher_prepared.split
+            entity_id = split.test_entities[0]
+            engine = researcher_prepared.engine
+            s = HarvestSession(
+                corpus=researcher_corpus, engine=engine,
+                entity=researcher_corpus.get_entity(entity_id), aspect="RESEARCH",
+                relevance=researcher_prepared.relevance_by_aspect["RESEARCH"],
+                config=L2QConfig(), rng=SeededRandom(3))
+            s.add_pages(engine.fetch_pages(engine.seed_results(entity_id)))
+            return s
+        q1 = RandomSelection().select(fresh_session())
+        q2 = RandomSelection().select(fresh_session())
+        assert q1 == q2
+
+    def test_successive_selections_differ(self, session):
+        selector = make_selector("L2QBAL", session.config)
+        selector.prepare(session)
+        first = selector.select(session)
+        session.record_query(first)
+        second = selector.select(session)
+        assert second != first
+
+
+class TestContextAwareState:
+    def test_prepare_resets_tracker(self, session):
+        selector = ContextAwareSelection("recall")
+        selector.prepare(session)
+        assert selector._tracker is not None
+        assert len(selector._tracker) == 0
+
+    def test_select_without_prepare_still_works(self, session):
+        selector = ContextAwareSelection("precision")
+        assert selector.select(session) is not None
+
+    def test_tracker_updated_after_selection(self, session):
+        selector = ContextAwareSelection("recall")
+        selector.prepare(session)
+        selector.select(session)
+        assert len(selector._tracker) == 1
+
+
+class TestQuerySelectorInterface:
+    def test_base_class_is_abstract(self):
+        with pytest.raises(TypeError):
+            QuerySelector()

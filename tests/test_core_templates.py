@@ -1,0 +1,116 @@
+"""Tests for templates (Definition 1 of the paper)."""
+
+from repro.core.templates import (
+    TemplateIndex,
+    abstract_query,
+    format_template,
+    is_type_unit,
+    template_abstraction_level,
+    template_abstracts,
+    type_unit,
+    unit_type_name,
+)
+from repro.corpus.knowledge_base import build_type_system
+
+
+def _system():
+    return build_type_system({
+        "topic": ["hpc", "data mining", "ai"],
+        "journal": ["ijhpca", "tkde", "jmlr"],
+    })
+
+
+class TestUnits:
+    def test_type_unit_round_trip(self):
+        unit = type_unit("topic")
+        assert is_type_unit(unit)
+        assert unit_type_name(unit) == "topic"
+
+    def test_literal_unit(self):
+        assert not is_type_unit("research")
+        assert unit_type_name("research") is None
+
+    def test_format_template(self):
+        assert format_template(("<topic>", "research")) == "<topic> research"
+
+
+class TestAbstraction:
+    def test_paper_example_topic_journal(self):
+        # "hpc ijhpca" should be abstractable as "<topic> <journal>" (Fig. 3).
+        templates = abstract_query(("hpc", "ijhpca"), _system())
+        assert ("<topic>", "<journal>") in templates
+        assert ("<topic>", "ijhpca") in templates
+        assert ("hpc", "<journal>") in templates
+
+    def test_identity_template_excluded(self):
+        templates = abstract_query(("hpc", "research"), _system())
+        assert ("hpc", "research") not in templates
+        assert ("<topic>", "research") in templates
+
+    def test_untyped_query_has_no_templates(self):
+        assert abstract_query(("random", "words"), _system()) == []
+
+    def test_max_templates_cap_prefers_most_abstract(self):
+        templates = abstract_query(("hpc", "ijhpca", "ai"), _system(), max_templates=2)
+        assert len(templates) == 2
+        assert templates[0] == ("<journal>", "<topic>") or \
+            template_abstraction_level(templates[0]) == 3
+
+    def test_abstraction_level(self):
+        assert template_abstraction_level(("<topic>", "research")) == 1
+        assert template_abstraction_level(("hpc", "research")) == 0
+
+
+class TestTemplateMatching:
+    def test_template_abstracts_matching_query(self):
+        system = _system()
+        assert template_abstracts(("<topic>", "<journal>"), ("ai", "jmlr"), system)
+        assert template_abstracts(("<topic>", "research"), ("hpc", "research"), system)
+
+    def test_template_rejects_wrong_type(self):
+        system = _system()
+        assert not template_abstracts(("<topic>", "<journal>"), ("jmlr", "ai"), system)
+
+    def test_template_rejects_wrong_literal(self):
+        system = _system()
+        assert not template_abstracts(("<topic>", "research"), ("hpc", "papers"), system)
+
+    def test_template_rejects_length_mismatch(self):
+        system = _system()
+        assert not template_abstracts(("<topic>",), ("hpc", "research"), system)
+
+    def test_cross_entity_generalisation(self):
+        # The key property of Sect. IV-A: queries of different entities share
+        # templates even though the concrete words differ (Fig. 3).
+        system = _system()
+        snir = ("hpc", "ijhpca")
+        yu = ("data_mining", "tkde")
+        ng = ("ai", "jmlr")
+        shared = set(abstract_query(snir, system)) & set(abstract_query(yu, system)) \
+            & set(abstract_query(ng, system))
+        assert ("<topic>", "<journal>") in shared
+
+
+class TestTemplateIndex:
+    def test_add_query_caches(self):
+        index = TemplateIndex(_system())
+        first = index.add_query(("hpc", "research"))
+        second = index.add_query(("hpc", "research"))
+        assert first == second
+        assert index.templates_of(("hpc", "research")) == first
+
+    def test_queries_of_template(self):
+        index = TemplateIndex(_system())
+        index.add_queries([("hpc", "research"), ("ai", "research")])
+        queries = index.queries_of(("<topic>", "research"))
+        assert queries == frozenset({("hpc", "research"), ("ai", "research")})
+
+    def test_unknown_query_empty(self):
+        index = TemplateIndex(_system())
+        assert index.templates_of(("zzz",)) == ()
+        assert index.queries_of(("<topic>",)) == frozenset()
+
+    def test_len_counts_templates(self):
+        index = TemplateIndex(_system())
+        index.add_query(("hpc", "ijhpca"))
+        assert len(index) >= 3

@@ -1,0 +1,78 @@
+"""Tests for the document data model (paragraphs, pages, entities)."""
+
+from conftest import make_page, make_paragraph
+
+from repro.corpus.document import Entity
+
+
+class TestParagraph:
+    def test_text_replaces_underscores(self):
+        para = make_paragraph("p#0", ["data_mining", "papers"], "RESEARCH")
+        assert para.text == "data mining papers"
+
+    def test_len(self):
+        assert len(make_paragraph("p#0", ["a", "b", "c"])) == 3
+
+    def test_default_aspect_none(self):
+        assert make_paragraph("p#0", ["a"]).aspect is None
+
+
+class TestPage:
+    def test_tokens_concatenate_paragraphs(self):
+        page = make_page("p1", "e1", [(["a", "b"], "X"), (["c"], None)])
+        assert page.tokens == ("a", "b", "c")
+
+    def test_token_set(self):
+        page = make_page("p1", "e1", [(["a", "b", "a"], None)])
+        assert page.token_set == frozenset({"a", "b"})
+
+    def test_aspects_excludes_none(self):
+        page = make_page("p1", "e1", [(["a"], "X"), (["b"], None), (["c"], "Y")])
+        assert page.aspects() == frozenset({"X", "Y"})
+
+    def test_has_aspect(self):
+        page = make_page("p1", "e1", [(["a"], "X")])
+        assert page.has_aspect("X")
+        assert not page.has_aspect("Y")
+
+    def test_contains_all(self):
+        page = make_page("p1", "e1", [(["a", "b"], None), (["c"], None)])
+        assert page.contains_all(["a", "c"])
+        assert not page.contains_all(["a", "z"])
+
+    def test_contains_all_empty_query(self):
+        page = make_page("p1", "e1", [(["a"], None)])
+        assert page.contains_all([])
+
+    def test_len_counts_all_tokens(self):
+        page = make_page("p1", "e1", [(["a", "b"], None), (["c"], None)])
+        assert len(page) == 3
+
+    def test_text_joins_paragraphs(self):
+        page = make_page("p1", "e1", [(["a_b"], None), (["c"], None)])
+        assert page.text == "a b\nc"
+
+
+class TestEntity:
+    def _entity(self):
+        return Entity(
+            entity_id="e1",
+            domain="researcher",
+            name_tokens=("marc", "snir"),
+            seed_query=("marc", "snir", "uiuc"),
+            attributes={"topic": ("hpc", "parallel"), "institute": ("uiuc",)},
+        )
+
+    def test_name(self):
+        assert self._entity().name == "marc snir"
+
+    def test_attribute_values(self):
+        entity = self._entity()
+        assert entity.attribute_values("topic") == ("hpc", "parallel")
+        assert entity.attribute_values("missing") == ()
+
+    def test_all_attribute_words(self):
+        assert self._entity().all_attribute_words() == frozenset({"hpc", "parallel", "uiuc"})
+
+    def test_hashable(self):
+        assert len({self._entity(), self._entity()}) == 1

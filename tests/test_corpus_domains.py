@@ -1,0 +1,102 @@
+"""Tests for the domain specifications (researcher and car)."""
+
+import pytest
+
+from repro.corpus.domains import available_domains, car_domain, get_domain, researcher_domain
+
+PAPER_RESEARCHER_ASPECTS = {
+    "BIOGRAPHY", "PRESENTATION", "AWARD", "RESEARCH", "EDUCATION", "EMPLOYMENT", "CONTACT",
+}
+PAPER_CAR_ASPECTS = {
+    "VERDICT", "INTERIOR", "EXTERIOR", "PRICE", "RELIABILITY", "SAFETY", "DRIVING",
+}
+
+
+class TestDomainRegistry:
+    def test_available_domains(self):
+        assert available_domains() == ["car", "researcher"]
+
+    def test_get_domain(self):
+        assert get_domain("researcher").name == "researcher"
+        assert get_domain("car").name == "car"
+
+    def test_unknown_domain_raises(self):
+        with pytest.raises(KeyError):
+            get_domain("movies")
+
+
+class TestResearcherDomain:
+    def setup_method(self):
+        self.spec = researcher_domain()
+
+    def test_has_the_papers_seven_aspects(self):
+        assert set(self.spec.aspect_names()) == PAPER_RESEARCHER_ASPECTS
+
+    def test_research_is_the_most_frequent_aspect(self):
+        weights = {a.name: a.weight for a in self.spec.aspects}
+        assert weights["RESEARCH"] == max(weights.values())
+
+    def test_every_aspect_has_templates_and_manual_queries(self):
+        for aspect in self.spec.aspects:
+            assert len(aspect.sentence_templates) >= 3
+            assert 1 <= len(aspect.manual_queries) <= 5
+            assert aspect.signature_words
+
+    def test_manual_queries_are_tuples_of_words(self):
+        for query in self.spec.manual_queries("AWARD"):
+            assert isinstance(query, tuple)
+            assert all(isinstance(word, str) for word in query)
+
+    def test_unknown_aspect_raises(self):
+        with pytest.raises(KeyError):
+            self.spec.aspect("HOBBY")
+
+    def test_type_system_maps_topic_words(self):
+        system = self.spec.build_type_system()
+        assert "topic" in system.types_of("data_mining")
+        assert "journal" in system.types_of("tkde")
+        assert "institute" in system.types_of("uiuc")
+
+    def test_expanded_pools_include_synthetic_values(self):
+        pools = self.spec.expanded_pools()
+        assert any(word.startswith("topic_") for word in pools["topic"])
+        assert len(pools["topic"]) > len(self.spec.type_pool("topic").words)
+
+    def test_template_slots_reference_known_types_or_regex(self):
+        known = {pool.name for pool in self.spec.type_pools} | {
+            "email", "url", "phonenum", "year"}
+        for aspect in self.spec.aspects:
+            for template in aspect.sentence_templates:
+                for token in template.split():
+                    if token.startswith("{") and token.endswith("}"):
+                        slot = token[1:-1].lstrip("~")
+                        assert slot in known, f"unknown slot {slot} in {template!r}"
+
+    def test_seed_attribute_types_exist(self):
+        for type_name in self.spec.seed_attribute_types:
+            assert self.spec.type_pool(type_name)
+
+
+class TestCarDomain:
+    def setup_method(self):
+        self.spec = car_domain()
+
+    def test_has_the_papers_seven_aspects(self):
+        assert set(self.spec.aspect_names()) == PAPER_CAR_ASPECTS
+
+    def test_driving_is_the_most_frequent_aspect(self):
+        weights = {a.name: a.weight for a in self.spec.aspects}
+        assert weights["DRIVING"] == max(weights.values())
+
+    def test_safety_and_reliability_are_rare(self):
+        weights = {a.name: a.weight for a in self.spec.aspects}
+        assert weights["SAFETY"] == min(weights.values())
+
+    def test_type_system_has_car_types(self):
+        system = self.spec.build_type_system()
+        assert "engine" in system.types_of("v6_engine")
+        assert "rating_site" in system.types_of("edmunds")
+
+    def test_every_aspect_has_manual_queries(self):
+        for aspect in self.spec.aspects:
+            assert aspect.manual_queries

@@ -1,0 +1,126 @@
+"""Tests for the synthetic corpus generator."""
+
+import pytest
+
+from repro.corpus.synthetic import CorpusConfig, CorpusGenerator, build_corpus
+
+
+class TestCorpusConfigValidation:
+    def test_defaults_are_valid(self):
+        CorpusConfig().validate()
+
+    @pytest.mark.parametrize("field,value", [
+        ("num_entities", 0),
+        ("pages_per_entity", 0),
+        ("paragraphs_per_page", (0, 3)),
+        ("paragraphs_per_page", (4, 2)),
+        ("sentences_per_paragraph", (2, 1)),
+        ("aspects_per_page", (0, 1)),
+        ("background_probability", 1.0),
+        ("background_probability", -0.1),
+        ("min_pages_per_aspect", -1),
+        ("hub_page_fraction", 1.0),
+        ("aspect_weight_damping", 0.0),
+        ("background_signature_words_mean", -1.0),
+    ])
+    def test_invalid_values_raise(self, field, value):
+        config = CorpusConfig(**{field: value})
+        with pytest.raises(ValueError):
+            config.validate()
+
+
+class TestGeneration:
+    def test_entity_and_page_counts(self, researcher_corpus):
+        assert researcher_corpus.num_entities() == 16
+        assert researcher_corpus.num_pages() == 16 * 10
+
+    def test_every_page_belongs_to_its_entity(self, researcher_corpus):
+        for page in researcher_corpus.iter_pages():
+            assert page.page_id.startswith(page.entity_id)
+            assert page.entity_id in researcher_corpus.entities
+
+    def test_deterministic_given_seed(self):
+        a = build_corpus("researcher", num_entities=4, pages_per_entity=4, seed=5)
+        b = build_corpus("researcher", num_entities=4, pages_per_entity=4, seed=5)
+        assert sorted(a.pages) == sorted(b.pages)
+        for page_id in a.pages:
+            assert a.pages[page_id].tokens == b.pages[page_id].tokens
+
+    def test_different_seed_changes_content(self):
+        a = build_corpus("researcher", num_entities=4, pages_per_entity=4, seed=5)
+        b = build_corpus("researcher", num_entities=4, pages_per_entity=4, seed=6)
+        different = any(a.pages[p].tokens != b.pages[p].tokens
+                        for p in a.pages if p in b.pages)
+        assert different
+
+    def test_entity_names_unique(self, researcher_corpus):
+        names = [e.name for e in researcher_corpus.entities.values()]
+        assert len(names) == len(set(names))
+
+    def test_seed_query_includes_name(self, researcher_corpus):
+        for entity in researcher_corpus.entities.values():
+            for token in entity.name_tokens:
+                assert token in entity.seed_query
+
+    def test_researcher_seed_query_includes_institute(self, researcher_corpus):
+        for entity in researcher_corpus.entities.values():
+            institute = entity.attribute_values("institute")
+            assert institute and institute[0] in entity.seed_query
+
+    def test_entities_have_per_type_attributes(self, researcher_corpus):
+        spec = researcher_corpus.domain_spec
+        for entity in researcher_corpus.entities.values():
+            for pool in spec.type_pools:
+                if pool.per_entity > 0:
+                    assert len(entity.attribute_values(pool.name)) == pool.per_entity
+
+    def test_entity_variation_across_peers(self, researcher_corpus):
+        # Peer entities rarely share the same topic set (the paper's Fig. 3).
+        topic_sets = [frozenset(e.attribute_values("topic"))
+                      for e in researcher_corpus.entities.values()]
+        assert len(set(topic_sets)) > len(topic_sets) // 2
+
+
+class TestAspectStructure:
+    def test_every_aspect_covered_per_entity(self, researcher_corpus):
+        minimum = 3  # min_pages_per_aspect default
+        for entity_id in researcher_corpus.entity_ids():
+            for aspect in researcher_corpus.aspects:
+                relevant = researcher_corpus.relevant_pages(entity_id, aspect)
+                assert len(relevant) >= min(minimum, len(researcher_corpus.pages_of(entity_id)))
+
+    def test_relevant_pages_are_a_minority_for_rare_aspects(self, researcher_corpus):
+        fractions = []
+        for entity_id in researcher_corpus.entity_ids():
+            pages = researcher_corpus.pages_of(entity_id)
+            relevant = researcher_corpus.relevant_pages(entity_id, "CONTACT")
+            fractions.append(len(relevant) / len(pages))
+        assert sum(fractions) / len(fractions) < 0.6
+
+    def test_aspect_paragraphs_contain_entity_attributes(self, researcher_corpus):
+        # RESEARCH paragraphs should mention the entity's own topics often.
+        hits = 0
+        total = 0
+        for entity_id in researcher_corpus.entity_ids():
+            entity = researcher_corpus.get_entity(entity_id)
+            topics = set(entity.attribute_values("topic"))
+            for page in researcher_corpus.pages_of(entity_id):
+                for para in page.paragraphs:
+                    if para.aspect == "RESEARCH":
+                        total += 1
+                        if topics & set(para.tokens):
+                            hits += 1
+        assert total > 0
+        assert hits / total > 0.5
+
+    def test_hub_pages_have_no_aspect(self):
+        corpus = build_corpus("researcher", num_entities=6, pages_per_entity=20,
+                              seed=2, hub_page_fraction=0.5, min_pages_per_aspect=0)
+        hub_pages = [p for p in corpus.iter_pages() if not p.aspects()]
+        assert hub_pages
+
+    def test_car_domain_generation(self, car_corpus):
+        assert car_corpus.domain == "car"
+        assert set(car_corpus.aspects) == {
+            "VERDICT", "INTERIOR", "EXTERIOR", "PRICE", "RELIABILITY", "SAFETY", "DRIVING"}
+        assert car_corpus.num_pages() == 12 * 10

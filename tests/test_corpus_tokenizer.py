@@ -1,0 +1,68 @@
+"""Tests for the tokenizer (phrase merging, stopwords)."""
+
+from repro.corpus.knowledge_base import build_type_system
+from repro.corpus.tokenizer import DEFAULT_STOPWORDS, Tokenizer
+
+
+class TestBasicTokenisation:
+    def test_lowercases_and_splits(self):
+        tokens = Tokenizer().tokenize("Parallel Computing Systems")
+        assert tokens == ["parallel", "computing", "systems"]
+
+    def test_strips_punctuation(self):
+        tokens = Tokenizer().tokenize("research, on (parallel) systems!")
+        assert tokens == ["research", "on", "parallel", "systems"]
+
+    def test_keeps_emails_and_urls_intact(self):
+        tokens = Tokenizer().tokenize("mail me at a.b@c.edu or www.c.edu/home")
+        assert "a.b@c.edu" in tokens
+        assert "www.c.edu/home" in tokens
+
+
+class TestPhraseMerging:
+    def setup_method(self):
+        self.system = build_type_system({"topic": ["data mining", "machine learning"]})
+        self.tokenizer = Tokenizer(self.system)
+
+    def test_merges_known_phrase(self):
+        tokens = self.tokenizer.tokenize("his data mining papers")
+        assert tokens == ["his", "data_mining", "papers"]
+
+    def test_longest_match_priority(self):
+        system = build_type_system({"topic": ["data mining", "data mining systems"]})
+        tokens = Tokenizer(system).tokenize("data mining systems rock")
+        assert tokens[0] == "data_mining_systems"
+
+    def test_unknown_phrase_not_merged(self):
+        tokens = self.tokenizer.tokenize("his text mining papers")
+        assert "text_mining" not in tokens
+
+    def test_round_trip_from_generated_text(self):
+        # The synthetic generator renders "data_mining" as "data mining";
+        # the tokenizer must recover the canonical token.
+        rendered = "data_mining".replace("_", " ")
+        assert self.tokenizer.tokenize(rendered) == ["data_mining"]
+
+
+class TestStopwords:
+    def test_default_stopword_detection(self):
+        tokenizer = Tokenizer()
+        assert tokenizer.is_stopword("the")
+        assert not tokenizer.is_stopword("parallel")
+
+    def test_content_tokens_removes_stopwords(self):
+        tokenizer = Tokenizer()
+        assert tokenizer.content_tokens("the parallel system is fast") == [
+            "parallel", "system", "fast"]
+
+    def test_content_tokens_accepts_token_list(self):
+        tokenizer = Tokenizer()
+        assert tokenizer.content_tokens(["the", "hpc"]) == ["hpc"]
+
+    def test_custom_stopwords(self):
+        tokenizer = Tokenizer(stopwords={"foo"})
+        assert tokenizer.is_stopword("foo")
+        assert not tokenizer.is_stopword("the")
+
+    def test_default_stopword_list_is_reasonable(self):
+        assert {"the", "and", "of"} <= DEFAULT_STOPWORDS

@@ -1,0 +1,53 @@
+"""Tests for the vocabulary."""
+
+from repro.corpus.vocabulary import Vocabulary
+
+
+class TestVocabularyConstruction:
+    def test_add_is_idempotent(self):
+        vocab = Vocabulary()
+        first = vocab.add("word")
+        second = vocab.add("word")
+        assert first == second
+        assert len(vocab) == 1
+
+    def test_from_documents(self):
+        vocab = Vocabulary.from_documents([["a", "b"], ["b", "c"]])
+        assert len(vocab) == 3
+        assert vocab.num_documents == 2
+        assert vocab.num_tokens == 4
+
+    def test_round_trip_ids(self):
+        vocab = Vocabulary.from_documents([["alpha", "beta"]])
+        word_id = vocab.id_of("alpha")
+        assert vocab.word_of(word_id) == "alpha"
+
+    def test_unknown_word_id_is_none(self):
+        assert Vocabulary().id_of("missing") is None
+
+
+class TestVocabularyStatistics:
+    def setup_method(self):
+        self.vocab = Vocabulary.from_documents([["a", "a", "b"], ["a", "c"]])
+
+    def test_term_frequency(self):
+        assert self.vocab.term_frequency("a") == 3
+        assert self.vocab.term_frequency("missing") == 0
+
+    def test_document_frequency(self):
+        assert self.vocab.document_frequency("a") == 2
+        assert self.vocab.document_frequency("b") == 1
+
+    def test_collection_probability_sums_to_one(self):
+        total = sum(self.vocab.collection_probability(w) for w in self.vocab)
+        assert abs(total - 1.0) < 1e-12
+
+    def test_collection_probability_empty_vocab(self):
+        assert Vocabulary().collection_probability("a") == 0.0
+
+    def test_most_common(self):
+        assert self.vocab.most_common(1) == [("a", 3)]
+
+    def test_contains(self):
+        assert "a" in self.vocab
+        assert "zzz" not in self.vocab

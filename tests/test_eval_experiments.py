@@ -1,0 +1,98 @@
+"""Smoke-scale tests of the per-figure experiment entry points."""
+
+import pytest
+
+from repro.eval.experiments import (
+    SMOKE_SCALE,
+    ExperimentScale,
+    get_scale,
+    headline_summary,
+    run_fig09,
+    run_fig10,
+    run_fig11,
+    run_fig13,
+    run_fig14,
+)
+
+#: An even smaller scale than SMOKE for unit tests of the experiment drivers.
+TINY_SCALE = ExperimentScale(
+    name="tiny",
+    num_entities={"researcher": 12, "car": 12},
+    pages_per_entity=8,
+    num_splits=1,
+    max_test_entities=1,
+    max_aspects=1,
+    num_queries_list=(2,),
+)
+
+
+class TestScales:
+    def test_get_scale(self):
+        assert get_scale("smoke") is SMOKE_SCALE
+        with pytest.raises(KeyError):
+            get_scale("galactic")
+
+    def test_scale_builds_corpus(self):
+        corpus = TINY_SCALE.corpus_for("researcher")
+        assert corpus.num_entities() == 12
+        assert TINY_SCALE.aspects_for(corpus) == corpus.aspects[:1]
+
+
+class TestFig09:
+    def test_rows_for_both_domains(self):
+        result = run_fig09(TINY_SCALE)
+        assert set(result.rows_by_domain) == {"researcher", "car"}
+        for rows in result.rows_by_domain.values():
+            assert len(rows) == 7
+            for row in rows:
+                assert 0.0 <= row.accuracy <= 1.0
+                assert row.paragraph_frequency > 0
+
+    def test_accuracy_lookup(self):
+        result = run_fig09(TINY_SCALE, domains=("researcher",))
+        assert result.accuracy("researcher", "RESEARCH") == \
+            result.rows_by_domain["researcher"][
+                [r.aspect for r in result.rows_by_domain["researcher"]].index("RESEARCH")
+            ].accuracy
+        assert result.mean_accuracy("researcher") > 0.5
+        with pytest.raises(KeyError):
+            result.accuracy("researcher", "HOBBY")
+
+
+class TestFig10:
+    def test_structure(self):
+        result = run_fig10(TINY_SCALE, domains=("researcher",), num_queries=2)
+        assert set(result.precision_by_domain["researcher"]) == {
+            "RND", "P", "P+q", "P+t", "L2QP"}
+        assert set(result.recall_by_domain["researcher"]) == {
+            "RND", "R", "R+q", "R+t", "L2QR"}
+        for value in result.precision_by_domain["researcher"].values():
+            assert 0.0 <= value <= 1.0
+
+
+class TestFig11:
+    def test_fraction_sweep(self):
+        result = run_fig11(TINY_SCALE, domains=("researcher",),
+                           fractions=(0.0, 1.0), num_queries=2)
+        assert set(result.precision_by_domain["researcher"]) == {0.0, 1.0}
+        assert set(result.recall_by_domain["researcher"]) == {0.0, 1.0}
+        assert result.fractions == (0.0, 1.0)
+
+
+class TestFig13AndHeadline:
+    def test_comparison_and_summary(self):
+        result = run_fig13(TINY_SCALE, domains=("researcher",))
+        series = result.series_by_domain["researcher"]
+        assert set(series) == {"L2QBAL", "LM", "AQ", "HR", "MQ"}
+        summary = headline_summary(result)
+        assert summary.best_algorithmic_baseline in {"LM", "AQ", "HR"}
+        assert 0.0 <= summary.l2qbal_f_score <= 1.0
+        assert summary.manual_f_score >= 0.0
+
+
+class TestFig14:
+    def test_efficiency_report(self):
+        result = run_fig14(TINY_SCALE, domains=("researcher",), methods=("L2QBAL",))
+        report = result.reports_by_domain["researcher"]
+        assert report.selection_seconds["L2QBAL"] >= 0.0
+        assert report.fetch_seconds > 0.0

@@ -1,0 +1,91 @@
+"""Tests for the plain-text report formatting."""
+
+from repro.aspects.classifier import AspectAccuracy
+from repro.eval.experiments import (
+    ComparisonResult,
+    Fig9Result,
+    Fig10Result,
+    Fig11Result,
+    Fig14Result,
+    HeadlineSummary,
+)
+from repro.eval.metrics import MetricSeries
+from repro.eval.reporting import (
+    format_fig09,
+    format_fig10,
+    format_fig11,
+    format_fig12,
+    format_fig13,
+    format_fig14,
+    format_headline,
+)
+from repro.eval.runner import EfficiencyReport
+
+
+def _series(method, value):
+    return MetricSeries(method=method,
+                        precision={2: value, 3: value},
+                        recall={2: value, 3: value},
+                        f_score={2: value, 3: value})
+
+
+class TestFormatting:
+    def test_fig09_table(self):
+        result = Fig9Result(rows_by_domain={
+            "researcher": [AspectAccuracy("RESEARCH", 100, 0.95, 80, 20)],
+        })
+        text = format_fig09(result)
+        assert "RESEARCH" in text
+        assert "0.95" in text
+        assert "[researcher]" in text
+
+    def test_fig10_table(self):
+        result = Fig10Result(
+            precision_by_domain={"car": {"RND": 0.4, "L2QP": 0.8}},
+            recall_by_domain={"car": {"RND": 0.5, "L2QR": 0.9}},
+            num_queries=3,
+        )
+        text = format_fig10(result)
+        assert "L2QP" in text and "L2QR" in text
+        assert "0.800" in text
+
+    def test_fig11_table(self):
+        result = Fig11Result(
+            precision_by_domain={"researcher": {0.0: 0.3, 1.0: 0.7}},
+            recall_by_domain={"researcher": {0.0: 0.4, 1.0: 0.8}},
+            fractions=(0.0, 1.0),
+        )
+        text = format_fig11(result)
+        assert "0%" in text and "100%" in text
+
+    def test_fig12_and_fig13_tables(self):
+        result = ComparisonResult(
+            series_by_domain={"researcher": {"L2QP": _series("L2QP", 0.7),
+                                             "MQ": _series("MQ", 0.6)}},
+            num_queries_list=(2, 3),
+        )
+        fig12 = format_fig12(result)
+        assert "2 queries" in fig12 and "3 queries" in fig12
+        fig13 = format_fig13(result)
+        assert "F-score" in fig13 or "F-scores" in fig13
+
+    def test_fig14_table(self):
+        result = Fig14Result(reports_by_domain={
+            "researcher": EfficiencyReport(
+                selection_seconds={"L2QP": 0.5, "L2QR": 0.4},
+                fetch_seconds=12.0,
+                queries_measured={"L2QP": 4, "L2QR": 4}),
+        })
+        text = format_fig14(result)
+        assert "researcher" in text
+        assert "~12.0" in text
+
+    def test_headline(self):
+        summary = HeadlineSummary(
+            l2qbal_f_score=0.58, best_algorithmic_baseline="HR",
+            best_algorithmic_f_score=0.50, manual_f_score=0.53,
+            improvement_over_algorithmic=0.16, improvement_over_manual=0.10)
+        text = format_headline(summary)
+        assert "16.0%" in text
+        assert "10.0%" in text
+        assert "HR" in text

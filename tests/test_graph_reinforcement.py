@@ -1,0 +1,91 @@
+"""Tests for the reinforcement-graph data structure."""
+
+import pytest
+
+from repro.graph.reinforcement import ReinforcementGraphBuilder, VertexIndex
+
+
+class TestVertexIndex:
+    def test_add_idempotent(self):
+        index = VertexIndex()
+        assert index.add("a") == index.add("a")
+        assert len(index) == 1
+
+    def test_round_trip(self):
+        index = VertexIndex(["a", "b"])
+        assert index.key_of(index.index_of("b")) == "b"
+
+    def test_unknown_key(self):
+        assert VertexIndex().index_of("missing") is None
+
+    def test_keys_preserve_insertion_order(self):
+        index = VertexIndex(["b", "a", "c"])
+        assert index.keys() == ["b", "a", "c"]
+
+    def test_contains(self):
+        index = VertexIndex(["x"])
+        assert "x" in index
+        assert "y" not in index
+
+
+class TestGraphBuilder:
+    def _small_graph(self):
+        builder = ReinforcementGraphBuilder()
+        builder.connect_page_query("p1", ("q1",), 1.0)
+        builder.connect_page_query("p1", ("q2",), 2.0)
+        builder.connect_page_query("p2", ("q1",), 1.0)
+        builder.connect_query_template(("q1",), ("<t>",), 1.0)
+        return builder.build()
+
+    def test_vertex_counts(self):
+        graph = self._small_graph()
+        assert graph.num_pages == 2
+        assert graph.num_queries == 2
+        assert graph.num_templates == 1
+        assert graph.num_edges == 4
+
+    def test_matrix_shapes(self):
+        graph = self._small_graph()
+        assert graph.page_query.shape == (2, 2)
+        assert graph.query_template.shape == (2, 1)
+
+    def test_neighbor_lookups(self):
+        graph = self._small_graph()
+        assert dict(graph.page_query_neighbors("p1")) == {("q1",): 1.0, ("q2",): 2.0}
+        assert dict(graph.query_page_neighbors(("q1",))) == {"p1": 1.0, "p2": 1.0}
+        assert dict(graph.query_template_neighbors(("q1",))) == {("<t>",): 1.0}
+        assert dict(graph.template_query_neighbors(("<t>",))) == {("q1",): 1.0}
+
+    def test_neighbors_of_unknown_vertex_empty(self):
+        graph = self._small_graph()
+        assert graph.page_query_neighbors("ghost") == []
+        assert graph.query_page_neighbors(("ghost",)) == []
+
+    def test_zero_weight_edges_ignored(self):
+        builder = ReinforcementGraphBuilder()
+        builder.add_page("p1")
+        builder.add_query(("q1",))
+        builder.connect_page_query("p1", ("q1",), 0.0)
+        graph = builder.build()
+        assert graph.num_edges == 0
+
+    def test_repeated_edges_accumulate_weight(self):
+        builder = ReinforcementGraphBuilder()
+        builder.connect_page_query("p1", ("q1",), 1.0)
+        builder.connect_page_query("p1", ("q1",), 2.0)
+        graph = builder.build()
+        assert dict(graph.page_query_neighbors("p1"))[("q1",)] == 3.0
+
+    def test_isolated_vertices_allowed(self):
+        builder = ReinforcementGraphBuilder()
+        builder.add_page("lonely_page")
+        builder.add_query(("lonely_query",))
+        graph = builder.build()
+        assert graph.num_pages == 1
+        assert graph.num_queries == 1
+        assert graph.num_edges == 0
+
+    def test_empty_graph(self):
+        graph = ReinforcementGraphBuilder().build()
+        assert graph.num_pages == 0
+        assert graph.num_edges == 0

@@ -1,0 +1,166 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import string
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.knowledge_base import TypeSystem, build_type_system
+from repro.corpus.vocabulary import Vocabulary
+from repro.core.queries import QueryEnumerator
+from repro.core.templates import abstract_query, template_abstracts
+from repro.eval.metrics import HarvestMetrics, compute_metrics
+from repro.eval.splits import split_entities
+from repro.graph.random_walk import UtilitySolver
+from repro.graph.reinforcement import ReinforcementGraphBuilder
+from repro.search.index import InvertedIndex
+from repro.search.language_model import DirichletLanguageModel
+
+SETTINGS = settings(max_examples=40, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+words = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
+documents = st.lists(st.lists(words, min_size=0, max_size=12), min_size=0, max_size=8)
+page_ids = st.lists(st.text(alphabet=string.ascii_lowercase + string.digits,
+                            min_size=1, max_size=5), min_size=1, max_size=20, unique=True)
+
+
+class TestVocabularyProperties:
+    @SETTINGS
+    @given(documents)
+    def test_counts_are_consistent(self, docs):
+        vocab = Vocabulary.from_documents(docs)
+        total_tokens = sum(len(d) for d in docs)
+        assert vocab.num_tokens == total_tokens
+        assert sum(vocab.term_frequency(w) for w in vocab) == total_tokens
+        for word in vocab:
+            assert 1 <= vocab.document_frequency(word) <= max(len(docs), 1)
+
+    @SETTINGS
+    @given(documents)
+    def test_collection_probabilities_sum_to_one(self, docs):
+        vocab = Vocabulary.from_documents(docs)
+        if vocab.num_tokens == 0:
+            return
+        assert sum(vocab.collection_probability(w) for w in vocab) == pytest.approx(1.0)
+
+
+class TestMetricsProperties:
+    @SETTINGS
+    @given(st.lists(words, max_size=20), st.lists(words, max_size=20))
+    def test_metrics_bounded(self, gathered, relevant):
+        metrics = compute_metrics(gathered, relevant)
+        assert 0.0 <= metrics.precision <= 1.0
+        assert 0.0 <= metrics.recall <= 1.0
+        assert 0.0 <= metrics.f_score <= 1.0
+        assert metrics.f_score <= max(metrics.precision, metrics.recall) + 1e-12
+
+    @SETTINGS
+    @given(st.floats(0.0, 1.0), st.floats(0.0, 1.0),
+           st.floats(0.001, 1.0), st.floats(0.001, 1.0))
+    def test_normalisation_bounded_with_cap(self, p, r, ip, ir):
+        normalised = HarvestMetrics(p, r).normalized_by(HarvestMetrics(ip, ir))
+        assert 0.0 <= normalised.precision <= 1.0
+        assert 0.0 <= normalised.recall <= 1.0
+
+
+class TestSplitProperties:
+    @SETTINGS
+    @given(st.lists(st.integers(0, 10_000).map(lambda i: f"e{i}"),
+                    min_size=1, max_size=60, unique=True),
+           st.integers(0, 100))
+    def test_split_partitions_entities(self, entity_ids, seed):
+        split = split_entities(entity_ids, seed=seed)
+        parts = (set(split.domain_entities), set(split.validation_entities),
+                 set(split.test_entities))
+        assert parts[0] | parts[1] | parts[2] == set(entity_ids)
+        assert sum(len(p) for p in parts) == len(entity_ids)
+
+
+class TestQueryEnumerationProperties:
+    @SETTINGS
+    @given(st.lists(words, max_size=20), st.integers(1, 4))
+    def test_windows_respect_length_and_content(self, tokens, max_length):
+        enumerator = QueryEnumerator(max_length=max_length, min_word_length=1)
+        counts = enumerator.enumerate_from_tokens(tokens)
+        usable = [t for t in tokens if enumerator.is_usable_word(t)]
+        for query, count in counts.items():
+            assert 1 <= len(query) <= max_length
+            assert count >= 1
+            for word in query:
+                assert word in usable
+
+
+class TestTemplateProperties:
+    @SETTINGS
+    @given(st.lists(st.sampled_from(["hpc", "ai", "tkde", "jmlr", "paper", "about"]),
+                    min_size=1, max_size=3, unique=True))
+    def test_every_generated_template_abstracts_its_query(self, query_words):
+        system = build_type_system({"topic": ["hpc", "ai"], "journal": ["tkde", "jmlr"]})
+        query = tuple(query_words)
+        for template in abstract_query(query, system):
+            assert template_abstracts(template, query, system)
+            assert len(template) == len(query)
+
+
+class TestLanguageModelProperties:
+    @SETTINGS
+    @given(documents.filter(lambda docs: any(len(d) > 0 for d in docs)),
+           st.lists(words, min_size=1, max_size=3))
+    def test_ranking_is_sorted_and_matching_only(self, docs, query):
+        index = InvertedIndex.from_documents(
+            {f"d{i}": tokens for i, tokens in enumerate(docs) if tokens})
+        model = DirichletLanguageModel(index, mu=50.0)
+        ranked = model.rank(query)
+        scores = [s for _, s in ranked]
+        assert scores == sorted(scores, reverse=True)
+        matching = index.matching_documents(query)
+        assert {d for d, _ in ranked} == matching
+
+
+class TestSolverProperties:
+    @SETTINGS
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)),
+                    min_size=1, max_size=20),
+           st.floats(0.05, 0.9))
+    def test_utilities_bounded_by_regularization_maximum(self, edges, alpha):
+        builder = ReinforcementGraphBuilder()
+        for page_index, query_index in edges:
+            builder.connect_page_query(f"p{page_index}", (f"q{query_index}",))
+        graph = builder.build()
+        regularization = {f"p{i}": 1.0 for i in range(6)}
+        solver = UtilitySolver(graph, alpha=alpha, max_iterations=300)
+        result = solver.solve_precision(page_regularization=regularization)
+        assert result.page_values.max(initial=0.0) <= 1.0 + 1e-9
+        assert result.query_values.max(initial=0.0) <= 1.0 + 1e-9
+        assert result.page_values.min(initial=0.0) >= -1e-9
+        assert result.query_values.min(initial=0.0) >= -1e-9
+
+    @SETTINGS
+    @given(st.lists(st.tuples(st.integers(0, 4), st.integers(0, 4)),
+                    min_size=1, max_size=15))
+    def test_recall_mass_conserved_within_tolerance(self, edges):
+        # The total recall mass injected by the regularization cannot be
+        # amplified by the propagation (it is only redistributed / damped).
+        builder = ReinforcementGraphBuilder()
+        for page_index, query_index in edges:
+            builder.connect_page_query(f"p{page_index}", (f"q{query_index}",))
+        graph = builder.build()
+        pages = graph.pages.keys()
+        regularization = {p: 1.0 / len(pages) for p in pages}
+        solver = UtilitySolver(graph, alpha=0.15, max_iterations=300)
+        result = solver.solve_recall(page_regularization=regularization)
+        assert result.query_values.sum() <= 1.0 + 1e-6
+        assert result.page_values.sum() <= 1.0 + 1e-6
+
+
+class TestTypeSystemProperties:
+    @SETTINGS
+    @given(st.dictionaries(st.sampled_from(["topic", "journal", "award"]),
+                           st.lists(words, min_size=1, max_size=5), min_size=1))
+    def test_every_registered_word_is_typed(self, dictionary):
+        system = build_type_system(dictionary)
+        for type_name, members in dictionary.items():
+            for word in members:
+                assert type_name in system.types_of(TypeSystem.canonical(word))

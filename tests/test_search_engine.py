@@ -1,0 +1,96 @@
+"""Tests for the entity-scoped search engine."""
+
+import pytest
+
+from repro.search.engine import RANKER_BM25, SearchEngine
+
+
+@pytest.fixture()
+def engine(researcher_corpus):
+    return SearchEngine(researcher_corpus, top_k=5)
+
+
+class TestConfiguration:
+    def test_invalid_top_k(self, researcher_corpus):
+        with pytest.raises(ValueError):
+            SearchEngine(researcher_corpus, top_k=0)
+
+    def test_unknown_ranker(self, researcher_corpus):
+        with pytest.raises(ValueError):
+            SearchEngine(researcher_corpus, ranker="tfidf")
+
+    def test_bm25_ranker_supported(self, researcher_corpus):
+        engine = SearchEngine(researcher_corpus, ranker=RANKER_BM25)
+        entity_id = researcher_corpus.entity_ids()[0]
+        assert engine.seed_results(entity_id)
+
+
+class TestEntityScoping:
+    def test_results_only_from_target_entity(self, engine, researcher_corpus):
+        entity_id = researcher_corpus.entity_ids()[0]
+        results = engine.search(entity_id, ["research"])
+        for result in results:
+            assert researcher_corpus.get_page(result.page_id).entity_id == entity_id
+
+    def test_unknown_entity_raises(self, engine):
+        with pytest.raises(KeyError):
+            engine.search("ghost", ["research"])
+
+    def test_top_k_respected(self, engine, researcher_corpus):
+        entity_id = researcher_corpus.entity_ids()[0]
+        assert len(engine.search(entity_id, ["research"])) <= 5
+        assert len(engine.search(entity_id, ["research"], top_k=2)) <= 2
+
+
+class TestRetrieval:
+    def test_nonsense_query_returns_nothing(self, engine, researcher_corpus):
+        entity_id = researcher_corpus.entity_ids()[0]
+        assert engine.search(entity_id, ["qqqzzzxxx"]) == []
+
+    def test_results_sorted_by_score(self, engine, researcher_corpus):
+        entity_id = researcher_corpus.entity_ids()[0]
+        results = engine.search(entity_id, ["research"])
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_fetch_pages_materialises_results(self, engine, researcher_corpus):
+        entity_id = researcher_corpus.entity_ids()[0]
+        results = engine.search(entity_id, ["research"])
+        pages = engine.fetch_pages(results)
+        assert [p.page_id for p in pages] == [r.page_id for r in results]
+
+    def test_seed_results_nonempty_for_every_entity(self, engine, researcher_corpus):
+        for entity_id in researcher_corpus.entity_ids():
+            assert engine.seed_results(entity_id)
+
+    def test_retrievable_pages_matches_search(self, engine, researcher_corpus):
+        entity_id = researcher_corpus.entity_ids()[0]
+        via_search = [r.page_id for r in engine.search(entity_id, ["research"],
+                                                       record_fetch=False)]
+        assert engine.retrievable_pages(entity_id, ["research"]) == via_search
+
+
+class TestFetchAccounting:
+    def test_fetch_statistics_recorded(self, researcher_corpus):
+        engine = SearchEngine(researcher_corpus, top_k=3,
+                              simulated_fetch_seconds_per_page=2.0)
+        entity_id = researcher_corpus.entity_ids()[0]
+        results = engine.search(entity_id, ["research"])
+        stats = engine.fetch_statistics
+        assert stats.queries_fired == 1
+        assert stats.pages_fetched == len(results)
+        assert stats.simulated_fetch_seconds == pytest.approx(2.0 * len(results))
+        assert stats.queries_by_entity[entity_id] == 1
+
+    def test_retrievable_pages_not_recorded(self, researcher_corpus):
+        engine = SearchEngine(researcher_corpus)
+        entity_id = researcher_corpus.entity_ids()[0]
+        engine.retrievable_pages(entity_id, ["research"])
+        assert engine.fetch_statistics.queries_fired == 0
+
+    def test_reset_statistics(self, researcher_corpus):
+        engine = SearchEngine(researcher_corpus)
+        entity_id = researcher_corpus.entity_ids()[0]
+        engine.search(entity_id, ["research"])
+        engine.reset_statistics()
+        assert engine.fetch_statistics.queries_fired == 0

@@ -1,0 +1,79 @@
+"""Tests for the seeded randomness helpers."""
+
+import pytest
+
+from repro.utils.rng import SeededRandom, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+    def test_depends_on_labels(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_depends_on_base_seed(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_non_negative_63_bit(self):
+        for labels in [(), ("x",), ("x", "y", 3)]:
+            seed = derive_seed(7, *labels)
+            assert 0 <= seed < 2 ** 63
+
+
+class TestSeededRandom:
+    def test_same_seed_same_sequence(self):
+        a = SeededRandom(5)
+        b = SeededRandom(5)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_spawn_independent_and_deterministic(self):
+        parent = SeededRandom(5)
+        child1 = parent.spawn("x")
+        child2 = SeededRandom(5).spawn("x")
+        assert child1.seed == child2.seed
+        assert parent.spawn("y").seed != child1.seed
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            SeededRandom(1).choice([])
+
+    def test_sample_larger_than_population(self):
+        rng = SeededRandom(1)
+        result = rng.sample([1, 2, 3], 10)
+        assert sorted(result) == [1, 2, 3]
+
+    def test_sample_without_replacement(self):
+        rng = SeededRandom(1)
+        result = rng.sample(list(range(100)), 10)
+        assert len(result) == 10
+        assert len(set(result)) == 10
+
+    def test_shuffled_does_not_mutate_input(self):
+        original = [1, 2, 3, 4, 5]
+        copy = list(original)
+        SeededRandom(3).shuffled(original)
+        assert original == copy
+
+    def test_weighted_choice_respects_zero_weight(self):
+        rng = SeededRandom(2)
+        picks = {rng.weighted_choice(["a", "b"], [1.0, 0.0]) for _ in range(50)}
+        assert picks == {"a"}
+
+    def test_weighted_choice_length_mismatch(self):
+        with pytest.raises(ValueError):
+            SeededRandom(1).weighted_choice(["a"], [1.0, 2.0])
+
+    def test_poisson_like_bounds(self):
+        rng = SeededRandom(4)
+        for _ in range(100):
+            value = rng.poisson_like(1.5, 3)
+            assert 0 <= value <= 3
+
+    def test_poisson_like_zero_mean(self):
+        assert SeededRandom(4).poisson_like(0.0, 5) == 0
+
+    def test_randint_inclusive(self):
+        rng = SeededRandom(9)
+        values = {rng.randint(1, 3) for _ in range(200)}
+        assert values == {1, 2, 3}

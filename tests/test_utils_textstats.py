@@ -1,0 +1,63 @@
+"""Tests for the text-statistics helpers."""
+
+import pytest
+
+from repro.utils.textstats import (
+    average_length,
+    document_frequencies,
+    jaccard,
+    ngrams,
+    term_frequencies,
+    vocabulary_size,
+)
+
+
+class TestTermFrequencies:
+    def test_counts(self):
+        assert term_frequencies(["a", "b", "a"]) == {"a": 2, "b": 1}
+
+    def test_empty(self):
+        assert term_frequencies([]) == {}
+
+
+class TestDocumentFrequencies:
+    def test_counts_documents_not_occurrences(self):
+        docs = [["a", "a", "b"], ["a", "c"]]
+        assert document_frequencies(docs) == {"a": 2, "b": 1, "c": 1}
+
+
+class TestNgrams:
+    def test_bigrams(self):
+        assert ngrams(["a", "b", "c"], 2) == [("a", "b"), ("b", "c")]
+
+    def test_too_short_returns_empty(self):
+        assert ngrams(["a"], 2) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngrams(["a"], 0)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard(["a", "b"], ["b", "a"]) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard(["a"], ["b"]) == 0.0
+
+    def test_both_empty(self):
+        assert jaccard([], []) == 1.0
+
+    def test_partial_overlap(self):
+        assert jaccard(["a", "b"], ["b", "c"]) == pytest.approx(1 / 3)
+
+
+class TestAggregates:
+    def test_vocabulary_size(self):
+        assert vocabulary_size([["a", "b"], ["b", "c"]]) == 3
+
+    def test_average_length(self):
+        assert average_length([["a"], ["a", "b", "c"]]) == 2.0
+
+    def test_average_length_empty(self):
+        assert average_length([]) == 0.0

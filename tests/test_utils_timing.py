@@ -1,0 +1,47 @@
+"""Tests for the stopwatch and timing accumulator."""
+
+from repro.utils.timing import Stopwatch, TimingAccumulator
+
+
+class TestStopwatch:
+    def test_measures_non_negative_time(self):
+        with Stopwatch() as sw:
+            sum(range(1000))
+        assert sw.elapsed >= 0.0
+
+    def test_elapsed_zero_before_use(self):
+        assert Stopwatch().elapsed == 0.0
+
+
+class TestTimingAccumulator:
+    def test_average_of_samples(self):
+        acc = TimingAccumulator()
+        acc.add("selection", 1.0)
+        acc.add("selection", 3.0)
+        assert acc.average("selection") == 2.0
+
+    def test_average_empty_category(self):
+        assert TimingAccumulator().average("missing") == 0.0
+
+    def test_total_and_count(self):
+        acc = TimingAccumulator()
+        acc.add("fetch", 2.0)
+        acc.add("fetch", 4.0)
+        assert acc.total("fetch") == 6.0
+        assert acc.count("fetch") == 2
+
+    def test_merge(self):
+        a = TimingAccumulator()
+        b = TimingAccumulator()
+        a.add("x", 1.0)
+        b.add("x", 3.0)
+        b.add("y", 5.0)
+        a.merge(b)
+        assert a.average("x") == 2.0
+        assert a.average("y") == 5.0
+
+    def test_categories_sorted(self):
+        acc = TimingAccumulator()
+        acc.add("b", 1.0)
+        acc.add("a", 1.0)
+        assert acc.categories() == ["a", "b"]
