@@ -10,13 +10,12 @@ the regenerated numbers survive pytest's output capturing.
 from __future__ import annotations
 
 import os
-from pathlib import Path
 
 import pytest
 
 from repro.eval.experiments import get_scale
 
-RESULTS_DIR = Path(__file__).parent / "results"
+from benchmarks.helpers import RESULTS_DIR
 
 
 @pytest.fixture(scope="session")
@@ -31,10 +30,3 @@ def results_dir():
     """Directory where regenerated tables are written."""
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     return RESULTS_DIR
-
-
-def save_result(results_dir: Path, name: str, text: str) -> None:
-    """Persist one regenerated table and echo it to stdout."""
-    path = results_dir / f"{name}.txt"
-    path.write_text(text + "\n", encoding="utf-8")
-    print(f"\n===== {name} =====\n{text}\n")

@@ -1,0 +1,14 @@
+"""Shared benchmark helpers, importable explicitly as ``benchmarks.helpers``."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_result(results_dir: Path, name: str, text: str) -> None:
+    """Persist one regenerated table and echo it to stdout."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n===== {name} =====\n{text}\n")

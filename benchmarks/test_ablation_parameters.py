@@ -7,7 +7,7 @@ documenting the design choices called out in DESIGN.md.  Runs at smoke-like
 scale regardless of ``REPRO_BENCH_SCALE`` to stay cheap.
 """
 
-from conftest import save_result
+from benchmarks.helpers import save_result
 
 from repro.core.config import L2QConfig
 from repro.corpus.synthetic import build_corpus

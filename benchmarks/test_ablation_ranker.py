@@ -7,7 +7,7 @@ artifact of one ranker.  Runs at a small scale regardless of
 ``REPRO_BENCH_SCALE``.
 """
 
-from conftest import save_result
+from benchmarks.helpers import save_result
 
 from repro.core.config import L2QConfig
 from repro.corpus.synthetic import build_corpus

@@ -7,7 +7,7 @@ accuracy band and the relative frequency ordering (RESEARCH / DRIVING are
 the most frequent aspects) should reproduce.
 """
 
-from conftest import save_result
+from benchmarks.helpers import save_result
 
 from repro.eval.experiments import run_fig09
 from repro.eval.reporting import format_fig09

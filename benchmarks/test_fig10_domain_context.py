@@ -8,7 +8,7 @@ Paper claims to reproduce (in shape):
 * everything beats RND on its own objective.
 """
 
-from conftest import save_result
+from benchmarks.helpers import save_result
 
 from repro.eval.experiments import run_fig10
 from repro.eval.reporting import format_fig10

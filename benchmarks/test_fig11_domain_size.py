@@ -5,7 +5,7 @@ L2QP's precision and L2QR's recall, with the largest jump already happening
 between 0% and a small fraction of the domain.
 """
 
-from conftest import save_result
+from benchmarks.helpers import save_result
 
 from repro.eval.experiments import run_fig11
 from repro.eval.reporting import format_fig11

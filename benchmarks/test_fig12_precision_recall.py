@@ -7,7 +7,7 @@ both domains and all budgets): L2QP has the best precision of the
 *algorithmic* methods and L2QR the best recall of the algorithmic methods.
 """
 
-from conftest import save_result
+from benchmarks.helpers import save_result
 
 from repro.eval.experiments import run_fig12
 from repro.eval.reporting import format_fig12

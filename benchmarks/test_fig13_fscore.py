@@ -5,7 +5,7 @@ the best F-score, beating the best algorithmic baseline (paper: by ~16%) and
 the manual baseline (paper: by ~10%) on average over both domains.
 """
 
-from conftest import save_result
+from benchmarks.helpers import save_result
 
 from repro.eval.experiments import headline_summary, run_fig13
 from repro.eval.reporting import format_fig13, format_headline

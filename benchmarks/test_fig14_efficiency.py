@@ -7,7 +7,7 @@ times are lower, but the claim to reproduce is the *relationship*:
 per-query selection time is small compared to the simulated fetch time.
 """
 
-from conftest import save_result
+from benchmarks.helpers import save_result
 
 from repro.eval.experiments import run_fig14
 from repro.eval.reporting import format_fig14

@@ -1,0 +1,91 @@
+"""Micro-benchmark: selection time vs (simulated) fetch time.
+
+Times the full-approach selectors at ``smoke`` scale and writes a
+machine-readable ``BENCH_selection.json`` next to the other benchmark
+results, so successive PRs can track the selection-throughput trajectory:
+
+* ``selection_queries_per_second`` — how many query selections per second
+  each method sustains (the paper's Fig. 14 argument is that this dwarfs
+  fetch cost);
+* ``cache_hit_rate`` — fraction of engine ranking requests served from the
+  LRU result cache across the measured runs;
+* ``selection_to_fetch_ratio`` — mean selection seconds / mean simulated
+  fetch seconds per query (must stay ≪ 1).
+
+Run with ``python -m pytest benchmarks/test_perf_selection.py -q``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+
+from repro.eval.experiments import SMOKE_SCALE
+from repro.eval.runner import ExperimentRunner
+
+METHODS = ("L2QP", "L2QR", "L2QBAL")
+NUM_QUERIES = 3
+
+
+def test_selection_benchmark(results_dir):
+    corpus = SMOKE_SCALE.corpus_for("researcher")
+    runner = ExperimentRunner(corpus)
+    split = runner.default_split(0)
+    prepared = runner.prepare(split)
+    aspects = SMOKE_SCALE.aspects_for(corpus)
+    entities = list(split.test_entities)[: SMOKE_SCALE.max_test_entities or 2]
+
+    jobs = [runner.build_job(prepared, method, entity_id, aspect, NUM_QUERIES)
+            for method in METHODS
+            for aspect in aspects
+            for entity_id in entities]
+    job_methods = [method
+                   for method in METHODS
+                   for _aspect in aspects
+                   for _entity in entities]
+    results = runner.harvester_for(prepared).harvest_many(jobs)
+
+    per_method = {m: {"selection_seconds": [], "fetch_seconds": []} for m in METHODS}
+    for method, run in zip(job_methods, results):
+        for record in run.iterations:
+            per_method[method]["selection_seconds"].append(record.selection_seconds)
+            per_method[method]["fetch_seconds"].append(record.fetch_seconds)
+
+    stats = prepared.engine.fetch_statistics
+    report = {
+        "scale": SMOKE_SCALE.name,
+        "num_queries": NUM_QUERIES,
+        "python": platform.python_version(),
+        "index_builds": prepared.engine.index_builds,
+        "cache_hit_rate": stats.cache_hit_rate,
+        "cache_hits": stats.cache_hits,
+        "cache_misses": stats.cache_misses,
+        "methods": {},
+    }
+    for method, samples in per_method.items():
+        selection = samples["selection_seconds"]
+        fetch = samples["fetch_seconds"]
+        mean_selection = sum(selection) / len(selection) if selection else 0.0
+        mean_fetch = sum(fetch) / len(fetch) if fetch else 0.0
+        report["methods"][method] = {
+            "queries_measured": len(selection),
+            "mean_selection_seconds": mean_selection,
+            "selection_queries_per_second": (1.0 / mean_selection
+                                             if mean_selection > 0 else None),
+            "mean_fetch_seconds": mean_fetch,
+            "selection_to_fetch_ratio": (mean_selection / mean_fetch
+                                         if mean_fetch > 0 else None),
+        }
+
+    path = results_dir / "BENCH_selection.json"
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"\n===== BENCH_selection =====\n{json.dumps(report, indent=2)}\n")
+
+    # Sanity: the shared index was built once, selection was measured, and
+    # (the paper's efficiency claim) selection stays well below fetch cost.
+    assert report["index_builds"] == 1
+    for method in METHODS:
+        entry = report["methods"][method]
+        assert entry["queries_measured"] > 0
+        assert entry["selection_to_fetch_ratio"] is None or \
+            entry["selection_to_fetch_ratio"] < 1.0

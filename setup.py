@@ -17,5 +17,9 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.9",
     install_requires=["numpy>=1.21", "scipy>=1.7"],
+    extras_require={
+        # Running the test suite and the figure/perf benchmarks.
+        "dev": ["pytest>=7.0"],
+    },
     entry_points={"console_scripts": ["repro-l2q = repro.cli:main"]},
 )

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
 
-from repro.core.queries import Query, QueryEnumerator, query_contained_in_page
+from repro.core.queries import Query, query_contained_in_page
 from repro.core.selection import QuerySelector, first_unfired
 from repro.core.session import HarvestSession
 
@@ -40,13 +40,7 @@ class AdaptiveQueryingSelection(QuerySelector):
         relevant_pages = session.relevant_current_pages()
         scoring_pages = relevant_pages if relevant_pages else session.current_pages
 
-        enumerator = QueryEnumerator(
-            max_length=session.config.max_query_length,
-            min_word_length=session.config.min_query_word_length,
-            exclude_words=set(session.entity.seed_query) | set(session.entity.name_tokens),
-        )
-        statistics = enumerator.enumerate_from_pages(session.current_pages)
-        candidates = sorted(statistics.queries())
+        candidates = session.candidates.sorted_queries()
         if not candidates:
             return None
 

@@ -98,13 +98,7 @@ class HarvestRateSelection(QuerySelector):
     def select(self, session: HarvestSession) -> Optional[Query]:
         if not session.current_pages:
             return None
-        enumerator = QueryEnumerator(
-            max_length=session.config.max_query_length,
-            min_word_length=session.config.min_query_word_length,
-            exclude_words=set(session.entity.seed_query) | set(session.entity.name_tokens),
-        )
-        statistics = enumerator.enumerate_from_pages(session.current_pages)
-        candidates = set(statistics.queries())
+        candidates = set(session.candidates.queries())
         # HR also exploits domain data: add domain queries it has statistics for.
         excluded_words = set(session.entity.seed_query) | set(session.entity.name_tokens)
         for query in self.domain_statistics.query_harvest_rate:

@@ -18,7 +18,7 @@ import math
 from collections import Counter
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.queries import Query, QueryEnumerator
+from repro.core.queries import Query
 from repro.core.selection import QuerySelector, first_unfired
 from repro.core.session import HarvestSession
 from repro.corpus.document import Page
@@ -88,13 +88,7 @@ class LanguageModelFeedbackSelection(QuerySelector):
         return {term: value / normaliser for term, value in model.items()}
 
     def _candidates(self, session: HarvestSession) -> List[Query]:
-        enumerator = QueryEnumerator(
-            max_length=session.config.max_query_length,
-            min_word_length=session.config.min_query_word_length,
-            exclude_words=set(session.entity.seed_query) | set(session.entity.name_tokens),
-        )
-        statistics = enumerator.enumerate_from_pages(session.current_pages)
-        return sorted(statistics.queries())
+        return list(session.candidates.sorted_queries())
 
     def _query_log_likelihood(self, query: Query, model: Dict[str, float]) -> float:
         return sum(math.log(model.get(word, _EPSILON)) for word in query)

@@ -13,11 +13,21 @@ Three subcommands cover the common workflows:
     Regenerate one of the paper's figures (fig09 ... fig14) and print the
     corresponding table.
 
+``harvest`` and ``experiment`` both accept ``--ranker`` to pick the
+retrieval model backing the offline search engine (any name in the ranker
+registry, ``dirichlet`` by default) and ``--workers`` to run the harvesting
+loops of an experiment on N parallel workers (results are identical for any
+worker count; seeds are derived per run, not per schedule).  ``--workers``
+is ignored — with a note — where it cannot help: single ``harvest`` runs,
+``fig09`` (no harvesting) and ``fig14`` (wall-clock selection timings must
+be measured serially).
+
 Usage examples::
 
     python -m repro.cli corpus --domain car --entities 20
     python -m repro.cli harvest --domain researcher --aspect RESEARCH --method L2QBAL
-    python -m repro.cli experiment --figure fig13 --scale smoke
+    python -m repro.cli harvest --domain researcher --ranker bm25
+    python -m repro.cli experiment --figure fig13 --scale smoke --workers 4
 """
 
 from __future__ import annotations
@@ -33,6 +43,7 @@ from repro.corpus.synthetic import build_corpus
 from repro.eval import experiments, reporting
 from repro.eval.metrics import compute_metrics
 from repro.eval.runner import ExperimentRunner
+from repro.search.rankers import ranker_names
 
 _FIGURES = {
     "fig09": (experiments.run_fig09, reporting.format_fig09),
@@ -64,6 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="number of queries after the seed (default 3)")
     harvest.add_argument("--entity", default=None,
                          help="entity id to harvest (defaults to the first test entity)")
+    _add_engine_arguments(harvest)
 
     experiment = subparsers.add_parser("experiment", help="regenerate a paper figure")
     experiment.add_argument("--figure", choices=sorted(_FIGURES), required=True)
@@ -71,6 +83,7 @@ def build_parser() -> argparse.ArgumentParser:
                             default="smoke")
     experiment.add_argument("--domains", nargs="+", default=list(experiments.DOMAINS),
                             choices=available_domains())
+    _add_engine_arguments(experiment)
     return parser
 
 
@@ -79,6 +92,22 @@ def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--entities", type=int, default=24)
     parser.add_argument("--pages", type=int, default=16)
     parser.add_argument("--seed", type=int, default=3)
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {number}")
+    return number
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--ranker", default=None, choices=ranker_names(),
+                        help="retrieval model of the offline search engine "
+                             "(default: the configured 'dirichlet')")
+    parser.add_argument("--workers", type=_positive_int, default=1,
+                        help="parallel harvesting workers (default 1; results "
+                             "are identical for any value)")
 
 
 def _command_corpus(args: argparse.Namespace, out) -> int:
@@ -96,7 +125,12 @@ def _command_harvest(args: argparse.Namespace, out) -> int:
     if aspect not in corpus.aspects:
         print(f"unknown aspect {aspect!r}; available: {corpus.aspects}", file=out)
         return 2
-    runner = ExperimentRunner(corpus, config=L2QConfig(num_queries=args.queries))
+    config = L2QConfig(num_queries=args.queries)
+    if args.ranker:
+        config.ranker = args.ranker
+    if args.workers != 1:
+        print("note: harvest runs a single loop; --workers ignored", file=out)
+    runner = ExperimentRunner(corpus, config=config)
     split = runner.default_split(0)
     prepared = runner.prepare(split)
     entity_id = args.entity or split.test_entities[0]
@@ -123,7 +157,19 @@ def _command_harvest(args: argparse.Namespace, out) -> int:
 def _command_experiment(args: argparse.Namespace, out) -> int:
     run, render = _FIGURES[args.figure]
     scale = experiments.get_scale(args.scale)
-    result = run(scale, domains=tuple(args.domains))
+    kwargs = {}
+    if args.figure == "fig09":  # fig09 trains classifiers only, no harvesting
+        if args.ranker or args.workers != 1:
+            print("note: fig09 does no harvesting; --ranker/--workers ignored",
+                  file=out)
+    else:
+        if args.ranker:
+            kwargs["config"] = L2QConfig(ranker=args.ranker)
+        kwargs["workers"] = args.workers
+        if args.figure == "fig14" and args.workers != 1:
+            print("note: fig14 measures wall-clock selection time; harvests "
+                  "run serially, --workers ignored", file=out)
+    result = run(scale, domains=tuple(args.domains), **kwargs)
     print(render(result), file=out)
     return 0
 

@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Sequence, Set
 from repro.aspects.relevance import AllRelevant, RelevanceFunction
 from repro.core.config import L2QConfig
 from repro.core.domain_phase import DomainModel
-from repro.core.queries import Query, QueryEnumerator, prune_queries
+from repro.core.queries import Query, QueryEnumerator, QueryStatistics, prune_queries
 from repro.core.utility import (
     AssembledGraph,
     GraphAssembler,
@@ -79,28 +79,38 @@ class EntityPhase:
     # -- Candidate enumeration --------------------------------------------------
     def enumerate_candidates(self, entity: Entity, current_pages: Sequence[Page],
                              domain_model: Optional[DomainModel] = None,
-                             exclude: Optional[Set[Query]] = None) -> List[Query]:
+                             exclude: Optional[Set[Query]] = None,
+                             statistics: Optional[QueryStatistics] = None,
+                             observed_words: Optional[Set[str]] = None) -> List[Query]:
         """Build the candidate query set ``Q_E``.
 
         Candidates come from the current result pages; when a domain model
         is available, queries occurring with many domain entities are added
         as well, so that useful queries not yet visible in ``P_E`` remain
         reachable (Sect. IV-C, *Entity graph*).
+
+        ``statistics`` (and optionally ``observed_words``) may be supplied
+        by a caller that maintains them incrementally — the harvesting loop
+        passes ``session.candidates`` state here so that selection does not
+        re-enumerate the full working set every iteration.  When omitted,
+        both are computed from scratch over ``current_pages``.
         """
-        enumerator = QueryEnumerator(
-            max_length=self.config.max_query_length,
-            min_word_length=self.config.min_query_word_length,
-            exclude_words=set(entity.seed_query) | set(entity.name_tokens),
-        )
-        statistics = enumerator.enumerate_from_pages(list(current_pages))
+        if statistics is None:
+            enumerator = QueryEnumerator(
+                max_length=self.config.max_query_length,
+                min_word_length=self.config.min_query_word_length,
+                exclude_words=set(entity.seed_query) | set(entity.name_tokens),
+            )
+            statistics = enumerator.enumerate_from_pages(list(current_pages))
         candidates = prune_queries(statistics, min_page_frequency=1,
                                    max_queries=self.config.max_entity_candidates)
         seen = set(candidates)
         if domain_model is not None and not domain_model.is_empty():
             excluded_words = set(entity.seed_query) | set(entity.name_tokens)
-            observed_words = set()
-            for page in current_pages:
-                observed_words.update(page.token_set)
+            if observed_words is None:
+                observed_words = set()
+                for page in current_pages:
+                    observed_words.update(page.token_set)
             for query in domain_model.frequent_queries:
                 if query in seen:
                     continue
@@ -125,7 +135,9 @@ class EntityPhase:
                 relevance: RelevanceFunction,
                 domain_model: Optional[DomainModel] = None,
                 use_templates: bool = True,
-                exclude: Optional[Set[Query]] = None) -> EntityUtilities:
+                exclude: Optional[Set[Query]] = None,
+                statistics: Optional[QueryStatistics] = None,
+                observed_words: Optional[Set[str]] = None) -> EntityUtilities:
         """Run the entity phase and return all candidate utilities.
 
         Parameters
@@ -143,9 +155,14 @@ class EntityPhase:
             Whether to build the template layer at all.
         exclude:
             Queries to exclude from the candidate set (e.g. already fired).
+        statistics / observed_words:
+            Incrementally-maintained enumeration state (see
+            :meth:`enumerate_candidates`); computed from scratch if omitted.
         """
         pages = list(current_pages)
-        candidates = self.enumerate_candidates(entity, pages, domain_model, exclude)
+        candidates = self.enumerate_candidates(entity, pages, domain_model, exclude,
+                                               statistics=statistics,
+                                               observed_words=observed_words)
         assembled = self._assembler.assemble(pages, candidates, use_templates=use_templates)
         solver = assembled.solver(self.config)
 

@@ -5,10 +5,18 @@ selector for the next query, fires it against the search engine, and folds
 the new result pages into the working set.  Selection (CPU) and fetch
 (simulated I/O) times are recorded separately so that the efficiency
 experiment of Fig. 14 can be reproduced.
+
+Batched runs go through :meth:`Harvester.harvest_many`: each
+:class:`HarvestJob` is an independent harvesting run (own session, own
+seeded RNG, own selector instance), so jobs can execute concurrently on a
+worker pool while remaining bit-for-bit reproducible — results are returned
+in job order and every job's randomness derives only from its seed, never
+from scheduling.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -88,6 +96,20 @@ class HarvestResult:
         return self.timing.average(FETCH_TIME)
 
 
+@dataclass
+class HarvestJob:
+    """One harvesting run, ready to execute (single-use: the selector
+    instance must be fresh, exactly as for :meth:`Harvester.harvest`)."""
+
+    entity_id: str
+    aspect: str
+    selector: QuerySelector
+    relevance: RelevanceFunction
+    num_queries: Optional[int] = None
+    domain_model: Optional[DomainModel] = None
+    seed: Optional[int] = None
+
+
 class Harvester:
     """Drives the iterative harvesting loop for one corpus and engine."""
 
@@ -97,6 +119,42 @@ class Harvester:
         self.engine = engine
         self.config = config if config is not None else L2QConfig()
         self.config.validate()
+
+    def harvest_job(self, job: HarvestJob) -> HarvestResult:
+        """Execute one :class:`HarvestJob`."""
+        return self.harvest(
+            entity_id=job.entity_id,
+            aspect=job.aspect,
+            selector=job.selector,
+            relevance=job.relevance,
+            num_queries=job.num_queries,
+            domain_model=job.domain_model,
+            seed=job.seed,
+        )
+
+    def harvest_many(self, jobs: Sequence[HarvestJob],
+                     workers: int = 1) -> List[HarvestResult]:
+        """Execute a batch of jobs, optionally on a worker pool.
+
+        Results are returned in job order.  Every job owns its session,
+        seeded RNG and selector, and the shared engine's caches are
+        thread-safe with order-independent contents, so ``workers=N``
+        reproduces ``workers=1`` bit-for-bit (queries, result pages, seed
+        pages — wall-clock timings naturally vary).
+
+        Note: other shared memo caches reachable from jobs (classifier
+        relevance labels, index-view postings) rely on the GIL making dict
+        get-then-set races benign — every thread computes the same value,
+        so last-write-wins is harmless.  On a free-threaded (no-GIL) build
+        those caches would need the same lock treatment as the engine's.
+        """
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        jobs = list(jobs)
+        if workers == 1 or len(jobs) <= 1:
+            return [self.harvest_job(job) for job in jobs]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(self.harvest_job, jobs))
 
     def harvest(self, entity_id: str, aspect: str, selector: QuerySelector,
                 relevance: RelevanceFunction, num_queries: Optional[int] = None,

@@ -25,7 +25,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.core.config import L2QConfig
 from repro.core.context import ContextTracker
 from repro.core.entity_phase import EntityPhase, EntityUtilities
-from repro.core.queries import Query, QueryEnumerator
+from repro.core.queries import Query
 from repro.core.session import HarvestSession
 
 OBJECTIVE_PRECISION = "precision"
@@ -69,13 +69,7 @@ class RandomSelection(QuerySelector):
     name = "RND"
 
     def select(self, session: HarvestSession) -> Optional[Query]:
-        enumerator = QueryEnumerator(
-            max_length=session.config.max_query_length,
-            min_word_length=session.config.min_query_word_length,
-            exclude_words=set(session.entity.seed_query) | set(session.entity.name_tokens),
-        )
-        statistics = enumerator.enumerate_from_pages(session.current_pages)
-        candidates = sorted(q for q in statistics.queries() if not session.is_fired(q))
+        candidates = session.candidates.unfired_sorted_queries(session.fired_queries)
         if not candidates:
             return None
         return session.rng.choice(candidates)
@@ -103,6 +97,8 @@ class UtilityOnlySelection(QuerySelector):
             domain_model=None,
             use_templates=False,
             exclude=set(session.fired_queries),
+            statistics=session.candidates.statistics,
+            observed_words=session.candidates.observed_words,
         )
         ranked = (utilities.ranked_by_precision()
                   if self.objective == OBJECTIVE_PRECISION
@@ -157,6 +153,8 @@ class TemplateSelection(QuerySelector):
             domain_model=session.domain_model,
             use_templates=True,
             exclude=set(session.fired_queries),
+            statistics=session.candidates.statistics,
+            observed_words=session.candidates.observed_words,
         )
         ranked = (utilities.ranked_by_precision()
                   if self.objective == OBJECTIVE_PRECISION
@@ -196,6 +194,8 @@ class ContextAwareSelection(QuerySelector):
             domain_model=session.domain_model,
             use_templates=True,
             exclude=set(session.fired_queries),
+            statistics=session.candidates.statistics,
+            observed_words=session.candidates.observed_words,
         )
         best_query: Optional[Query] = None
         best_score: Optional[tuple] = None

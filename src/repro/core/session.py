@@ -2,10 +2,11 @@
 
 A :class:`HarvestSession` is created by the harvester and passed to the
 query selector on every iteration; it bundles everything a selection
-strategy may legitimately look at: the current result pages, the past
-queries, the learner-visible relevance function, the domain model and the
-configuration.  Ground-truth relevance is *not* part of the session — only
-the oracle/ideal selector receives it, explicitly.
+strategy may legitimately look at: the current result pages, the
+incrementally-maintained candidate-query statistics, the past queries, the
+learner-visible relevance function, the domain model and the configuration.
+Ground-truth relevance is *not* part of the session — only the oracle/ideal
+selector receives it, explicitly.
 """
 
 from __future__ import annotations
@@ -14,9 +15,10 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set
 
 from repro.aspects.relevance import RelevanceFunction
+from repro.core.candidates import CandidateStatistics
 from repro.core.config import L2QConfig
 from repro.core.domain_phase import DomainModel
-from repro.core.queries import Query
+from repro.core.queries import Query, QueryEnumerator
 from repro.corpus.corpus import Corpus
 from repro.corpus.document import Entity, Page
 from repro.search.engine import SearchEngine
@@ -38,23 +40,34 @@ class HarvestSession:
     current_pages: List[Page] = field(default_factory=list)
     past_queries: List[Query] = field(default_factory=list)
     fired_queries: Set[Query] = field(default_factory=set)
-    _current_page_ids: Set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        enumerator = QueryEnumerator(
+            max_length=self.config.max_query_length,
+            min_word_length=self.config.min_query_word_length,
+            exclude_words=set(self.entity.seed_query) | set(self.entity.name_tokens),
+        )
+        #: Candidate queries enumerated so far, kept in sync with
+        #: ``current_pages``: every page added through :meth:`add_pages` is
+        #: folded in exactly once, so selectors never re-enumerate the full
+        #: working set (amortised O(new pages) per iteration).  The
+        #: statistics double as the session's page-membership record.
+        self.candidates = CandidateStatistics(enumerator)
+        self.candidates.add_pages(self.current_pages)
 
     # -- Page management -----------------------------------------------------
     def add_pages(self, pages: Sequence[Page]) -> List[Page]:
         """Add newly retrieved pages, returning only the genuinely new ones."""
         added: List[Page] = []
         for page in pages:
-            if page.page_id in self._current_page_ids:
-                continue
-            self._current_page_ids.add(page.page_id)
-            self.current_pages.append(page)
-            added.append(page)
+            if self.candidates.add_page(page):
+                self.current_pages.append(page)
+                added.append(page)
         return added
 
     def has_page(self, page_id: str) -> bool:
         """Whether a page has already been gathered in this session."""
-        return page_id in self._current_page_ids
+        return self.candidates.has_page(page_id)
 
     def current_page_ids(self) -> List[str]:
         """Ids of all gathered pages, in gathering order."""

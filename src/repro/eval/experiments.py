@@ -161,13 +161,14 @@ class Fig10Result:
 def run_fig10(scale: ExperimentScale = DEFAULT_SCALE,
               domains: Sequence[str] = DOMAINS,
               config: Optional[L2QConfig] = None,
-              num_queries: int = 3) -> Fig10Result:
+              num_queries: int = 3,
+              workers: int = 1) -> Fig10Result:
     """Compare {RND, P, P+q, P+t, L2QP} on precision and the recall ladder on recall."""
     precision_results: Dict[str, Dict[str, float]] = {}
     recall_results: Dict[str, Dict[str, float]] = {}
     for domain in domains:
         corpus = scale.corpus_for(domain)
-        runner = ExperimentRunner(corpus, config=config)
+        runner = ExperimentRunner(corpus, config=config, workers=workers)
         aspects = scale.aspects_for(corpus)
         methods = sorted(set(FIG10_PRECISION_METHODS) | set(FIG10_RECALL_METHODS))
         series = runner.evaluate_methods(
@@ -204,13 +205,14 @@ def run_fig11(scale: ExperimentScale = DEFAULT_SCALE,
               domains: Sequence[str] = DOMAINS,
               fractions: Sequence[float] = FIG11_FRACTIONS,
               config: Optional[L2QConfig] = None,
-              num_queries: int = 3) -> Fig11Result:
+              num_queries: int = 3,
+              workers: int = 1) -> Fig11Result:
     """Sweep the fraction of domain entities available to the domain phase."""
     precision_results: Dict[str, Dict[float, float]] = {}
     recall_results: Dict[str, Dict[float, float]] = {}
     for domain in domains:
         corpus = scale.corpus_for(domain)
-        runner = ExperimentRunner(corpus, config=config)
+        runner = ExperimentRunner(corpus, config=config, workers=workers)
         aspects = scale.aspects_for(corpus)
         precision_results[domain] = {}
         recall_results[domain] = {}
@@ -256,11 +258,12 @@ class ComparisonResult:
 
 
 def _run_comparison(methods: Sequence[str], scale: ExperimentScale,
-                    domains: Sequence[str], config: Optional[L2QConfig]) -> ComparisonResult:
+                    domains: Sequence[str], config: Optional[L2QConfig],
+                    workers: int = 1) -> ComparisonResult:
     series_by_domain: Dict[str, Dict[str, MetricSeries]] = {}
     for domain in domains:
         corpus = scale.corpus_for(domain)
-        runner = ExperimentRunner(corpus, config=config)
+        runner = ExperimentRunner(corpus, config=config, workers=workers)
         aspects = scale.aspects_for(corpus)
         series_by_domain[domain] = runner.evaluate_methods(
             methods, num_queries_list=scale.num_queries_list,
@@ -274,16 +277,18 @@ def _run_comparison(methods: Sequence[str], scale: ExperimentScale,
 
 def run_fig12(scale: ExperimentScale = DEFAULT_SCALE,
               domains: Sequence[str] = DOMAINS,
-              config: Optional[L2QConfig] = None) -> ComparisonResult:
+              config: Optional[L2QConfig] = None,
+              workers: int = 1) -> ComparisonResult:
     """Precision and recall of L2QP / L2QR vs LM, AQ, HR, MQ (Fig. 12)."""
-    return _run_comparison(FIG12_METHODS, scale, domains, config)
+    return _run_comparison(FIG12_METHODS, scale, domains, config, workers=workers)
 
 
 def run_fig13(scale: ExperimentScale = DEFAULT_SCALE,
               domains: Sequence[str] = DOMAINS,
-              config: Optional[L2QConfig] = None) -> ComparisonResult:
+              config: Optional[L2QConfig] = None,
+              workers: int = 1) -> ComparisonResult:
     """F-score of the balanced strategy L2QBAL vs the baselines (Fig. 13)."""
-    return _run_comparison(FIG13_METHODS, scale, domains, config)
+    return _run_comparison(FIG13_METHODS, scale, domains, config, workers=workers)
 
 
 @dataclass
@@ -331,12 +336,13 @@ class Fig14Result:
 def run_fig14(scale: ExperimentScale = DEFAULT_SCALE,
               domains: Sequence[str] = DOMAINS,
               config: Optional[L2QConfig] = None,
-              methods: Sequence[str] = ("L2QP", "L2QR", "L2QBAL")) -> Fig14Result:
+              methods: Sequence[str] = ("L2QP", "L2QR", "L2QBAL"),
+              workers: int = 1) -> Fig14Result:
     """Measure the per-query selection time of the full approaches."""
     reports: Dict[str, EfficiencyReport] = {}
     for domain in domains:
         corpus = scale.corpus_for(domain)
-        runner = ExperimentRunner(corpus, config=config)
+        runner = ExperimentRunner(corpus, config=config, workers=workers)
         aspects = scale.aspects_for(corpus)[:2]
         reports[domain] = runner.measure_efficiency(
             methods=methods, num_queries=3,

@@ -27,7 +27,7 @@ from repro.baselines.manual import ManualQuerySelection
 from repro.baselines.oracle import IdealSelection
 from repro.core.config import L2QConfig
 from repro.core.domain_phase import DomainModel, DomainPhase
-from repro.core.harvester import HarvestResult, Harvester
+from repro.core.harvester import HarvestJob, HarvestResult, Harvester
 from repro.core.selection import QuerySelector, make_selector, selector_names
 from repro.corpus.corpus import Corpus
 from repro.eval.metrics import HarvestMetrics, MetricSeries, compute_metrics
@@ -86,14 +86,24 @@ class EfficiencyReport:
 
 
 class ExperimentRunner:
-    """Runs the paper's evaluation protocol over one corpus."""
+    """Runs the paper's evaluation protocol over one corpus.
+
+    ``workers`` sets the degree of parallelism for the harvesting runs: all
+    runs of one split are dispatched as a batch through
+    :meth:`Harvester.harvest_many`.  Per-run seeds are derived from
+    ``(base_seed, split, method, entity, aspect)`` and never from execution
+    order, so any ``workers`` value yields identical results.
+    """
 
     def __init__(self, corpus: Corpus, config: Optional[L2QConfig] = None,
-                 base_seed: int = 99) -> None:
+                 base_seed: int = 99, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         self.corpus = corpus
         self.config = config if config is not None else L2QConfig()
         self.config.validate()
         self.base_seed = base_seed
+        self.workers = workers
 
     # -- Preparation ------------------------------------------------------------
     def prepare(self, split: EntitySplit, domain_fraction: float = 1.0) -> PreparedSplit:
@@ -158,17 +168,20 @@ class ExperimentRunner:
             return IdealSelection(prepared.ground_truth_by_aspect[aspect])
         raise KeyError(f"unknown method {method!r}")
 
-    # -- Single harvest -------------------------------------------------------------
-    def harvest_once(self, prepared: PreparedSplit, method: str, entity_id: str,
-                     aspect: str, num_queries: int) -> HarvestResult:
-        """Run one harvesting loop for (method, entity, aspect)."""
+    def build_job(self, prepared: PreparedSplit, method: str, entity_id: str,
+                  aspect: str, num_queries: int) -> HarvestJob:
+        """Assemble one single-use harvesting job for (method, entity, aspect).
+
+        Everything a job needs — selector instance, domain model, HR
+        statistics — is resolved here, on the calling thread, so executing
+        the job later on a worker pool touches no lazily-built shared state.
+        """
         selector = self.create_selector(method, prepared, aspect)
-        harvester = Harvester(self.corpus, prepared.engine, self.config)
         domain_model = (prepared.domain_model(aspect)
                         if method in DOMAIN_AWARE_METHODS else None)
         relevance = (prepared.ground_truth_by_aspect[aspect] if method == "IDEAL"
                      else prepared.relevance_by_aspect[aspect])
-        return harvester.harvest(
+        return HarvestJob(
             entity_id=entity_id,
             aspect=aspect,
             selector=selector,
@@ -178,6 +191,17 @@ class ExperimentRunner:
             seed=derive_seed(self.base_seed, "harvest", prepared.split.seed,
                              method, entity_id, aspect),
         )
+
+    def harvester_for(self, prepared: PreparedSplit) -> Harvester:
+        """A harvester over this corpus and the split's engine."""
+        return Harvester(self.corpus, prepared.engine, self.config)
+
+    # -- Single harvest -------------------------------------------------------------
+    def harvest_once(self, prepared: PreparedSplit, method: str, entity_id: str,
+                     aspect: str, num_queries: int) -> HarvestResult:
+        """Run one harvesting loop for (method, entity, aspect)."""
+        job = self.build_job(prepared, method, entity_id, aspect, num_queries)
+        return self.harvester_for(prepared).harvest_job(job)
 
     # -- Full evaluation ----------------------------------------------------------------
     def evaluate_methods(self, methods: Sequence[str],
@@ -209,28 +233,44 @@ class ExperimentRunner:
             if max_test_entities is not None:
                 test_entities = test_entities[:max_test_entities]
 
+            # One batch per split: every (method, entity, aspect) run plus
+            # the ideal upper-bound runs, dispatched together so they can
+            # execute on `workers` threads.  Jobs and results stay in the
+            # same deterministic order, so metric folding is independent of
+            # scheduling.
+            targets: List[Tuple[str, str, List[str]]] = []
+            jobs: List[HarvestJob] = []
             for aspect in aspect_list:
                 for entity_id in test_entities:
                     relevant = [p.page_id
                                 for p in self.corpus.relevant_pages(entity_id, aspect)]
                     if not relevant:
                         continue
-                    ideal_by_budget: Dict[int, HarvestMetrics] = {}
+                    targets.append((aspect, entity_id, relevant))
                     if normalize:
-                        ideal_run = self.harvest_once(prepared, "IDEAL", entity_id,
-                                                      aspect, max_budget)
-                        ideal_by_budget = {
-                            k: compute_metrics(ideal_run.gathered_after(k), relevant)
-                            for k in budgets
-                        }
+                        jobs.append(self.build_job(prepared, "IDEAL", entity_id,
+                                                   aspect, max_budget))
                     for method in methods:
-                        run = self.harvest_once(prepared, method, entity_id,
-                                                aspect, max_budget)
-                        for k in budgets:
-                            metrics = compute_metrics(run.gathered_after(k), relevant)
-                            if normalize:
-                                metrics = metrics.normalized_by(ideal_by_budget[k])
-                            collected[method][k].append(metrics)
+                        jobs.append(self.build_job(prepared, method, entity_id,
+                                                   aspect, max_budget))
+            results = iter(self.harvester_for(prepared).harvest_many(
+                jobs, workers=self.workers))
+
+            for aspect, entity_id, relevant in targets:
+                ideal_by_budget: Dict[int, HarvestMetrics] = {}
+                if normalize:
+                    ideal_run = next(results)
+                    ideal_by_budget = {
+                        k: compute_metrics(ideal_run.gathered_after(k), relevant)
+                        for k in budgets
+                    }
+                for method in methods:
+                    run = next(results)
+                    for k in budgets:
+                        metrics = compute_metrics(run.gathered_after(k), relevant)
+                        if normalize:
+                            metrics = metrics.normalized_by(ideal_by_budget[k])
+                        collected[method][k].append(metrics)
 
         return {method: _series_from(method, collected[method]) for method in methods}
 
@@ -239,7 +279,12 @@ class ExperimentRunner:
                            num_queries: int = 3,
                            max_test_entities: int = 2,
                            aspects: Optional[Sequence[str]] = None) -> EfficiencyReport:
-        """Measure per-query selection time and (simulated) fetch time."""
+        """Measure per-query selection time and (simulated) fetch time.
+
+        Always runs serially regardless of ``self.workers``: the wall-clock
+        selection times *are* the result here, and concurrent runs contending
+        for the interpreter would inflate them.
+        """
         split = self.default_split(0)
         prepared = self.prepare(split)
         aspect_list = list(aspects) if aspects is not None else list(self.corpus.aspects)[:2]
@@ -248,14 +293,18 @@ class ExperimentRunner:
         selection: Dict[str, List[float]] = {m: [] for m in methods}
         queries: Dict[str, int] = {m: 0 for m in methods}
         fetch: List[float] = []
-        for method in methods:
-            for aspect in aspect_list:
-                for entity_id in test_entities:
-                    run = self.harvest_once(prepared, method, entity_id, aspect, num_queries)
-                    for record in run.iterations:
-                        selection[method].append(record.selection_seconds)
-                        fetch.append(record.fetch_seconds)
-                        queries[method] += 1
+        labelled_jobs = [
+            (method, self.build_job(prepared, method, entity_id, aspect, num_queries))
+            for method in methods
+            for aspect in aspect_list
+            for entity_id in test_entities]
+        runs = self.harvester_for(prepared).harvest_many(
+            [job for _, job in labelled_jobs], workers=1)
+        for (method, _), run in zip(labelled_jobs, runs):
+            for record in run.iterations:
+                selection[method].append(record.selection_seconds)
+                fetch.append(record.fetch_seconds)
+                queries[method] += 1
 
         return EfficiencyReport(
             selection_seconds={m: (sum(v) / len(v) if v else 0.0)
@@ -283,16 +332,22 @@ class ExperimentRunner:
         try:
             for r0 in candidates:
                 self.config.seed_recall_r0 = r0
-                per_run: List[float] = []
+                relevant_sets: List[List[str]] = []
+                jobs: List[HarvestJob] = []
                 for aspect in aspect_list:
                     for entity_id in validation:
                         relevant = [p.page_id
                                     for p in self.corpus.relevant_pages(entity_id, aspect)]
                         if not relevant:
                             continue
-                        run = self.harvest_once(prepared, method, entity_id, aspect, num_queries)
-                        per_run.append(compute_metrics(run.gathered_after(num_queries),
-                                                       relevant).f_score)
+                        relevant_sets.append(relevant)
+                        jobs.append(self.build_job(prepared, method, entity_id,
+                                                   aspect, num_queries))
+                runs = self.harvester_for(prepared).harvest_many(
+                    jobs, workers=self.workers)
+                per_run = [compute_metrics(run.gathered_after(num_queries),
+                                           relevant).f_score
+                           for relevant, run in zip(relevant_sets, runs)]
                 scores[r0] = sum(per_run) / len(per_run) if per_run else 0.0
         finally:
             self.config.seed_recall_r0 = original

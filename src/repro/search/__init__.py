@@ -1,23 +1,37 @@
-"""Search-engine substrate: inverted index, rankers and the entity-scoped engine."""
+"""Search-engine substrate: shared inverted index, entity-scoped views,
+pluggable rankers and the entity-scoped engine."""
 
 from repro.search.bm25 import BM25Ranker
 from repro.search.engine import (
-    RANKER_BM25,
-    RANKER_DIRICHLET,
     FetchStatistics,
     SearchEngine,
     SearchResult,
 )
-from repro.search.index import InvertedIndex
+from repro.search.index import IndexView, InvertedIndex
 from repro.search.language_model import DirichletLanguageModel
+from repro.search.rankers import (
+    RANKER_BM25,
+    RANKER_DIRICHLET,
+    Ranker,
+    is_registered,
+    make_ranker,
+    ranker_names,
+    register_ranker,
+)
 
 __all__ = [
     "BM25Ranker",
     "DirichletLanguageModel",
     "FetchStatistics",
+    "IndexView",
     "InvertedIndex",
     "RANKER_BM25",
     "RANKER_DIRICHLET",
+    "Ranker",
     "SearchEngine",
     "SearchResult",
+    "is_registered",
+    "make_ranker",
+    "ranker_names",
+    "register_ranker",
 ]

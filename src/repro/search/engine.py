@@ -4,29 +4,43 @@ The paper's workflow (Fig. 1) fires each selected query against a search
 engine with the entity's seed query appended, so that every result page is
 about the target entity.  Over the offline corpus this is equivalent to
 ranking only within the target entity's page universe, which is exactly what
-:class:`SearchEngine` does: it maintains one per-entity index and ranks the
-entity's pages with a Dirichlet-smoothed language model (or BM25), returning
-the top-``k`` results (``k = 5`` in the paper).
+:class:`SearchEngine` does: it indexes the whole corpus *once* (see
+``index_builds``), serves every entity through a cheap
+:class:`~repro.search.index.IndexView` scoped to that entity's pages, and
+ranks with a pluggable retrieval model resolved from the ranker registry
+(:mod:`repro.search.rankers`; ``dirichlet`` and ``bm25`` are built in,
+``k = 5`` results per query in the paper).
+
+Repeated identical queries — common across harvesting runs that share an
+engine, e.g. the ideal selector probing its candidate pool for every test
+entity — are answered from an LRU result cache keyed by
+``(entity_id, query, top_k)``.
 
 The engine also keeps *fetch accounting*: how many queries were fired and
 how many result pages were downloaded, plus a simulated per-page fetch cost
 so that the efficiency experiment (Fig. 14) can contrast selection time with
-fetch time without actually sleeping.
+fetch time without actually sleeping.  Cache hits and misses are counted in
+the same :class:`FetchStatistics` structure.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.corpus.corpus import Corpus
 from repro.corpus.document import Page
-from repro.search.bm25 import BM25Ranker
-from repro.search.index import InvertedIndex
-from repro.search.language_model import DirichletLanguageModel
-
-RANKER_DIRICHLET = "dirichlet"
-RANKER_BM25 = "bm25"
+from repro.search.index import IndexView, InvertedIndex
+from repro.search.rankers import (
+    RANKER_BM25,
+    RANKER_DIRICHLET,
+    Ranker,
+    is_registered,
+    make_ranker,
+    ranker_names,
+)
 
 
 @dataclass(frozen=True)
@@ -45,6 +59,8 @@ class FetchStatistics:
     pages_fetched: int = 0
     simulated_fetch_seconds: float = 0.0
     queries_by_entity: Dict[str, int] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def record(self, entity_id: str, num_results: int, per_page_cost: float) -> None:
         """Record one fired query and its fetched results."""
@@ -53,18 +69,53 @@ class FetchStatistics:
         self.simulated_fetch_seconds += per_page_cost * num_results
         self.queries_by_entity[entity_id] = self.queries_by_entity.get(entity_id, 0) + 1
 
+    def record_cache(self, hit: bool) -> None:
+        """Record one result-cache lookup."""
+        if hit:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of ranking requests served from the result cache."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
 
 class SearchEngine:
-    """Entity-scoped top-k retrieval over an offline corpus."""
+    """Entity-scoped top-k retrieval over an offline corpus.
+
+    Parameters
+    ----------
+    corpus:
+        The offline corpus.
+    ranker:
+        Name of a registered retrieval model (see
+        :func:`repro.search.rankers.ranker_names`).
+    top_k:
+        Default number of results per query.
+    mu / bm25_k1 / bm25_b:
+        Convenience parameters for the two built-in rankers.
+    ranker_params:
+        Extra keyword parameters passed to the ranker factory; overrides the
+        convenience parameters and is the way to configure custom rankers.
+    result_cache_size:
+        Capacity of the LRU result cache (0 disables caching).
+    """
 
     def __init__(self, corpus: Corpus, ranker: str = RANKER_DIRICHLET,
                  top_k: int = 5, mu: float = 100.0,
                  bm25_k1: float = 1.2, bm25_b: float = 0.75,
-                 simulated_fetch_seconds_per_page: float = 2.5) -> None:
+                 simulated_fetch_seconds_per_page: float = 2.5,
+                 ranker_params: Optional[Dict[str, object]] = None,
+                 result_cache_size: int = 4096) -> None:
         if top_k <= 0:
             raise ValueError("top_k must be positive")
-        if ranker not in (RANKER_DIRICHLET, RANKER_BM25):
-            raise ValueError(f"unknown ranker {ranker!r}")
+        if not is_registered(ranker):
+            raise ValueError(f"unknown ranker {ranker!r}; available: {ranker_names()}")
+        if result_cache_size < 0:
+            raise ValueError("result_cache_size must be non-negative")
         self.corpus = corpus
         self.ranker_name = ranker
         self.top_k = top_k
@@ -72,31 +123,61 @@ class SearchEngine:
         self.bm25_k1 = bm25_k1
         self.bm25_b = bm25_b
         self.simulated_fetch_seconds_per_page = simulated_fetch_seconds_per_page
+        self.ranker_params = self._default_ranker_params(ranker)
+        if ranker_params:
+            self.ranker_params.update(ranker_params)
+        self.result_cache_size = result_cache_size
         self.fetch_statistics = FetchStatistics()
-        self._entity_indexes: Dict[str, InvertedIndex] = {}
-        self._entity_rankers: Dict[str, object] = {}
+        #: Number of full corpus indexing passes performed (1 after first use).
+        self.index_builds = 0
+        self._shared_index: Optional[InvertedIndex] = None
+        self._entity_views: Dict[str, IndexView] = {}
+        self._entity_rankers: Dict[str, Ranker] = {}
+        self._result_cache: "OrderedDict[Tuple[str, Tuple[str, ...], int], Tuple[SearchResult, ...]]" = OrderedDict()
+        # One engine may serve several concurrent harvesting runs
+        # (Harvester.harvest_many); the lock guards the caches and counters.
+        self._lock = threading.Lock()
+
+    def _default_ranker_params(self, ranker: str) -> Dict[str, object]:
+        if ranker == RANKER_DIRICHLET:
+            return {"mu": self.mu}
+        if ranker == RANKER_BM25:
+            return {"k1": self.bm25_k1, "b": self.bm25_b}
+        return {}
 
     # -- Index management -----------------------------------------------------
-    def _index_for(self, entity_id: str) -> InvertedIndex:
-        index = self._entity_indexes.get(entity_id)
-        if index is None:
-            pages = self.corpus.pages_of(entity_id)
-            if not pages:
-                raise KeyError(f"entity {entity_id!r} has no pages in the corpus")
-            index = InvertedIndex.from_documents({p.page_id: p.tokens for p in pages})
-            self._entity_indexes[entity_id] = index
-        return index
+    def shared_index(self) -> InvertedIndex:
+        """The corpus-wide index, built on first use (one pass per corpus)."""
+        with self._lock:
+            if self._shared_index is None:
+                index = InvertedIndex()
+                for page in sorted(self.corpus.iter_pages(), key=lambda p: p.page_id):
+                    index.add_document(page.page_id, page.tokens)
+                self._shared_index = index
+                self.index_builds += 1
+            return self._shared_index
 
-    def _ranker_for(self, entity_id: str):
-        ranker = self._entity_rankers.get(entity_id)
-        if ranker is None:
-            index = self._index_for(entity_id)
-            if self.ranker_name == RANKER_DIRICHLET:
-                ranker = DirichletLanguageModel(index, mu=self.mu)
-            else:
-                ranker = BM25Ranker(index, k1=self.bm25_k1, b=self.bm25_b)
-            self._entity_rankers[entity_id] = ranker
-        return ranker
+    def _index_for(self, entity_id: str) -> IndexView:
+        with self._lock:
+            view = self._entity_views.get(entity_id)
+        if view is not None:
+            return view
+        pages = self.corpus.pages_of(entity_id)
+        if not pages:
+            raise KeyError(f"entity {entity_id!r} has no pages in the corpus")
+        view = self.shared_index().view(p.page_id for p in pages)
+        with self._lock:
+            return self._entity_views.setdefault(entity_id, view)
+
+    def _ranker_for(self, entity_id: str) -> Ranker:
+        with self._lock:
+            ranker = self._entity_rankers.get(entity_id)
+        if ranker is not None:
+            return ranker
+        index = self._index_for(entity_id)
+        ranker = make_ranker(self.ranker_name, index, **self.ranker_params)
+        with self._lock:
+            return self._entity_rankers.setdefault(entity_id, ranker)
 
     # -- Retrieval --------------------------------------------------------------
     def search(self, entity_id: str, query: Sequence[str],
@@ -107,13 +188,35 @@ class SearchEngine:
         the offline corpus that reduces to scoping the ranking to the
         entity's own pages, which is how the paper's experiments operate.
         """
-        ranker = self._ranker_for(entity_id)
         k = top_k if top_k is not None else self.top_k
-        ranked = ranker.rank(list(query), top_k=k, require_match=True)
-        results = [SearchResult(page_id=page_id, score=score) for page_id, score in ranked]
+        results = self._ranked_results(entity_id, tuple(query), k)
         if record_fetch:
-            self.fetch_statistics.record(entity_id, len(results),
-                                         self.simulated_fetch_seconds_per_page)
+            with self._lock:
+                self.fetch_statistics.record(entity_id, len(results),
+                                             self.simulated_fetch_seconds_per_page)
+        return list(results)
+
+    def _ranked_results(self, entity_id: str, query: Tuple[str, ...],
+                        k: int) -> Tuple[SearchResult, ...]:
+        key = (entity_id, query, k)
+        if self.result_cache_size:
+            with self._lock:
+                cached = self._result_cache.get(key)
+                if cached is not None:
+                    self._result_cache.move_to_end(key)
+                self.fetch_statistics.record_cache(hit=cached is not None)
+            if cached is not None:
+                return cached
+        ranker = self._ranker_for(entity_id)
+        ranked = ranker.rank(list(query), top_k=k, require_match=True)
+        results = tuple(SearchResult(page_id=page_id, score=score)
+                        for page_id, score in ranked)
+        if self.result_cache_size:
+            with self._lock:
+                self._result_cache[key] = results
+                self._result_cache.move_to_end(key)
+                while len(self._result_cache) > self.result_cache_size:
+                    self._result_cache.popitem(last=False)
         return results
 
     def fetch_pages(self, results: Sequence[SearchResult]) -> List[Page]:
@@ -149,15 +252,21 @@ class SearchEngine:
         if results:
             return results
         pages = self.corpus.pages_of(entity_id)[: (top_k or self.top_k)]
-        self.fetch_statistics.record(entity_id, len(pages),
-                                     self.simulated_fetch_seconds_per_page)
+        with self._lock:
+            self.fetch_statistics.record(entity_id, len(pages),
+                                         self.simulated_fetch_seconds_per_page)
         return [SearchResult(page_id=p.page_id, score=0.0) for p in pages]
 
     # -- Introspection --------------------------------------------------------------
     def reset_statistics(self) -> None:
         """Clear the fetch accounting (used between experiment runs)."""
-        self.fetch_statistics = FetchStatistics()
+        with self._lock:
+            self.fetch_statistics = FetchStatistics()
 
-    def entity_index(self, entity_id: str) -> InvertedIndex:
-        """Expose the per-entity index (useful for tests and baselines)."""
+    def entity_index(self, entity_id: str) -> IndexView:
+        """The entity's scoped view of the shared corpus index.
+
+        The view exposes the full statistics interface of a from-scratch
+        per-entity :class:`InvertedIndex` (useful for tests and baselines).
+        """
         return self._index_for(entity_id)

@@ -1,16 +1,24 @@
-"""Inverted index with collection statistics.
+"""Inverted index with collection statistics, plus cheap scoped views.
 
 The index is the storage layer beneath the retrieval models
 (:mod:`repro.search.language_model`, :mod:`repro.search.bm25`).  Documents
 are arbitrary token sequences keyed by a string id; in this project they are
-the pages of one entity (the seed query scopes retrieval to a single
-entity's page universe, see :mod:`repro.search.engine`).
+web pages.
+
+The search engine indexes the *whole* corpus exactly once and then serves
+each entity through an :class:`IndexView` restricted to that entity's page
+universe (the seed query scopes retrieval to a single entity, see
+:mod:`repro.search.engine`).  A view exposes the same statistics interface
+as a from-scratch per-entity :class:`InvertedIndex` — term frequencies,
+document/collection frequencies and collection probabilities are all
+computed over the view's documents only — but shares the underlying
+postings, so N entities cost one tokenization/counting pass instead of N.
 """
 
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 
 class InvertedIndex:
@@ -114,3 +122,130 @@ class InvertedIndex:
     def vocabulary(self) -> List[str]:
         """All indexed terms, sorted."""
         return sorted(self._postings)
+
+    # -- Scoped views -----------------------------------------------------------
+    def view(self, doc_ids: Iterable[str]) -> "IndexView":
+        """A view of this index restricted to ``doc_ids``."""
+        return IndexView(self, doc_ids)
+
+
+class IndexView:
+    """A read-only restriction of an :class:`InvertedIndex` to a document subset.
+
+    All statistics (document lengths, term/document/collection frequencies,
+    collection probabilities) are reported as if only the view's documents
+    had been indexed, so retrieval models ranking through a view behave
+    identically to ranking over a from-scratch index of those documents.
+    Per-term restricted postings are materialised lazily and cached, so a
+    view costs O(1) to create and only pays for the terms actually queried.
+    """
+
+    def __init__(self, parent: InvertedIndex, doc_ids: Iterable[str]) -> None:
+        self._parent = parent
+        ids = set(doc_ids)
+        missing = [d for d in ids if d not in parent]
+        if missing:
+            raise KeyError(f"documents not in parent index: {sorted(missing)[:3]!r}")
+        self._doc_ids: FrozenSet[str] = frozenset(ids)
+        self._total_tokens = sum(parent.document_length(d) for d in self._doc_ids)
+        # term -> (restricted postings, their tf sum); the sum is cached so
+        # collection_frequency stays O(1) on the ranker's innermost loop.
+        self._postings_cache: Dict[str, Tuple[Dict[str, int], int]] = {}
+
+    #: Shared sentinel for terms absent from a view, so caching a miss costs
+    #: one dict slot instead of a fresh empty dict per term.
+    _EMPTY_STATS: Tuple[Dict[str, int], int] = ({}, 0)
+
+    def _restricted_stats(self, term: str,
+                          cache_empty: bool = True) -> Tuple[Dict[str, int], int]:
+        cached = self._postings_cache.get(term)
+        if cached is None:
+            postings = {doc_id: tf
+                        for doc_id, tf in self._parent._postings.get(term, {}).items()
+                        if doc_id in self._doc_ids}
+            cached = (postings, sum(postings.values())) if postings else self._EMPTY_STATS
+            # Misses are cached too (rankers probe absent query terms once per
+            # scored document), except during vocabulary() sweeps, which would
+            # otherwise pin one cache key per corpus term.
+            if postings or cache_empty:
+                self._postings_cache[term] = cached
+        return cached
+
+    def _restricted(self, term: str) -> Dict[str, int]:
+        return self._restricted_stats(term)[0]
+
+    # -- Document statistics ---------------------------------------------------
+    @property
+    def num_documents(self) -> int:
+        """Number of documents in the view."""
+        return len(self._doc_ids)
+
+    @property
+    def total_tokens(self) -> int:
+        """Total number of tokens across the view's documents."""
+        return self._total_tokens
+
+    @property
+    def average_document_length(self) -> float:
+        """Mean document length in tokens (0.0 for an empty view)."""
+        if not self._doc_ids:
+            return 0.0
+        return self._total_tokens / len(self._doc_ids)
+
+    def document_ids(self) -> List[str]:
+        """The view's document ids, sorted."""
+        return sorted(self._doc_ids)
+
+    def document_length(self, doc_id: str) -> int:
+        """Length of one document (raises ``KeyError`` if outside the view)."""
+        if doc_id not in self._doc_ids:
+            raise KeyError(doc_id)
+        return self._parent.document_length(doc_id)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._doc_ids
+
+    # -- Term statistics -----------------------------------------------------------
+    def term_frequency(self, term: str, doc_id: str) -> int:
+        """Frequency of ``term`` in ``doc_id`` (0 if absent or outside the view)."""
+        if doc_id not in self._doc_ids:
+            return 0
+        return self._parent.term_frequency(term, doc_id)
+
+    def document_frequency(self, term: str) -> int:
+        """Number of view documents containing ``term``."""
+        return len(self._restricted(term))
+
+    def collection_frequency(self, term: str) -> int:
+        """Total occurrences of ``term`` within the view."""
+        return self._restricted_stats(term)[1]
+
+    def collection_probability(self, term: str) -> float:
+        """Maximum-likelihood probability of ``term`` within the view."""
+        if self._total_tokens == 0:
+            return 0.0
+        return self.collection_frequency(term) / self._total_tokens
+
+    def postings(self, term: str) -> Dict[str, int]:
+        """Return a copy of the view-restricted postings for ``term``."""
+        return dict(self._restricted(term))
+
+    def matching_documents(self, terms: Iterable[str],
+                           require_all: bool = False) -> Set[str]:
+        """View documents containing any (or all) of ``terms``."""
+        term_list = list(terms)
+        if not term_list:
+            return set()
+        sets = [set(self._restricted(term)) for term in term_list]
+        result = set(sets[0])
+        for other in sets[1:]:
+            if require_all:
+                result &= other
+            else:
+                result |= other
+        return result
+
+    def vocabulary(self) -> List[str]:
+        """Terms occurring in the view's documents, sorted."""
+        return sorted(term for term in self._parent.vocabulary()
+                      if self._restricted_stats(term, cache_empty=False)[0])

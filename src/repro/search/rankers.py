@@ -1,0 +1,98 @@
+"""Pluggable retrieval models: the :class:`Ranker` protocol and its registry.
+
+The search engine used to hardcode an ``if`` ladder over the two built-in
+retrieval models (Dirichlet language model and BM25).  This module replaces
+that with a registry so new models can be plugged in without touching
+:mod:`repro.search.engine`::
+
+    from repro.search.rankers import register_ranker
+
+    @register_ranker("tf")
+    def _make_tf(index, **params):
+        return PlainTermFrequencyRanker(index, **params)
+
+    engine = SearchEngine(corpus, ranker="tf")
+
+A ranker factory receives the (entity-scoped) index plus keyword parameters
+and must return an object satisfying :class:`Ranker`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Protocol, Sequence, Tuple, runtime_checkable
+
+from repro.search.bm25 import BM25Ranker
+from repro.search.language_model import DirichletLanguageModel
+
+RANKER_DIRICHLET = "dirichlet"
+RANKER_BM25 = "bm25"
+
+
+@runtime_checkable
+class Ranker(Protocol):
+    """What the search engine requires of a retrieval model."""
+
+    def rank(self, query: Sequence[str], top_k: int = 0,
+             require_match: bool = True) -> List[Tuple[str, float]]:
+        """Return ``(doc_id, score)`` pairs, best first."""
+        ...
+
+    def retrieval_scores(self, query: Sequence[str]) -> Dict[str, float]:
+        """Normalised retrieval scores over matching documents (sum to 1)."""
+        ...
+
+
+RankerFactory = Callable[..., Ranker]
+
+_RANKERS: Dict[str, RankerFactory] = {}
+
+
+def register_ranker(name: str, factory: RankerFactory = None):
+    """Register a ranker factory under ``name``.
+
+    Usable both as a decorator (``@register_ranker("tf")``) and as a plain
+    call (``register_ranker("tf", factory)``).  Re-registering a name
+    overwrites the previous factory, which keeps interactive sessions and
+    test reloads painless.
+    """
+    if factory is not None:
+        _RANKERS[name] = factory
+        return factory
+
+    def decorator(f: RankerFactory) -> RankerFactory:
+        _RANKERS[name] = f
+        return f
+
+    return decorator
+
+
+def make_ranker(name: str, index, **params) -> Ranker:
+    """Instantiate the registered ranker ``name`` over ``index``."""
+    try:
+        factory = _RANKERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown ranker {name!r}; available: {ranker_names()}") from None
+    return factory(index, **params)
+
+
+def ranker_names() -> List[str]:
+    """Names of all registered rankers, sorted."""
+    return sorted(_RANKERS)
+
+
+def is_registered(name: str) -> bool:
+    """Whether ``name`` resolves to a registered ranker."""
+    return name in _RANKERS
+
+
+# -- Built-in models ---------------------------------------------------------
+
+@register_ranker(RANKER_DIRICHLET)
+def _make_dirichlet(index, mu: float = 100.0, **_ignored) -> DirichletLanguageModel:
+    return DirichletLanguageModel(index, mu=mu)
+
+
+@register_ranker(RANKER_BM25)
+def _make_bm25(index, k1: float = 1.2, b: float = 0.75, **_ignored) -> BM25Ranker:
+    return BM25Ranker(index, k1=k1, b=b)

@@ -8,24 +8,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.corpus.document import Entity, Page, Paragraph
+from repro.corpus.document import Entity
 from repro.corpus.synthetic import CorpusConfig, CorpusGenerator
 from repro.eval.runner import ExperimentRunner
 from repro.eval.splits import split_entities
 
-
-def make_paragraph(paragraph_id, tokens, aspect=None):
-    """Build a paragraph from a token list (helper used across tests)."""
-    return Paragraph(paragraph_id=paragraph_id, tokens=tuple(tokens), aspect=aspect)
-
-
-def make_page(page_id, entity_id, paragraph_specs):
-    """Build a page from ``[(tokens, aspect), ...]`` specs."""
-    paragraphs = tuple(
-        make_paragraph(f"{page_id}#{i}", tokens, aspect)
-        for i, (tokens, aspect) in enumerate(paragraph_specs)
-    )
-    return Page(page_id=page_id, entity_id=entity_id, paragraphs=paragraphs)
+from tests.helpers import make_page
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,27 @@
+"""Shared test builders, importable explicitly as ``tests.helpers``.
+
+These used to live in ``tests/conftest.py`` and were imported with
+``from conftest import ...``, which breaks as soon as another ``conftest``
+module (e.g. the benchmark harness's) shadows it on ``sys.path``.  Keeping
+the builders in a normally-named module and importing them with an explicit
+package path makes the resolution unambiguous (``pytest.ini`` puts the
+repository root on ``sys.path``).
+"""
+
+from __future__ import annotations
+
+from repro.corpus.document import Page, Paragraph
+
+
+def make_paragraph(paragraph_id, tokens, aspect=None):
+    """Build a paragraph from a token list (helper used across tests)."""
+    return Paragraph(paragraph_id=paragraph_id, tokens=tuple(tokens), aspect=aspect)
+
+
+def make_page(page_id, entity_id, paragraph_specs):
+    """Build a page from ``[(tokens, aspect), ...]`` specs."""
+    paragraphs = tuple(
+        make_paragraph(f"{page_id}#{i}", tokens, aspect)
+        for i, (tokens, aspect) in enumerate(paragraph_specs)
+    )
+    return Page(page_id=page_id, entity_id=entity_id, paragraphs=paragraphs)

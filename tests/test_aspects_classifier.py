@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import make_page
+from tests.helpers import make_page
 
 from repro.aspects.classifier import AspectClassifierSuite
 

@@ -1,6 +1,6 @@
 """Tests for the relevance functions Y."""
 
-from conftest import make_page
+from tests.helpers import make_page
 
 from repro.aspects.classifier import AspectClassifierSuite
 from repro.aspects.relevance import AllRelevant, ClassifierRelevance, OracleRelevance

@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import make_page
+from tests.helpers import make_page
 
 from repro.aspects.relevance import AllRelevant, OracleRelevance
 from repro.core.config import L2QConfig

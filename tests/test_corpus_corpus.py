@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import make_page
+from tests.helpers import make_page
 
 from repro.corpus.corpus import Corpus
 from repro.corpus.domains import researcher_domain

@@ -1,6 +1,6 @@
 """Tests for the document data model (paragraphs, pages, entities)."""
 
-from conftest import make_page, make_paragraph
+from tests.helpers import make_page, make_paragraph
 
 from repro.corpus.document import Entity
 
