@@ -1,0 +1,37 @@
+"""Robustness benchmark: selectors × scenarios F-score matrix.
+
+Sweeps every registered scenario against the clean baseline at the scale
+selected via ``REPRO_BENCH_SCALE`` and writes the machine-readable matrix to
+``benchmarks/results/BENCH_scenarios.json`` — the same artifact the CLI's
+``repro scenarios run`` emits, so CI and local runs are diffable.
+
+Run with ``python -m pytest benchmarks/test_scenarios.py -q``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.eval.scenario_sweep import ScenarioSweep
+from repro.scenarios import scenario_names
+
+
+def test_scenario_robustness_matrix(scale, results_dir):
+    sweep = ScenarioSweep(scale=scale)
+    result = sweep.run()
+
+    path = results_dir / "BENCH_scenarios.json"
+    result.write(path)
+    print(f"\n===== BENCH_scenarios =====\n{result.to_json()}\n")
+
+    report = json.loads(path.read_text(encoding="utf-8"))
+    # The matrix must cover every registered scenario (>= 4 by acceptance)
+    # in every swept domain, with a full set of per-method deltas.
+    assert len(report["scenarios"]) == len(scenario_names()) >= 4
+    for domain, block in report["domains"].items():
+        clean_digest = block["clean"]["corpus_digest"]
+        assert set(block["scenarios"]) == set(report["scenarios"])
+        for name, cell in block["scenarios"].items():
+            assert cell["corpus_digest"] != clean_digest, \
+                f"{name} left the {domain} corpus untouched"
+            assert set(cell["f_delta"]) == set(report["methods"])

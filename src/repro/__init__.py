@@ -15,8 +15,10 @@ The package is organised as:
   domain-aware templates, context-aware collective utilities, the query
   selection strategies and the harvesting loop;
 * :mod:`repro.baselines` — LM, AQ, HR, MQ and the ideal (oracle) strategy;
-* :mod:`repro.eval` — evaluation metrics, splits, the experiment runner and
-  one entry point per paper figure.
+* :mod:`repro.eval` — evaluation metrics, splits, the experiment runner,
+  one entry point per paper figure, and the scenario robustness sweep;
+* :mod:`repro.scenarios` — hostile-corpus scenarios: deterministic corpus
+  perturbations behind a declarative spec + registry.
 
 Quickstart::
 
@@ -45,6 +47,7 @@ from repro.corpus import Corpus, CorpusConfig, CorpusGenerator, build_corpus, ge
 from repro.eval import (
     ExperimentRunner,
     ExperimentScale,
+    ScenarioSweep,
     compute_metrics,
     headline_summary,
     run_fig09,
@@ -53,7 +56,9 @@ from repro.eval import (
     run_fig12,
     run_fig13,
     run_fig14,
+    run_scenario_sweep,
 )
+from repro.scenarios import ScenarioSpec, make_scenario, register_scenario, scenario_names
 from repro.search import SearchEngine
 
 __version__ = "1.0.0"
@@ -73,18 +78,24 @@ __all__ = [
     "Harvester",
     "L2QConfig",
     "OracleRelevance",
+    "ScenarioSpec",
+    "ScenarioSweep",
     "SearchEngine",
     "__version__",
     "build_corpus",
     "compute_metrics",
     "get_domain",
     "headline_summary",
+    "make_scenario",
     "make_selector",
+    "register_scenario",
     "run_fig09",
     "run_fig10",
     "run_fig11",
     "run_fig12",
     "run_fig13",
     "run_fig14",
+    "run_scenario_sweep",
+    "scenario_names",
     "selector_names",
 ]

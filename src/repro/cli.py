@@ -1,6 +1,6 @@
 """Command-line interface for the L2Q reproduction.
 
-Three subcommands cover the common workflows:
+Four subcommands cover the common workflows:
 
 ``repro-l2q corpus``
     Generate a synthetic corpus and print its summary statistics.
@@ -12,6 +12,12 @@ Three subcommands cover the common workflows:
 ``repro-l2q experiment``
     Regenerate one of the paper's figures (fig09 ... fig14) and print the
     corresponding table.
+
+``repro-l2q scenarios``
+    Robustness lab: ``scenarios list`` prints the registered hostile-corpus
+    scenarios; ``scenarios run`` sweeps selectors × scenarios and writes the
+    robustness matrix to ``BENCH_scenarios.json`` (same seed ⇒ byte-identical
+    output).
 
 ``harvest`` and ``experiment`` both accept ``--ranker`` to pick the
 retrieval model backing the offline search engine (any name in the ranker
@@ -28,6 +34,8 @@ Usage examples::
     python -m repro.cli harvest --domain researcher --aspect RESEARCH --method L2QBAL
     python -m repro.cli harvest --domain researcher --ranker bm25
     python -m repro.cli experiment --figure fig13 --scale smoke --workers 4
+    python -m repro.cli scenarios list
+    python -m repro.cli scenarios run --scale smoke --scenarios zipf-skew near-duplicates
 """
 
 from __future__ import annotations
@@ -43,6 +51,8 @@ from repro.corpus.synthetic import build_corpus
 from repro.eval import experiments, reporting
 from repro.eval.metrics import compute_metrics
 from repro.eval.runner import ExperimentRunner
+from repro.eval.scenario_sweep import DEFAULT_SWEEP_METHODS, ScenarioSweep
+from repro.scenarios import make_scenario, scenario_names
 from repro.search.rankers import ranker_names
 
 _FIGURES = {
@@ -84,6 +94,31 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--domains", nargs="+", default=list(experiments.DOMAINS),
                             choices=available_domains())
     _add_engine_arguments(experiment)
+
+    scenarios = subparsers.add_parser(
+        "scenarios", help="list or run hostile-corpus robustness scenarios")
+    scenario_commands = scenarios.add_subparsers(dest="scenario_command",
+                                                 required=True)
+    scenario_commands.add_parser("list", help="print the registered scenarios")
+    run = scenario_commands.add_parser(
+        "run", help="sweep selectors x scenarios and write BENCH_scenarios.json")
+    run.add_argument("--scale", choices=["smoke", "default", "paper"],
+                     default="smoke")
+    run.add_argument("--scenarios", nargs="+", default=None,
+                     metavar="SCENARIO",
+                     help="scenario names to sweep (default: all registered)")
+    run.add_argument("--methods", nargs="+", default=list(DEFAULT_SWEEP_METHODS),
+                     metavar="METHOD",
+                     help="selectors / baselines to sweep "
+                          f"(default: {' '.join(DEFAULT_SWEEP_METHODS)})")
+    run.add_argument("--domains", nargs="+", default=list(experiments.DOMAINS),
+                     choices=available_domains())
+    run.add_argument("--queries", type=_positive_int, default=3,
+                     help="query budget evaluated per run (default 3)")
+    run.add_argument("--output", default="BENCH_scenarios.json",
+                     help="path of the robustness matrix JSON "
+                          "(default: ./BENCH_scenarios.json)")
+    _add_engine_arguments(run)
     return parser
 
 
@@ -174,6 +209,38 @@ def _command_experiment(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_scenarios(args: argparse.Namespace, out) -> int:
+    if args.scenario_command == "list":
+        for name in scenario_names():
+            spec = make_scenario(name)
+            stages = ", ".join(p.name for p in spec.perturbations) or "none"
+            print(f"{name:22s} {spec.description}", file=out)
+            print(f"{'':22s} stages: {stages}", file=out)
+        return 0
+
+    config = None
+    if args.ranker:
+        config = L2QConfig(ranker=args.ranker)
+    try:
+        sweep = ScenarioSweep(
+            scale=experiments.get_scale(args.scale),
+            scenarios=args.scenarios,
+            methods=tuple(args.methods),
+            domains=tuple(args.domains),
+            num_queries=args.queries,
+            config=config,
+            workers=args.workers,
+        )
+    except ValueError as error:  # unknown/duplicate scenario or method
+        print(str(error), file=out)
+        return 2
+    result = sweep.run()
+    print(reporting.format_scenarios(result), file=out)
+    path = result.write(args.output)
+    print(f"\nwrote {path}", file=out)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -185,6 +252,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _command_harvest(args, out)
     if args.command == "experiment":
         return _command_experiment(args, out)
+    if args.command == "scenarios":
+        return _command_scenarios(args, out)
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover - parser.error raises
 

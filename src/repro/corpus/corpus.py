@@ -8,6 +8,7 @@ Sect. VI-A).  :class:`Corpus` plays that role here.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -162,6 +163,44 @@ class Corpus:
         entities = {eid: self.entities[eid] for eid in keep}
         pages = {pid: page for pid, page in self.pages.items() if page.entity_id in keep}
         return Corpus(self.domain_spec, entities, pages, type_system=self.type_system)
+
+    def content_digest(self) -> str:
+        """SHA-256 over a canonical serialisation of the corpus content.
+
+        Two corpora have equal digests iff they have identical entities
+        (ids, names, seed queries, attributes) and identical pages
+        (paragraph ids, tokens and aspect labels).  Scenario generation
+        promises *byte-identical* corpora for equal seeds; this digest is
+        what that promise is tested — and benchmarked — against.
+        """
+        digest = hashlib.sha256()
+
+        def feed(*fields: str) -> None:
+            # Each field is terminated by \x1e (and tuple elements joined by
+            # \x1f), so adjacent variable-length fields can never collide.
+            for value in fields:
+                digest.update(value.encode("utf-8"))
+                digest.update(b"\x1e")
+
+        feed(self.domain)
+        for entity_id in self.entity_ids():
+            entity = self.entities[entity_id]
+            digest.update(b"\x1dE")
+            feed(entity_id,
+                 "\x1f".join(entity.name_tokens),
+                 "\x1f".join(entity.seed_query))
+            for type_name in sorted(entity.attributes):
+                digest.update(b"\x1dA")
+                feed(type_name, "\x1f".join(entity.attributes[type_name]))
+        for page in self.iter_pages():
+            digest.update(b"\x1dP")
+            feed(page.page_id, page.entity_id)
+            for paragraph in page.paragraphs:
+                digest.update(b"\x1dG")
+                feed(paragraph.paragraph_id,
+                     paragraph.aspect if paragraph.aspect is not None else "\x00",
+                     "\x1f".join(paragraph.tokens))
+        return digest.hexdigest()
 
     def stats(self) -> CorpusStats:
         """Compute summary statistics."""

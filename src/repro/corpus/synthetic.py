@@ -53,6 +53,12 @@ class CorpusConfig:
     background_signature_words_mean: float = 1.5
     hub_page_fraction: float = 0.2
     seed: int = 7
+    #: Ordered perturbation pipeline applied after base generation.  Each
+    #: element needs a ``name`` attribute and an ``apply(entities, pages,
+    #: spec, rng)`` method (see :mod:`repro.scenarios.perturbations`); the
+    #: generator spawns one child RNG per stage, so the pipeline is as
+    #: deterministic as the base generation.
+    perturbations: Tuple = ()
 
     def validate(self) -> None:
         """Raise ``ValueError`` for out-of-range settings."""
@@ -76,6 +82,12 @@ class CorpusConfig:
             raise ValueError("background_probability must be in [0, 1)")
         if self.min_pages_per_aspect < 0:
             raise ValueError("min_pages_per_aspect must be non-negative")
+        for perturbation in self.perturbations:
+            if not hasattr(perturbation, "name") or not callable(
+                    getattr(perturbation, "apply", None)):
+                raise ValueError(
+                    f"perturbation {perturbation!r} must have a 'name' "
+                    f"attribute and an 'apply' method")
 
 
 class CorpusGenerator:
@@ -91,13 +103,28 @@ class CorpusGenerator:
 
     # -- Public API ----------------------------------------------------------
     def generate(self) -> Corpus:
-        """Generate the full corpus."""
+        """Generate the full corpus (base generation + perturbation pipeline)."""
         entities = self._generate_entities()
         pages: Dict[str, Page] = {}
         for entity in entities.values():
             for page in self._generate_entity_pages(entity):
                 pages[page.page_id] = page
+        entities, pages = self._apply_perturbations(entities, pages)
         return Corpus(self.domain_spec, entities, pages, type_system=self.type_system)
+
+    def _apply_perturbations(self, entities: Dict[str, Entity],
+                             pages: Dict[str, Page]) -> Tuple[Dict[str, Entity], Dict[str, Page]]:
+        """Run the configured perturbation pipeline, one spawned RNG per stage.
+
+        The RNG label includes both the stage index and the perturbation
+        name, so reordering or swapping stages changes the randomness while
+        the same pipeline under the same seed stays byte-identical.
+        """
+        for index, perturbation in enumerate(self.config.perturbations):
+            rng = self._rng.spawn("perturb", index, perturbation.name)
+            entities, pages = perturbation.apply(entities, pages,
+                                                 self.domain_spec, rng)
+        return entities, pages
 
     # -- Entities -------------------------------------------------------------
     def _generate_entities(self) -> Dict[str, Entity]:

@@ -51,8 +51,19 @@ class ExperimentScale:
     num_queries_list: Tuple[int, ...]
     corpus_seed: int = 7
 
-    def corpus_for(self, domain: str) -> Corpus:
-        """Build the synthetic corpus of one domain at this scale."""
+    def corpus_for(self, domain: str, scenario=None) -> Corpus:
+        """Build the synthetic corpus of one domain at this scale.
+
+        ``scenario`` is an optional :class:`~repro.scenarios.ScenarioSpec`;
+        when given, its perturbation pipeline and config overrides are
+        applied at this scale's sizes and seed (same seed ⇒ byte-identical
+        corpus, clean or perturbed).
+        """
+        if scenario is not None:
+            return scenario.corpus_for(domain,
+                                       num_entities=self.num_entities[domain],
+                                       pages_per_entity=self.pages_per_entity,
+                                       seed=self.corpus_seed)
         return build_corpus(domain=domain,
                             num_entities=self.num_entities[domain],
                             pages_per_entity=self.pages_per_entity,
@@ -245,6 +256,27 @@ class ComparisonResult:
     def series(self, domain: str, method: str) -> MetricSeries:
         """The metric series of one method in one domain."""
         return self.series_by_domain[domain][method]
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """A plain-JSON rendering (string budget keys, sorted domains).
+
+        Used by the golden-snapshot regression test: the rendering is fully
+        deterministic, so two runs at the same scale must compare equal.
+        """
+        return {
+            "num_queries_list": list(self.num_queries_list),
+            "series_by_domain": {
+                domain: {
+                    method: {
+                        "precision": {str(k): v for k, v in sorted(s.precision.items())},
+                        "recall": {str(k): v for k, v in sorted(s.recall.items())},
+                        "f_score": {str(k): v for k, v in sorted(s.f_score.items())},
+                    }
+                    for method, s in sorted(series.items())
+                }
+                for domain, series in sorted(self.series_by_domain.items())
+            },
+        }
 
     def mean_over_domains(self, method: str, metric: str = "f_score") -> float:
         """Average of a method's mean metric over all domains."""

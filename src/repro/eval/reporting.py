@@ -131,6 +131,36 @@ def format_fig14(result: Fig14Result) -> str:
     return _format_table(headers, rows)
 
 
+def format_scenarios(result) -> str:
+    """Robustness matrix: per-domain F-scores and deltas vs the clean run.
+
+    ``result`` is a :class:`~repro.eval.scenario_sweep.ScenarioSweepResult`
+    (imported lazily to keep reporting free of the scenarios dependency).
+    """
+    sections: List[str] = [
+        f"Robustness matrix (scale={result.scale}, seed={result.seed}, "
+        f"{result.num_queries} queries; F-score, Δ vs clean)"
+    ]
+    for domain in sorted(result.cells_by_domain):
+        clean = result.clean_by_domain[domain]["metrics"]
+        rows = [["clean"] + [f"{clean[m]['f_score']:.3f}" for m in result.methods]]
+        cells = result.cells_by_domain[domain]
+        for name in result.scenarios:
+            cell = cells[name]
+            rows.append([name] + [
+                f"{cell.metrics[m]['f_score']:.3f} ({cell.f_delta[m]:+.3f})"
+                for m in result.methods
+            ])
+        sections.append(f"[{domain}]")
+        sections.append(_format_table(["Scenario"] + list(result.methods), rows))
+        sections.append("")
+    summary_rows = [[name, f"{result.mean_f_delta(name):+.3f}"]
+                    for name in result.scenarios]
+    sections.append("Mean F-score delta over domains and methods")
+    sections.append(_format_table(["Scenario", "Mean ΔF"], summary_rows))
+    return "\n".join(sections).rstrip()
+
+
 def format_headline(summary: HeadlineSummary) -> str:
     """The paper's headline claim, measured on this reproduction."""
     return "\n".join([

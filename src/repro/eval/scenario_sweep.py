@@ -1,0 +1,241 @@
+"""Robustness sweep: selectors × scenarios → F-score deltas vs clean.
+
+The paper's comparisons run on clean synthetic corpora only.
+:class:`ScenarioSweep` re-runs the evaluation protocol under every requested
+scenario (see :mod:`repro.scenarios`) and reports, per domain and per
+method, how far the ideal-normalised precision / recall / F-score move from
+the clean baseline.  The output is a machine-readable *robustness matrix*
+(``BENCH_scenarios.json``) that successive PRs can diff.
+
+Everything in the result is deterministic: corpora are seeded, harvest
+seeds derive from ``(base_seed, split, method, entity, aspect)``, and no
+wall-clock values are recorded — so the same seed reproduces the JSON
+byte-for-byte (the acceptance bar for the scenario subsystem).  Each
+corpus's :meth:`~repro.corpus.corpus.Corpus.content_digest` is embedded so
+a drifting corpus generator is distinguishable from a drifting selector.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import L2QConfig
+from repro.core.selection import selector_names
+from repro.corpus.corpus import Corpus
+from repro.eval.experiments import DOMAINS, SMOKE_SCALE, ExperimentScale
+from repro.eval.runner import BASELINE_METHODS, ExperimentRunner
+from repro.scenarios import ScenarioSpec, make_scenario, scenario_names
+
+#: Selectors swept by default: the paper's three full approaches.
+DEFAULT_SWEEP_METHODS = ("L2QP", "L2QR", "L2QBAL")
+
+#: Identifier of the serialisation layout (bump on breaking changes).
+SCHEMA = "BENCH_scenarios/v1"
+
+
+@dataclass
+class ScenarioCell:
+    """One (domain, scenario) cell of the robustness matrix."""
+
+    scenario: str
+    description: str
+    corpus_digest: str
+    metrics: Dict[str, Dict[str, float]]
+    f_delta: Dict[str, float]
+
+
+@dataclass
+class ScenarioSweepResult:
+    """The full robustness matrix plus everything needed to reproduce it."""
+
+    scale: str
+    seed: int
+    num_queries: int
+    methods: List[str]
+    scenarios: List[str]
+    clean_by_domain: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    cells_by_domain: Dict[str, Dict[str, ScenarioCell]] = field(default_factory=dict)
+
+    def f_delta(self, domain: str, scenario: str, method: str) -> float:
+        """F-score delta (scenario − clean) of one method in one domain."""
+        return self.cells_by_domain[domain][scenario].f_delta[method]
+
+    def mean_f_delta(self, scenario: str) -> float:
+        """Mean F-score delta of a scenario over all domains and methods."""
+        deltas = [cells[scenario].f_delta[method]
+                  for cells in self.cells_by_domain.values()
+                  for method in self.methods]
+        return sum(deltas) / len(deltas) if deltas else 0.0
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """A plain-JSON rendering of the matrix (deterministic content)."""
+        domains: Dict[str, object] = {}
+        for domain in sorted(self.cells_by_domain):
+            cells = self.cells_by_domain[domain]
+            domains[domain] = {
+                "clean": self.clean_by_domain[domain],
+                "scenarios": {
+                    name: {
+                        "description": cell.description,
+                        "corpus_digest": cell.corpus_digest,
+                        "metrics": cell.metrics,
+                        "f_delta": cell.f_delta,
+                    }
+                    for name, cell in sorted(cells.items())
+                },
+            }
+        return {
+            "schema": SCHEMA,
+            "scale": self.scale,
+            "seed": self.seed,
+            "num_queries": self.num_queries,
+            "methods": list(self.methods),
+            "scenarios": list(self.scenarios),
+            "domains": domains,
+            "summary": {name: {"mean_f_delta": self.mean_f_delta(name)}
+                        for name in self.scenarios},
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON text (sorted keys, trailing newline)."""
+        return json.dumps(self.to_json_dict(), indent=2, sort_keys=True) + "\n"
+
+    def write(self, path) -> Path:
+        """Write ``BENCH_scenarios.json`` (or any path) and return it."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json(), encoding="utf-8")
+        return path
+
+
+class ScenarioSweep:
+    """Runs selectors × scenarios through the evaluation protocol.
+
+    Parameters
+    ----------
+    scale:
+        Corpus / split sizing preset (``smoke`` by default: a sweep touches
+        ``(1 + len(scenarios)) × len(domains)`` corpora).
+    scenarios:
+        Scenario names to sweep (default: every registered scenario) or
+        pre-built :class:`~repro.scenarios.ScenarioSpec` instances.
+    methods:
+        Selector / baseline names understood by
+        :meth:`ExperimentRunner.create_selector`.
+    num_queries:
+        Query budget evaluated (one budget keeps the matrix 2-D).
+    workers:
+        Parallel harvesting workers per evaluation (results identical for
+        any value).
+    """
+
+    def __init__(self, scale: ExperimentScale = SMOKE_SCALE,
+                 scenarios: Optional[Sequence[object]] = None,
+                 methods: Sequence[str] = DEFAULT_SWEEP_METHODS,
+                 domains: Sequence[str] = DOMAINS,
+                 num_queries: int = 3,
+                 config: Optional[L2QConfig] = None,
+                 workers: int = 1) -> None:
+        # All inputs are validated eagerly: a sweep cell is expensive, so a
+        # typo must fail here, not mid-run after the clean baseline.
+        if not methods:
+            raise ValueError("at least one method is required")
+        harvestable = set(selector_names()) | (BASELINE_METHODS - {"IDEAL"})
+        bad_methods = [m for m in methods if m not in harvestable]
+        if bad_methods:
+            raise ValueError(f"unknown methods {bad_methods}; "
+                             f"available: {sorted(harvestable)} "
+                             f"(IDEAL is the normalisation denominator and "
+                             f"cannot be swept)")
+        self.scale = scale
+        self.specs: List[ScenarioSpec] = [
+            spec if isinstance(spec, ScenarioSpec) else make_scenario(spec)
+            for spec in (scenarios if scenarios is not None else scenario_names())
+        ]
+        if not self.specs:
+            raise ValueError("at least one scenario is required")
+        seen: Dict[str, int] = {}
+        for spec in self.specs:
+            seen[spec.name] = seen.get(spec.name, 0) + 1
+        duplicates = sorted(name for name, count in seen.items() if count > 1)
+        if duplicates:
+            raise ValueError(f"duplicate scenarios: {duplicates}")
+        bad_domains = [d for d in domains if d not in scale.num_entities]
+        if bad_domains:
+            raise ValueError(f"unknown domains {bad_domains}; this scale "
+                             f"sizes: {sorted(scale.num_entities)}")
+        self.methods = list(methods)
+        self.domains = list(domains)
+        self.num_queries = num_queries
+        self.config = config
+        self.workers = workers
+
+    def run(self) -> ScenarioSweepResult:
+        """Evaluate every (domain, scenario) cell and fold in the deltas."""
+        result = ScenarioSweepResult(
+            scale=self.scale.name,
+            seed=self.scale.corpus_seed,
+            num_queries=self.num_queries,
+            methods=list(self.methods),
+            scenarios=[spec.name for spec in self.specs],
+        )
+        for domain in self.domains:
+            clean_corpus = self.scale.corpus_for(domain)
+            clean_metrics = self._evaluate(clean_corpus)
+            result.clean_by_domain[domain] = {
+                "corpus_digest": clean_corpus.content_digest(),
+                "metrics": clean_metrics,
+            }
+            cells: Dict[str, ScenarioCell] = {}
+            for spec in self.specs:
+                corpus = self.scale.corpus_for(domain, scenario=spec)
+                metrics = self._evaluate(corpus)
+                cells[spec.name] = ScenarioCell(
+                    scenario=spec.name,
+                    description=spec.description,
+                    corpus_digest=corpus.content_digest(),
+                    metrics=metrics,
+                    f_delta={
+                        method: metrics[method]["f_score"]
+                        - clean_metrics[method]["f_score"]
+                        for method in self.methods
+                    },
+                )
+            result.cells_by_domain[domain] = cells
+        return result
+
+    def _evaluate(self, corpus: Corpus) -> Dict[str, Dict[str, float]]:
+        """Ideal-normalised metrics of every method on one corpus."""
+        runner = ExperimentRunner(corpus, config=self.config,
+                                  workers=self.workers)
+        series = runner.evaluate_methods(
+            self.methods,
+            num_queries_list=(self.num_queries,),
+            num_splits=self.scale.num_splits,
+            max_test_entities=self.scale.max_test_entities,
+            aspects=self.scale.aspects_for(corpus),
+        )
+        return {
+            method: {
+                "precision": series[method].precision[self.num_queries],
+                "recall": series[method].recall[self.num_queries],
+                "f_score": series[method].f_score[self.num_queries],
+            }
+            for method in self.methods
+        }
+
+
+def run_scenario_sweep(scale: ExperimentScale = SMOKE_SCALE,
+                       scenarios: Optional[Sequence[object]] = None,
+                       methods: Sequence[str] = DEFAULT_SWEEP_METHODS,
+                       domains: Sequence[str] = DOMAINS,
+                       num_queries: int = 3,
+                       config: Optional[L2QConfig] = None,
+                       workers: int = 1) -> ScenarioSweepResult:
+    """Convenience wrapper: build a :class:`ScenarioSweep` and run it."""
+    return ScenarioSweep(scale=scale, scenarios=scenarios, methods=methods,
+                         domains=domains, num_queries=num_queries,
+                         config=config, workers=workers).run()

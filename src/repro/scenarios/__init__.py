@@ -1,0 +1,40 @@
+"""Scenario subsystem: declarative hostile-corpus conditions.
+
+``ScenarioSpec`` describes a named pipeline of deterministic corpus
+perturbations; the registry (``register_scenario`` / ``make_scenario``)
+makes scenarios addressable by name from the CLI, the evaluation sweep and
+tests.  Importing this package registers the built-in scenarios.
+"""
+
+from repro.scenarios.perturbations import (
+    AspectSignalDropout,
+    CrossDomainVocabulary,
+    DistractorEntities,
+    DomainMixtureParagraphs,
+    NearDuplicateInjection,
+    ZipfPageSkew,
+)
+from repro.scenarios.registry import (
+    ScenarioSpec,
+    is_registered,
+    make_scenario,
+    register_scenario,
+    scenario_names,
+)
+
+# Importing the module registers the built-in scenarios as a side effect.
+from repro.scenarios import builtin as _builtin  # noqa: F401  (registration)
+
+__all__ = [
+    "AspectSignalDropout",
+    "CrossDomainVocabulary",
+    "DistractorEntities",
+    "DomainMixtureParagraphs",
+    "NearDuplicateInjection",
+    "ScenarioSpec",
+    "ZipfPageSkew",
+    "is_registered",
+    "make_scenario",
+    "register_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,115 @@
+"""Built-in scenarios: the robustness conditions every sweep can rely on.
+
+Each factory takes severity parameters with sensible defaults, so the same
+condition can be dialled up or down (``make_scenario("zipf-skew",
+exponent=1.5)``).  The ``hostile-mix`` scenario composes several
+perturbations, which is the point of the pipeline design: perturbations are
+closed under composition.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.perturbations import (
+    AspectSignalDropout,
+    CrossDomainVocabulary,
+    DistractorEntities,
+    DomainMixtureParagraphs,
+    NearDuplicateInjection,
+    ZipfPageSkew,
+)
+from repro.scenarios.registry import ScenarioSpec, register_scenario
+
+
+@register_scenario("zipf-skew")
+def _zipf_skew(exponent: float = 1.0, min_pages: int = 1) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="zipf-skew",
+        description="Zipf-skewed page counts: head entities keep their "
+                    "pages, tail entities are starved",
+        perturbations=(ZipfPageSkew(exponent=exponent, min_pages=min_pages),),
+        tags=("skew",),
+    )
+
+
+@register_scenario("near-duplicates")
+def _near_duplicates(fraction: float = 0.4,
+                     token_noise: float = 0.1) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="near-duplicates",
+        description="Mirror/syndication noise: near-identical copies of a "
+                    "fraction of every entity's pages",
+        perturbations=(NearDuplicateInjection(fraction=fraction,
+                                              token_noise=token_noise),),
+        tags=("noise", "redundancy"),
+    )
+
+
+@register_scenario("cross-domain-bleed")
+def _cross_domain_bleed(rate: float = 0.6, min_words: int = 2,
+                        max_words: int = 4) -> ScenarioSpec:
+    # Severity chosen so the bleed actually flips selection decisions even
+    # at smoke scale; milder rates leave every metric bit-identical to clean.
+    return ScenarioSpec(
+        name="cross-domain-bleed",
+        description="Vocabulary of the other domain leaks into paragraphs, "
+                    "blurring domain-generic signal",
+        perturbations=(CrossDomainVocabulary(rate=rate, min_words=min_words,
+                                             max_words=max_words),),
+        tags=("noise", "cross-domain"),
+    )
+
+
+@register_scenario("distractor-entities")
+def _distractor_entities(fraction: float = 0.3,
+                         pages_per_distractor: int = 4,
+                         mislabel_probability: float = 0.2) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="distractor-entities",
+        description="Namesake entities shadow real entity names with "
+                    "aspect-free (and occasionally mislabelled) pages",
+        perturbations=(DistractorEntities(
+            fraction=fraction,
+            pages_per_distractor=pages_per_distractor,
+            mislabel_probability=mislabel_probability),),
+        tags=("noise", "shadowing"),
+    )
+
+
+@register_scenario("aspect-dropout")
+def _aspect_dropout(dropout: float = 0.5,
+                    attribute_noise: float = 0.5) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="aspect-dropout",
+        description="Labelled paragraphs lose their signature words and "
+                    "part of their attribute signal",
+        perturbations=(AspectSignalDropout(dropout=dropout,
+                                           attribute_noise=attribute_noise),),
+        tags=("signal-loss",),
+    )
+
+
+@register_scenario("domain-mixture")
+def _domain_mixture(page_fraction: float = 0.4) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="domain-mixture",
+        description="Whole boilerplate paragraphs of the other domain are "
+                    "appended to pages (multi-domain portal pages)",
+        perturbations=(DomainMixtureParagraphs(page_fraction=page_fraction),),
+        tags=("noise", "cross-domain"),
+    )
+
+
+@register_scenario("hostile-mix")
+def _hostile_mix() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="hostile-mix",
+        description="Everything at once, gently: mild skew, duplicates, "
+                    "vocabulary bleed and signal dropout composed",
+        perturbations=(
+            ZipfPageSkew(exponent=0.5),
+            NearDuplicateInjection(fraction=0.2),
+            CrossDomainVocabulary(rate=0.2),
+            AspectSignalDropout(dropout=0.25, attribute_noise=0.25),
+        ),
+        tags=("composite",),
+    )

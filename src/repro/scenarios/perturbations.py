@@ -1,0 +1,422 @@
+"""Deterministic corpus perturbations — the building blocks of scenarios.
+
+The paper's evaluation corpora are well-behaved: every entity has the same
+number of pages, aspect paragraphs carry their full signal, and the two
+domains never bleed into each other.  Real harvesting corpora are hostile in
+all of those ways.  Each class here is one *perturbation*: a deterministic
+transformation of the generated ``(entities, pages)`` maps that injects one
+kind of hostility.  Perturbations compose — :class:`CorpusGenerator` applies
+them in order after base generation, each with its own spawned RNG, so any
+pipeline is byte-identical for a fixed seed.
+
+A perturbation is any object with a ``name`` attribute and an
+``apply(entities, pages, spec, rng)`` method returning new ``(entities,
+pages)`` maps; the dataclasses below are the built-in vocabulary:
+
+* :class:`ZipfPageSkew` — Zipf-skewed page counts per entity (head entities
+  keep their pages, tail entities are starved);
+* :class:`NearDuplicateInjection` — near-identical copies of existing pages
+  (mirror/syndication noise);
+* :class:`CrossDomainVocabulary` — words of *another* domain's pools leak
+  into paragraphs (vocabulary overlap across verticals);
+* :class:`DistractorEntities` — extra entities that *shadow* real entity
+  names but carry no aspect content (name-collision noise);
+* :class:`AspectSignalDropout` — aspect paragraphs lose their signature
+  words and part of their attribute signal while keeping their label;
+* :class:`DomainMixtureParagraphs` — boilerplate paragraphs rendered from a
+  second domain's templates are appended to pages (multi-domain mixtures).
+
+All iteration is over sorted ids and all randomness flows through the
+supplied :class:`~repro.utils.rng.SeededRandom`, which keeps every
+perturbation deterministic and composable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.corpus.document import Entity, Page, Paragraph
+from repro.corpus.domains import DomainSpec, available_domains, get_domain
+from repro.corpus.knowledge_base import TypeSystem
+from repro.utils.rng import SeededRandom
+
+EntityMap = Dict[str, Entity]
+PageMap = Dict[str, Page]
+
+
+def _sorted_pages_by_entity(pages: PageMap) -> Dict[str, List[str]]:
+    """Group page ids by entity, each group sorted (deterministic order)."""
+    grouped: Dict[str, List[str]] = {}
+    for page_id in sorted(pages):
+        grouped.setdefault(pages[page_id].entity_id, []).append(page_id)
+    return grouped
+
+
+def _other_domain(spec: DomainSpec, requested: Optional[str]) -> DomainSpec:
+    """Resolve the foreign domain used for cross-domain perturbations."""
+    if requested is not None and requested != spec.name:
+        return get_domain(requested)
+    for name in available_domains():
+        if name != spec.name:
+            return get_domain(name)
+    return spec  # Single-domain installs degrade to self-bleed.
+
+
+def _foreign_word_pool(spec: DomainSpec) -> Tuple[str, ...]:
+    """Signature + attribute words of a domain, as one sorted pool."""
+    words: set = set()
+    for aspect in spec.aspects:
+        words.update(TypeSystem.canonical(w) for w in aspect.signature_words)
+    for pool_name, values in sorted(spec.expanded_pools().items()):
+        # Hand-written pool heads only: synthetic tail values are unique to
+        # the generating domain and would never collide in practice.
+        words.update(v for v in values if not v.startswith(f"{pool_name}_"))
+    return tuple(sorted(words))
+
+
+def _fill_template_from_pools(template: str, pools: Dict[str, Tuple[str, ...]],
+                              rng: SeededRandom) -> List[str]:
+    """Render one sentence template using domain-wide pools only.
+
+    A reduced version of :meth:`CorpusGenerator._fill_template` for
+    perturbations, which have no entity to draw attributes from: every slot
+    is filled from the *domain-wide* pool of its type.
+    """
+    tokens: List[str] = []
+    for raw in template.split():
+        if raw.startswith("{") and raw.endswith("}"):
+            type_name = raw[1:-1].lstrip("~")
+            pool = pools.get(type_name, ())
+            if pool:
+                tokens.append(rng.choice(pool))
+            elif type_name == "year":
+                tokens.append(str(rng.randint(1995, 2015)))
+            else:
+                tokens.append(type_name)
+        else:
+            tokens.append(TypeSystem.canonical(raw))
+    return tokens
+
+
+@dataclass(frozen=True)
+class ZipfPageSkew:
+    """Skew per-entity page counts to a Zipf profile.
+
+    Entity ranks are assigned by a seeded shuffle; the entity at rank ``r``
+    (0-based) keeps ``max(min_pages, n / (r + 1) ** exponent)`` of its pages
+    (lowest page ids first, so the kept set is stable).  The head of the
+    distribution is untouched while the tail is starved of pages — the shape
+    of real web coverage, where popular entities dominate the crawl.
+    """
+
+    exponent: float = 1.0
+    min_pages: int = 1
+    name: str = "zipf-page-skew"
+
+    def __post_init__(self) -> None:
+        if self.exponent < 0:
+            raise ValueError("exponent must be non-negative")
+        if self.min_pages < 1:
+            raise ValueError("min_pages must be >= 1")
+
+    def apply(self, entities: EntityMap, pages: PageMap, spec: DomainSpec,
+              rng: SeededRandom) -> Tuple[EntityMap, PageMap]:
+        ranked = rng.shuffled(sorted(entities))
+        grouped = _sorted_pages_by_entity(pages)
+        kept: PageMap = {}
+        for rank, entity_id in enumerate(ranked):
+            page_ids = grouped.get(entity_id, [])
+            quota = max(self.min_pages,
+                        round(len(page_ids) / (rank + 1) ** self.exponent))
+            for page_id in page_ids[:quota]:
+                kept[page_id] = pages[page_id]
+        return dict(entities), kept
+
+
+@dataclass(frozen=True)
+class NearDuplicateInjection:
+    """Inject near-identical copies of existing pages.
+
+    Mirrors, syndicated articles and boilerplate re-posts mean a harvested
+    working set contains many almost-duplicates.  For each entity a
+    ``fraction`` of its pages are copied; each copy perturbs tokens with
+    probability ``token_noise`` (replaced by a domain generic word) so the
+    duplicate is near- rather than exact.  Copies keep the source's aspect
+    labels: they *are* relevant pages, and gathering them wastes budget
+    without adding recall.
+    """
+
+    fraction: float = 0.3
+    token_noise: float = 0.1
+    name: str = "near-duplicates"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        if not 0.0 <= self.token_noise < 1.0:
+            raise ValueError("token_noise must be in [0, 1)")
+
+    def apply(self, entities: EntityMap, pages: PageMap, spec: DomainSpec,
+              rng: SeededRandom) -> Tuple[EntityMap, PageMap]:
+        fillers = spec.generic_words or ("info", "page", "site")
+        out = dict(pages)
+        for entity_id, page_ids in sorted(_sorted_pages_by_entity(pages).items()):
+            entity_rng = rng.spawn(entity_id)
+            count = round(self.fraction * len(page_ids))
+            for copy_index, source_id in enumerate(
+                    sorted(entity_rng.sample(page_ids, count))):
+                source = pages[source_id]
+                dup_id = f"{source_id}_dup{copy_index:02d}"
+                dup_rng = entity_rng.spawn("dup", copy_index)
+                paragraphs = tuple(
+                    Paragraph(
+                        paragraph_id=f"{dup_id}#{para_index}",
+                        tokens=tuple(
+                            TypeSystem.canonical(dup_rng.choice(fillers))
+                            if dup_rng.random() < self.token_noise else token
+                            for token in paragraph.tokens),
+                        aspect=paragraph.aspect,
+                    )
+                    for para_index, paragraph in enumerate(source.paragraphs))
+                out[dup_id] = Page(page_id=dup_id, entity_id=entity_id,
+                                   paragraphs=paragraphs)
+        return dict(entities), out
+
+
+@dataclass(frozen=True)
+class CrossDomainVocabulary:
+    """Leak another domain's vocabulary into this corpus's paragraphs.
+
+    Web pages about a researcher mention cars, prices and reviews; pages
+    about a car model cite awards and publications.  With probability
+    ``rate`` per paragraph, between ``min_words`` and ``max_words`` words
+    drawn from the foreign domain's signature/pool vocabulary are appended,
+    so generic foreign words stop being reliable negative signal.
+    """
+
+    other_domain: Optional[str] = None
+    rate: float = 0.25
+    min_words: int = 1
+    max_words: int = 3
+    name: str = "cross-domain-vocabulary"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        if self.min_words < 1 or self.min_words > self.max_words:
+            raise ValueError("need 1 <= min_words <= max_words")
+
+    def apply(self, entities: EntityMap, pages: PageMap, spec: DomainSpec,
+              rng: SeededRandom) -> Tuple[EntityMap, PageMap]:
+        foreign = _foreign_word_pool(_other_domain(spec, self.other_domain))
+        if not foreign:
+            return dict(entities), dict(pages)
+        out: PageMap = {}
+        for page_id in sorted(pages):
+            page = pages[page_id]
+            page_rng = rng.spawn(page_id)
+            paragraphs = []
+            for paragraph in page.paragraphs:
+                if page_rng.random() < self.rate:
+                    extra = tuple(
+                        page_rng.choice(foreign)
+                        for _ in range(page_rng.randint(self.min_words,
+                                                        self.max_words)))
+                    paragraph = Paragraph(
+                        paragraph_id=paragraph.paragraph_id,
+                        tokens=paragraph.tokens + extra,
+                        aspect=paragraph.aspect)
+                paragraphs.append(paragraph)
+            out[page_id] = Page(page_id=page_id, entity_id=page.entity_id,
+                                paragraphs=tuple(paragraphs))
+        return dict(entities), out
+
+
+@dataclass(frozen=True)
+class DistractorEntities:
+    """Add entities whose names shadow real entities.
+
+    Name collisions are endemic on the Web: several people (or trim levels)
+    share a name, and pages about the namesake pollute anything learned from
+    name-matching.  Each distractor copies a victim's ``name_tokens`` but has
+    its own id and pages.  Distractor pages mention the shared name, sprinkle
+    signature words of random aspects and — with probability
+    ``mislabel_probability`` per paragraph — carry an aspect *label* whose
+    content is actually another aspect's vocabulary, poisoning classifier
+    training and domain-phase learning.
+    """
+
+    fraction: float = 0.25
+    pages_per_distractor: int = 4
+    mislabel_probability: float = 0.2
+    name: str = "distractor-entities"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        if self.pages_per_distractor < 1:
+            raise ValueError("pages_per_distractor must be >= 1")
+        if not 0.0 <= self.mislabel_probability <= 1.0:
+            raise ValueError("mislabel_probability must be in [0, 1]")
+
+    def apply(self, entities: EntityMap, pages: PageMap, spec: DomainSpec,
+              rng: SeededRandom) -> Tuple[EntityMap, PageMap]:
+        victims = sorted(entities)
+        if not victims:
+            return dict(entities), dict(pages)
+        count = max(1, round(self.fraction * len(victims))) if self.fraction > 0 else 0
+        aspect_names = [a.name for a in spec.aspects]
+        signature_by_aspect = {
+            a.name: tuple(TypeSystem.canonical(w) for w in a.signature_words)
+            for a in spec.aspects}
+        generic = spec.generic_words or ("official", "page", "news")
+        out_entities = dict(entities)
+        out_pages = dict(pages)
+        for index in range(count):
+            distractor_rng = rng.spawn("distractor", index)
+            victim = entities[distractor_rng.choice(victims)]
+            entity_id = f"{spec.name}_dx{index:04d}"
+            out_entities[entity_id] = Entity(
+                entity_id=entity_id,
+                domain=spec.name,
+                name_tokens=victim.name_tokens,
+                seed_query=victim.name_tokens + (f"namesake{index:02d}",),
+                attributes={},
+            )
+            for page_index in range(self.pages_per_distractor):
+                page_id = f"{entity_id}_p{page_index:03d}"
+                page_rng = distractor_rng.spawn("page", page_index)
+                paragraphs = []
+                for para_index in range(page_rng.randint(1, 3)):
+                    content_aspect = page_rng.choice(aspect_names)
+                    tokens: List[str] = list(victim.name_tokens)
+                    signature = signature_by_aspect.get(content_aspect, ())
+                    for _ in range(page_rng.randint(2, 4)):
+                        tokens.append(page_rng.choice(signature) if signature
+                                      else TypeSystem.canonical(page_rng.choice(generic)))
+                    tokens.append(TypeSystem.canonical(page_rng.choice(generic)))
+                    # A mislabelled paragraph claims to be about a *different*
+                    # aspect than its vocabulary suggests.
+                    label = None
+                    if page_rng.random() < self.mislabel_probability:
+                        label = page_rng.choice(
+                            [a for a in aspect_names if a != content_aspect]
+                            or aspect_names)
+                    paragraphs.append(Paragraph(
+                        paragraph_id=f"{page_id}#{para_index}",
+                        tokens=tuple(tokens),
+                        aspect=label))
+                out_pages[page_id] = Page(page_id=page_id, entity_id=entity_id,
+                                          paragraphs=tuple(paragraphs))
+        return out_entities, out_pages
+
+
+@dataclass(frozen=True)
+class AspectSignalDropout:
+    """Strip aspect signal from labelled paragraphs while keeping the label.
+
+    With probability ``dropout`` a labelled paragraph loses *all* signature
+    words of its aspect, and each of the entity's attribute-word occurrences
+    is replaced by a generic word with probability ``attribute_noise``.  The
+    ground truth is unchanged — the page is still relevant — but the words a
+    selector could have exploited to find it are gone, modelling terse or
+    paywalled pages whose aspect content is only implicit.
+    """
+
+    dropout: float = 0.5
+    attribute_noise: float = 0.5
+    name: str = "aspect-signal-dropout"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.dropout <= 1.0:
+            raise ValueError("dropout must be in [0, 1]")
+        if not 0.0 <= self.attribute_noise <= 1.0:
+            raise ValueError("attribute_noise must be in [0, 1]")
+
+    def apply(self, entities: EntityMap, pages: PageMap, spec: DomainSpec,
+              rng: SeededRandom) -> Tuple[EntityMap, PageMap]:
+        signature_by_aspect = {
+            a.name: frozenset(TypeSystem.canonical(w) for w in a.signature_words)
+            for a in spec.aspects}
+        generic = spec.generic_words or ("overview", "general", "summary")
+        out: PageMap = {}
+        for page_id in sorted(pages):
+            page = pages[page_id]
+            page_rng = rng.spawn(page_id)
+            entity = entities.get(page.entity_id)
+            attribute_words = entity.all_attribute_words() if entity else frozenset()
+            paragraphs = []
+            for paragraph in page.paragraphs:
+                if paragraph.aspect is not None and page_rng.random() < self.dropout:
+                    signature = signature_by_aspect.get(paragraph.aspect, frozenset())
+                    tokens: List[str] = []
+                    for token in paragraph.tokens:
+                        if token in signature:
+                            continue
+                        if token in attribute_words and \
+                                page_rng.random() < self.attribute_noise:
+                            tokens.append(TypeSystem.canonical(page_rng.choice(generic)))
+                        else:
+                            tokens.append(token)
+                    if not tokens:
+                        tokens = [TypeSystem.canonical(generic[0])]
+                    paragraph = Paragraph(paragraph_id=paragraph.paragraph_id,
+                                          tokens=tuple(tokens),
+                                          aspect=paragraph.aspect)
+                paragraphs.append(paragraph)
+            out[page_id] = Page(page_id=page_id, entity_id=page.entity_id,
+                                paragraphs=tuple(paragraphs))
+        return dict(entities), out
+
+
+@dataclass(frozen=True)
+class DomainMixtureParagraphs:
+    """Append boilerplate paragraphs rendered from another domain's templates.
+
+    Whole background paragraphs of a second domain (filled from that domain's
+    word pools) are appended to a ``page_fraction`` of pages, so pages are
+    genuine multi-domain mixtures rather than merely sharing a few words —
+    the difference between a car review mentioning an award and a portal page
+    that is half car review, half researcher profile.
+    """
+
+    other_domain: Optional[str] = None
+    page_fraction: float = 0.4
+    min_paragraphs: int = 1
+    max_paragraphs: int = 2
+    name: str = "domain-mixture"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.page_fraction <= 1.0:
+            raise ValueError("page_fraction must be in [0, 1]")
+        if self.min_paragraphs < 1 or self.min_paragraphs > self.max_paragraphs:
+            raise ValueError("need 1 <= min_paragraphs <= max_paragraphs")
+
+    def apply(self, entities: EntityMap, pages: PageMap, spec: DomainSpec,
+              rng: SeededRandom) -> Tuple[EntityMap, PageMap]:
+        foreign = _other_domain(spec, self.other_domain)
+        templates = foreign.background_templates
+        if not templates:
+            return dict(entities), dict(pages)
+        pools = foreign.expanded_pools()
+        out: PageMap = {}
+        for page_id in sorted(pages):
+            page = pages[page_id]
+            page_rng = rng.spawn(page_id)
+            if page_rng.random() >= self.page_fraction:
+                out[page_id] = page
+                continue
+            extra = []
+            base = len(page.paragraphs)
+            for offset in range(page_rng.randint(self.min_paragraphs,
+                                                 self.max_paragraphs)):
+                tokens = _fill_template_from_pools(
+                    page_rng.choice(templates), pools, page_rng)
+                extra.append(Paragraph(
+                    paragraph_id=f"{page_id}#mix{base + offset}",
+                    tokens=tuple(tokens),
+                    aspect=None))
+            out[page_id] = Page(page_id=page_id, entity_id=page.entity_id,
+                                paragraphs=page.paragraphs + tuple(extra))
+        return dict(entities), out

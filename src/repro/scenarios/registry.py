@@ -1,0 +1,114 @@
+"""The declarative :class:`ScenarioSpec` and the scenario registry.
+
+A *scenario* names a reproducible hostile-corpus condition: an ordered
+pipeline of perturbations plus optional :class:`CorpusConfig` overrides.
+Scenarios are registered by name, mirroring the ranker registry of
+:mod:`repro.search.rankers`::
+
+    from repro.scenarios import register_scenario, make_scenario
+
+    @register_scenario("my-noise")
+    def _my_noise(rate: float = 0.5) -> ScenarioSpec:
+        return ScenarioSpec(
+            name="my-noise",
+            description="my custom noise condition",
+            perturbations=(CrossDomainVocabulary(rate=rate),),
+        )
+
+    corpus = make_scenario("my-noise", rate=0.8).corpus_for(
+        "researcher", num_entities=24, pages_per_entity=16, seed=3)
+
+Factories take keyword parameters and return a spec, so the same scenario
+family can be instantiated at different severities.  Duplicate registration
+raises unless ``overwrite=True`` is passed — silently replacing a scenario
+would silently change every benchmark built on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Tuple
+
+from repro.corpus.corpus import Corpus
+from repro.corpus.synthetic import CorpusConfig, CorpusGenerator
+from repro.utils.registry import NamedRegistry
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named, fully-specified corpus condition.
+
+    Attributes
+    ----------
+    name:
+        Registry name, e.g. ``"zipf-skew"``.
+    description:
+        One-line human description (shown by ``repro scenarios list``).
+    perturbations:
+        Ordered perturbation pipeline applied after base generation.  Each
+        element needs a ``name`` attribute and an
+        ``apply(entities, pages, spec, rng)`` method (see
+        :mod:`repro.scenarios.perturbations`).
+    config_overrides:
+        Extra :class:`CorpusConfig` fields the scenario pins (e.g. a higher
+        ``hub_page_fraction``); explicit ``corpus_for`` overrides win.
+    tags:
+        Free-form labels ("noise", "skew", ...) for filtering.
+    """
+
+    name: str
+    description: str
+    perturbations: Tuple[object, ...] = ()
+    config_overrides: Mapping[str, object] = field(default_factory=dict)
+    tags: Tuple[str, ...] = ()
+
+    def build_config(self, domain: str, num_entities: int, pages_per_entity: int,
+                     seed: int, **overrides) -> CorpusConfig:
+        """Assemble the :class:`CorpusConfig` realising this scenario."""
+        params: Dict[str, object] = dict(self.config_overrides)
+        params.update(overrides)
+        return CorpusConfig(domain=domain, num_entities=num_entities,
+                            pages_per_entity=pages_per_entity, seed=seed,
+                            perturbations=tuple(self.perturbations), **params)
+
+    def corpus_for(self, domain: str, num_entities: int, pages_per_entity: int,
+                   seed: int, **overrides) -> Corpus:
+        """Generate this scenario's corpus for one domain (deterministic)."""
+        config = self.build_config(domain, num_entities, pages_per_entity,
+                                   seed, **overrides)
+        return CorpusGenerator(config).generate()
+
+
+ScenarioFactory = Callable[..., ScenarioSpec]
+
+_REGISTRY = NamedRegistry("scenario")
+#: The underlying name → factory map (exposed for tests' cleanup pops).
+_SCENARIOS: Dict[str, ScenarioFactory] = _REGISTRY.factories
+
+
+def register_scenario(name: str, factory: ScenarioFactory = None, *,
+                      overwrite: bool = False):
+    """Register a scenario factory under ``name``.
+
+    Usable both as a decorator (``@register_scenario("zipf-skew")``) and as
+    a plain call (``register_scenario("zipf-skew", factory)``).  Registering
+    an already-taken name raises :class:`ValueError` unless
+    ``overwrite=True``: a silently replaced scenario would silently change
+    every robustness benchmark that references it.
+    """
+    return _REGISTRY.register(name, factory, overwrite=overwrite)
+
+
+def make_scenario(name: str, **params) -> ScenarioSpec:
+    """Instantiate the registered scenario ``name`` with ``params``."""
+    return _REGISTRY.make(name, **params)
+
+
+def scenario_names() -> List[str]:
+    """Names of all registered scenarios, sorted."""
+    return _REGISTRY.names()
+
+
+def is_registered(name: str) -> bool:
+    """Whether ``name`` resolves to a registered scenario."""
+    return name in _REGISTRY

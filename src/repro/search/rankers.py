@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Protocol, Sequence, Tuple, runtime_chec
 
 from repro.search.bm25 import BM25Ranker
 from repro.search.language_model import DirichletLanguageModel
+from repro.utils.registry import NamedRegistry
 
 RANKER_DIRICHLET = "dirichlet"
 RANKER_BM25 = "bm25"
@@ -44,46 +45,38 @@ class Ranker(Protocol):
 
 RankerFactory = Callable[..., Ranker]
 
-_RANKERS: Dict[str, RankerFactory] = {}
+_REGISTRY = NamedRegistry("ranker")
+#: The underlying name → factory map (exposed for tests' cleanup pops).
+_RANKERS: Dict[str, RankerFactory] = _REGISTRY.factories
 
 
-def register_ranker(name: str, factory: RankerFactory = None):
+def register_ranker(name: str, factory: RankerFactory = None, *,
+                    overwrite: bool = False):
     """Register a ranker factory under ``name``.
 
     Usable both as a decorator (``@register_ranker("tf")``) and as a plain
-    call (``register_ranker("tf", factory)``).  Re-registering a name
-    overwrites the previous factory, which keeps interactive sessions and
-    test reloads painless.
+    call (``register_ranker("tf", factory)``).  Registering an
+    already-taken name raises :class:`ValueError` unless ``overwrite=True``
+    — two plugins silently fighting over one name would make engine
+    behaviour depend on import order.  Pass ``overwrite=True`` in
+    interactive sessions that re-run registration cells.
     """
-    if factory is not None:
-        _RANKERS[name] = factory
-        return factory
-
-    def decorator(f: RankerFactory) -> RankerFactory:
-        _RANKERS[name] = f
-        return f
-
-    return decorator
+    return _REGISTRY.register(name, factory, overwrite=overwrite)
 
 
 def make_ranker(name: str, index, **params) -> Ranker:
     """Instantiate the registered ranker ``name`` over ``index``."""
-    try:
-        factory = _RANKERS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown ranker {name!r}; available: {ranker_names()}") from None
-    return factory(index, **params)
+    return _REGISTRY.make(name, index, **params)
 
 
 def ranker_names() -> List[str]:
     """Names of all registered rankers, sorted."""
-    return sorted(_RANKERS)
+    return _REGISTRY.names()
 
 
 def is_registered(name: str) -> bool:
     """Whether ``name`` resolves to a registered ranker."""
-    return name in _RANKERS
+    return name in _REGISTRY
 
 
 # -- Built-in models ---------------------------------------------------------

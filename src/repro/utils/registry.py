@@ -1,0 +1,59 @@
+"""A tiny named-factory registry shared by the ranker and scenario registries.
+
+Both registries want the same semantics: decorator-or-plain registration,
+duplicate names rejected unless ``overwrite=True`` (with idempotent
+re-registration of the *same* factory object), lookup errors that list the
+available names, and sorted introspection.  Keeping the logic here means the
+two registries cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+
+class NamedRegistry:
+    """Factories registered under unique names, for one ``kind`` of thing."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self.factories: Dict[str, Callable] = {}
+
+    def register(self, name: str, factory: Callable = None, *,
+                 overwrite: bool = False):
+        """Register ``factory`` under ``name`` (decorator or plain call).
+
+        Registering an already-taken name raises :class:`ValueError` unless
+        ``overwrite=True`` or the factory is the very same object (so
+        re-running a registration cell is harmless).
+        """
+
+        def _store(f: Callable) -> Callable:
+            if not overwrite and name in self.factories \
+                    and self.factories[name] is not f:
+                raise ValueError(
+                    f"{self.kind} {name!r} is already registered; "
+                    f"pass overwrite=True to replace it")
+            self.factories[name] = f
+            return f
+
+        if factory is not None:
+            return _store(factory)
+        return _store
+
+    def make(self, name: str, *args, **kwargs):
+        """Instantiate the factory registered under ``name``."""
+        try:
+            factory = self.factories[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown {self.kind} {name!r}; "
+                f"available: {self.names()}") from None
+        return factory(*args, **kwargs)
+
+    def names(self) -> List[str]:
+        """All registered names, sorted."""
+        return sorted(self.factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.factories

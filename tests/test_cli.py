@@ -69,3 +69,53 @@ class TestExperimentCommand:
                      "--domains", "researcher"], out=out)
         assert code == 0
         assert "RESEARCH" in out.getvalue()
+
+
+class TestScenariosCommand:
+    def test_scenarios_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios"])
+
+    def test_list_prints_registered_scenarios(self):
+        out = io.StringIO()
+        code = main(["scenarios", "list"], out=out)
+        assert code == 0
+        text = out.getvalue()
+        for name in ("zipf-skew", "near-duplicates", "cross-domain-bleed",
+                     "aspect-dropout"):
+            assert name in text
+        assert "stages:" in text
+
+    def test_run_writes_robustness_matrix(self, tmp_path):
+        import json
+
+        out = io.StringIO()
+        output = tmp_path / "BENCH_scenarios.json"
+        code = main(["scenarios", "run", "--scale", "smoke",
+                     "--scenarios", "zipf-skew",
+                     "--methods", "MQ",
+                     "--domains", "researcher",
+                     "--queries", "2",
+                     "--output", str(output)], out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "Robustness matrix" in text
+        assert "zipf-skew" in text
+        assert str(output) in text
+        report = json.loads(output.read_text(encoding="utf-8"))
+        assert report["scenarios"] == ["zipf-skew"]
+        assert "MQ" in report["domains"]["researcher"]["scenarios"]["zipf-skew"]["f_delta"]
+
+    def test_run_rejects_unknown_scenario(self, tmp_path):
+        out = io.StringIO()
+        code = main(["scenarios", "run", "--scenarios", "no-such-scenario",
+                     "--output", str(tmp_path / "x.json")], out=out)
+        assert code == 2
+        assert "unknown scenario" in out.getvalue()
+
+    def test_run_rejects_unknown_method(self, tmp_path):
+        out = io.StringIO()
+        code = main(["scenarios", "run", "--methods", "L2QBall",
+                     "--output", str(tmp_path / "x.json")], out=out)
+        assert code == 2
+        assert "unknown methods" in out.getvalue()

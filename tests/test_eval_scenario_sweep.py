@@ -1,0 +1,153 @@
+"""Tests for the robustness sweep (selectors × scenarios)."""
+
+import json
+
+import pytest
+
+from repro.eval.experiments import ExperimentScale
+from repro.eval.reporting import format_scenarios
+from repro.eval.scenario_sweep import (
+    DEFAULT_SWEEP_METHODS,
+    SCHEMA,
+    ScenarioSweep,
+    run_scenario_sweep,
+)
+from repro.scenarios import ScenarioSpec, ZipfPageSkew, make_scenario
+
+#: Smallest scale that still exercises the full protocol.
+TINY_SCALE = ExperimentScale(
+    name="tiny",
+    num_entities={"researcher": 12, "car": 10},
+    pages_per_entity=8,
+    num_splits=1,
+    max_test_entities=2,
+    max_aspects=2,
+    num_queries_list=(2,),
+    corpus_seed=11,
+)
+
+SCENARIOS = ("zipf-skew", "near-duplicates")
+
+
+@pytest.fixture(scope="module")
+def sweep_result():
+    return run_scenario_sweep(scale=TINY_SCALE, scenarios=SCENARIOS,
+                              methods=("L2QBAL", "MQ"),
+                              domains=("researcher",), num_queries=2)
+
+
+class TestSweepStructure:
+    def test_matrix_covers_scenarios_and_methods(self, sweep_result):
+        assert sweep_result.scenarios == list(SCENARIOS)
+        cells = sweep_result.cells_by_domain["researcher"]
+        assert set(cells) == set(SCENARIOS)
+        for cell in cells.values():
+            assert set(cell.f_delta) == {"L2QBAL", "MQ"}
+            assert set(cell.metrics) == {"L2QBAL", "MQ"}
+            for metrics in cell.metrics.values():
+                assert set(metrics) == {"precision", "recall", "f_score"}
+
+    def test_deltas_are_scenario_minus_clean(self, sweep_result):
+        clean = sweep_result.clean_by_domain["researcher"]["metrics"]
+        for name in SCENARIOS:
+            cell = sweep_result.cells_by_domain["researcher"][name]
+            for method in ("L2QBAL", "MQ"):
+                expected = cell.metrics[method]["f_score"] - clean[method]["f_score"]
+                assert sweep_result.f_delta("researcher", name, method) == expected
+
+    def test_perturbed_corpora_differ_from_clean(self, sweep_result):
+        clean_digest = sweep_result.clean_by_domain["researcher"]["corpus_digest"]
+        for cell in sweep_result.cells_by_domain["researcher"].values():
+            assert cell.corpus_digest != clean_digest
+
+    def test_mean_f_delta_averages_domains_and_methods(self, sweep_result):
+        name = SCENARIOS[0]
+        cell = sweep_result.cells_by_domain["researcher"][name]
+        expected = (cell.f_delta["L2QBAL"] + cell.f_delta["MQ"]) / 2
+        assert sweep_result.mean_f_delta(name) == pytest.approx(expected)
+
+    def test_json_dict_shape(self, sweep_result):
+        report = sweep_result.to_json_dict()
+        assert report["schema"] == SCHEMA
+        assert report["scale"] == "tiny"
+        assert report["seed"] == TINY_SCALE.corpus_seed
+        assert report["scenarios"] == list(SCENARIOS)
+        block = report["domains"]["researcher"]
+        assert set(block["scenarios"]) == set(SCENARIOS)
+        for name in SCENARIOS:
+            assert name in report["summary"]
+            assert "mean_f_delta" in report["summary"][name]
+        # The rendering must survive a JSON round-trip unchanged.
+        assert json.loads(json.dumps(report)) == report
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_json_byte_for_byte(self):
+        kwargs = dict(scale=TINY_SCALE, scenarios=("zipf-skew",),
+                      methods=("L2QBAL",), domains=("researcher",),
+                      num_queries=2)
+        first = run_scenario_sweep(**kwargs).to_json()
+        second = run_scenario_sweep(**kwargs).to_json()
+        assert first == second
+
+    def test_worker_count_does_not_change_result(self):
+        kwargs = dict(scale=TINY_SCALE, scenarios=("zipf-skew",),
+                      methods=("L2QBAL",), domains=("researcher",),
+                      num_queries=2)
+        serial = run_scenario_sweep(workers=1, **kwargs).to_json()
+        parallel = run_scenario_sweep(workers=4, **kwargs).to_json()
+        assert serial == parallel
+
+
+class TestOutput:
+    def test_write_creates_parent_dirs(self, sweep_result, tmp_path):
+        path = sweep_result.write(tmp_path / "nested" / "BENCH_scenarios.json")
+        assert path.exists()
+        assert json.loads(path.read_text(encoding="utf-8"))["scale"] == "tiny"
+
+    def test_format_scenarios_renders_matrix(self, sweep_result):
+        text = format_scenarios(sweep_result)
+        assert "clean" in text
+        for name in SCENARIOS:
+            assert name in text
+        assert "Mean F-score delta" in text
+
+
+class TestValidation:
+    def test_requires_methods(self):
+        with pytest.raises(ValueError, match="method"):
+            ScenarioSweep(scale=TINY_SCALE, methods=())
+
+    def test_unknown_scenario_rejected_up_front(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            ScenarioSweep(scale=TINY_SCALE, scenarios=("no-such-scenario",))
+
+    def test_unknown_method_rejected_up_front(self):
+        with pytest.raises(ValueError, match="unknown methods"):
+            ScenarioSweep(scale=TINY_SCALE, methods=("L2QBall",))
+
+    def test_ideal_pseudo_method_rejected(self):
+        # IDEAL is the normalisation denominator: sweeping it would emit an
+        # all-1.0 matrix with zero deltas.
+        with pytest.raises(ValueError, match="IDEAL"):
+            ScenarioSweep(scale=TINY_SCALE, methods=("L2QBAL", "IDEAL"))
+
+    def test_duplicate_scenarios_rejected(self):
+        with pytest.raises(ValueError, match="duplicate scenarios"):
+            ScenarioSweep(scale=TINY_SCALE,
+                          scenarios=("zipf-skew", "zipf-skew"))
+
+    def test_unknown_domain_rejected_up_front(self):
+        with pytest.raises(ValueError, match="unknown domains"):
+            ScenarioSweep(scale=TINY_SCALE, domains=("researcher", "carz"))
+
+    def test_accepts_prebuilt_specs(self):
+        spec = ScenarioSpec(name="inline", description="ad hoc",
+                            perturbations=(ZipfPageSkew(),))
+        sweep = ScenarioSweep(scale=TINY_SCALE, scenarios=(spec,))
+        assert sweep.specs == [spec]
+
+    def test_default_scenarios_cover_registry(self):
+        sweep = ScenarioSweep(scale=TINY_SCALE)
+        assert len(sweep.specs) >= 4
+        assert set(DEFAULT_SWEEP_METHODS) == {"L2QP", "L2QR", "L2QBAL"}

@@ -1,24 +1,32 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
+import random
 import string
 
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.core.candidates import CandidateStatistics
+from repro.corpus.document import Page, Paragraph
 from repro.corpus.knowledge_base import TypeSystem, build_type_system
+from repro.corpus.synthetic import CorpusConfig, CorpusGenerator
 from repro.corpus.vocabulary import Vocabulary
-from repro.core.queries import QueryEnumerator
+from repro.core.queries import QueryEnumerator, QueryStatistics
 from repro.core.templates import abstract_query, template_abstracts
 from repro.eval.metrics import HarvestMetrics, compute_metrics
 from repro.eval.splits import split_entities
 from repro.graph.random_walk import UtilitySolver
 from repro.graph.reinforcement import ReinforcementGraphBuilder
+from repro.scenarios import make_scenario, scenario_names
 from repro.search.index import InvertedIndex
 from repro.search.language_model import DirichletLanguageModel
 
 SETTINGS = settings(max_examples=40, deadline=None,
                     suppress_health_check=[HealthCheck.too_slow])
+#: Heavier generators (full corpus generation per example) get fewer examples.
+SLOW_SETTINGS = settings(max_examples=8, deadline=None,
+                         suppress_health_check=[HealthCheck.too_slow])
 
 words = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
 documents = st.lists(st.lists(words, min_size=0, max_size=12), min_size=0, max_size=8)
@@ -153,6 +161,74 @@ class TestSolverProperties:
         result = solver.solve_recall(page_regularization=regularization)
         assert result.query_values.sum() <= 1.0 + 1e-6
         assert result.page_values.sum() <= 1.0 + 1e-6
+
+
+def _pages_from_docs(docs):
+    """Build one-paragraph pages (cycled over two entities) from token lists."""
+    pages = []
+    for index, tokens in enumerate(docs):
+        page_id = f"p{index}"
+        pages.append(Page(
+            page_id=page_id,
+            entity_id=f"e{index % 2}",
+            paragraphs=(Paragraph(paragraph_id=f"{page_id}#0",
+                                  tokens=tuple(tokens)),),
+        ))
+    return pages
+
+
+class TestCandidateStatisticsProperties:
+    @SETTINGS
+    @given(documents, st.integers(0, 2**32 - 1))
+    def test_incremental_folding_equals_scratch_for_any_arrival_order(
+            self, docs, order_seed):
+        # The paper's amortised selection rests on this invariant: folding
+        # pages one at a time, in *any* arrival order, must produce exactly
+        # the statistics of a from-scratch enumeration over the working set.
+        enumerator = QueryEnumerator(max_length=3, min_word_length=1)
+        pages = _pages_from_docs(docs)
+
+        arrival = list(pages)
+        random.Random(order_seed).shuffle(arrival)
+        incremental = CandidateStatistics(enumerator)
+        incremental.add_pages(arrival)
+        # Re-adding in a different order must be a no-op (pages are deduped).
+        assert incremental.add_pages(pages) == 0
+
+        scratch = QueryStatistics()
+        for page in pages:
+            for query, count in enumerator.enumerate_from_page(page).items():
+                scratch.record(query, page.page_id, page.entity_id, count)
+
+        assert incremental.statistics.occurrences == scratch.occurrences
+        assert dict(incremental.statistics.pages) == dict(scratch.pages)
+        assert dict(incremental.statistics.entities) == dict(scratch.entities)
+        assert incremental.num_pages == len(pages)
+        assert sorted(incremental.sorted_queries()) == sorted(scratch.occurrences)
+
+
+class TestScenarioGenerationProperties:
+    @SLOW_SETTINGS
+    @given(st.integers(0, 2**31 - 1), st.sampled_from(sorted(scenario_names())))
+    def test_equal_seeds_give_byte_identical_corpora(self, seed, scenario):
+        # Two *fresh* generators (no shared state) with the same seed must
+        # produce byte-identical corpora for every registered scenario.
+        spec = make_scenario(scenario)
+        config = spec.build_config("researcher", num_entities=5,
+                                   pages_per_entity=4, seed=seed)
+        first = CorpusGenerator(config).generate()
+        second = CorpusGenerator(config).generate()
+        assert first.content_digest() == second.content_digest()
+        assert first.entities == second.entities
+        assert first.pages == second.pages
+
+    @SLOW_SETTINGS
+    @given(st.integers(0, 2**31 - 1))
+    def test_different_seeds_give_different_corpora(self, seed):
+        kwargs = dict(domain="researcher", num_entities=5, pages_per_entity=4)
+        first = CorpusGenerator(CorpusConfig(seed=seed, **kwargs)).generate()
+        second = CorpusGenerator(CorpusConfig(seed=seed + 1, **kwargs)).generate()
+        assert first.content_digest() != second.content_digest()
 
 
 class TestTypeSystemProperties:

@@ -1,0 +1,209 @@
+"""Tests for the corpus perturbations behind the scenario subsystem."""
+
+import pytest
+
+from repro.corpus.domains import get_domain
+from repro.corpus.synthetic import CorpusConfig, CorpusGenerator, build_corpus
+from repro.scenarios import (
+    AspectSignalDropout,
+    CrossDomainVocabulary,
+    DistractorEntities,
+    DomainMixtureParagraphs,
+    NearDuplicateInjection,
+    ZipfPageSkew,
+)
+from repro.scenarios.perturbations import _foreign_word_pool
+from repro.utils.rng import SeededRandom
+
+
+@pytest.fixture(scope="module")
+def base():
+    """A small clean corpus plus its raw (entities, pages) maps."""
+    corpus = build_corpus("researcher", num_entities=10, pages_per_entity=8, seed=5)
+    return corpus, dict(corpus.entities), dict(corpus.pages)
+
+
+def _apply(perturbation, base, seed=13):
+    corpus, entities, pages = base
+    return perturbation.apply(entities, pages, corpus.domain_spec,
+                              SeededRandom(seed))
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("perturbation", [
+        ZipfPageSkew(),
+        NearDuplicateInjection(),
+        CrossDomainVocabulary(),
+        DistractorEntities(),
+        AspectSignalDropout(),
+        DomainMixtureParagraphs(),
+    ], ids=lambda p: p.name)
+    def test_same_rng_seed_same_output(self, perturbation, base):
+        entities_a, pages_a = _apply(perturbation, base, seed=21)
+        entities_b, pages_b = _apply(perturbation, base, seed=21)
+        assert entities_a == entities_b
+        assert pages_a == pages_b
+
+    def test_input_maps_never_mutated(self, base):
+        corpus, entities, pages = base
+        before_entities, before_pages = dict(entities), dict(pages)
+        for perturbation in (ZipfPageSkew(), NearDuplicateInjection(),
+                             DistractorEntities(), AspectSignalDropout()):
+            perturbation.apply(entities, pages, corpus.domain_spec,
+                               SeededRandom(3))
+        assert entities == before_entities
+        assert pages == before_pages
+
+
+class TestZipfPageSkew:
+    def test_skews_and_respects_min_pages(self, base):
+        _, pages = _apply(ZipfPageSkew(exponent=1.2, min_pages=2), base)
+        per_entity = {}
+        for page in pages.values():
+            per_entity[page.entity_id] = per_entity.get(page.entity_id, 0) + 1
+        counts = sorted(per_entity.values())
+        assert len(per_entity) == 10       # no entity dropped entirely
+        assert counts[0] >= 2              # min_pages floor holds
+        assert counts[0] < counts[-1]      # head keeps more than tail
+        assert sum(counts) < 10 * 8        # pages were actually removed
+
+    def test_invalid_parameters_rejected_at_construction(self):
+        # Fail fast: a bad severity must not survive until mid-sweep.
+        with pytest.raises(ValueError, match="exponent"):
+            ZipfPageSkew(exponent=-1.0)
+        with pytest.raises(ValueError, match="min_pages"):
+            ZipfPageSkew(min_pages=0)
+        with pytest.raises(ValueError, match="fraction"):
+            NearDuplicateInjection(fraction=2.0)
+        with pytest.raises(ValueError, match="min_words"):
+            CrossDomainVocabulary(min_words=3, max_words=2)
+        with pytest.raises(ValueError, match="mislabel"):
+            DistractorEntities(mislabel_probability=-0.1)
+        with pytest.raises(ValueError, match="dropout"):
+            AspectSignalDropout(dropout=1.5)
+        with pytest.raises(ValueError, match="page_fraction"):
+            DomainMixtureParagraphs(page_fraction=-0.2)
+
+
+class TestNearDuplicateInjection:
+    def test_injects_labelled_near_copies(self, base):
+        corpus, _, original_pages = base
+        _, pages = _apply(NearDuplicateInjection(fraction=0.5, token_noise=0.1), base)
+        duplicates = {pid: page for pid, page in pages.items()
+                      if pid not in original_pages}
+        assert duplicates
+        for dup_id, dup in duplicates.items():
+            source = pages[dup_id.rsplit("_dup", 1)[0]]
+            assert dup.entity_id == source.entity_id
+            # Labels are copied: a duplicate of a relevant page is relevant.
+            assert [p.aspect for p in dup.paragraphs] == \
+                [p.aspect for p in source.paragraphs]
+            # Near- not exact-duplicate: token counts match, most tokens shared.
+            assert len(dup.tokens) == len(source.tokens)
+            shared = sum(1 for a, b in zip(dup.tokens, source.tokens) if a == b)
+            assert shared >= 0.5 * len(source.tokens)
+        # Paragraph ids stay globally unique.
+        paragraph_ids = [p.paragraph_id for page in pages.values()
+                         for p in page.paragraphs]
+        assert len(paragraph_ids) == len(set(paragraph_ids))
+
+
+class TestCrossDomainVocabulary:
+    def test_foreign_words_appear(self, base):
+        corpus, _, original_pages = base
+        _, pages = _apply(CrossDomainVocabulary(rate=0.8), base)
+        foreign = set(_foreign_word_pool(get_domain("car")))
+        injected = 0
+        for pid, page in pages.items():
+            extra = len(page.tokens) - len(original_pages[pid].tokens)
+            assert extra >= 0
+            injected += extra
+            assert set(page.tokens) - set(original_pages[pid].tokens) <= foreign
+        assert injected > 0
+
+
+class TestDistractorEntities:
+    def test_distractors_shadow_real_names(self, base):
+        corpus, original_entities, original_pages = base
+        entities, pages = _apply(
+            DistractorEntities(fraction=0.3, pages_per_distractor=3), base)
+        added = {eid: e for eid, e in entities.items()
+                 if eid not in original_entities}
+        assert len(added) == 3  # round(0.3 * 10)
+        real_names = {e.name_tokens for e in original_entities.values()}
+        for eid, distractor in added.items():
+            assert distractor.name_tokens in real_names  # shadows a victim
+            assert distractor.seed_query != distractor.name_tokens
+            distractor_pages = [p for p in pages.values() if p.entity_id == eid]
+            assert len(distractor_pages) == 3
+            for page in distractor_pages:
+                # Every distractor paragraph mentions the shadowed name.
+                for paragraph in page.paragraphs:
+                    assert paragraph.tokens[:len(distractor.name_tokens)] == \
+                        distractor.name_tokens
+        assert set(original_pages) <= set(pages)  # real pages untouched
+
+
+class TestAspectSignalDropout:
+    def test_labels_kept_signal_stripped(self, base):
+        corpus, _, original_pages = base
+        _, pages = _apply(AspectSignalDropout(dropout=1.0, attribute_noise=0.0), base)
+        signature = {a.name: set(a.signature_words)
+                     for a in corpus.domain_spec.aspects}
+        changed = 0
+        for pid, page in pages.items():
+            original = original_pages[pid]
+            assert [p.aspect for p in page.paragraphs] == \
+                [p.aspect for p in original.paragraphs]
+            for paragraph in page.paragraphs:
+                if paragraph.aspect is None:
+                    continue
+                assert not set(paragraph.tokens) & signature[paragraph.aspect]
+                assert paragraph.tokens  # never emptied outright
+            if page.tokens != original.tokens:
+                changed += 1
+        assert changed > 0
+
+
+class TestDomainMixtureParagraphs:
+    def test_appends_unlabelled_foreign_paragraphs(self, base):
+        corpus, _, original_pages = base
+        _, pages = _apply(DomainMixtureParagraphs(page_fraction=0.8), base)
+        mixed = 0
+        for pid, page in pages.items():
+            original = original_pages[pid]
+            assert page.paragraphs[:len(original.paragraphs)] == original.paragraphs
+            extra = page.paragraphs[len(original.paragraphs):]
+            if extra:
+                mixed += 1
+                for paragraph in extra:
+                    assert paragraph.aspect is None
+                    assert paragraph.tokens
+        assert mixed > 0
+
+
+class TestGeneratorPipeline:
+    def test_pipeline_runs_inside_generator(self):
+        config = CorpusConfig(domain="researcher", num_entities=8,
+                              pages_per_entity=6, seed=9,
+                              perturbations=(ZipfPageSkew(exponent=1.0),
+                                             NearDuplicateInjection(fraction=0.5)))
+        corpus = CorpusGenerator(config).generate()
+        clean = build_corpus("researcher", num_entities=8, pages_per_entity=6, seed=9)
+        assert corpus.content_digest() != clean.content_digest()
+        assert any(pid.count("_dup") for pid in corpus.pages)
+
+    def test_invalid_perturbation_rejected_by_validate(self):
+        config = CorpusConfig(perturbations=("not-a-perturbation",))
+        with pytest.raises(ValueError, match="perturbation"):
+            config.validate()
+
+    def test_pipeline_order_changes_output(self):
+        stages = (ZipfPageSkew(exponent=0.8), NearDuplicateInjection(fraction=0.4))
+        forward = CorpusGenerator(CorpusConfig(
+            domain="researcher", num_entities=8, pages_per_entity=6, seed=9,
+            perturbations=stages)).generate()
+        reversed_ = CorpusGenerator(CorpusConfig(
+            domain="researcher", num_entities=8, pages_per_entity=6, seed=9,
+            perturbations=stages[::-1])).generate()
+        assert forward.content_digest() != reversed_.content_digest()

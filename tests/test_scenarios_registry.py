@@ -1,0 +1,119 @@
+"""Tests for the scenario registry and :class:`ScenarioSpec`."""
+
+import pytest
+
+from repro.corpus.synthetic import CorpusConfig
+from repro.scenarios import (
+    ScenarioSpec,
+    ZipfPageSkew,
+    is_registered,
+    make_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.scenarios import registry as registry_module
+
+
+class TestBuiltins:
+    def test_builtin_scenarios_registered(self):
+        names = scenario_names()
+        # The robustness matrix needs at least four registered scenarios.
+        assert len(names) >= 4
+        for expected in ("zipf-skew", "near-duplicates", "cross-domain-bleed",
+                         "distractor-entities", "aspect-dropout", "domain-mixture"):
+            assert expected in names
+
+    def test_every_builtin_is_instantiable_and_described(self):
+        for name in scenario_names():
+            spec = make_scenario(name)
+            assert spec.name == name
+            assert spec.description
+            assert spec.perturbations
+            for perturbation in spec.perturbations:
+                assert perturbation.name
+                assert callable(perturbation.apply)
+
+    def test_is_registered(self):
+        assert is_registered("zipf-skew")
+        assert not is_registered("no-such-scenario")
+
+
+class TestErrorPaths:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            make_scenario("no-such-scenario")
+
+    def test_error_lists_available_names(self):
+        with pytest.raises(ValueError, match="zipf-skew"):
+            make_scenario("no-such-scenario")
+
+    def test_duplicate_registration_rejected(self):
+        register_scenario("dup-test", lambda: ScenarioSpec("dup-test", "first"))
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_scenario("dup-test",
+                                  lambda: ScenarioSpec("dup-test", "second"))
+        finally:
+            registry_module._SCENARIOS.pop("dup-test", None)
+
+    def test_duplicate_registration_with_overwrite_allowed(self):
+        register_scenario("dup-test", lambda: ScenarioSpec("dup-test", "first"))
+        try:
+            register_scenario("dup-test",
+                              lambda: ScenarioSpec("dup-test", "second"),
+                              overwrite=True)
+            assert make_scenario("dup-test").description == "second"
+        finally:
+            registry_module._SCENARIOS.pop("dup-test", None)
+
+    def test_reregistering_same_factory_is_idempotent(self):
+        def factory():
+            return ScenarioSpec("idem-test", "same")
+
+        register_scenario("idem-test", factory)
+        try:
+            register_scenario("idem-test", factory)  # no error: same object
+        finally:
+            registry_module._SCENARIOS.pop("idem-test", None)
+
+
+class TestSpec:
+    def test_decorator_form_and_parameters(self):
+        @register_scenario("decorated-scenario-test")
+        def _factory(exponent: float = 2.0) -> ScenarioSpec:
+            return ScenarioSpec(
+                name="decorated-scenario-test",
+                description="parametrised",
+                perturbations=(ZipfPageSkew(exponent=exponent),),
+            )
+
+        try:
+            assert is_registered("decorated-scenario-test")
+            spec = make_scenario("decorated-scenario-test", exponent=0.5)
+            assert spec.perturbations[0].exponent == 0.5
+        finally:
+            registry_module._SCENARIOS.pop("decorated-scenario-test", None)
+
+    def test_build_config_applies_overrides_in_order(self):
+        spec = ScenarioSpec(
+            name="override-test",
+            description="config overrides",
+            perturbations=(ZipfPageSkew(),),
+            config_overrides={"hub_page_fraction": 0.5, "noise_word_probability": 0.3},
+        )
+        config = spec.build_config("researcher", num_entities=8,
+                                   pages_per_entity=4, seed=1,
+                                   noise_word_probability=0.9)
+        assert isinstance(config, CorpusConfig)
+        assert config.hub_page_fraction == 0.5
+        # Explicit corpus_for/build_config overrides win over the spec's.
+        assert config.noise_word_probability == 0.9
+        assert config.perturbations == spec.perturbations
+
+    def test_corpus_for_generates_perturbed_corpus(self):
+        spec = make_scenario("zipf-skew", exponent=1.5)
+        corpus = spec.corpus_for("researcher", num_entities=8,
+                                 pages_per_entity=6, seed=3)
+        counts = sorted(len(corpus.pages_of(e)) for e in corpus.entity_ids())
+        assert counts[0] < counts[-1]  # genuinely skewed
+        assert corpus.num_pages() < 8 * 6

@@ -45,6 +45,64 @@ class TestRegistry:
         bm25 = make_ranker(RANKER_BM25, index, k1=2.0, b=0.5)
         assert bm25.k1 == 2.0 and bm25.b == 0.5
 
+    def test_duplicate_registration_rejected(self):
+        from repro.search import rankers as rankers_module
+
+        register_ranker("dup-ranker-test", lambda index, **p: None)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_ranker("dup-ranker-test", lambda index, **p: None)
+        finally:
+            rankers_module._RANKERS.pop("dup-ranker-test", None)
+
+    def test_duplicate_registration_with_overwrite_allowed(self, index):
+        from repro.search import rankers as rankers_module
+
+        register_ranker("dup-ranker-test", lambda index, **p: "first")
+        try:
+            register_ranker("dup-ranker-test", lambda index, **p: "second",
+                            overwrite=True)
+            assert make_ranker("dup-ranker-test", index) == "second"
+        finally:
+            rankers_module._RANKERS.pop("dup-ranker-test", None)
+
+    def test_builtin_names_cannot_be_silently_replaced(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_ranker(RANKER_BM25, lambda index, **p: None)
+
+    def test_reregistering_same_factory_is_idempotent(self):
+        from repro.search import rankers as rankers_module
+
+        def factory(index, **params):
+            return None
+
+        register_ranker("idem-ranker-test", factory)
+        try:
+            register_ranker("idem-ranker-test", factory)  # same object: no error
+        finally:
+            rankers_module._RANKERS.pop("idem-ranker-test", None)
+
+
+class TestModelDisagreement:
+    def test_bm25_and_dirichlet_order_crafted_corpus_differently(self):
+        # "a" mentions both query terms once in a terse page; "b" repeats
+        # "research" in a longer page.  Dirichlet smoothing (mu=100) favours
+        # the terse page's concentration; BM25's saturated tf plus its
+        # milder length penalty favours the repetition — so the two builtin
+        # models produce genuinely different orderings, which is what makes
+        # the --ranker switch worth benchmarking.
+        index = InvertedIndex.from_documents({
+            "a": ["research", "mining"] + [f"fa{i}" for i in range(3)],
+            "b": ["research", "research", "mining"] + [f"fb{i}" for i in range(7)],
+            "c": ["mining", "other", "words", "here"],
+        })
+        query = ["research", "mining"]
+        dirichlet_order = [d for d, _ in make_ranker(RANKER_DIRICHLET, index).rank(query)]
+        bm25_order = [d for d, _ in make_ranker(RANKER_BM25, index).rank(query)]
+        assert set(dirichlet_order) == set(bm25_order) == {"a", "b", "c"}
+        assert dirichlet_order.index("a") < dirichlet_order.index("b")
+        assert bm25_order.index("b") < bm25_order.index("a")
+
 
 class TestCustomRanker:
     def test_registered_ranker_usable_by_engine(self, researcher_corpus):
