@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Warn-only regression gate for the scenario robustness matrix.
+
+Compares a freshly generated ``BENCH_scenarios.json`` against the committed
+previous run and prints a summary table of mean F-score deltas per
+scenario.  Scenarios whose mean normalised delta worsened by more than the
+threshold are flagged with ``WARN`` — but the script always exits 0 ("fails
+soft"): the point is a loud line in the CI job log while the delta history
+is still too short to justify a hard gate.
+
+Usage::
+
+    python benchmarks/check_scenario_deltas.py \
+        --fresh /tmp/BENCH_scenarios.json \
+        [--baseline benchmarks/results/BENCH_scenarios.json] \
+        [--threshold 0.05]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: A scenario whose mean normalised ΔF worsens by more than this is flagged.
+DEFAULT_THRESHOLD = 0.05
+
+#: Default committed baseline (updated whenever the CI artifact is promoted).
+DEFAULT_BASELINE = Path(__file__).parent / "results" / "BENCH_scenarios.json"
+
+
+def _load(path: Path) -> dict:
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def _mean_deltas(report: dict) -> dict:
+    """Scenario → mean normalised F delta (schema v1 and v2 compatible)."""
+    return {name: entry["mean_f_delta"]
+            for name, entry in report.get("summary", {}).items()}
+
+
+def _format_row(cells, widths) -> str:
+    return "  ".join(str(cell).ljust(width) for cell, width in zip(cells, widths))
+
+
+def compare(fresh: dict, baseline: dict, threshold: float, out=sys.stdout) -> int:
+    """Print the comparison table; return the number of warnings."""
+    fresh_deltas = _mean_deltas(fresh)
+    baseline_deltas = _mean_deltas(baseline)
+    shared = sorted(set(fresh_deltas) & set(baseline_deltas))
+    only_fresh = sorted(set(fresh_deltas) - set(baseline_deltas))
+    only_baseline = sorted(set(baseline_deltas) - set(fresh_deltas))
+
+    if fresh.get("schema") != baseline.get("schema"):
+        print(f"note: schema changed "
+              f"{baseline.get('schema')!r} -> {fresh.get('schema')!r}; "
+              f"comparing the shared mean_f_delta summary", file=out)
+    if fresh.get("scale") != baseline.get("scale"):
+        print(f"note: scales differ (baseline {baseline.get('scale')!r}, "
+              f"fresh {fresh.get('scale')!r}); deltas are not directly "
+              f"comparable", file=out)
+
+    warnings = 0
+    header = ["Scenario", "Baseline ΔF", "Fresh ΔF", "Change", "Status"]
+    rows = []
+    for name in shared:
+        before, now = baseline_deltas[name], fresh_deltas[name]
+        change = now - before
+        # More negative mean ΔF = the scenario hurts more than it used to.
+        status = "WARN" if change < -threshold else "ok"
+        if status == "WARN":
+            warnings += 1
+        rows.append([name, f"{before:+.3f}", f"{now:+.3f}",
+                     f"{change:+.3f}", status])
+    widths = [max(len(str(row[i])) for row in [header] + rows)
+              for i in range(len(header))]
+    print(_format_row(header, widths), file=out)
+    print(_format_row(["-" * w for w in widths], widths), file=out)
+    for row in rows:
+        print(_format_row(row, widths), file=out)
+
+    for name in only_fresh:
+        print(f"note: scenario {name!r} is new (no baseline)", file=out)
+    for name in only_baseline:
+        print(f"note: scenario {name!r} disappeared from the fresh run", file=out)
+
+    if warnings:
+        print(f"\n{warnings} scenario(s) worsened by more than "
+              f"{threshold:.3f} mean ΔF (warn-only; not failing the job)",
+              file=out)
+    else:
+        print(f"\nno scenario worsened by more than {threshold:.3f} mean ΔF",
+              file=out)
+    return warnings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", type=Path, required=True,
+                        help="freshly generated BENCH_scenarios.json")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="committed previous run to compare against")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="mean ΔF worsening that triggers a WARN "
+                             f"(default {DEFAULT_THRESHOLD})")
+    args = parser.parse_args(argv)
+
+    if not args.fresh.exists():
+        print(f"fresh matrix {args.fresh} missing; nothing to compare")
+        return 0
+    if not args.baseline.exists():
+        print(f"no committed baseline at {args.baseline}; nothing to compare")
+        return 0
+
+    compare(_load(args.fresh), _load(args.baseline), args.threshold)
+    return 0  # Warn-only: a regression is a log line, not a red build.
+
+
+if __name__ == "__main__":
+    sys.exit(main())

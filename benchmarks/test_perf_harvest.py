@@ -1,0 +1,103 @@
+"""Micro-benchmark: harvesting throughput per execution backend.
+
+Runs the same batch of harvesting jobs through every built-in execution
+backend at ``smoke`` scale and writes a machine-readable
+``BENCH_harvest.json`` next to the other benchmark results, so successive
+PRs can track the execution-layer throughput trajectory:
+
+* ``pages_per_second`` — result pages folded into working sets per
+  wall-clock second (seed pages included);
+* ``jobs_per_second`` — complete harvesting runs per second;
+* ``speedup_vs_serial`` — wall-clock ratio against the serial engine on
+  this machine (expect ~1.0 on single-core CI runners: the numbers exist
+  to catch regressions, not to advertise).
+
+Determinism is asserted alongside the timing: every backend must produce
+the same queries and page ids as serial.
+
+Run with ``python -m pytest benchmarks/test_perf_harvest.py -q``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+
+from repro.eval.experiments import SMOKE_SCALE
+from repro.eval.runner import ExperimentRunner
+
+from tests.helpers import harvest_signature as _signature
+
+METHODS = ("L2QBAL", "L2QP", "RND", "MQ")
+NUM_QUERIES = 3
+WORKERS = 2
+BACKENDS = ("serial", "thread", "process")
+
+
+def _pages_gathered(results):
+    return sum(len(run.seed_page_ids)
+               + sum(len(record.result_page_ids) for record in run.iterations)
+               for run in results)
+
+
+def test_harvest_backend_benchmark(results_dir):
+    corpus = SMOKE_SCALE.corpus_for("researcher")
+
+    def fresh_batch():
+        # Every backend is timed against cold state: a fresh engine (empty
+        # index, empty result cache) and fresh single-use jobs.  Reusing
+        # one engine would time later backends against caches the earlier
+        # ones warmed, making the comparison meaningless.  Seeds derive
+        # from (split, method, entity, aspect), so every batch is
+        # identical work.
+        runner = ExperimentRunner(corpus)
+        split = runner.default_split(0)
+        prepared = runner.prepare(split)
+        aspects = SMOKE_SCALE.aspects_for(corpus)
+        entities = list(split.test_entities)[: SMOKE_SCALE.max_test_entities or 2]
+        jobs = [runner.build_job(prepared, method, entity_id, aspect, NUM_QUERIES)
+                for method in METHODS
+                for aspect in aspects
+                for entity_id in entities]
+        return runner.harvester_for(prepared), jobs
+
+    report = {
+        "scale": SMOKE_SCALE.name,
+        "num_queries": NUM_QUERIES,
+        "workers": WORKERS,
+        "python": platform.python_version(),
+        "jobs": len(fresh_batch()[1]),
+        "backends": {},
+    }
+    signatures = {}
+    serial_seconds = None
+    for backend in BACKENDS:
+        harvester, batch = fresh_batch()
+        started = time.perf_counter()
+        results = harvester.harvest_many(batch, workers=WORKERS, backend=backend)
+        elapsed = time.perf_counter() - started
+        if backend == "serial":
+            serial_seconds = elapsed
+        pages = _pages_gathered(results)
+        signatures[backend] = [_signature(r) for r in results]
+        report["backends"][backend] = {
+            "wall_seconds": elapsed,
+            "pages_gathered": pages,
+            "pages_per_second": pages / elapsed if elapsed > 0 else None,
+            "jobs_per_second": len(results) / elapsed if elapsed > 0 else None,
+            "speedup_vs_serial": (serial_seconds / elapsed
+                                  if elapsed > 0 and serial_seconds else None),
+        }
+
+    path = results_dir / "BENCH_harvest.json"
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"\n===== BENCH_harvest =====\n{json.dumps(report, indent=2)}\n")
+
+    # Sanity: every backend ran the full batch, gathered pages, and — the
+    # acceptance bar of the refactor — reproduced serial bit-for-bit.
+    for backend in BACKENDS:
+        entry = report["backends"][backend]
+        assert entry["pages_gathered"] > 0
+        assert entry["pages_per_second"] > 0
+        assert signatures[backend] == signatures["serial"]

@@ -21,28 +21,37 @@ Four subcommands cover the common workflows:
 
 ``harvest`` and ``experiment`` both accept ``--ranker`` to pick the
 retrieval model backing the offline search engine (any name in the ranker
-registry, ``dirichlet`` by default) and ``--workers`` to run the harvesting
-loops of an experiment on N parallel workers (results are identical for any
-worker count; seeds are derived per run, not per schedule).  ``--workers``
-is ignored — with a note — where it cannot help: single ``harvest`` runs,
-``fig09`` (no harvesting) and ``fig14`` (wall-clock selection timings must
-be measured serially).
+registry, ``dirichlet`` by default), plus ``--backend {serial,thread,
+process}`` and ``--workers`` to pick the execution engine for the
+harvesting loops (results are identical for any backend and worker count;
+seeds are derived per run, not per schedule).  ``--backend``/``--workers``
+are ignored — with a note — where they cannot help: single ``harvest``
+runs, ``fig09`` (no harvesting) and ``fig14`` (wall-clock selection timings
+must be measured serially).
+
+``scenarios run`` additionally accepts ``--paper-scale`` (the paper's 996
+researchers / 143 cars sweep, defaulting to the sharded process backend
+over all CPUs) and ``--param name=v1,v2,...`` severity grids that expand
+each requested scenario into one cell per parameter value.
 
 Usage examples::
 
     python -m repro.cli corpus --domain car --entities 20
     python -m repro.cli harvest --domain researcher --aspect RESEARCH --method L2QBAL
     python -m repro.cli harvest --domain researcher --ranker bm25
-    python -m repro.cli experiment --figure fig13 --scale smoke --workers 4
+    python -m repro.cli experiment --figure fig13 --scale smoke --backend process --workers 4
     python -m repro.cli scenarios list
     python -m repro.cli scenarios run --scale smoke --scenarios zipf-skew near-duplicates
+    python -m repro.cli scenarios run --scenarios zipf-skew --param exponent=0.5,1.0,1.5
+    python -m repro.cli scenarios run --paper-scale
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.config import L2QConfig
 from repro.core.queries import format_query
@@ -51,7 +60,12 @@ from repro.corpus.synthetic import build_corpus
 from repro.eval import experiments, reporting
 from repro.eval.metrics import compute_metrics
 from repro.eval.runner import ExperimentRunner
-from repro.eval.scenario_sweep import DEFAULT_SWEEP_METHODS, ScenarioSweep
+from repro.eval.scenario_sweep import (
+    DEFAULT_SWEEP_METHODS,
+    ScenarioSweep,
+    expand_severity_grid,
+)
+from repro.exec.backends import BACKEND_PROCESS, backend_names
 from repro.scenarios import make_scenario, scenario_names
 from repro.search.rankers import ranker_names
 
@@ -103,10 +117,19 @@ def build_parser() -> argparse.ArgumentParser:
     run = scenario_commands.add_parser(
         "run", help="sweep selectors x scenarios and write BENCH_scenarios.json")
     run.add_argument("--scale", choices=["smoke", "default", "paper"],
-                     default="smoke")
+                     default=None,
+                     help="corpus / split sizing preset (default: smoke)")
+    run.add_argument("--paper-scale", action="store_true",
+                     help="run the paper-scale sweep (996 researchers / 143 "
+                          "cars); implies --scale paper and defaults to the "
+                          "process backend over all CPUs (conflicts with an "
+                          "explicit --scale)")
     run.add_argument("--scenarios", nargs="+", default=None,
                      metavar="SCENARIO",
                      help="scenario names to sweep (default: all registered)")
+    run.add_argument("--param", default=None, metavar="NAME=V1,V2,...",
+                     help="severity grid: sweep one perturbation parameter "
+                          "over the given values (requires --scenarios)")
     run.add_argument("--methods", nargs="+", default=list(DEFAULT_SWEEP_METHODS),
                      metavar="METHOD",
                      help="selectors / baselines to sweep "
@@ -140,9 +163,38 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--ranker", default=None, choices=ranker_names(),
                         help="retrieval model of the offline search engine "
                              "(default: the configured 'dirichlet')")
-    parser.add_argument("--workers", type=_positive_int, default=1,
-                        help="parallel harvesting workers (default 1; results "
-                             "are identical for any value)")
+    parser.add_argument("--backend", default=None, choices=backend_names(),
+                        help="execution backend for the harvesting loops "
+                             "(default: serial for 1 worker, thread for "
+                             "more; results are identical for any backend)")
+    parser.add_argument("--workers", type=_positive_int, default=None,
+                        help="parallel harvesting workers (default 1, or all "
+                             "CPUs under --paper-scale; results are identical "
+                             "for any value)")
+
+
+def _parse_param_grid(text: str) -> Tuple[str, List[object]]:
+    """Parse ``name=v1,v2,...`` into a parameter name and typed values."""
+    name, separator, raw_values = text.partition("=")
+    if not separator or not name or not raw_values:
+        raise argparse.ArgumentTypeError(
+            f"--param expects NAME=V1,V2,... , got {text!r}")
+    values: List[object] = []
+    for token in raw_values.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            values.append(int(token))
+        except ValueError:
+            try:
+                values.append(float(token))
+            except ValueError:
+                values.append(token)
+    if not values:
+        raise argparse.ArgumentTypeError(
+            f"--param expects at least one value, got {text!r}")
+    return name, values
 
 
 def _command_corpus(args: argparse.Namespace, out) -> int:
@@ -163,8 +215,9 @@ def _command_harvest(args: argparse.Namespace, out) -> int:
     config = L2QConfig(num_queries=args.queries)
     if args.ranker:
         config.ranker = args.ranker
-    if args.workers != 1:
-        print("note: harvest runs a single loop; --workers ignored", file=out)
+    if args.workers is not None or args.backend:
+        print("note: harvest runs a single loop; --backend/--workers ignored",
+              file=out)
     runner = ExperimentRunner(corpus, config=config)
     split = runner.default_split(0)
     prepared = runner.prepare(split)
@@ -194,16 +247,20 @@ def _command_experiment(args: argparse.Namespace, out) -> int:
     scale = experiments.get_scale(args.scale)
     kwargs = {}
     if args.figure == "fig09":  # fig09 trains classifiers only, no harvesting
-        if args.ranker or args.workers != 1:
-            print("note: fig09 does no harvesting; --ranker/--workers ignored",
-                  file=out)
+        if args.ranker or args.workers is not None or args.backend:
+            print("note: fig09 does no harvesting; "
+                  "--ranker/--backend/--workers ignored", file=out)
     else:
         if args.ranker:
             kwargs["config"] = L2QConfig(ranker=args.ranker)
-        kwargs["workers"] = args.workers
-        if args.figure == "fig14" and args.workers != 1:
-            print("note: fig14 measures wall-clock selection time; harvests "
-                  "run serially, --workers ignored", file=out)
+        kwargs["workers"] = args.workers if args.workers is not None else 1
+        if args.figure == "fig14":
+            if args.workers is not None or args.backend:
+                print("note: fig14 measures wall-clock selection time; "
+                      "harvests stay pinned to the serial backend, "
+                      "--backend/--workers ignored", file=out)
+        elif args.backend:
+            kwargs["backend"] = args.backend
     result = run(scale, domains=tuple(args.domains), **kwargs)
     print(render(result), file=out)
     return 0
@@ -221,15 +278,57 @@ def _command_scenarios(args: argparse.Namespace, out) -> int:
     config = None
     if args.ranker:
         config = L2QConfig(ranker=args.ranker)
+
+    backend = args.backend
+    workers = args.workers
+    if args.paper_scale:
+        if args.scale is not None:
+            # Silently preferring either flag could launch an hours-long
+            # paper run the user meant to scale down (or vice versa).
+            print("--paper-scale conflicts with an explicit --scale; "
+                  "pass one or the other", file=out)
+            return 2
+        scale_name = "paper"
+        # The paper-scale sweep is the workload the sharded process backend
+        # exists for; fill in whichever of backend/workers the user left
+        # unset (an explicit --backend or --workers always wins).
+        if backend is None:
+            backend = BACKEND_PROCESS
+        if workers is None:
+            workers = os.cpu_count() or 1
+        print(f"note: --paper-scale runs on the {backend} backend "
+              f"with {workers} worker(s)", file=out)
+    else:
+        scale_name = args.scale if args.scale is not None else "smoke"
+    if workers is None:
+        workers = 1
+
+    scenarios: Optional[Sequence[object]] = args.scenarios
+    param_grid = None
+    if args.param is not None:
+        if not args.scenarios:
+            print("--param requires --scenarios naming the scenario "
+                  "factories to expand", file=out)
+            return 2
+        try:
+            name, values = _parse_param_grid(args.param)
+            scenarios, param_grid = expand_severity_grid(args.scenarios,
+                                                         name, values)
+        except (argparse.ArgumentTypeError, ValueError) as error:
+            print(str(error), file=out)
+            return 2
+
     try:
         sweep = ScenarioSweep(
-            scale=experiments.get_scale(args.scale),
-            scenarios=args.scenarios,
+            scale=experiments.get_scale(scale_name),
+            scenarios=scenarios,
             methods=tuple(args.methods),
             domains=tuple(args.domains),
             num_queries=args.queries,
             config=config,
-            workers=args.workers,
+            workers=workers,
+            backend=backend,
+            param_grid=param_grid,
         )
     except ValueError as error:  # unknown/duplicate scenario or method
         print(str(error), file=out)

@@ -8,17 +8,17 @@ experiment of Fig. 14 can be reproduced.
 
 Batched runs go through :meth:`Harvester.harvest_many`: each
 :class:`HarvestJob` is an independent harvesting run (own session, own
-seeded RNG, own selector instance), so jobs can execute concurrently on a
-worker pool while remaining bit-for-bit reproducible — results are returned
-in job order and every job's randomness derives only from its seed, never
-from scheduling.
+seeded RNG, own selector instance), so job batches can be delegated to any
+:class:`~repro.exec.backends.ExecutionBackend` — serial, thread pool or
+sharded process pool — while remaining bit-for-bit reproducible: results
+are returned in job order and every job's randomness derives only from its
+seed, never from scheduling.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from repro.aspects.relevance import RelevanceFunction
 from repro.core.config import L2QConfig
@@ -27,6 +27,7 @@ from repro.core.queries import Query
 from repro.core.selection import QuerySelector
 from repro.core.session import HarvestSession
 from repro.corpus.corpus import Corpus
+from repro.exec.backends import ExecutionBackend, resolve_backend
 from repro.search.engine import SearchEngine
 from repro.utils.rng import SeededRandom
 from repro.utils.timing import Stopwatch, TimingAccumulator
@@ -132,29 +133,38 @@ class Harvester:
             seed=job.seed,
         )
 
-    def harvest_many(self, jobs: Sequence[HarvestJob],
-                     workers: int = 1) -> List[HarvestResult]:
-        """Execute a batch of jobs, optionally on a worker pool.
+    def harvest_many(self, jobs: Sequence[HarvestJob], workers: int = 1,
+                     backend: Union[None, str, ExecutionBackend] = None
+                     ) -> List[HarvestResult]:
+        """Execute a batch of jobs on an execution backend.
 
-        Results are returned in job order.  Every job owns its session,
-        seeded RNG and selector, and the shared engine's caches are
-        thread-safe with order-independent contents, so ``workers=N``
-        reproduces ``workers=1`` bit-for-bit (queries, result pages, seed
-        pages — wall-clock timings naturally vary).
+        ``backend`` is a registered backend name, a ready instance, or
+        ``None`` for the historical behaviour (``workers=1`` serial,
+        ``workers>1`` thread pool).  Results are returned in job order.
+        Every job owns its session, seeded RNG and selector, and the shared
+        engine's caches are thread-safe with order-independent contents, so
+        every backend reproduces serial bit-for-bit (queries, result pages,
+        seed pages — wall-clock timings naturally vary).
 
-        Note: other shared memo caches reachable from jobs (classifier
-        relevance labels, index-view postings) rely on the GIL making dict
-        get-then-set races benign — every thread computes the same value,
-        so last-write-wins is harmless.  On a free-threaded (no-GIL) build
-        those caches would need the same lock treatment as the engine's.
+        The process backend pickles this harvester (corpus, engine
+        configuration — the engine rebuilds its index per worker) and the
+        job payloads into contiguous shards; engine-side fetch statistics
+        accumulated in workers do not fold back into this process's engine.
+
+        Note: shared memo caches reachable from jobs (classifier relevance
+        labels, index-view postings) rely on the GIL making dict
+        get-then-set races benign under the thread backend — every thread
+        computes the same value, so last-write-wins is harmless.  On a
+        free-threaded (no-GIL) build those caches would need the same lock
+        treatment as the engine's.
         """
         if workers < 1:
             raise ValueError("workers must be >= 1")
         jobs = list(jobs)
-        if workers == 1 or len(jobs) <= 1:
-            return [self.harvest_job(job) for job in jobs]
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(self.harvest_job, jobs))
+        if not jobs:
+            return []
+        engine = resolve_backend(backend, workers=workers)
+        return engine.map(self.harvest_job, jobs)
 
     def harvest(self, entity_id: str, aspect: str, selector: QuerySelector,
                 relevance: RelevanceFunction, num_queries: Optional[int] = None,

@@ -20,14 +20,25 @@ Generation is fully deterministic given a seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from types import MappingProxyType
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.corpus.corpus import Corpus
 from repro.corpus.document import Entity, Page, Paragraph
 from repro.corpus.domains import DomainSpec, get_domain
 from repro.corpus.knowledge_base import TypeSystem
 from repro.utils.rng import SeededRandom
+
+#: Number of *base* generations performed in this process.  Base generation
+#: dominates corpus cost, so orchestrators that promise to share one base
+#: across perturbation pipelines (``ScenarioSweep``) assert against this.
+_BASE_GENERATIONS = 0
+
+
+def base_generation_count() -> int:
+    """How many base-corpus generations this process has performed."""
+    return _BASE_GENERATIONS
 
 
 @dataclass
@@ -89,6 +100,38 @@ class CorpusConfig:
                     f"perturbation {perturbation!r} must have a 'name' "
                     f"attribute and an 'apply' method")
 
+    def base_config(self) -> "CorpusConfig":
+        """This configuration with the perturbation pipeline stripped.
+
+        Two configs with equal ``base_config()`` fields generate the same
+        base corpus, so pipelines applied to one shared base are
+        byte-identical to full per-pipeline generations.
+        """
+        return replace(self, perturbations=())
+
+
+@dataclass(frozen=True)
+class BaseCorpus:
+    """One immutable base generation, shareable across perturbation pipelines.
+
+    Perturbation-stage RNGs are label-derived (``seed``, domain, stage index,
+    stage name) rather than drawn from generation state, and perturbations
+    never mutate their inputs — they build fresh entity/page maps.  Both
+    facts together make this snapshot safe to share: applying any pipeline
+    to it via :meth:`CorpusGenerator.realise` is byte-identical to a full
+    :meth:`CorpusGenerator.generate` with that pipeline configured, while
+    paying base-generation cost once.
+    """
+
+    config: CorpusConfig
+    entities: Mapping[str, Entity]
+    pages: Mapping[str, Page]
+
+    @property
+    def domain(self) -> str:
+        """Domain name this base was generated for."""
+        return self.config.domain
+
 
 class CorpusGenerator:
     """Generates a :class:`~repro.corpus.corpus.Corpus` from a domain spec."""
@@ -104,23 +147,59 @@ class CorpusGenerator:
     # -- Public API ----------------------------------------------------------
     def generate(self) -> Corpus:
         """Generate the full corpus (base generation + perturbation pipeline)."""
+        return self.realise(self.generate_base())
+
+    def generate_base(self) -> BaseCorpus:
+        """Generate the unperturbed base corpus as an immutable snapshot.
+
+        The expensive half of :meth:`generate`: callers that evaluate many
+        perturbation pipelines over the same underlying corpus (e.g. a
+        scenario sweep) generate the base once and :meth:`realise` each
+        pipeline against it.
+        """
+        global _BASE_GENERATIONS
         entities = self._generate_entities()
         pages: Dict[str, Page] = {}
         for entity in entities.values():
             for page in self._generate_entity_pages(entity):
                 pages[page.page_id] = page
-        entities, pages = self._apply_perturbations(entities, pages)
+        _BASE_GENERATIONS += 1
+        return BaseCorpus(config=self.config.base_config(),
+                          entities=MappingProxyType(entities),
+                          pages=MappingProxyType(pages))
+
+    def realise(self, base: BaseCorpus,
+                perturbations: Optional[Tuple] = None) -> Corpus:
+        """Apply a perturbation pipeline to a (possibly shared) base.
+
+        ``perturbations`` defaults to this generator's configured pipeline.
+        The base must have been generated from an equivalent base config —
+        a pipeline applied to a base of different shape would silently
+        produce a corpus no full generation could ever produce.
+        """
+        if base.config != self.config.base_config():
+            raise ValueError(
+                f"base corpus was generated from {base.config!r}, which "
+                f"differs from this generator's base config "
+                f"{self.config.base_config()!r}")
+        pipeline = self.config.perturbations if perturbations is None \
+            else perturbations
+        entities, pages = self._apply_perturbations(dict(base.entities),
+                                                    dict(base.pages), pipeline)
         return Corpus(self.domain_spec, entities, pages, type_system=self.type_system)
 
     def _apply_perturbations(self, entities: Dict[str, Entity],
-                             pages: Dict[str, Page]) -> Tuple[Dict[str, Entity], Dict[str, Page]]:
-        """Run the configured perturbation pipeline, one spawned RNG per stage.
+                             pages: Dict[str, Page],
+                             pipeline: Tuple) -> Tuple[Dict[str, Entity], Dict[str, Page]]:
+        """Run a perturbation pipeline, one spawned RNG per stage.
 
         The RNG label includes both the stage index and the perturbation
         name, so reordering or swapping stages changes the randomness while
-        the same pipeline under the same seed stays byte-identical.
+        the same pipeline under the same seed stays byte-identical.  The
+        labels never depend on generation *state*, which is what makes
+        pipelines applied to a shared base identical to full generations.
         """
-        for index, perturbation in enumerate(self.config.perturbations):
+        for index, perturbation in enumerate(pipeline):
             rng = self._rng.spawn("perturb", index, perturbation.name)
             entities, pages = perturbation.apply(entities, pages,
                                                  self.domain_spec, rng)
@@ -357,3 +436,17 @@ def build_corpus(domain: str = "researcher", num_entities: int = 60,
     config = CorpusConfig(domain=domain, num_entities=num_entities,
                           pages_per_entity=pages_per_entity, seed=seed, **overrides)
     return CorpusGenerator(config).generate()
+
+
+def build_base(domain: str = "researcher", num_entities: int = 60,
+               pages_per_entity: int = 16, seed: int = 7,
+               **overrides) -> BaseCorpus:
+    """Convenience wrapper: generate the shareable base corpus of a domain."""
+    config = CorpusConfig(domain=domain, num_entities=num_entities,
+                          pages_per_entity=pages_per_entity, seed=seed, **overrides)
+    return CorpusGenerator(config).generate_base()
+
+
+def realise_base(base: BaseCorpus, perturbations: Tuple = ()) -> Corpus:
+    """Apply a perturbation pipeline to a shared base (``()`` = clean)."""
+    return CorpusGenerator(base.config).realise(base, perturbations=perturbations)

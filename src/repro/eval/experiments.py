@@ -16,15 +16,21 @@ full scale (996 researchers / 143 cars, 10 repeated splits).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.aspects.classifier import AspectAccuracy, AspectClassifierSuite
 from repro.core.config import L2QConfig
 from repro.corpus.corpus import Corpus
-from repro.corpus.synthetic import build_corpus
+from repro.corpus.synthetic import BaseCorpus, build_base, build_corpus
 from repro.eval.metrics import MetricSeries, relative_improvement
 from repro.eval.runner import EfficiencyReport, ExperimentRunner
+from repro.exec.backends import ExecutionBackend
+from repro.exec.specs import CorpusSpec
+
+#: Backend argument accepted by the harvesting experiments: a registered
+#: backend name, a ready instance, or None for the workers-based default.
+BackendArg = Union[None, str, ExecutionBackend]
 
 DOMAINS = ("researcher", "car")
 
@@ -68,6 +74,26 @@ class ExperimentScale:
                             num_entities=self.num_entities[domain],
                             pages_per_entity=self.pages_per_entity,
                             seed=self.corpus_seed)
+
+    def base_corpus_for(self, domain: str) -> BaseCorpus:
+        """Generate the shareable base corpus of one domain at this scale.
+
+        Scenario pipelines realise against this base byte-identically to a
+        full generation (perturbation RNGs are label-derived), so callers
+        evaluating many scenarios per domain pay base generation once.
+        """
+        return build_base(domain=domain,
+                          num_entities=self.num_entities[domain],
+                          pages_per_entity=self.pages_per_entity,
+                          seed=self.corpus_seed)
+
+    def corpus_spec_for(self, domain: str, scenario=None) -> CorpusSpec:
+        """The picklable spec a worker process rebuilds this corpus from."""
+        return CorpusSpec(domain=domain,
+                          num_entities=self.num_entities[domain],
+                          pages_per_entity=self.pages_per_entity,
+                          seed=self.corpus_seed,
+                          scenario=scenario)
 
     def aspects_for(self, corpus: Corpus) -> List[str]:
         """The aspects evaluated at this scale (possibly a prefix)."""
@@ -173,13 +199,16 @@ def run_fig10(scale: ExperimentScale = DEFAULT_SCALE,
               domains: Sequence[str] = DOMAINS,
               config: Optional[L2QConfig] = None,
               num_queries: int = 3,
-              workers: int = 1) -> Fig10Result:
+              workers: int = 1,
+              backend: BackendArg = None) -> Fig10Result:
     """Compare {RND, P, P+q, P+t, L2QP} on precision and the recall ladder on recall."""
     precision_results: Dict[str, Dict[str, float]] = {}
     recall_results: Dict[str, Dict[str, float]] = {}
     for domain in domains:
         corpus = scale.corpus_for(domain)
-        runner = ExperimentRunner(corpus, config=config, workers=workers)
+        runner = ExperimentRunner(corpus, config=config, workers=workers,
+                                  backend=backend,
+                                  corpus_spec=scale.corpus_spec_for(domain))
         aspects = scale.aspects_for(corpus)
         methods = sorted(set(FIG10_PRECISION_METHODS) | set(FIG10_RECALL_METHODS))
         series = runner.evaluate_methods(
@@ -217,13 +246,16 @@ def run_fig11(scale: ExperimentScale = DEFAULT_SCALE,
               fractions: Sequence[float] = FIG11_FRACTIONS,
               config: Optional[L2QConfig] = None,
               num_queries: int = 3,
-              workers: int = 1) -> Fig11Result:
+              workers: int = 1,
+              backend: BackendArg = None) -> Fig11Result:
     """Sweep the fraction of domain entities available to the domain phase."""
     precision_results: Dict[str, Dict[float, float]] = {}
     recall_results: Dict[str, Dict[float, float]] = {}
     for domain in domains:
         corpus = scale.corpus_for(domain)
-        runner = ExperimentRunner(corpus, config=config, workers=workers)
+        runner = ExperimentRunner(corpus, config=config, workers=workers,
+                                  backend=backend,
+                                  corpus_spec=scale.corpus_spec_for(domain))
         aspects = scale.aspects_for(corpus)
         precision_results[domain] = {}
         recall_results[domain] = {}
@@ -291,11 +323,14 @@ class ComparisonResult:
 
 def _run_comparison(methods: Sequence[str], scale: ExperimentScale,
                     domains: Sequence[str], config: Optional[L2QConfig],
-                    workers: int = 1) -> ComparisonResult:
+                    workers: int = 1,
+                    backend: BackendArg = None) -> ComparisonResult:
     series_by_domain: Dict[str, Dict[str, MetricSeries]] = {}
     for domain in domains:
         corpus = scale.corpus_for(domain)
-        runner = ExperimentRunner(corpus, config=config, workers=workers)
+        runner = ExperimentRunner(corpus, config=config, workers=workers,
+                                  backend=backend,
+                                  corpus_spec=scale.corpus_spec_for(domain))
         aspects = scale.aspects_for(corpus)
         series_by_domain[domain] = runner.evaluate_methods(
             methods, num_queries_list=scale.num_queries_list,
@@ -310,17 +345,21 @@ def _run_comparison(methods: Sequence[str], scale: ExperimentScale,
 def run_fig12(scale: ExperimentScale = DEFAULT_SCALE,
               domains: Sequence[str] = DOMAINS,
               config: Optional[L2QConfig] = None,
-              workers: int = 1) -> ComparisonResult:
+              workers: int = 1,
+              backend: BackendArg = None) -> ComparisonResult:
     """Precision and recall of L2QP / L2QR vs LM, AQ, HR, MQ (Fig. 12)."""
-    return _run_comparison(FIG12_METHODS, scale, domains, config, workers=workers)
+    return _run_comparison(FIG12_METHODS, scale, domains, config,
+                           workers=workers, backend=backend)
 
 
 def run_fig13(scale: ExperimentScale = DEFAULT_SCALE,
               domains: Sequence[str] = DOMAINS,
               config: Optional[L2QConfig] = None,
-              workers: int = 1) -> ComparisonResult:
+              workers: int = 1,
+              backend: BackendArg = None) -> ComparisonResult:
     """F-score of the balanced strategy L2QBAL vs the baselines (Fig. 13)."""
-    return _run_comparison(FIG13_METHODS, scale, domains, config, workers=workers)
+    return _run_comparison(FIG13_METHODS, scale, domains, config,
+                           workers=workers, backend=backend)
 
 
 @dataclass

@@ -16,7 +16,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.aspects.classifier import AspectClassifierSuite
 from repro.aspects.relevance import ClassifierRelevance, OracleRelevance, RelevanceFunction
@@ -32,6 +32,13 @@ from repro.core.selection import QuerySelector, make_selector, selector_names
 from repro.corpus.corpus import Corpus
 from repro.eval.metrics import HarvestMetrics, MetricSeries, compute_metrics
 from repro.eval.splits import EntitySplit, split_entities, subsample_entities
+from repro.exec.backends import ExecutionBackend, resolve_backend
+from repro.exec.specs import (
+    CorpusSpec,
+    HarvestJobSpec,
+    HarvestTaskContext,
+    _ProcessLocalCache,
+)
 from repro.search.engine import SearchEngine
 from repro.utils.rng import derive_seed
 
@@ -85,18 +92,44 @@ class EfficiencyReport:
     queries_measured: Dict[str, int]
 
 
+@dataclass
+class EvaluationSeries:
+    """Both views of one evaluation: ideal-normalised and absolute.
+
+    ``normalized`` divides each metric by the infeasible ideal selector's
+    score (the paper's presentation); ``absolute`` is the raw metric.  A
+    scenario can *raise* a normalised score purely because the ideal
+    denominator degrades — the absolute view makes that visible.  Both are
+    folded from the same harvest runs, so asking for both costs nothing
+    extra.
+    """
+
+    normalized: Dict[str, MetricSeries]
+    absolute: Dict[str, MetricSeries]
+
+
 class ExperimentRunner:
     """Runs the paper's evaluation protocol over one corpus.
 
-    ``workers`` sets the degree of parallelism for the harvesting runs: all
-    runs of one split are dispatched as a batch through
-    :meth:`Harvester.harvest_many`.  Per-run seeds are derived from
-    ``(base_seed, split, method, entity, aspect)`` and never from execution
-    order, so any ``workers`` value yields identical results.
+    ``backend`` picks the execution engine for the harvesting runs (a
+    registered name, an :class:`ExecutionBackend` instance, or ``None`` for
+    the historical ``workers`` semantics: 1 = serial, N = thread pool).
+    All runs of one split are dispatched as one batch.  Per-run seeds are
+    derived from ``(base_seed, split, method, entity, aspect)`` and never
+    from execution order, so every backend and worker count yields
+    identical results.
+
+    Distributed (process) backends ship picklable
+    :class:`~repro.exec.specs.HarvestJobSpec` payloads instead of live
+    jobs when ``corpus_spec`` describes how workers can rebuild the corpus;
+    without a spec they fall back to pickling the live harvester and jobs,
+    which is correct but heavier.
     """
 
     def __init__(self, corpus: Corpus, config: Optional[L2QConfig] = None,
-                 base_seed: int = 99, workers: int = 1) -> None:
+                 base_seed: int = 99, workers: int = 1,
+                 backend: Union[None, str, ExecutionBackend] = None,
+                 corpus_spec: Optional[CorpusSpec] = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.corpus = corpus
@@ -104,6 +137,9 @@ class ExperimentRunner:
         self.config.validate()
         self.base_seed = base_seed
         self.workers = workers
+        self.backend = resolve_backend(backend, workers=workers)
+        self.corpus_spec = corpus_spec
+        self._corpus_digest: Optional[str] = None
 
     # -- Preparation ------------------------------------------------------------
     def prepare(self, split: EntitySplit, domain_fraction: float = 1.0) -> PreparedSplit:
@@ -168,29 +204,53 @@ class ExperimentRunner:
             return IdealSelection(prepared.ground_truth_by_aspect[aspect])
         raise KeyError(f"unknown method {method!r}")
 
-    def build_job(self, prepared: PreparedSplit, method: str, entity_id: str,
-                  aspect: str, num_queries: int) -> HarvestJob:
-        """Assemble one single-use harvesting job for (method, entity, aspect).
+    def job_spec(self, split: EntitySplit, method: str, entity_id: str,
+                 aspect: str, num_queries: int) -> HarvestJobSpec:
+        """The picklable configuration of one harvesting run.
+
+        The seed derives from ``(base_seed, split, method, entity, aspect)``
+        — never from execution order — so the spec reproduces the same run
+        in this process or any worker.
+        """
+        return HarvestJobSpec(
+            method=method,
+            entity_id=entity_id,
+            aspect=aspect,
+            num_queries=num_queries,
+            seed=derive_seed(self.base_seed, "harvest", split.seed,
+                             method, entity_id, aspect),
+        )
+
+    def job_from_spec(self, prepared: PreparedSplit,
+                      spec: HarvestJobSpec) -> HarvestJob:
+        """Resolve a :class:`HarvestJobSpec` into a live, single-use job.
 
         Everything a job needs — selector instance, domain model, HR
         statistics — is resolved here, on the calling thread, so executing
         the job later on a worker pool touches no lazily-built shared state.
         """
-        selector = self.create_selector(method, prepared, aspect)
-        domain_model = (prepared.domain_model(aspect)
-                        if method in DOMAIN_AWARE_METHODS else None)
-        relevance = (prepared.ground_truth_by_aspect[aspect] if method == "IDEAL"
-                     else prepared.relevance_by_aspect[aspect])
+        selector = self.create_selector(spec.method, prepared, spec.aspect)
+        domain_model = (prepared.domain_model(spec.aspect)
+                        if spec.method in DOMAIN_AWARE_METHODS else None)
+        relevance = (prepared.ground_truth_by_aspect[spec.aspect]
+                     if spec.method == "IDEAL"
+                     else prepared.relevance_by_aspect[spec.aspect])
         return HarvestJob(
-            entity_id=entity_id,
-            aspect=aspect,
+            entity_id=spec.entity_id,
+            aspect=spec.aspect,
             selector=selector,
             relevance=relevance,
-            num_queries=num_queries,
+            num_queries=spec.num_queries,
             domain_model=domain_model,
-            seed=derive_seed(self.base_seed, "harvest", prepared.split.seed,
-                             method, entity_id, aspect),
+            seed=spec.seed,
         )
+
+    def build_job(self, prepared: PreparedSplit, method: str, entity_id: str,
+                  aspect: str, num_queries: int) -> HarvestJob:
+        """Assemble one single-use harvesting job for (method, entity, aspect)."""
+        return self.job_from_spec(
+            prepared,
+            self.job_spec(prepared.split, method, entity_id, aspect, num_queries))
 
     def harvester_for(self, prepared: PreparedSplit) -> Harvester:
         """A harvester over this corpus and the split's engine."""
@@ -214,7 +274,44 @@ class ExperimentRunner:
         """Evaluate methods over test entities, aspects and repeated splits.
 
         Returns one :class:`MetricSeries` per method with ideal-normalised
-        precision, recall and F-score per query budget.
+        (or, with ``normalize=False``, absolute) precision, recall and
+        F-score per query budget.
+        """
+        primary, _ = self._evaluate_collect(
+            methods, num_queries_list=num_queries_list, num_splits=num_splits,
+            domain_fraction=domain_fraction, max_test_entities=max_test_entities,
+            aspects=aspects, normalize=normalize)
+        return primary
+
+    def evaluate_methods_detailed(self, methods: Sequence[str],
+                                  num_queries_list: Sequence[int] = (2, 3, 4, 5),
+                                  num_splits: int = 1,
+                                  domain_fraction: float = 1.0,
+                                  max_test_entities: Optional[int] = None,
+                                  aspects: Optional[Sequence[str]] = None
+                                  ) -> EvaluationSeries:
+        """Evaluate methods and return normalised *and* absolute series.
+
+        Both views are folded from the same harvest runs (no extra
+        harvesting over :meth:`evaluate_methods`).
+        """
+        normalized, absolute = self._evaluate_collect(
+            methods, num_queries_list=num_queries_list, num_splits=num_splits,
+            domain_fraction=domain_fraction, max_test_entities=max_test_entities,
+            aspects=aspects, normalize=True)
+        return EvaluationSeries(normalized=normalized, absolute=absolute)
+
+    def _evaluate_collect(self, methods: Sequence[str],
+                          num_queries_list: Sequence[int],
+                          num_splits: int, domain_fraction: float,
+                          max_test_entities: Optional[int],
+                          aspects: Optional[Sequence[str]],
+                          normalize: bool
+                          ) -> Tuple[Dict[str, MetricSeries], Dict[str, MetricSeries]]:
+        """Shared evaluation loop; returns ``(primary, absolute)`` series.
+
+        ``primary`` is ideal-normalised when ``normalize`` is set,
+        otherwise identical to ``absolute``.
         """
         if not methods:
             raise ValueError("at least one method is required")
@@ -222,24 +319,26 @@ class ExperimentRunner:
         max_budget = budgets[-1]
         aspect_list = list(aspects) if aspects is not None else list(self.corpus.aspects)
 
-        collected: Dict[str, Dict[int, List[HarvestMetrics]]] = {
+        primary: Dict[str, Dict[int, List[HarvestMetrics]]] = {
+            method: {k: [] for k in budgets} for method in methods
+        }
+        absolute: Dict[str, Dict[int, List[HarvestMetrics]]] = {
             method: {k: [] for k in budgets} for method in methods
         }
 
         for split_index in range(num_splits):
             split = self.default_split(split_index)
-            prepared = self.prepare(split, domain_fraction=domain_fraction)
             test_entities = list(split.test_entities)
             if max_test_entities is not None:
                 test_entities = test_entities[:max_test_entities]
 
             # One batch per split: every (method, entity, aspect) run plus
-            # the ideal upper-bound runs, dispatched together so they can
-            # execute on `workers` threads.  Jobs and results stay in the
-            # same deterministic order, so metric folding is independent of
+            # the ideal upper-bound runs, dispatched together through the
+            # execution backend.  Specs and results stay in the same
+            # deterministic order, so metric folding is independent of
             # scheduling.
             targets: List[Tuple[str, str, List[str]]] = []
-            jobs: List[HarvestJob] = []
+            specs: List[HarvestJobSpec] = []
             for aspect in aspect_list:
                 for entity_id in test_entities:
                     relevant = [p.page_id
@@ -248,13 +347,13 @@ class ExperimentRunner:
                         continue
                     targets.append((aspect, entity_id, relevant))
                     if normalize:
-                        jobs.append(self.build_job(prepared, "IDEAL", entity_id,
+                        specs.append(self.job_spec(split, "IDEAL", entity_id,
                                                    aspect, max_budget))
                     for method in methods:
-                        jobs.append(self.build_job(prepared, method, entity_id,
+                        specs.append(self.job_spec(split, method, entity_id,
                                                    aspect, max_budget))
-            results = iter(self.harvester_for(prepared).harvest_many(
-                jobs, workers=self.workers))
+            results = iter(self._run_split_specs(split, split_index, specs,
+                                                 domain_fraction))
 
             for aspect, entity_id, relevant in targets:
                 ideal_by_budget: Dict[int, HarvestMetrics] = {}
@@ -268,11 +367,44 @@ class ExperimentRunner:
                     run = next(results)
                     for k in budgets:
                         metrics = compute_metrics(run.gathered_after(k), relevant)
+                        absolute[method][k].append(metrics)
                         if normalize:
                             metrics = metrics.normalized_by(ideal_by_budget[k])
-                        collected[method][k].append(metrics)
+                        primary[method][k].append(metrics)
 
-        return {method: _series_from(method, collected[method]) for method in methods}
+        return ({method: _series_from(method, primary[method]) for method in methods},
+                {method: _series_from(method, absolute[method]) for method in methods})
+
+    def _run_split_specs(self, split: EntitySplit, split_index: int,
+                         specs: List[HarvestJobSpec],
+                         domain_fraction: float) -> List[HarvestResult]:
+        """Execute one split's job specs on the configured backend.
+
+        On a distributed backend with a known ``corpus_spec``, ship
+        ``(context, spec)`` payloads and let each worker rebuild the
+        prepared split once per shard (process-local cache).  Otherwise
+        resolve the specs into live jobs here and delegate the batch to
+        the backend via :meth:`Harvester.harvest_many`.
+        """
+        if self.backend.distributed and self.corpus_spec is not None:
+            if self._corpus_digest is None:
+                # Computed once per runner and shipped with every context:
+                # workers refuse to harvest a rebuilt corpus that does not
+                # match the corpus the metrics will be folded against.
+                self._corpus_digest = self.corpus.content_digest()
+            context = HarvestTaskContext(
+                corpus=self.corpus_spec,
+                config=self.config,
+                base_seed=self.base_seed,
+                split_index=split_index,
+                domain_fraction=domain_fraction,
+                corpus_digest=self._corpus_digest,
+            )
+            return self.backend.map(execute_harvest_task,
+                                    [(context, spec) for spec in specs])
+        prepared = self.prepare(split, domain_fraction=domain_fraction)
+        jobs = [self.job_from_spec(prepared, spec) for spec in specs]
+        return self.harvester_for(prepared).harvest_many(jobs, backend=self.backend)
 
     # -- Efficiency (Fig. 14) --------------------------------------------------------------
     def measure_efficiency(self, methods: Sequence[str] = ("L2QP", "L2QR", "L2QBAL"),
@@ -281,9 +413,10 @@ class ExperimentRunner:
                            aspects: Optional[Sequence[str]] = None) -> EfficiencyReport:
         """Measure per-query selection time and (simulated) fetch time.
 
-        Always runs serially regardless of ``self.workers``: the wall-clock
-        selection times *are* the result here, and concurrent runs contending
-        for the interpreter would inflate them.
+        Always runs serially regardless of the configured backend or worker
+        count: the wall-clock selection times *are* the result here, and
+        concurrent runs contending for the interpreter (or a cold per-worker
+        engine) would inflate them.
         """
         split = self.default_split(0)
         prepared = self.prepare(split)
@@ -344,7 +477,7 @@ class ExperimentRunner:
                         jobs.append(self.build_job(prepared, method, entity_id,
                                                    aspect, num_queries))
                 runs = self.harvester_for(prepared).harvest_many(
-                    jobs, workers=self.workers)
+                    jobs, backend=self.backend)
                 per_run = [compute_metrics(run.gathered_after(num_queries),
                                            relevant).f_score
                            for relevant, run in zip(relevant_sets, runs)]
@@ -353,6 +486,55 @@ class ExperimentRunner:
             self.config.seed_recall_r0 = original
         best = max(scores, key=lambda r: (scores[r], -r))
         return best, scores
+
+
+# -- Distributed worker side -------------------------------------------------------
+#: Rebuilt (runner, prepared, harvester) runtimes, cached per worker process
+#: so every job of a contiguous shard reuses one corpus, classifier suite
+#: and engine.
+_TASK_RUNTIMES = _ProcessLocalCache(capacity=4)
+
+
+@dataclass
+class _TaskRuntime:
+    """Everything a worker rebuilds once per (corpus, config, split)."""
+
+    runner: "ExperimentRunner"
+    prepared: PreparedSplit
+    harvester: Harvester
+
+
+def _task_runtime(context: HarvestTaskContext) -> _TaskRuntime:
+    def build() -> _TaskRuntime:
+        corpus = context.corpus.build()
+        if context.corpus_digest is not None and \
+                corpus.content_digest() != context.corpus_digest:
+            raise ValueError(
+                f"corpus_spec {context.corpus!r} rebuilds a corpus whose "
+                f"digest does not match the orchestrator's corpus; the spec "
+                f"describes a different corpus (stale seed or sizes?)")
+        runner = ExperimentRunner(corpus, config=context.config,
+                                  base_seed=context.base_seed, workers=1)
+        prepared = runner.prepare(runner.default_split(context.split_index),
+                                  domain_fraction=context.domain_fraction)
+        return _TaskRuntime(runner=runner, prepared=prepared,
+                            harvester=runner.harvester_for(prepared))
+
+    return _TASK_RUNTIMES.get_or_build(context.cache_key(), build)
+
+
+def execute_harvest_task(task: Tuple[HarvestTaskContext, HarvestJobSpec]) -> HarvestResult:
+    """Worker entry point: rebuild the world from specs and run one job.
+
+    Deterministic given the task alone — the rebuilt corpus, split,
+    classifier suite and engine are bit-for-bit what the orchestrating
+    process would build, so results are independent of which worker (or
+    whether a worker at all) executes the spec.
+    """
+    context, spec = task
+    runtime = _task_runtime(context)
+    job = runtime.runner.job_from_spec(runtime.prepared, spec)
+    return runtime.harvester.harvest_job(job)
 
 
 def _series_from(method: str, per_budget: Dict[int, List[HarvestMetrics]]) -> MetricSeries:

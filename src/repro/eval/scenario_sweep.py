@@ -4,8 +4,25 @@ The paper's comparisons run on clean synthetic corpora only.
 :class:`ScenarioSweep` re-runs the evaluation protocol under every requested
 scenario (see :mod:`repro.scenarios`) and reports, per domain and per
 method, how far the ideal-normalised precision / recall / F-score move from
-the clean baseline.  The output is a machine-readable *robustness matrix*
+the clean baseline — alongside the *absolute* (un-normalised) F-scores, so
+a scenario that "improves" only because the IDEAL denominator degrades is
+visible.  The output is a machine-readable *robustness matrix*
 (``BENCH_scenarios.json``) that successive PRs can diff.
+
+Corpus generation is shared: each domain's *base* corpus is generated once
+and every scenario's perturbation pipeline is realised against it
+(byte-identical to per-scenario generation, because perturbation RNGs are
+label-derived — see :class:`~repro.corpus.synthetic.BaseCorpus`).  A sweep
+therefore performs exactly one base generation per domain instead of
+``1 + len(scenarios)``.
+
+Execution is pluggable: the sweep accepts any
+:class:`~repro.exec.backends.ExecutionBackend`.  Serial and thread backends
+evaluate cells in-process (threads parallelise the harvesting runs inside a
+cell); the sharded process backend ships picklable
+:class:`~repro.exec.specs.SweepCellSpec` payloads, one per (domain,
+scenario) cell, and workers rebuild corpora against a process-local shared
+base.  Every backend produces the same JSON byte-for-byte.
 
 Everything in the result is deterministic: corpora are seeded, harvest
 seeds derive from ``(base_seed, split, method, entity, aspect)``, and no
@@ -18,22 +35,30 @@ a drifting corpus generator is distinguishable from a drifting selector.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import L2QConfig
 from repro.core.selection import selector_names
 from repro.corpus.corpus import Corpus
+from repro.corpus.synthetic import realise_base
 from repro.eval.experiments import DOMAINS, SMOKE_SCALE, ExperimentScale
 from repro.eval.runner import BASELINE_METHODS, ExperimentRunner
+from repro.exec.backends import ExecutionBackend, resolve_backend
+from repro.exec.specs import SweepCellResult, SweepCellSpec
 from repro.scenarios import ScenarioSpec, make_scenario, scenario_names
 
 #: Selectors swept by default: the paper's three full approaches.
 DEFAULT_SWEEP_METHODS = ("L2QP", "L2QR", "L2QBAL")
 
 #: Identifier of the serialisation layout (bump on breaking changes).
-SCHEMA = "BENCH_scenarios/v1"
+#: v2 adds absolute (un-normalised) metrics alongside the normalised ones.
+SCHEMA = "BENCH_scenarios/v2"
+
+#: Base seed of the evaluation runners inside sweep cells (the
+#: :class:`ExperimentRunner` default, pinned so spec payloads are explicit).
+RUNNER_BASE_SEED = 99
 
 
 @dataclass
@@ -45,6 +70,8 @@ class ScenarioCell:
     corpus_digest: str
     metrics: Dict[str, Dict[str, float]]
     f_delta: Dict[str, float]
+    absolute_metrics: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    absolute_f_delta: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -58,6 +85,7 @@ class ScenarioSweepResult:
     scenarios: List[str]
     clean_by_domain: Dict[str, Dict[str, object]] = field(default_factory=dict)
     cells_by_domain: Dict[str, Dict[str, ScenarioCell]] = field(default_factory=dict)
+    param_grid: Optional[Dict[str, object]] = None
 
     def f_delta(self, domain: str, scenario: str, method: str) -> float:
         """F-score delta (scenario − clean) of one method in one domain."""
@@ -66,6 +94,17 @@ class ScenarioSweepResult:
     def mean_f_delta(self, scenario: str) -> float:
         """Mean F-score delta of a scenario over all domains and methods."""
         deltas = [cells[scenario].f_delta[method]
+                  for cells in self.cells_by_domain.values()
+                  for method in self.methods]
+        return sum(deltas) / len(deltas) if deltas else 0.0
+
+    def mean_absolute_f_delta(self, scenario: str) -> float:
+        """Mean *absolute* F-score delta over all domains and methods.
+
+        The un-normalised companion of :meth:`mean_f_delta`: immune to the
+        IDEAL denominator moving under a scenario.
+        """
+        deltas = [cells[scenario].absolute_f_delta[method]
                   for cells in self.cells_by_domain.values()
                   for method in self.methods]
         return sum(deltas) / len(deltas) if deltas else 0.0
@@ -82,12 +121,14 @@ class ScenarioSweepResult:
                         "description": cell.description,
                         "corpus_digest": cell.corpus_digest,
                         "metrics": cell.metrics,
+                        "absolute_metrics": cell.absolute_metrics,
                         "f_delta": cell.f_delta,
+                        "absolute_f_delta": cell.absolute_f_delta,
                     }
                     for name, cell in sorted(cells.items())
                 },
             }
-        return {
+        report: Dict[str, object] = {
             "schema": SCHEMA,
             "scale": self.scale,
             "seed": self.seed,
@@ -95,9 +136,17 @@ class ScenarioSweepResult:
             "methods": list(self.methods),
             "scenarios": list(self.scenarios),
             "domains": domains,
-            "summary": {name: {"mean_f_delta": self.mean_f_delta(name)}
-                        for name in self.scenarios},
+            "summary": {
+                name: {
+                    "mean_f_delta": self.mean_f_delta(name),
+                    "mean_absolute_f_delta": self.mean_absolute_f_delta(name),
+                }
+                for name in self.scenarios
+            },
         }
+        if self.param_grid is not None:
+            report["param_grid"] = dict(self.param_grid)
+        return report
 
     def to_json(self) -> str:
         """Canonical JSON text (sorted keys, trailing newline)."""
@@ -111,14 +160,117 @@ class ScenarioSweepResult:
         return path
 
 
+def expand_severity_grid(scenarios: Sequence[str], param: str,
+                         values: Sequence[object]
+                         ) -> Tuple[List[ScenarioSpec], Dict[str, object]]:
+    """Expand scenarios × parameter values into a severity grid.
+
+    Each named scenario factory is instantiated once per value with
+    ``param=value`` and renamed ``"{name}@{param}={value}"``, so one sweep
+    produces a degradation *curve* per selector instead of a single point.
+    Returns the expanded specs plus the grid metadata embedded in the
+    result JSON.
+    """
+    if not values:
+        raise ValueError("severity grid needs at least one value")
+    specs: List[ScenarioSpec] = []
+    for name in scenarios:
+        for value in values:
+            try:
+                spec = make_scenario(name, **{param: value})
+            except TypeError as error:
+                # A rejected keyword means the factory lacks the parameter;
+                # any other TypeError comes from inside the factory (e.g. a
+                # perturbation comparing a string severity) and is a bad
+                # *value*, not a bad parameter name.
+                if "unexpected keyword argument" in str(error):
+                    raise ValueError(
+                        f"scenario {name!r} does not accept parameter "
+                        f"{param!r}: {error}") from None
+                raise ValueError(
+                    f"invalid value {value!r} for parameter {param!r} of "
+                    f"scenario {name!r}: {error}") from None
+            except ValueError as error:
+                raise ValueError(
+                    f"invalid value {value!r} for parameter {param!r} of "
+                    f"scenario {name!r}: {error}") from None
+            specs.append(replace(spec, name=f"{name}@{param}={value}"))
+    grid = {"param": param, "values": list(values), "scenarios": list(scenarios)}
+    return specs, grid
+
+
+def _metrics_block(series: Dict[str, object], methods: Sequence[str],
+                   num_queries: int) -> Dict[str, Dict[str, float]]:
+    """Extract the per-method {precision, recall, f_score} block."""
+    return {
+        method: {
+            "precision": series[method].precision[num_queries],
+            "recall": series[method].recall[num_queries],
+            "f_score": series[method].f_score[num_queries],
+        }
+        for method in methods
+    }
+
+
+def _evaluate_corpus(corpus: Corpus, methods: Sequence[str], num_queries: int,
+                     num_splits: int, max_test_entities: Optional[int],
+                     max_aspects: Optional[int], config: Optional[L2QConfig],
+                     base_seed: int,
+                     backend: Union[None, str, ExecutionBackend] = None,
+                     workers: int = 1
+                     ) -> Tuple[Dict[str, Dict[str, float]], Dict[str, Dict[str, float]]]:
+    """Ideal-normalised and absolute metrics of every method on one corpus.
+
+    The single evaluation routine shared by the in-process sweep path and
+    the process-backend worker path, so both fold identical floats in
+    identical order — the byte-for-byte equality across backends rests on
+    this sharing.
+    """
+    runner = ExperimentRunner(corpus, config=config, base_seed=base_seed,
+                              workers=workers, backend=backend)
+    aspects = list(corpus.aspects)
+    if max_aspects is not None:
+        aspects = aspects[:max_aspects]
+    evaluation = runner.evaluate_methods_detailed(
+        methods,
+        num_queries_list=(num_queries,),
+        num_splits=num_splits,
+        max_test_entities=max_test_entities,
+        aspects=aspects,
+    )
+    return (_metrics_block(evaluation.normalized, methods, num_queries),
+            _metrics_block(evaluation.absolute, methods, num_queries))
+
+
+def execute_sweep_cell(spec: SweepCellSpec) -> SweepCellResult:
+    """Worker entry point: evaluate one (domain, scenario) cell from its spec.
+
+    The corpus is rebuilt from the spec (scenario pipelines realise against
+    a process-locally cached shared base), evaluated serially, and only the
+    plain-data result crosses back — config in, result dataclass out.
+    """
+    corpus = spec.corpus.build()
+    metrics, absolute = _evaluate_corpus(
+        corpus, spec.methods, spec.num_queries, spec.num_splits,
+        spec.max_test_entities, spec.max_aspects, spec.config, spec.base_seed)
+    return SweepCellResult(
+        domain=spec.domain,
+        scenario=spec.scenario_name,
+        corpus_digest=corpus.content_digest(),
+        metrics=metrics,
+        absolute_metrics=absolute,
+    )
+
+
 class ScenarioSweep:
     """Runs selectors × scenarios through the evaluation protocol.
 
     Parameters
     ----------
     scale:
-        Corpus / split sizing preset (``smoke`` by default: a sweep touches
-        ``(1 + len(scenarios)) × len(domains)`` corpora).
+        Corpus / split sizing preset (``smoke`` by default; a sweep
+        generates one *base* corpus per domain and realises every scenario
+        pipeline against it).
     scenarios:
         Scenario names to sweep (default: every registered scenario) or
         pre-built :class:`~repro.scenarios.ScenarioSpec` instances.
@@ -128,8 +280,16 @@ class ScenarioSweep:
     num_queries:
         Query budget evaluated (one budget keeps the matrix 2-D).
     workers:
-        Parallel harvesting workers per evaluation (results identical for
+        Degree of parallelism handed to the backend (results identical for
         any value).
+    backend:
+        Execution backend name or instance (``serial`` / ``thread`` /
+        ``process``; default ``None`` = historical workers semantics).
+        Serial and thread evaluate cells in-process; the process backend
+        shards whole cells across worker processes.
+    param_grid:
+        Optional grid metadata from :func:`expand_severity_grid`, embedded
+        verbatim in the result.
     """
 
     def __init__(self, scale: ExperimentScale = SMOKE_SCALE,
@@ -138,7 +298,9 @@ class ScenarioSweep:
                  domains: Sequence[str] = DOMAINS,
                  num_queries: int = 3,
                  config: Optional[L2QConfig] = None,
-                 workers: int = 1) -> None:
+                 workers: int = 1,
+                 backend: Union[None, str, ExecutionBackend] = None,
+                 param_grid: Optional[Dict[str, object]] = None) -> None:
         # All inputs are validated eagerly: a sweep cell is expensive, so a
         # typo must fail here, not mid-run after the clean baseline.
         if not methods:
@@ -172,6 +334,8 @@ class ScenarioSweep:
         self.num_queries = num_queries
         self.config = config
         self.workers = workers
+        self.backend = resolve_backend(backend, workers=workers)
+        self.param_grid = param_grid
 
     def run(self) -> ScenarioSweepResult:
         """Evaluate every (domain, scenario) cell and fold in the deltas."""
@@ -181,51 +345,112 @@ class ScenarioSweep:
             num_queries=self.num_queries,
             methods=list(self.methods),
             scenarios=[spec.name for spec in self.specs],
+            param_grid=self.param_grid,
         )
+        if self.backend.distributed:
+            cell_results = self._run_distributed()
+        else:
+            cell_results = self._run_local()
+        self._fold(result, cell_results)
+        return result
+
+    # -- Execution paths -------------------------------------------------------
+    def _run_local(self) -> List[SweepCellResult]:
+        """In-process path: one shared base per domain, cells in order.
+
+        The thread backend (if configured) parallelises the harvesting runs
+        *inside* each cell's evaluation; cells run sequentially so the
+        shared base and engine caches stay warm.
+        """
+        out: List[SweepCellResult] = []
         for domain in self.domains:
-            clean_corpus = self.scale.corpus_for(domain)
-            clean_metrics = self._evaluate(clean_corpus)
-            result.clean_by_domain[domain] = {
-                "corpus_digest": clean_corpus.content_digest(),
-                "metrics": clean_metrics,
-            }
-            cells: Dict[str, ScenarioCell] = {}
-            for spec in self.specs:
-                corpus = self.scale.corpus_for(domain, scenario=spec)
-                metrics = self._evaluate(corpus)
-                cells[spec.name] = ScenarioCell(
-                    scenario=spec.name,
-                    description=spec.description,
+            base = self.scale.base_corpus_for(domain)
+            for scenario, corpus in self._domain_corpora(base):
+                metrics, absolute = _evaluate_corpus(
+                    corpus, self.methods, self.num_queries,
+                    self.scale.num_splits, self.scale.max_test_entities,
+                    self.scale.max_aspects, self.config, RUNNER_BASE_SEED,
+                    backend=self.backend, workers=self.workers)
+                out.append(SweepCellResult(
+                    domain=domain,
+                    scenario=scenario.name if scenario else None,
                     corpus_digest=corpus.content_digest(),
                     metrics=metrics,
+                    absolute_metrics=absolute,
+                ))
+        return out
+
+    def _domain_corpora(self, base):
+        """Yield (scenario-or-None, corpus) pairs realised from one base."""
+        yield None, realise_base(base)
+        for spec in self.specs:
+            if spec.shares_base:
+                yield spec, spec.corpus_from_base(base)
+            else:
+                # Config overrides change the base generation itself; this
+                # scenario pays for its own full generation.
+                yield spec, self.scale.corpus_for(base.domain, scenario=spec)
+
+    def _run_distributed(self) -> List[SweepCellResult]:
+        """Process path: shard whole (domain, scenario) cells across workers.
+
+        Cells are ordered domain-major, so contiguous shards keep a
+        domain's cells together and the workers' process-local base-corpus
+        caches amortise generation the same way the in-process path does.
+        """
+        cell_specs = [
+            SweepCellSpec(
+                corpus=self.scale.corpus_spec_for(domain, scenario=scenario),
+                methods=tuple(self.methods),
+                num_queries=self.num_queries,
+                num_splits=self.scale.num_splits,
+                max_test_entities=self.scale.max_test_entities,
+                max_aspects=self.scale.max_aspects,
+                config=self.config,
+                base_seed=RUNNER_BASE_SEED,
+            )
+            for domain in self.domains
+            for scenario in [None] + list(self.specs)
+        ]
+        return self.backend.map(execute_sweep_cell, cell_specs)
+
+    # -- Folding ----------------------------------------------------------------
+    def _fold(self, result: ScenarioSweepResult,
+              cell_results: Sequence[SweepCellResult]) -> None:
+        """Assemble cells into the matrix and compute deltas vs clean."""
+        by_domain: Dict[str, Dict[Optional[str], SweepCellResult]] = {}
+        for cell in cell_results:
+            by_domain.setdefault(cell.domain, {})[cell.scenario] = cell
+        descriptions = {spec.name: spec.description for spec in self.specs}
+        for domain in self.domains:
+            cells = by_domain[domain]
+            clean = cells[None]
+            result.clean_by_domain[domain] = {
+                "corpus_digest": clean.corpus_digest,
+                "metrics": clean.metrics,
+                "absolute_metrics": clean.absolute_metrics,
+            }
+            folded: Dict[str, ScenarioCell] = {}
+            for spec in self.specs:
+                cell = cells[spec.name]
+                folded[spec.name] = ScenarioCell(
+                    scenario=spec.name,
+                    description=descriptions[spec.name],
+                    corpus_digest=cell.corpus_digest,
+                    metrics=cell.metrics,
+                    absolute_metrics=cell.absolute_metrics,
                     f_delta={
-                        method: metrics[method]["f_score"]
-                        - clean_metrics[method]["f_score"]
+                        method: cell.metrics[method]["f_score"]
+                        - clean.metrics[method]["f_score"]
+                        for method in self.methods
+                    },
+                    absolute_f_delta={
+                        method: cell.absolute_metrics[method]["f_score"]
+                        - clean.absolute_metrics[method]["f_score"]
                         for method in self.methods
                     },
                 )
-            result.cells_by_domain[domain] = cells
-        return result
-
-    def _evaluate(self, corpus: Corpus) -> Dict[str, Dict[str, float]]:
-        """Ideal-normalised metrics of every method on one corpus."""
-        runner = ExperimentRunner(corpus, config=self.config,
-                                  workers=self.workers)
-        series = runner.evaluate_methods(
-            self.methods,
-            num_queries_list=(self.num_queries,),
-            num_splits=self.scale.num_splits,
-            max_test_entities=self.scale.max_test_entities,
-            aspects=self.scale.aspects_for(corpus),
-        )
-        return {
-            method: {
-                "precision": series[method].precision[self.num_queries],
-                "recall": series[method].recall[self.num_queries],
-                "f_score": series[method].f_score[self.num_queries],
-            }
-            for method in self.methods
-        }
+            result.cells_by_domain[domain] = folded
 
 
 def run_scenario_sweep(scale: ExperimentScale = SMOKE_SCALE,
@@ -234,8 +459,10 @@ def run_scenario_sweep(scale: ExperimentScale = SMOKE_SCALE,
                        domains: Sequence[str] = DOMAINS,
                        num_queries: int = 3,
                        config: Optional[L2QConfig] = None,
-                       workers: int = 1) -> ScenarioSweepResult:
+                       workers: int = 1,
+                       backend: Union[None, str, ExecutionBackend] = None
+                       ) -> ScenarioSweepResult:
     """Convenience wrapper: build a :class:`ScenarioSweep` and run it."""
     return ScenarioSweep(scale=scale, scenarios=scenarios, methods=methods,
                          domains=domains, num_queries=num_queries,
-                         config=config, workers=workers).run()
+                         config=config, workers=workers, backend=backend).run()

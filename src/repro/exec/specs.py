@@ -1,0 +1,181 @@
+"""Self-contained, picklable job specifications for distributed backends.
+
+A process worker cannot receive live object graphs cheaply: the search
+engine carries a lock, classifier suites and indexes are large, and shared
+caches would stop being shared.  Distributed execution therefore ships
+*specs* — plain dataclasses saying how to rebuild the world (config in) —
+and receives plain result dataclasses back (result out).  Because every
+component is deterministic given its seeds, a worker rebuilding a corpus,
+split, classifier suite or engine from a spec produces bit-for-bit the
+objects the caller would have built locally.
+
+Workers keep small process-local caches (:meth:`CorpusSpec.build_base`
+backed by a module-level LRU) so the expensive rebuilds amortise across the
+contiguous shard a :class:`~repro.exec.backends.ProcessBackend` assigns
+them — and, because the worker pool persists across ``map`` calls, across
+successive batches too.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple, TypeVar
+
+from repro.core.config import L2QConfig
+from repro.corpus.corpus import Corpus
+from repro.corpus.synthetic import BaseCorpus, build_base, realise_base
+from repro.scenarios import ScenarioSpec
+
+V = TypeVar("V")
+
+
+class _ProcessLocalCache:
+    """A tiny keyed LRU for per-worker rebuilt state.
+
+    Keys are ``repr`` strings of spec dataclasses: deterministic within a
+    process and cheap, without requiring hashability of nested configs.
+    """
+
+    def __init__(self, capacity: int = 4) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, object]" = OrderedDict()
+
+    def get_or_build(self, key: str, build: Callable[[], V]) -> V:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return self._entries[key]  # type: ignore[return-value]
+        value = build()
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return value
+
+
+_BASE_CACHE = _ProcessLocalCache(capacity=4)
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """How to rebuild one evaluation corpus from configuration alone.
+
+    ``scenario`` is an optional :class:`~repro.scenarios.ScenarioSpec`
+    (itself a frozen, picklable dataclass); ``None`` means the clean
+    corpus.  :meth:`build` realises scenarios against a process-locally
+    cached shared base, so all cells of one domain landing in the same
+    worker shard pay base generation once.
+    """
+
+    domain: str
+    num_entities: int
+    pages_per_entity: int
+    seed: int
+    scenario: Optional[ScenarioSpec] = None
+
+    def base_key(self) -> str:
+        """Cache key of the shared base this spec realises against."""
+        return repr((self.domain, self.num_entities, self.pages_per_entity,
+                     self.seed))
+
+    def build_base(self) -> BaseCorpus:
+        """The (process-locally cached) shared base corpus of this spec."""
+        return _BASE_CACHE.get_or_build(
+            self.base_key(),
+            lambda: build_base(domain=self.domain,
+                               num_entities=self.num_entities,
+                               pages_per_entity=self.pages_per_entity,
+                               seed=self.seed))
+
+    def build(self) -> Corpus:
+        """Rebuild the corpus this spec describes (deterministic)."""
+        if self.scenario is None:
+            return realise_base(self.build_base())
+        if not self.scenario.shares_base:
+            # Config overrides change the base generation itself; the
+            # shared base would be the wrong shape.
+            return self.scenario.corpus_for(
+                self.domain, num_entities=self.num_entities,
+                pages_per_entity=self.pages_per_entity, seed=self.seed)
+        return self.scenario.corpus_from_base(self.build_base())
+
+
+@dataclass(frozen=True)
+class HarvestJobSpec:
+    """One harvesting run as pure configuration: (method, target, budget, seed).
+
+    The seed is derived by the orchestrator from
+    ``(base_seed, split, method, entity, aspect)`` — never from execution
+    order — so a worker executing this spec reproduces the serial run
+    bit-for-bit.
+    """
+
+    method: str
+    entity_id: str
+    aspect: str
+    num_queries: int
+    seed: int
+
+
+@dataclass(frozen=True)
+class HarvestTaskContext:
+    """The shared world one batch of :class:`HarvestJobSpec` runs against.
+
+    Everything a worker needs to rebuild the prepared split — corpus,
+    learner configuration, split derivation — with nothing runtime-bound
+    inside.  ``config`` is carried by value; :class:`L2QConfig` is a plain
+    dataclass of scalars.  ``corpus_digest`` is the orchestrator's live
+    corpus digest: the worker compares it against its rebuilt corpus, so a
+    spec that silently describes a *different* corpus (stale seed, wrong
+    sizes) fails loudly instead of folding metrics against mismatched
+    ground truth.
+    """
+
+    corpus: CorpusSpec
+    config: L2QConfig
+    base_seed: int
+    split_index: int
+    domain_fraction: float = 1.0
+    corpus_digest: Optional[str] = None
+
+    def cache_key(self) -> str:
+        """Process-local cache key for the rebuilt runtime."""
+        return repr(self)
+
+
+@dataclass(frozen=True)
+class SweepCellSpec:
+    """One (domain, scenario) cell of a scenario sweep, as configuration.
+
+    ``scenario=None`` denotes the clean baseline cell.  The result travels
+    back as a :class:`SweepCellResult`.
+    """
+
+    corpus: CorpusSpec
+    methods: Tuple[str, ...]
+    num_queries: int
+    num_splits: int
+    max_test_entities: Optional[int]
+    max_aspects: Optional[int]
+    config: Optional[L2QConfig]
+    base_seed: int
+
+    @property
+    def domain(self) -> str:
+        """Domain of this cell."""
+        return self.corpus.domain
+
+    @property
+    def scenario_name(self) -> Optional[str]:
+        """Scenario name, or ``None`` for the clean baseline cell."""
+        return self.corpus.scenario.name if self.corpus.scenario else None
+
+
+@dataclass
+class SweepCellResult:
+    """Evaluated metrics of one sweep cell (what crosses back by pickle)."""
+
+    domain: str
+    scenario: Optional[str]
+    corpus_digest: str
+    metrics: dict = field(default_factory=dict)
+    absolute_metrics: dict = field(default_factory=dict)

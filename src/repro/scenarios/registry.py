@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Tuple
 
 from repro.corpus.corpus import Corpus
-from repro.corpus.synthetic import CorpusConfig, CorpusGenerator
+from repro.corpus.synthetic import BaseCorpus, CorpusConfig, CorpusGenerator
 from repro.utils.registry import NamedRegistry
 
 
@@ -77,6 +77,32 @@ class ScenarioSpec:
         config = self.build_config(domain, num_entities, pages_per_entity,
                                    seed, **overrides)
         return CorpusGenerator(config).generate()
+
+    @property
+    def shares_base(self) -> bool:
+        """Whether this scenario can be realised from a shared base corpus.
+
+        Scenarios that override :class:`CorpusConfig` fields change the
+        *base* generation itself and must regenerate from scratch; pure
+        perturbation pipelines apply to any base of the right shape.
+        """
+        return not self.config_overrides
+
+    def corpus_from_base(self, base: BaseCorpus) -> Corpus:
+        """Realise this scenario against a shared base corpus.
+
+        Byte-identical to :meth:`corpus_for` with the base's sizes and seed
+        (perturbation RNGs are label-derived, not state-derived), while
+        skipping the expensive base generation.  Only valid for scenarios
+        without config overrides — see :attr:`shares_base`.
+        """
+        if not self.shares_base:
+            raise ValueError(
+                f"scenario {self.name!r} overrides corpus config fields "
+                f"{sorted(self.config_overrides)} and cannot share a base "
+                f"corpus; use corpus_for() instead")
+        return CorpusGenerator(base.config).realise(
+            base, perturbations=tuple(self.perturbations))
 
 
 ScenarioFactory = Callable[..., ScenarioSpec]

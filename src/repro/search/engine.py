@@ -138,6 +138,31 @@ class SearchEngine:
         # (Harvester.harvest_many); the lock guards the caches and counters.
         self._lock = threading.Lock()
 
+    # -- Pickling (process-backend support) -----------------------------------
+    def __getstate__(self) -> Dict[str, object]:
+        """Ship configuration and corpus; leave runtime state behind.
+
+        The lock cannot cross a process boundary and shipping the index,
+        views, rankers and result cache would defeat the point of cheap
+        spec-style payloads — each worker process constructs its own on
+        first use.  ``index_builds`` restarts at 0 accordingly, and fetch
+        statistics accumulated by a worker stay in that worker: process
+        backends return harvest *results*, not engine-side counters.
+        """
+        state = self.__dict__.copy()
+        state["_lock"] = None
+        state["_shared_index"] = None
+        state["_entity_views"] = {}
+        state["_entity_rankers"] = {}
+        state["_result_cache"] = OrderedDict()
+        state["index_builds"] = 0
+        state["fetch_statistics"] = FetchStatistics()
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def _default_ranker_params(self, ranker: str) -> Dict[str, object]:
         if ranker == RANKER_DIRICHLET:
             return {"mu": self.mu}

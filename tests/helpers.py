@@ -25,3 +25,21 @@ def make_page(page_id, entity_id, paragraph_specs):
         for i, (tokens, aspect) in enumerate(paragraph_specs)
     )
     return Page(page_id=page_id, entity_id=entity_id, paragraphs=paragraphs)
+
+
+def harvest_signature(result):
+    """Everything scheduling-independent about a harvest run.
+
+    The single definition of "bit-for-bit equal" used by every backend- and
+    worker-equivalence assertion (tests and benchmarks): fired queries,
+    result/new/seed page ids and the run's identity — but no wall-clock
+    timings, which legitimately vary with scheduling.
+    """
+    return (
+        result.entity_id,
+        result.aspect,
+        result.selector_name,
+        tuple(result.seed_page_ids),
+        tuple((r.query, r.result_page_ids, r.new_page_ids)
+              for r in result.iterations),
+    )

@@ -1,0 +1,161 @@
+"""Backend equivalence: serial == thread(4) == process(4), bit for bit.
+
+The acceptance bar of the execution-backend refactor: swapping the engine
+must never change a result.  Harvest runs are compared on everything
+scheduling-independent (queries, result/new/seed page ids, per-job seeds)
+and scenario sweeps on their full JSON rendering.
+"""
+
+import pytest
+
+from repro.corpus.synthetic import base_generation_count
+from repro.eval.experiments import ExperimentScale
+from repro.eval.runner import ExperimentRunner
+from repro.eval.scenario_sweep import run_scenario_sweep
+
+from tests.helpers import harvest_signature
+
+TINY_SCALE = ExperimentScale(
+    name="tiny",
+    num_entities={"researcher": 12, "car": 10},
+    pages_per_entity=8,
+    num_splits=1,
+    max_test_entities=2,
+    max_aspects=2,
+    num_queries_list=(2,),
+    corpus_seed=11,
+)
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def _jobs(runner, prepared, methods=("L2QBAL", "RND"), num_queries=2):
+    entities = list(prepared.split.test_entities)[:2]
+    return [(runner.build_job(prepared, method, entity_id, "RESEARCH", num_queries))
+            for method in methods
+            for entity_id in entities]
+
+
+class TestHarvestEquivalence:
+    @pytest.fixture(scope="class")
+    def serial_signatures(self, researcher_runner, researcher_prepared):
+        harvester = researcher_runner.harvester_for(researcher_prepared)
+        results = harvester.harvest_many(
+            _jobs(researcher_runner, researcher_prepared), backend="serial")
+        return [harvest_signature(r) for r in results]
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_backend_reproduces_serial(self, researcher_runner,
+                                       researcher_prepared, backend,
+                                       serial_signatures):
+        harvester = researcher_runner.harvester_for(researcher_prepared)
+        results = harvester.harvest_many(
+            _jobs(researcher_runner, researcher_prepared),
+            workers=4, backend=backend)
+        assert [harvest_signature(r) for r in results] == serial_signatures
+
+    def test_job_seeds_identical_across_backends(self, researcher_runner,
+                                                 researcher_prepared):
+        # Seeds derive from (base_seed, split, method, entity, aspect), so
+        # rebuilding the same batch yields the same seeds regardless of
+        # where it will execute.
+        first = [job.seed for job in _jobs(researcher_runner, researcher_prepared)]
+        second = [job.seed for job in _jobs(researcher_runner, researcher_prepared)]
+        assert first == second
+
+
+class TestRunnerEquivalence:
+    def test_process_spec_path_reproduces_serial(self, tiny_corpus, tiny_corpus_spec):
+        def evaluate(backend, corpus_spec=None, workers=1):
+            runner = ExperimentRunner(tiny_corpus, base_seed=5, workers=workers,
+                                      backend=backend, corpus_spec=corpus_spec)
+            return runner.evaluate_methods(("RND", "MQ"), num_queries_list=(2,),
+                                           max_test_entities=2,
+                                           aspects=("RESEARCH",))
+
+        serial = evaluate("serial")
+        process = evaluate("process", corpus_spec=tiny_corpus_spec, workers=4)
+        for method in ("RND", "MQ"):
+            assert serial[method].precision == process[method].precision
+            assert serial[method].recall == process[method].recall
+            assert serial[method].f_score == process[method].f_score
+
+    def test_mismatched_corpus_spec_fails_loudly(self, tiny_corpus):
+        # A spec describing a different corpus (wrong seed) must error in
+        # the worker, not silently fold metrics against the wrong ground
+        # truth.
+        from repro.exec.specs import CorpusSpec
+
+        stale = CorpusSpec(domain="researcher",
+                           num_entities=TINY_SCALE.num_entities["researcher"],
+                           pages_per_entity=TINY_SCALE.pages_per_entity,
+                           seed=TINY_SCALE.corpus_seed + 1)
+        runner = ExperimentRunner(tiny_corpus, base_seed=5, workers=2,
+                                  backend="process", corpus_spec=stale)
+        with pytest.raises(ValueError, match="digest does not match"):
+            runner.evaluate_methods(("RND",), num_queries_list=(2,),
+                                    max_test_entities=1,
+                                    aspects=("RESEARCH",))
+
+    def test_process_live_fallback_reproduces_serial(self, tiny_corpus):
+        # Without a corpus spec the process backend pickles the live
+        # harvester and jobs (engine rebuilds its index per worker).
+        def evaluate(backend, workers=1):
+            runner = ExperimentRunner(tiny_corpus, base_seed=5, workers=workers,
+                                      backend=backend)
+            return runner.evaluate_methods(("RND",), num_queries_list=(2,),
+                                           max_test_entities=2,
+                                           aspects=("RESEARCH",))
+
+        serial = evaluate("serial")
+        process = evaluate("process", workers=2)
+        assert serial["RND"].f_score == process["RND"].f_score
+
+    @pytest.fixture(scope="class")
+    def tiny_corpus(self):
+        return TINY_SCALE.corpus_for("researcher")
+
+    @pytest.fixture(scope="class")
+    def tiny_corpus_spec(self):
+        return TINY_SCALE.corpus_spec_for("researcher")
+
+
+class TestSweepEquivalence:
+    @pytest.fixture(scope="class")
+    def sweep_kwargs(self):
+        return dict(scale=TINY_SCALE, scenarios=("zipf-skew", "near-duplicates"),
+                    methods=("L2QBAL",), domains=("researcher",), num_queries=2)
+
+    @pytest.fixture(scope="class")
+    def serial_json(self, sweep_kwargs):
+        return run_scenario_sweep(backend="serial", **sweep_kwargs).to_json()
+
+    @pytest.mark.parametrize("backend,workers", [("thread", 4), ("process", 4)])
+    def test_sweep_digest_equal_across_backends(self, sweep_kwargs, serial_json,
+                                                backend, workers):
+        swept = run_scenario_sweep(backend=backend, workers=workers,
+                                   **sweep_kwargs).to_json()
+        assert swept == serial_json
+
+
+class TestSharedBaseGeneration:
+    def test_sweep_generates_one_base_per_domain(self, sweep_result_counted):
+        generations, result = sweep_result_counted
+        # One domain swept with two scenarios: exactly one base generation;
+        # the clean corpus and both perturbed corpora realise from it.
+        assert generations == 1
+        assert len(result.cells_by_domain["researcher"]) == 2
+
+    def test_perturbed_digests_differ_from_clean(self, sweep_result_counted):
+        _, result = sweep_result_counted
+        clean = result.clean_by_domain["researcher"]["corpus_digest"]
+        for cell in result.cells_by_domain["researcher"].values():
+            assert cell.corpus_digest != clean
+
+    @pytest.fixture(scope="class")
+    def sweep_result_counted(self):
+        before = base_generation_count()
+        result = run_scenario_sweep(
+            scale=TINY_SCALE, scenarios=("zipf-skew", "near-duplicates"),
+            methods=("MQ",), domains=("researcher",), num_queries=2)
+        return base_generation_count() - before, result

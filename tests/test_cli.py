@@ -119,3 +119,109 @@ class TestScenariosCommand:
                      "--output", str(tmp_path / "x.json")], out=out)
         assert code == 2
         assert "unknown methods" in out.getvalue()
+
+    def test_run_reports_absolute_metrics(self, tmp_path):
+        import json
+
+        out = io.StringIO()
+        output = tmp_path / "BENCH_scenarios.json"
+        code = main(["scenarios", "run", "--scale", "smoke",
+                     "--scenarios", "zipf-skew", "--methods", "MQ",
+                     "--domains", "researcher", "--queries", "2",
+                     "--output", str(output)], out=out)
+        assert code == 0
+        report = json.loads(output.read_text(encoding="utf-8"))
+        cell = report["domains"]["researcher"]["scenarios"]["zipf-skew"]
+        assert "absolute_metrics" in cell
+        assert "absolute_f_delta" in cell
+        assert "mean_absolute_f_delta" in report["summary"]["zipf-skew"]
+
+    def test_param_grid_expands_scenarios(self, tmp_path):
+        import json
+
+        out = io.StringIO()
+        output = tmp_path / "BENCH_scenarios.json"
+        code = main(["scenarios", "run", "--scale", "smoke",
+                     "--scenarios", "zipf-skew", "--methods", "MQ",
+                     "--domains", "researcher", "--queries", "2",
+                     "--param", "exponent=0.5,1.5",
+                     "--output", str(output)], out=out)
+        assert code == 0
+        report = json.loads(output.read_text(encoding="utf-8"))
+        assert report["scenarios"] == ["zipf-skew@exponent=0.5",
+                                       "zipf-skew@exponent=1.5"]
+        assert report["param_grid"] == {"param": "exponent",
+                                        "values": [0.5, 1.5],
+                                        "scenarios": ["zipf-skew"]}
+
+    def test_param_requires_scenarios(self, tmp_path):
+        out = io.StringIO()
+        code = main(["scenarios", "run", "--param", "exponent=0.5",
+                     "--output", str(tmp_path / "x.json")], out=out)
+        assert code == 2
+        assert "--param requires --scenarios" in out.getvalue()
+
+    def test_param_rejects_unknown_parameter(self, tmp_path):
+        out = io.StringIO()
+        code = main(["scenarios", "run", "--scenarios", "zipf-skew",
+                     "--param", "warp_factor=9",
+                     "--output", str(tmp_path / "x.json")], out=out)
+        assert code == 2
+        assert "does not accept parameter" in out.getvalue()
+
+    def test_param_rejects_malformed_grid(self, tmp_path):
+        out = io.StringIO()
+        code = main(["scenarios", "run", "--scenarios", "zipf-skew",
+                     "--param", "exponent",
+                     "--output", str(tmp_path / "x.json")], out=out)
+        assert code == 2
+        assert "NAME=V1,V2" in out.getvalue()
+
+
+class TestBackendArguments:
+    def test_backend_choices(self):
+        args = build_parser().parse_args(["experiment", "--figure", "fig13",
+                                          "--backend", "process",
+                                          "--workers", "2"])
+        assert args.backend == "process"
+        assert args.workers == 2
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "--figure", "fig13",
+                                       "--backend", "quantum"])
+
+    def test_scenarios_run_accepts_backend(self, tmp_path):
+        import json
+
+        out = io.StringIO()
+        output = tmp_path / "BENCH_scenarios.json"
+        code = main(["scenarios", "run", "--scale", "smoke",
+                     "--scenarios", "zipf-skew", "--methods", "MQ",
+                     "--domains", "researcher", "--queries", "2",
+                     "--backend", "process", "--workers", "2",
+                     "--output", str(output)], out=out)
+        assert code == 0
+        report = json.loads(output.read_text(encoding="utf-8"))
+        # The backend must leave no trace in the matrix: the JSON is
+        # byte-identical for any engine.
+        assert "backend" not in report
+
+    def test_harvest_notes_ignored_backend(self):
+        out = io.StringIO()
+        code = main(["harvest", "--domain", "researcher", "--entities", "12",
+                     "--pages", "8", "--method", "MQ", "--queries", "2",
+                     "--backend", "thread"], out=out)
+        assert code == 0
+        assert "--backend/--workers ignored" in out.getvalue()
+
+    def test_paper_scale_flag_parses(self):
+        args = build_parser().parse_args(["scenarios", "run", "--paper-scale"])
+        assert args.paper_scale is True
+
+    def test_paper_scale_conflicts_with_explicit_scale(self, tmp_path):
+        out = io.StringIO()
+        code = main(["scenarios", "run", "--paper-scale", "--scale", "smoke",
+                     "--output", str(tmp_path / "x.json")], out=out)
+        assert code == 2
+        assert "conflicts" in out.getvalue()

@@ -12,16 +12,7 @@ import pytest
 from repro.baselines.manual import ManualQuerySelection
 from repro.core.queries import QueryEnumerator
 
-
-def _signature(result):
-    """Everything scheduling-independent about a harvest run."""
-    return (
-        result.entity_id,
-        result.aspect,
-        result.selector_name,
-        tuple(result.seed_page_ids),
-        tuple((r.query, r.result_page_ids, r.new_page_ids) for r in result.iterations),
-    )
+from tests.helpers import harvest_signature as _signature
 
 
 def _jobs(runner, prepared, methods, num_queries=2):

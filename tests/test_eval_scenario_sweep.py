@@ -10,6 +10,7 @@ from repro.eval.scenario_sweep import (
     DEFAULT_SWEEP_METHODS,
     SCHEMA,
     ScenarioSweep,
+    expand_severity_grid,
     run_scenario_sweep,
 )
 from repro.scenarios import ScenarioSpec, ZipfPageSkew, make_scenario
@@ -79,6 +80,31 @@ class TestSweepStructure:
             assert "mean_f_delta" in report["summary"][name]
         # The rendering must survive a JSON round-trip unchanged.
         assert json.loads(json.dumps(report)) == report
+
+    def test_absolute_metrics_alongside_normalised(self, sweep_result):
+        report = sweep_result.to_json_dict()
+        block = report["domains"]["researcher"]
+        assert set(block["clean"]["absolute_metrics"]) == {"L2QBAL", "MQ"}
+        for name in SCENARIOS:
+            cell = block["scenarios"][name]
+            assert set(cell["absolute_metrics"]) == {"L2QBAL", "MQ"}
+            assert set(cell["absolute_f_delta"]) == {"L2QBAL", "MQ"}
+            # Absolute deltas are scenario minus clean, like the normalised.
+            for method in ("L2QBAL", "MQ"):
+                expected = (cell["absolute_metrics"][method]["f_score"]
+                            - block["clean"]["absolute_metrics"][method]["f_score"])
+                assert cell["absolute_f_delta"][method] == expected
+            assert "mean_absolute_f_delta" in report["summary"][name]
+
+    def test_absolute_f_scores_bounded(self, sweep_result):
+        # Absolute metrics are raw precision/recall/F in [0, 1]; normalised
+        # values may exceed 1 when a method beats the degraded ideal.
+        report = sweep_result.to_json_dict()
+        for name in SCENARIOS:
+            cell = report["domains"]["researcher"]["scenarios"][name]
+            for metrics in cell["absolute_metrics"].values():
+                for value in metrics.values():
+                    assert 0.0 <= value <= 1.0
 
 
 class TestDeterminism:
@@ -151,3 +177,47 @@ class TestValidation:
         sweep = ScenarioSweep(scale=TINY_SCALE)
         assert len(sweep.specs) >= 4
         assert set(DEFAULT_SWEEP_METHODS) == {"L2QP", "L2QR", "L2QBAL"}
+
+
+class TestSeverityGrid:
+    def test_expand_names_and_metadata(self):
+        specs, grid = expand_severity_grid(["zipf-skew"], "exponent",
+                                           [0.5, 1.0, 1.5])
+        assert [s.name for s in specs] == ["zipf-skew@exponent=0.5",
+                                           "zipf-skew@exponent=1.0",
+                                           "zipf-skew@exponent=1.5"]
+        assert grid == {"param": "exponent", "values": [0.5, 1.0, 1.5],
+                        "scenarios": ["zipf-skew"]}
+        # Each spec carries the severity in its perturbation pipeline.
+        assert [s.perturbations[0].exponent for s in specs] == [0.5, 1.0, 1.5]
+
+    def test_expand_rejects_unknown_parameter(self):
+        with pytest.raises(ValueError, match="does not accept parameter"):
+            expand_severity_grid(["zipf-skew"], "warp_factor", [9])
+
+    def test_expand_reports_bad_value_as_value_error(self):
+        # A malformed value must not be misreported as an unknown parameter
+        # (the factory *does* accept `exponent`; "0.5x" is the problem).
+        with pytest.raises(ValueError, match="invalid value '0.5x'"):
+            expand_severity_grid(["zipf-skew"], "exponent", ["0.5x"])
+        with pytest.raises(ValueError, match="invalid value -1"):
+            expand_severity_grid(["zipf-skew"], "exponent", [-1])
+
+    def test_expand_rejects_empty_values(self):
+        with pytest.raises(ValueError, match="at least one value"):
+            expand_severity_grid(["zipf-skew"], "exponent", [])
+
+    def test_grid_sweep_produces_curve_cells(self):
+        specs, grid = expand_severity_grid(["zipf-skew"], "exponent",
+                                           [0.5, 1.5])
+        result = ScenarioSweep(scale=TINY_SCALE, scenarios=specs,
+                               methods=("MQ",), domains=("researcher",),
+                               num_queries=2, param_grid=grid).run()
+        report = result.to_json_dict()
+        assert report["param_grid"] == grid
+        cells = report["domains"]["researcher"]["scenarios"]
+        assert set(cells) == {"zipf-skew@exponent=0.5", "zipf-skew@exponent=1.5"}
+        # Severities perturb the corpus differently, so the digests differ:
+        # the matrix holds one real cell per grid point (a curve, not a dot).
+        digests = {cell["corpus_digest"] for cell in cells.values()}
+        assert len(digests) == 2

@@ -1,0 +1,187 @@
+"""Unit tests for the execution-backend layer (:mod:`repro.exec`)."""
+
+import pytest
+
+from repro.exec.backends import (
+    BACKEND_PROCESS,
+    BACKEND_SERIAL,
+    BACKEND_THREAD,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    _REGISTRY,
+    backend_names,
+    is_registered,
+    make_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.exec.specs import CorpusSpec, _ProcessLocalCache
+from repro.scenarios import make_scenario
+
+
+def _double(value):
+    """Module-level so the process backend can pickle it by reference."""
+    return value * 2
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {BACKEND_SERIAL, BACKEND_THREAD, BACKEND_PROCESS} <= set(backend_names())
+
+    def test_make_backend_resolves_names(self):
+        assert isinstance(make_backend("serial"), SerialBackend)
+        assert isinstance(make_backend("thread", workers=3), ThreadBackend)
+        assert isinstance(make_backend("process", workers=2), ProcessBackend)
+
+    def test_make_backend_forwards_workers(self):
+        assert make_backend("thread", workers=7).workers == 7
+        assert make_backend("process", workers=2).workers == 2
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("quantum")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("serial", lambda workers=1: SerialBackend())
+
+    def test_custom_backend_roundtrip(self):
+        register_backend("test-custom", lambda workers=1: SerialBackend())
+        try:
+            assert is_registered("test-custom")
+            assert isinstance(make_backend("test-custom"), SerialBackend)
+        finally:
+            _REGISTRY.factories.pop("test-custom")
+
+
+class TestResolveBackend:
+    def test_none_maps_workers_to_serial_or_thread(self):
+        assert isinstance(resolve_backend(None, workers=1), SerialBackend)
+        thread = resolve_backend(None, workers=4)
+        assert isinstance(thread, ThreadBackend)
+        assert thread.workers == 4
+
+    def test_string_resolves_with_workers(self):
+        backend = resolve_backend("process", workers=2)
+        assert isinstance(backend, ProcessBackend)
+        assert backend.workers == 2
+
+    def test_instance_passes_through(self):
+        backend = ThreadBackend(2)
+        assert resolve_backend(backend, workers=9) is backend
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError, match="backend"):
+            resolve_backend(3.14)
+
+
+class TestMapSemantics:
+    @pytest.mark.parametrize("backend", [
+        SerialBackend(), ThreadBackend(3), ProcessBackend(2)],
+        ids=["serial", "thread", "process"])
+    def test_map_preserves_order(self, backend):
+        items = list(range(13))
+        assert backend.map(_double, items) == [2 * i for i in items]
+
+    @pytest.mark.parametrize("backend", [
+        SerialBackend(), ThreadBackend(3), ProcessBackend(2)],
+        ids=["serial", "thread", "process"])
+    def test_map_empty(self, backend):
+        assert backend.map(_double, []) == []
+
+    def test_serial_and_thread_not_distributed(self):
+        assert not SerialBackend().distributed
+        assert not ThreadBackend(2).distributed
+
+    def test_process_is_distributed(self):
+        assert ProcessBackend(2).distributed
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError):
+            ThreadBackend(0)
+        with pytest.raises(ValueError):
+            ProcessBackend(0)
+
+    def test_unknown_start_method_rejected(self):
+        with pytest.raises(ValueError, match="start method"):
+            ProcessBackend(2, start_method="telepathy")
+
+
+class TestSharding:
+    def test_contiguous_shards_cover_all_items(self):
+        backend = ProcessBackend(3)
+        items = list(range(10))
+        shards = backend.shards(items)
+        assert len(shards) <= 3
+        assert [x for shard in shards for x in shard] == items
+
+    def test_fewer_items_than_workers(self):
+        shards = ProcessBackend(8).shards([1, 2])
+        assert shards == [[1], [2]]
+
+    def test_no_items_no_shards(self):
+        assert ProcessBackend(4).shards([]) == []
+
+    def test_pool_persists_across_map_calls(self):
+        backend = ProcessBackend(2)
+        try:
+            backend.map(_double, [1, 2, 3])
+            pool = backend._pool
+            assert pool is not None
+            backend.map(_double, [4, 5, 6])
+            assert backend._pool is pool
+        finally:
+            backend.close()
+        assert backend._pool is None
+
+    def test_close_is_idempotent_and_pool_recreates(self):
+        backend = ProcessBackend(2)
+        backend.close()
+        backend.close()
+        assert backend.map(_double, [7]) == [14]
+        backend.close()
+
+
+class TestProcessLocalCache:
+    def test_build_once_per_key(self):
+        cache = _ProcessLocalCache(capacity=2)
+        calls = []
+        first = cache.get_or_build("a", lambda: calls.append("a") or object())
+        again = cache.get_or_build("a", lambda: calls.append("a") or object())
+        assert first is again
+        assert calls == ["a"]
+
+    def test_lru_eviction(self):
+        cache = _ProcessLocalCache(capacity=1)
+        first = cache.get_or_build("a", object)
+        cache.get_or_build("b", object)
+        rebuilt = cache.get_or_build("a", object)
+        assert rebuilt is not first
+
+
+class TestCorpusSpec:
+    def test_clean_build_matches_direct_generation(self):
+        from repro.corpus.synthetic import build_corpus
+
+        spec = CorpusSpec(domain="researcher", num_entities=8,
+                          pages_per_entity=6, seed=11)
+        direct = build_corpus("researcher", num_entities=8,
+                              pages_per_entity=6, seed=11)
+        assert spec.build().content_digest() == direct.content_digest()
+
+    def test_scenario_build_matches_full_generation(self):
+        scenario = make_scenario("near-duplicates")
+        spec = CorpusSpec(domain="researcher", num_entities=8,
+                          pages_per_entity=6, seed=11, scenario=scenario)
+        full = scenario.corpus_for("researcher", num_entities=8,
+                                   pages_per_entity=6, seed=11)
+        assert spec.build().content_digest() == full.content_digest()
+
+    def test_spec_is_picklable(self):
+        import pickle
+
+        spec = CorpusSpec(domain="car", num_entities=6, pages_per_entity=4,
+                          seed=3, scenario=make_scenario("zipf-skew"))
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
