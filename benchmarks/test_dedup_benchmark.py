@@ -1,0 +1,55 @@
+"""Dedup-aware selection benchmark: the headline claim of ISSUE 4.
+
+Runs the near-duplicates and hostile-mix scenarios with the dedup penalty
+off (0.0) and on (0.5) in one config-grid sweep and asserts the headline
+relationship: with the penalty on, the L2Q selectors waste fewer fetches on
+duplicates while their mean F-score does not degrade.  The same grid is
+committed as ``benchmarks/results/BENCH_dedup_grid.json``; the CI
+smoke-benchmark job runs this test at smoke scale and fails if the
+regenerated grid differs from the committed bytes.
+
+Run with ``python -m pytest benchmarks/test_dedup_benchmark.py -q``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.eval.scenario_sweep import ScenarioSweep, expand_config_grid
+
+SCENARIOS = ("near-duplicates", "hostile-mix")
+PENALTY = 0.5
+
+
+def _cell_means(report, scenario_label):
+    """Mean (F-score, duplicate waste) over domains and methods of a cell."""
+    f_scores, wastes = [], []
+    for block in report["domains"].values():
+        cell = block["scenarios"][scenario_label]
+        for method in report["methods"]:
+            f_scores.append(cell["metrics"][method]["f_score"])
+            wastes.append(cell["duplicate_waste"][method])
+    return sum(f_scores) / len(f_scores), sum(wastes) / len(wastes)
+
+
+def test_dedup_penalty_reduces_waste_without_hurting_f(scale, results_dir):
+    specs, grid, configs = expand_config_grid(
+        list(SCENARIOS), "dedup_penalty", [0.0, PENALTY])
+    result = ScenarioSweep(scale=scale, scenarios=specs, param_grid=grid,
+                           config_by_scenario=configs).run()
+
+    path = results_dir / "BENCH_dedup_grid.json"
+    result.write(path)
+    print(f"\n===== BENCH_dedup_grid =====\n{result.to_json()}\n")
+
+    report = json.loads(path.read_text(encoding="utf-8"))
+    for scenario in SCENARIOS:
+        f_off, waste_off = _cell_means(report, f"{scenario}@dedup_penalty=0.0")
+        f_on, waste_on = _cell_means(report,
+                                     f"{scenario}@dedup_penalty={PENALTY}")
+        print(f"{scenario}: F {f_off:.4f} -> {f_on:.4f}, "
+              f"waste {waste_off:.4f} -> {waste_on:.4f}")
+        assert waste_on < waste_off, \
+            f"{scenario}: dedup penalty did not reduce duplicate waste"
+        assert f_on >= f_off, \
+            f"{scenario}: dedup penalty degraded mean F-score"

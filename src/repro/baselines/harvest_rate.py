@@ -100,7 +100,7 @@ class HarvestRateSelection(QuerySelector):
             return None
         candidates = set(session.candidates.queries())
         # HR also exploits domain data: add domain queries it has statistics for.
-        excluded_words = set(session.entity.seed_query) | set(session.entity.name_tokens)
+        excluded_words = session.entity.excluded_words()
         for query in self.domain_statistics.query_harvest_rate:
             if not any(word in excluded_words for word in query):
                 candidates.add(query)

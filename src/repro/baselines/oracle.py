@@ -43,7 +43,7 @@ class IdealSelection(QuerySelector):
         enumerator = QueryEnumerator(
             max_length=session.config.max_query_length,
             min_word_length=session.config.min_query_word_length,
-            exclude_words=set(session.entity.seed_query) | set(session.entity.name_tokens),
+            exclude_words=session.entity.excluded_words(),
         )
         statistics = enumerator.enumerate_from_pages(universe)
         ranked = sorted(statistics.queries(),

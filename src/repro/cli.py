@@ -32,7 +32,12 @@ must be measured serially).
 ``scenarios run`` additionally accepts ``--paper-scale`` (the paper's 996
 researchers / 143 cars sweep, defaulting to the sharded process backend
 over all CPUs) and ``--param name=v1,v2,...`` severity grids that expand
-each requested scenario into one cell per parameter value.
+each requested scenario into one cell per parameter value; when the name
+is an :class:`~repro.core.config.L2QConfig` field (e.g. ``dedup_penalty``)
+the grid varies the learner against a fixed corpus condition instead.
+``harvest``, ``experiment`` and ``scenarios run`` take ``--dedup-penalty``
+to enable dedup-aware selection (page-level MinHash novelty discount;
+0 = off, the paper's exact behaviour).
 
 Usage examples::
 
@@ -43,6 +48,8 @@ Usage examples::
     python -m repro.cli scenarios list
     python -m repro.cli scenarios run --scale smoke --scenarios zipf-skew near-duplicates
     python -m repro.cli scenarios run --scenarios zipf-skew --param exponent=0.5,1.0,1.5
+    python -m repro.cli scenarios run --scenarios near-duplicates --param dedup_penalty=0.0,0.5
+    python -m repro.cli scenarios run --scenarios near-duplicates hostile-mix --dedup-penalty 0.5
     python -m repro.cli scenarios run --paper-scale
 """
 
@@ -63,6 +70,7 @@ from repro.eval.runner import ExperimentRunner
 from repro.eval.scenario_sweep import (
     DEFAULT_SWEEP_METHODS,
     ScenarioSweep,
+    expand_config_grid,
     expand_severity_grid,
 )
 from repro.exec.backends import BACKEND_PROCESS, backend_names
@@ -129,6 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="scenario names to sweep (default: all registered)")
     run.add_argument("--param", default=None, metavar="NAME=V1,V2,...",
                      help="severity grid: sweep one perturbation parameter "
+                          "— or one L2QConfig field such as dedup_penalty — "
                           "over the given values (requires --scenarios)")
     run.add_argument("--methods", nargs="+", default=list(DEFAULT_SWEEP_METHODS),
                      metavar="METHOD",
@@ -159,10 +168,22 @@ def _positive_int(value: str) -> int:
     return number
 
 
+def _dedup_penalty(value: str) -> float:
+    number = float(value)
+    if not 0.0 <= number <= 1.0:
+        raise argparse.ArgumentTypeError(f"must be in [0, 1], got {number}")
+    return number
+
+
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--ranker", default=None, choices=ranker_names(),
                         help="retrieval model of the offline search engine "
                              "(default: the configured 'dirichlet')")
+    parser.add_argument("--dedup-penalty", type=_dedup_penalty, default=None,
+                        metavar="WEIGHT",
+                        help="dedup-aware selection: discount collective "
+                             "utilities by page-level expected redundancy "
+                             "(0 = off, the default; 1 = full discount)")
     parser.add_argument("--backend", default=None, choices=backend_names(),
                         help="execution backend for the harvesting loops "
                              "(default: serial for 1 worker, thread for "
@@ -215,6 +236,8 @@ def _command_harvest(args: argparse.Namespace, out) -> int:
     config = L2QConfig(num_queries=args.queries)
     if args.ranker:
         config.ranker = args.ranker
+    if args.dedup_penalty is not None:
+        config.dedup_penalty = args.dedup_penalty
     if args.workers is not None or args.backend:
         print("note: harvest runs a single loop; --backend/--workers ignored",
               file=out)
@@ -247,12 +270,18 @@ def _command_experiment(args: argparse.Namespace, out) -> int:
     scale = experiments.get_scale(args.scale)
     kwargs = {}
     if args.figure == "fig09":  # fig09 trains classifiers only, no harvesting
-        if args.ranker or args.workers is not None or args.backend:
-            print("note: fig09 does no harvesting; "
-                  "--ranker/--backend/--workers ignored", file=out)
+        if args.ranker or args.workers is not None or args.backend \
+                or args.dedup_penalty is not None:
+            print("note: fig09 does no harvesting; --ranker/--backend/"
+                  "--workers/--dedup-penalty ignored", file=out)
     else:
-        if args.ranker:
-            kwargs["config"] = L2QConfig(ranker=args.ranker)
+        if args.ranker or args.dedup_penalty is not None:
+            config = L2QConfig()
+            if args.ranker:
+                config.ranker = args.ranker
+            if args.dedup_penalty is not None:
+                config.dedup_penalty = args.dedup_penalty
+            kwargs["config"] = config
         kwargs["workers"] = args.workers if args.workers is not None else 1
         if args.figure == "fig14":
             if args.workers is not None or args.backend:
@@ -276,8 +305,12 @@ def _command_scenarios(args: argparse.Namespace, out) -> int:
         return 0
 
     config = None
-    if args.ranker:
-        config = L2QConfig(ranker=args.ranker)
+    if args.ranker or args.dedup_penalty is not None:
+        config = L2QConfig()
+        if args.ranker:
+            config.ranker = args.ranker
+        if args.dedup_penalty is not None:
+            config.dedup_penalty = args.dedup_penalty
 
     backend = args.backend
     workers = args.workers
@@ -305,6 +338,7 @@ def _command_scenarios(args: argparse.Namespace, out) -> int:
 
     scenarios: Optional[Sequence[object]] = args.scenarios
     param_grid = None
+    config_by_scenario = None
     if args.param is not None:
         if not args.scenarios:
             print("--param requires --scenarios naming the scenario "
@@ -312,8 +346,15 @@ def _command_scenarios(args: argparse.Namespace, out) -> int:
             return 2
         try:
             name, values = _parse_param_grid(args.param)
-            scenarios, param_grid = expand_severity_grid(args.scenarios,
-                                                         name, values)
+            if name in L2QConfig.__dataclass_fields__:
+                # Learner-parameter grid (e.g. dedup_penalty): same corpus
+                # condition per scenario, one config override per cell.
+                scenarios, param_grid, config_by_scenario = \
+                    expand_config_grid(args.scenarios, name, values,
+                                       base_config=config)
+            else:
+                scenarios, param_grid = expand_severity_grid(args.scenarios,
+                                                             name, values)
         except (argparse.ArgumentTypeError, ValueError) as error:
             print(str(error), file=out)
             return 2
@@ -329,6 +370,7 @@ def _command_scenarios(args: argparse.Namespace, out) -> int:
             workers=workers,
             backend=backend,
             param_grid=param_grid,
+            config_by_scenario=config_by_scenario,
         )
     except ValueError as error:  # unknown/duplicate scenario or method
         print(str(error), file=out)

@@ -40,6 +40,24 @@ class L2QConfig:
     # -- Context awareness (Sect. V) --------------------------------------------------
     seed_recall_r0: float = 0.3
 
+    # -- Dedup-aware selection (page-level novelty) -----------------------------------
+    #: Weight of the page-level redundancy discount applied to collective
+    #: utilities: 0.0 disables dedup awareness entirely (the paper's exact
+    #: behaviour, pinned by golden tests), 1.0 discounts a fully redundant
+    #: query's collective utility to zero.
+    dedup_penalty: float = 0.0
+    #: w-shingle window used to fingerprint page content.
+    dedup_shingle_size: int = 3
+    #: MinHash signature length (must be divisible by ``dedup_bands``).
+    dedup_num_hashes: int = 64
+    #: LSH bands over the signature (rows per band = hashes / bands).
+    dedup_bands: int = 32
+    #: Estimated Jaccard at or above which a page counts as a near duplicate.
+    dedup_similarity_threshold: float = 0.5
+    #: Seed of the MinHash coefficients — corpus- and run-independent so
+    #: signatures are comparable across sessions and backends.
+    dedup_hash_seed: int = 0x5EED
+
     # -- Search engine (Sect. VI-A) ------------------------------------------------------
     top_k: int = 5
     ranker: str = "dirichlet"
@@ -65,6 +83,16 @@ class L2QConfig:
             raise ValueError("num_queries must be non-negative")
         if not 0.0 <= self.domain_entity_support_fraction <= 1.0:
             raise ValueError("domain_entity_support_fraction must be in [0, 1]")
+        if not 0.0 <= self.dedup_penalty <= 1.0:
+            raise ValueError("dedup_penalty must be in [0, 1]")
+        if self.dedup_shingle_size < 1:
+            raise ValueError("dedup_shingle_size must be >= 1")
+        if self.dedup_num_hashes < 1 or self.dedup_bands < 1:
+            raise ValueError("dedup_num_hashes and dedup_bands must be >= 1")
+        if self.dedup_num_hashes % self.dedup_bands:
+            raise ValueError("dedup_num_hashes must be divisible by dedup_bands")
+        if not 0.0 < self.dedup_similarity_threshold <= 1.0:
+            raise ValueError("dedup_similarity_threshold must be in (0, 1]")
 
     def domain_support_threshold(self, num_domain_entities: int) -> int:
         """Minimum number of domain entities a query must co-occur with.

@@ -56,6 +56,28 @@ class CollectiveUtilities:
         recall = max(self.collective_recall, 0.0)
         return (precision * recall) ** 0.5
 
+    def discounted(self, expected_novelty: float,
+                   penalty: float) -> "CollectiveUtilities":
+        """Discount by page-level expected redundancy (dedup awareness).
+
+        The paper's ``Delta(Phi, q)`` models redundancy among *relevant
+        pages already gathered*; it cannot see that a query's result pages
+        are near-copies of gathered content.  The discount multiplies the
+        collective recall w.r.t. the target aspect by
+        ``1 - penalty * (1 - expected_novelty)`` while leaving the ``Y*``
+        denominator untouched, so collective precision, recall and the
+        balanced objective all shrink proportionally for redundant queries.
+        ``penalty = 0`` returns an identical ranking (and callers skip the
+        call entirely, keeping the zero-penalty path bit-for-bit).
+        """
+        redundancy = min(max(1.0 - expected_novelty, 0.0), 1.0)
+        factor = 1.0 - penalty * redundancy
+        return CollectiveUtilities(
+            query=self.query,
+            collective_recall=self.collective_recall * factor,
+            collective_recall_all=self.collective_recall_all,
+        )
+
 
 class ContextTracker:
     """Tracks the collective recall of the fired queries ``Phi``."""

@@ -99,14 +99,14 @@ class EntityPhase:
             enumerator = QueryEnumerator(
                 max_length=self.config.max_query_length,
                 min_word_length=self.config.min_query_word_length,
-                exclude_words=set(entity.seed_query) | set(entity.name_tokens),
+                exclude_words=entity.excluded_words(),
             )
             statistics = enumerator.enumerate_from_pages(list(current_pages))
         candidates = prune_queries(statistics, min_page_frequency=1,
                                    max_queries=self.config.max_entity_candidates)
         seen = set(candidates)
         if domain_model is not None and not domain_model.is_empty():
-            excluded_words = set(entity.seed_query) | set(entity.name_tokens)
+            excluded_words = entity.excluded_words()
             if observed_words is None:
                 observed_words = set()
                 for page in current_pages:

@@ -28,7 +28,7 @@ from repro.core.selection import QuerySelector
 from repro.core.session import HarvestSession
 from repro.corpus.corpus import Corpus
 from repro.exec.backends import ExecutionBackend, resolve_backend
-from repro.search.engine import SearchEngine
+from repro.search.engine import RunFetchAccounting, SearchEngine
 from repro.utils.rng import SeededRandom
 from repro.utils.timing import Stopwatch, TimingAccumulator
 
@@ -58,6 +58,12 @@ class HarvestResult:
     seed_page_ids: List[str] = field(default_factory=list)
     iterations: List[IterationRecord] = field(default_factory=list)
     timing: TimingAccumulator = field(default_factory=TimingAccumulator)
+    #: This run's own account of engine traffic (fired queries, fetched
+    #: pages, cache-key lookups).  It travels with the result across
+    #: process boundaries, so orchestrators can merge batch-level fetch
+    #: statistics identically on every backend — the shared engine's
+    #: counters stay in whichever process ran the loop.
+    fetch_accounting: Optional[RunFetchAccounting] = None
 
     @property
     def num_queries(self) -> int:
@@ -148,8 +154,11 @@ class Harvester:
 
         The process backend pickles this harvester (corpus, engine
         configuration — the engine rebuilds its index per worker) and the
-        job payloads into contiguous shards; engine-side fetch statistics
-        accumulated in workers do not fold back into this process's engine.
+        job payloads into contiguous shards.  Worker-side engine counters
+        stay in their workers, but every result carries its run's
+        :class:`~repro.search.engine.RunFetchAccounting`; merge them with
+        :func:`~repro.search.engine.merge_run_accounting` for batch-level
+        fetch statistics that are identical on every backend.
 
         Note: shared memo caches reachable from jobs (classifier relevance
         labels, index-view postings) rely on the GIL making dict
@@ -201,11 +210,13 @@ class Harvester:
             rng=rng.spawn(entity_id, aspect, selector.name),
             domain_model=domain_model,
         )
+        accounting = RunFetchAccounting()
         result = HarvestResult(entity_id=entity_id, aspect=aspect,
-                               selector_name=selector.name)
+                               selector_name=selector.name,
+                               fetch_accounting=accounting)
 
         # Iteration 0: the seed query.
-        seed_results = self.engine.seed_results(entity_id)
+        seed_results = self.engine.seed_results(entity_id, accounting=accounting)
         seed_pages = self.engine.fetch_pages(seed_results)
         session.add_pages(seed_pages)
         result.seed_page_ids = [r.page_id for r in seed_results]
@@ -219,7 +230,8 @@ class Harvester:
                 query = selector.select(session)
             if query is None:
                 break
-            results = self.engine.search(entity_id, list(query))
+            results = self.engine.search(entity_id, list(query),
+                                         accounting=accounting)
             pages = self.engine.fetch_pages(results)
             new_pages = session.add_pages(pages)
             session.record_query(query)

@@ -126,7 +126,7 @@ class DomainQuerySelection(QuerySelector):
         ranked = (model.best_queries_by_precision()
                   if self.objective == OBJECTIVE_PRECISION
                   else model.best_queries_by_recall())
-        excluded_words = set(session.entity.seed_query) | set(session.entity.name_tokens)
+        excluded_words = session.entity.excluded_words()
         usable = [q for q in ranked if not any(w in excluded_words for w in q)]
         return first_unfired(usable, session)
 
@@ -197,12 +197,18 @@ class ContextAwareSelection(QuerySelector):
             statistics=session.candidates.statistics,
             observed_words=session.candidates.observed_words,
         )
+        penalty = (self._config or session.config).dedup_penalty
         best_query: Optional[Query] = None
         best_score: Optional[tuple] = None
         for query in sorted(utilities.candidates):
             if session.is_fired(query):
                 continue
             collective = self._tracker.evaluate(query, utilities)
+            if penalty > 0.0:
+                # Dedup awareness: discount collective utility by the
+                # expected page-level redundancy of this query's postings.
+                collective = collective.discounted(
+                    session.expected_novelty(query), penalty)
             score = self._score(collective, utilities, query)
             if best_score is None or score > best_score:
                 best_score = score

@@ -21,6 +21,7 @@ from repro.core.domain_phase import DomainModel
 from repro.core.queries import Query, QueryEnumerator
 from repro.corpus.corpus import Corpus
 from repro.corpus.document import Entity, Page
+from repro.dedup.novelty import NoveltyEstimator
 from repro.search.engine import SearchEngine
 from repro.utils.rng import SeededRandom
 
@@ -45,7 +46,7 @@ class HarvestSession:
         enumerator = QueryEnumerator(
             max_length=self.config.max_query_length,
             min_word_length=self.config.min_query_word_length,
-            exclude_words=set(self.entity.seed_query) | set(self.entity.name_tokens),
+            exclude_words=self.entity.excluded_words(),
         )
         #: Candidate queries enumerated so far, kept in sync with
         #: ``current_pages``: every page added through :meth:`add_pages` is
@@ -54,6 +55,18 @@ class HarvestSession:
         #: statistics double as the session's page-membership record.
         self.candidates = CandidateStatistics(enumerator)
         self.candidates.add_pages(self.current_pages)
+        #: Incremental MinHash index over gathered pages, maintained under
+        #: the same O(new pages) contract as ``candidates``.  Only built
+        #: when the dedup penalty is active: with ``dedup_penalty == 0.0``
+        #: the session does not fingerprint a single page, so the historical
+        #: behaviour is reproduced bit-for-bit at zero extra cost.
+        self.novelty: Optional[NoveltyEstimator] = None
+        if self.config.dedup_penalty > 0.0:
+            self.novelty = NoveltyEstimator(corpus=self.corpus,
+                                            engine=self.engine,
+                                            entity=self.entity,
+                                            config=self.config)
+            self.novelty.observe_pages(self.current_pages)
 
     # -- Page management -----------------------------------------------------
     def add_pages(self, pages: Sequence[Page]) -> List[Page]:
@@ -63,7 +76,19 @@ class HarvestSession:
             if self.candidates.add_page(page):
                 self.current_pages.append(page)
                 added.append(page)
+        if self.novelty is not None:
+            self.novelty.observe_pages(added)
         return added
+
+    def expected_novelty(self, query: Query) -> float:
+        """Expected fraction of new content among the query's posting pages.
+
+        1.0 when dedup awareness is disabled (no index, no penalty), so
+        callers can apply the discount unconditionally.
+        """
+        if self.novelty is None:
+            return 1.0
+        return self.novelty.expected_novelty(query, self.has_page)
 
     def has_page(self, page_id: str) -> bool:
         """Whether a page has already been gathered in this session."""

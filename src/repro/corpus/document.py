@@ -138,6 +138,18 @@ class Entity:
         """Return the entity's values for ``type_name`` (empty if none)."""
         return self.attributes.get(type_name, ())
 
+    def excluded_words(self) -> FrozenSet[str]:
+        """Words excluded from candidate queries for this entity.
+
+        The seed query is implicitly appended to every fired query and the
+        entity's name words behave the same way, so neither adds selective
+        power as query words.  This is the *single* definition used by
+        query enumeration, entity-phase candidate expansion and the
+        domain-query selectors — call sites must not rebuild the union
+        themselves, or the exclusion sets drift apart.
+        """
+        return frozenset(self.seed_query) | frozenset(self.name_tokens)
+
     def all_attribute_words(self) -> FrozenSet[str]:
         """Return every entity-specific attribute word."""
         words: List[str] = []

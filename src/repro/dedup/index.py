@@ -1,0 +1,106 @@
+"""LSH-banded index over MinHash signatures.
+
+The classic banding trick: a signature of ``b * r`` components is cut into
+``b`` bands of ``r`` rows; two signatures land in a shared bucket when any
+band agrees on all ``r`` rows, which happens with probability
+``1 - (1 - J^r)^b`` for true Jaccard ``J``.  Lookups therefore touch only
+the pages sharing a bucket instead of every indexed page, and candidates
+are verified against the full signature before being reported — the bands
+control recall, the similarity check controls precision.
+
+The index is incremental (O(bands) per added page, independent of index
+size) and insertion-order independent: buckets are sets and similarity is
+computed from signatures, so the same page set yields the same answers
+regardless of arrival order — the same contract
+:class:`~repro.core.candidates.CandidateStatistics` gives the harvesting
+loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.dedup.minhash import Signature, estimated_jaccard
+
+
+class NearDuplicateIndex:
+    """Incremental near-duplicate lookup over MinHash signatures."""
+
+    def __init__(self, num_bands: int = 32, similarity_threshold: float = 0.5) -> None:
+        if num_bands < 1:
+            raise ValueError("num_bands must be >= 1")
+        if not 0.0 < similarity_threshold <= 1.0:
+            raise ValueError("similarity_threshold must be in (0, 1]")
+        self.num_bands = num_bands
+        self.similarity_threshold = similarity_threshold
+        self._signatures: Dict[str, Signature] = {}
+        self._buckets: Dict[Tuple[int, Signature], Set[str]] = {}
+        #: Bumped on every insertion so callers can cache lookups per state.
+        self.version = 0
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    def __contains__(self, page_id: str) -> bool:
+        return page_id in self._signatures
+
+    def _bands(self, signature: Signature) -> List[Tuple[int, Signature]]:
+        if len(signature) % self.num_bands:
+            raise ValueError(
+                f"signature length {len(signature)} is not divisible by "
+                f"{self.num_bands} bands")
+        rows = len(signature) // self.num_bands
+        return [(band, signature[band * rows:(band + 1) * rows])
+                for band in range(self.num_bands)]
+
+    # -- Construction ------------------------------------------------------
+    def add(self, page_id: str, signature: Signature) -> bool:
+        """Index one page's signature; returns False if already present."""
+        if page_id in self._signatures:
+            return False
+        self._signatures[page_id] = signature
+        for key in self._bands(signature):
+            self._buckets.setdefault(key, set()).add(page_id)
+        self.version += 1
+        return True
+
+    # -- Lookup -----------------------------------------------------------
+    def candidates(self, signature: Signature) -> Set[str]:
+        """Pages sharing at least one LSH bucket with ``signature``."""
+        found: Set[str] = set()
+        for key in self._bands(signature):
+            found |= self._buckets.get(key, set())
+        return found
+
+    def max_similarity(self, signature: Signature) -> float:
+        """Highest estimated Jaccard against any indexed page (0.0 if none).
+
+        Only LSH candidates are compared, so a page whose true similarity
+        is far below the banding operating point may report 0.0 — exactly
+        the regime where the distinction does not matter.
+        """
+        best = 0.0
+        for page_id in self.candidates(signature):
+            best = max(best, estimated_jaccard(signature,
+                                               self._signatures[page_id]))
+            if best >= 1.0:
+                break
+        return best
+
+    def near_duplicates(self, signature: Signature) -> List[str]:
+        """Indexed pages whose estimated similarity meets the threshold."""
+        return sorted(
+            page_id for page_id in self.candidates(signature)
+            if estimated_jaccard(signature,
+                                 self._signatures[page_id]) >= self.similarity_threshold)
+
+    def is_near_duplicate(self, signature: Signature) -> bool:
+        """Whether any indexed page meets the similarity threshold."""
+        return any(
+            estimated_jaccard(signature, self._signatures[page_id])
+            >= self.similarity_threshold
+            for page_id in self.candidates(signature))
+
+    def page_ids(self) -> List[str]:
+        """All indexed page ids, sorted."""
+        return sorted(self._signatures)

@@ -1,0 +1,40 @@
+"""Shared page-fingerprinting cache.
+
+Selection-time novelty (:mod:`repro.dedup.novelty`) and evaluation-time
+waste scoring (:mod:`repro.dedup.waste`) must fingerprint pages *the same
+way* — a drift between the two would silently invalidate every
+penalty-on/off comparison.  Both therefore share this single
+config → hasher → signature mapping, with one cached signature per page.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.config import L2QConfig
+from repro.corpus.document import Page
+from repro.dedup.minhash import MinHasher, Signature
+from repro.dedup.shingles import shingle_hashes
+
+
+class PageSignatureCache:
+    """Computes and memoises MinHash signatures of corpus pages."""
+
+    def __init__(self, config: L2QConfig) -> None:
+        self.config = config
+        self.hasher = MinHasher(num_hashes=config.dedup_num_hashes,
+                                seed=config.dedup_hash_seed)
+        self._signatures: Dict[str, Signature] = {}
+
+    def signature_of(self, page: Page) -> Signature:
+        """The (cached) signature of one page, keyed by ``page_id``."""
+        cached = self._signatures.get(page.page_id)
+        if cached is None:
+            cached = self.hasher.signature(
+                shingle_hashes(page.tokens, self.config.dedup_shingle_size))
+            self._signatures[page.page_id] = cached
+        return cached
+
+    def get(self, page_id: str):
+        """The cached signature of ``page_id``, or ``None`` if not computed."""
+        return self._signatures.get(page_id)

@@ -1,0 +1,105 @@
+"""The ``duplicate_waste`` evaluation metric.
+
+How much of a harvest run's fetch budget went to pages that added nothing:
+exact re-fetches of pages already gathered, plus near-duplicates of earlier
+pages (MinHash similarity at or above the configured threshold).  The
+metric replays a :class:`~repro.core.harvester.HarvestResult`'s fetched
+page stream — seed results first, then each iteration's result pages — in
+gathering order, so it is computable post-hoc from any backend's results
+without touching the live engine.
+
+``duplicate_waste = wasted fetches / total fetches`` in ``[0, 1]``; lower
+is better.  0.0 means every fetched page was new, non-duplicate content.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import L2QConfig
+from repro.dedup.index import NearDuplicateIndex
+from repro.dedup.minhash import Signature
+from repro.dedup.signatures import PageSignatureCache
+
+
+class DuplicateWasteScorer:
+    """Scores harvest runs for duplicate-fetch waste over one corpus.
+
+    One scorer serves a whole evaluation: page signatures are computed at
+    most once per corpus page (through the same
+    :class:`~repro.dedup.signatures.PageSignatureCache` the selection-time
+    novelty estimate uses, so the two views cannot drift apart) and shared
+    across all scored runs.
+    """
+
+    def __init__(self, corpus, config: Optional[L2QConfig] = None) -> None:
+        self.corpus = corpus
+        self.config = config if config is not None else L2QConfig()
+        self.signatures = PageSignatureCache(self.config)
+
+    def signature_of(self, page_id: str) -> Signature:
+        """The (cached) MinHash signature of one corpus page."""
+        return self.signatures.signature_of(self.corpus.get_page(page_id))
+
+    def fetched_page_ids(self, result, num_queries: Optional[int] = None) -> List[str]:
+        """The fetched page stream of a run, with repeats, in fetch order."""
+        limit = len(result.iterations) if num_queries is None else num_queries
+        fetched: List[str] = list(result.seed_page_ids)
+        for record in result.iterations[:limit]:
+            fetched.extend(record.result_page_ids)
+        return fetched
+
+    def _replay(self, result) -> List[Tuple[int, int]]:
+        """Cumulative ``(fetched, wasted)`` after the seed and each iteration.
+
+        One pass over the full fetch stream — the LSH index is built once
+        per run and every budget's waste is read off the prefix counters.
+        A fetch is wasted when the page was already gathered earlier in the
+        stream, or when its estimated similarity to any earlier page meets
+        ``dedup_similarity_threshold``.  Near-duplicate pages still join
+        the gathered index — they *were* gathered — so a third copy counts
+        as waste against either of the first two.
+        """
+        index = NearDuplicateIndex(
+            num_bands=self.config.dedup_bands,
+            similarity_threshold=self.config.dedup_similarity_threshold)
+        fetched = wasted = 0
+        checkpoints: List[Tuple[int, int]] = []
+
+        def fold(page_ids: Sequence[str]) -> None:
+            nonlocal fetched, wasted
+            for page_id in page_ids:
+                fetched += 1
+                if page_id in index:
+                    wasted += 1
+                    continue
+                signature = self.signature_of(page_id)
+                if index.is_near_duplicate(signature):
+                    wasted += 1
+                index.add(page_id, signature)
+
+        fold(result.seed_page_ids)
+        checkpoints.append((fetched, wasted))
+        for record in result.iterations:
+            fold(record.result_page_ids)
+            checkpoints.append((fetched, wasted))
+        return checkpoints
+
+    def waste_by_budget(self, result,
+                        budgets: Sequence[int]) -> Dict[int, float]:
+        """Waste at each query budget, from a single replay of the run.
+
+        A budget beyond the run's actual iterations reads the final
+        checkpoint (the run stopped early; its stream simply ends).
+        """
+        checkpoints = self._replay(result)
+        out: Dict[int, float] = {}
+        for budget in budgets:
+            fetched, wasted = checkpoints[min(budget, len(checkpoints) - 1)]
+            out[budget] = wasted / fetched if fetched else 0.0
+        return out
+
+    def waste(self, result, num_queries: Optional[int] = None) -> float:
+        """Fraction of fetched pages that were duplicates or near-duplicates."""
+        budget = len(result.iterations) if num_queries is None else num_queries
+        return self.waste_by_budget(result, (budget,))[budget]

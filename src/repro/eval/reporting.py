@@ -155,11 +155,13 @@ def format_scenarios(result) -> str:
         sections.append(_format_table(["Scenario"] + list(result.methods), rows))
         sections.append("")
     summary_rows = [[name, f"{result.mean_f_delta(name):+.3f}",
-                     f"{result.mean_absolute_f_delta(name):+.3f}"]
+                     f"{result.mean_absolute_f_delta(name):+.3f}",
+                     f"{result.mean_duplicate_waste(name):.3f}"]
                     for name in result.scenarios]
     sections.append("Mean F-score delta over domains and methods "
-                    "(normalised and absolute)")
-    sections.append(_format_table(["Scenario", "Mean ΔF", "Mean Δabs-F"],
+                    "(normalised and absolute) and duplicate-fetch waste")
+    sections.append(_format_table(["Scenario", "Mean ΔF", "Mean Δabs-F",
+                                   "Mean waste"],
                                   summary_rows))
     return "\n".join(sections).rstrip()
 

@@ -30,6 +30,7 @@ from repro.core.domain_phase import DomainModel, DomainPhase
 from repro.core.harvester import HarvestJob, HarvestResult, Harvester
 from repro.core.selection import QuerySelector, make_selector, selector_names
 from repro.corpus.corpus import Corpus
+from repro.dedup.waste import DuplicateWasteScorer
 from repro.eval.metrics import HarvestMetrics, MetricSeries, compute_metrics
 from repro.eval.splits import EntitySplit, split_entities, subsample_entities
 from repro.exec.backends import ExecutionBackend, resolve_backend
@@ -39,7 +40,7 @@ from repro.exec.specs import (
     HarvestTaskContext,
     _ProcessLocalCache,
 )
-from repro.search.engine import SearchEngine
+from repro.search.engine import FetchStatistics, SearchEngine, merge_run_accounting
 from repro.utils.rng import derive_seed
 
 #: Methods that consume the domain phase output.
@@ -102,10 +103,19 @@ class EvaluationSeries:
     denominator degrades — the absolute view makes that visible.  Both are
     folded from the same harvest runs, so asking for both costs nothing
     extra.
+
+    ``duplicate_waste`` maps method → budget → mean fraction of fetched
+    pages that were exact or near-duplicate re-fetches (see
+    :class:`~repro.dedup.waste.DuplicateWasteScorer`); lower is better.
+    ``fetch_statistics`` is the batch-level fetch accounting merged from
+    every harvest run's own records — identical across execution backends
+    by construction (it reads result payloads, never live engines).
     """
 
     normalized: Dict[str, MetricSeries]
     absolute: Dict[str, MetricSeries]
+    duplicate_waste: Dict[str, Dict[int, float]] = field(default_factory=dict)
+    fetch_statistics: FetchStatistics = field(default_factory=FetchStatistics)
 
 
 class ExperimentRunner:
@@ -277,7 +287,7 @@ class ExperimentRunner:
         (or, with ``normalize=False``, absolute) precision, recall and
         F-score per query budget.
         """
-        primary, _ = self._evaluate_collect(
+        primary, _, _, _ = self._evaluate_collect(
             methods, num_queries_list=num_queries_list, num_splits=num_splits,
             domain_fraction=domain_fraction, max_test_entities=max_test_entities,
             aspects=aspects, normalize=normalize)
@@ -292,26 +302,35 @@ class ExperimentRunner:
                                   ) -> EvaluationSeries:
         """Evaluate methods and return normalised *and* absolute series.
 
-        Both views are folded from the same harvest runs (no extra
+        Both views — plus the ``duplicate_waste`` metric and the merged
+        fetch accounting — are folded from the same harvest runs (no extra
         harvesting over :meth:`evaluate_methods`).
         """
-        normalized, absolute = self._evaluate_collect(
+        normalized, absolute, waste, fetch = self._evaluate_collect(
             methods, num_queries_list=num_queries_list, num_splits=num_splits,
             domain_fraction=domain_fraction, max_test_entities=max_test_entities,
-            aspects=aspects, normalize=True)
-        return EvaluationSeries(normalized=normalized, absolute=absolute)
+            aspects=aspects, normalize=True, collect_waste=True)
+        return EvaluationSeries(normalized=normalized, absolute=absolute,
+                                duplicate_waste=waste, fetch_statistics=fetch)
 
     def _evaluate_collect(self, methods: Sequence[str],
                           num_queries_list: Sequence[int],
                           num_splits: int, domain_fraction: float,
                           max_test_entities: Optional[int],
                           aspects: Optional[Sequence[str]],
-                          normalize: bool
-                          ) -> Tuple[Dict[str, MetricSeries], Dict[str, MetricSeries]]:
-        """Shared evaluation loop; returns ``(primary, absolute)`` series.
+                          normalize: bool,
+                          collect_waste: bool = False
+                          ) -> Tuple[Dict[str, MetricSeries],
+                                     Dict[str, MetricSeries],
+                                     Dict[str, Dict[int, float]],
+                                     FetchStatistics]:
+        """Shared evaluation loop; returns ``(primary, absolute, waste, fetch)``.
 
         ``primary`` is ideal-normalised when ``normalize`` is set,
-        otherwise identical to ``absolute``.
+        otherwise identical to ``absolute``.  ``waste`` is the per-method
+        mean duplicate-waste per budget (empty unless ``collect_waste``,
+        which the figure paths skip — fingerprinting pages is pure
+        overhead there).  ``fetch`` merges every run's own accounting.
         """
         if not methods:
             raise ValueError("at least one method is required")
@@ -325,6 +344,12 @@ class ExperimentRunner:
         absolute: Dict[str, Dict[int, List[HarvestMetrics]]] = {
             method: {k: [] for k in budgets} for method in methods
         }
+        waste: Dict[str, Dict[int, List[float]]] = {
+            method: {k: [] for k in budgets} for method in methods
+        }
+        scorer = DuplicateWasteScorer(self.corpus, self.config) \
+            if collect_waste else None
+        accountings: List = []
 
         for split_index in range(num_splits):
             split = self.default_split(split_index)
@@ -352,8 +377,10 @@ class ExperimentRunner:
                     for method in methods:
                         specs.append(self.job_spec(split, method, entity_id,
                                                    aspect, max_budget))
-            results = iter(self._run_split_specs(split, split_index, specs,
-                                                 domain_fraction))
+            split_results = self._run_split_specs(split, split_index, specs,
+                                                  domain_fraction)
+            accountings.extend(run.fetch_accounting for run in split_results)
+            results = iter(split_results)
 
             for aspect, entity_id, relevant in targets:
                 ideal_by_budget: Dict[int, HarvestMetrics] = {}
@@ -365,15 +392,26 @@ class ExperimentRunner:
                     }
                 for method in methods:
                     run = next(results)
+                    run_waste = (scorer.waste_by_budget(run, budgets)
+                                 if scorer is not None else None)
                     for k in budgets:
                         metrics = compute_metrics(run.gathered_after(k), relevant)
                         absolute[method][k].append(metrics)
+                        if run_waste is not None:
+                            waste[method][k].append(run_waste[k])
                         if normalize:
                             metrics = metrics.normalized_by(ideal_by_budget[k])
                         primary[method][k].append(metrics)
 
+        waste_series = {
+            method: {k: (sum(values) / len(values) if values else 0.0)
+                     for k, values in waste[method].items()}
+            for method in methods
+        } if collect_waste else {}
         return ({method: _series_from(method, primary[method]) for method in methods},
-                {method: _series_from(method, absolute[method]) for method in methods})
+                {method: _series_from(method, absolute[method]) for method in methods},
+                waste_series,
+                merge_run_accounting(accountings))
 
     def _run_split_specs(self, split: EntitySplit, split_index: int,
                          specs: List[HarvestJobSpec],

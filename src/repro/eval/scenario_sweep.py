@@ -6,8 +6,13 @@ scenario (see :mod:`repro.scenarios`) and reports, per domain and per
 method, how far the ideal-normalised precision / recall / F-score move from
 the clean baseline — alongside the *absolute* (un-normalised) F-scores, so
 a scenario that "improves" only because the IDEAL denominator degrades is
-visible.  The output is a machine-readable *robustness matrix*
-(``BENCH_scenarios.json``) that successive PRs can diff.
+visible.  Since schema v3 every cell also carries the per-method
+``duplicate_waste`` metric (near-duplicate fetch waste, see
+:mod:`repro.dedup.waste`) and a merged ``fetch`` accounting block, and a
+sweep can vary *learner* parameters per cell (``config_by_scenario`` /
+:func:`expand_config_grid`, e.g. a ``dedup_penalty`` grid).  The output is
+a machine-readable *robustness matrix* (``BENCH_scenarios.json``) that
+successive PRs can diff.
 
 Corpus generation is shared: each domain's *base* corpus is generated once
 and every scenario's perturbation pipeline is realised against it
@@ -54,7 +59,9 @@ DEFAULT_SWEEP_METHODS = ("L2QP", "L2QR", "L2QBAL")
 
 #: Identifier of the serialisation layout (bump on breaking changes).
 #: v2 adds absolute (un-normalised) metrics alongside the normalised ones.
-SCHEMA = "BENCH_scenarios/v2"
+#: v3 adds per-method ``duplicate_waste``, per-cell merged ``fetch``
+#: accounting, and per-scenario L2Q config overrides (dedup-penalty grids).
+SCHEMA = "BENCH_scenarios/v3"
 
 #: Base seed of the evaluation runners inside sweep cells (the
 #: :class:`ExperimentRunner` default, pinned so spec payloads are explicit).
@@ -72,6 +79,13 @@ class ScenarioCell:
     f_delta: Dict[str, float]
     absolute_metrics: Dict[str, Dict[str, float]] = field(default_factory=dict)
     absolute_f_delta: Dict[str, float] = field(default_factory=dict)
+    #: Per-method mean fraction of fetched pages that were duplicate or
+    #: near-duplicate re-fetches (lower is better; see repro.dedup.waste).
+    duplicate_waste: Dict[str, float] = field(default_factory=dict)
+    #: Merged fetch accounting of every harvest run in this cell
+    #: (queries_fired / pages_fetched / cache_hits / cache_misses) —
+    #: identical across execution backends by construction.
+    fetch: Dict[str, object] = field(default_factory=dict)
 
 
 @dataclass
@@ -109,6 +123,13 @@ class ScenarioSweepResult:
                   for method in self.methods]
         return sum(deltas) / len(deltas) if deltas else 0.0
 
+    def mean_duplicate_waste(self, scenario: str) -> float:
+        """Mean duplicate-fetch waste of a scenario over domains and methods."""
+        values = [cells[scenario].duplicate_waste[method]
+                  for cells in self.cells_by_domain.values()
+                  for method in self.methods]
+        return sum(values) / len(values) if values else 0.0
+
     def to_json_dict(self) -> Dict[str, object]:
         """A plain-JSON rendering of the matrix (deterministic content)."""
         domains: Dict[str, object] = {}
@@ -124,6 +145,8 @@ class ScenarioSweepResult:
                         "absolute_metrics": cell.absolute_metrics,
                         "f_delta": cell.f_delta,
                         "absolute_f_delta": cell.absolute_f_delta,
+                        "duplicate_waste": cell.duplicate_waste,
+                        "fetch": cell.fetch,
                     }
                     for name, cell in sorted(cells.items())
                 },
@@ -140,6 +163,7 @@ class ScenarioSweepResult:
                 name: {
                     "mean_f_delta": self.mean_f_delta(name),
                     "mean_absolute_f_delta": self.mean_absolute_f_delta(name),
+                    "mean_duplicate_waste": self.mean_duplicate_waste(name),
                 }
                 for name in self.scenarios
             },
@@ -199,6 +223,65 @@ def expand_severity_grid(scenarios: Sequence[str], param: str,
     return specs, grid
 
 
+#: L2QConfig fields the sweep's evaluation path never reads: the budget
+#: comes from ``ScenarioSweep.num_queries`` and every harvest seed derives
+#: from the runner's ``base_seed`` (job specs), so grids over these would
+#: produce byte-identical cells.
+_SWEEP_IGNORED_CONFIG_FIELDS = {
+    "num_queries": "the budget comes from --queries / ScenarioSweep.num_queries",
+    "random_seed": "harvest seeds derive from the runner's base_seed",
+}
+
+
+def expand_config_grid(scenarios: Sequence[str], param: str,
+                       values: Sequence[object],
+                       base_config: Optional[L2QConfig] = None
+                       ) -> Tuple[List[ScenarioSpec], Dict[str, object],
+                                  Dict[str, L2QConfig]]:
+    """Expand scenarios × :class:`L2QConfig` values into a severity grid.
+
+    The companion of :func:`expand_severity_grid` for *learner* parameters
+    (e.g. ``dedup_penalty``): every cell keeps its scenario's perturbation
+    pipeline untouched and instead overrides one config field, so one sweep
+    shows how a knob moves F-score and duplicate waste under a fixed
+    hostile condition.  Returns the renamed specs, the grid metadata and
+    the per-cell config mapping for :class:`ScenarioSweep`'s
+    ``config_by_scenario``.
+    """
+    if param not in L2QConfig.__dataclass_fields__:
+        raise ValueError(f"{param!r} is not an L2QConfig field; config grids "
+                         f"sweep learner parameters (e.g. dedup_penalty)")
+    if param in _SWEEP_IGNORED_CONFIG_FIELDS:
+        # Sweeping a field the evaluation path never reads would emit
+        # differently-labelled but byte-identical cells — a flat "curve"
+        # that measured nothing.
+        raise ValueError(
+            f"config parameter {param!r} is ignored by the sweep "
+            f"({_SWEEP_IGNORED_CONFIG_FIELDS[param]}); a grid over it "
+            f"would produce identical cells")
+    if not values:
+        raise ValueError("severity grid needs at least one value")
+    base = base_config if base_config is not None else L2QConfig()
+    specs: List[ScenarioSpec] = []
+    configs: Dict[str, L2QConfig] = {}
+    for name in scenarios:
+        spec = make_scenario(name)
+        for value in values:
+            config = replace(base, **{param: value})
+            try:
+                config.validate()
+            except (TypeError, ValueError) as error:
+                raise ValueError(
+                    f"invalid value {value!r} for config parameter "
+                    f"{param!r}: {error}") from None
+            label = f"{name}@{param}={value}"
+            specs.append(replace(spec, name=label))
+            configs[label] = config
+    grid = {"param": param, "values": list(values),
+            "scenarios": list(scenarios), "target": "config"}
+    return specs, grid, configs
+
+
 def _metrics_block(series: Dict[str, object], methods: Sequence[str],
                    num_queries: int) -> Dict[str, Dict[str, float]]:
     """Extract the per-method {precision, recall, f_score} block."""
@@ -218,13 +301,17 @@ def _evaluate_corpus(corpus: Corpus, methods: Sequence[str], num_queries: int,
                      base_seed: int,
                      backend: Union[None, str, ExecutionBackend] = None,
                      workers: int = 1
-                     ) -> Tuple[Dict[str, Dict[str, float]], Dict[str, Dict[str, float]]]:
-    """Ideal-normalised and absolute metrics of every method on one corpus.
+                     ) -> Tuple[Dict[str, Dict[str, float]],
+                                Dict[str, Dict[str, float]],
+                                Dict[str, float],
+                                Dict[str, object]]:
+    """Metrics, duplicate waste and fetch accounting of one corpus.
 
-    The single evaluation routine shared by the in-process sweep path and
-    the process-backend worker path, so both fold identical floats in
-    identical order — the byte-for-byte equality across backends rests on
-    this sharing.
+    Returns ``(normalised metrics, absolute metrics, duplicate_waste,
+    fetch)``.  The single evaluation routine shared by the in-process sweep
+    path and the process-backend worker path, so both fold identical floats
+    in identical order — the byte-for-byte equality across backends rests
+    on this sharing.
     """
     runner = ExperimentRunner(corpus, config=config, base_seed=base_seed,
                               workers=workers, backend=backend)
@@ -239,7 +326,10 @@ def _evaluate_corpus(corpus: Corpus, methods: Sequence[str], num_queries: int,
         aspects=aspects,
     )
     return (_metrics_block(evaluation.normalized, methods, num_queries),
-            _metrics_block(evaluation.absolute, methods, num_queries))
+            _metrics_block(evaluation.absolute, methods, num_queries),
+            {method: evaluation.duplicate_waste[method][num_queries]
+             for method in methods},
+            evaluation.fetch_statistics.as_dict())
 
 
 def execute_sweep_cell(spec: SweepCellSpec) -> SweepCellResult:
@@ -250,7 +340,7 @@ def execute_sweep_cell(spec: SweepCellSpec) -> SweepCellResult:
     plain-data result crosses back — config in, result dataclass out.
     """
     corpus = spec.corpus.build()
-    metrics, absolute = _evaluate_corpus(
+    metrics, absolute, waste, fetch = _evaluate_corpus(
         corpus, spec.methods, spec.num_queries, spec.num_splits,
         spec.max_test_entities, spec.max_aspects, spec.config, spec.base_seed)
     return SweepCellResult(
@@ -259,6 +349,8 @@ def execute_sweep_cell(spec: SweepCellSpec) -> SweepCellResult:
         corpus_digest=corpus.content_digest(),
         metrics=metrics,
         absolute_metrics=absolute,
+        duplicate_waste=waste,
+        fetch=fetch,
     )
 
 
@@ -288,8 +380,12 @@ class ScenarioSweep:
         Serial and thread evaluate cells in-process; the process backend
         shards whole cells across worker processes.
     param_grid:
-        Optional grid metadata from :func:`expand_severity_grid`, embedded
-        verbatim in the result.
+        Optional grid metadata from :func:`expand_severity_grid` or
+        :func:`expand_config_grid`, embedded verbatim in the result.
+    config_by_scenario:
+        Optional per-scenario :class:`L2QConfig` overrides (scenario name →
+        config), as produced by :func:`expand_config_grid`.  Cells without
+        an entry — including the clean baseline — use ``config``.
     """
 
     def __init__(self, scale: ExperimentScale = SMOKE_SCALE,
@@ -300,7 +396,8 @@ class ScenarioSweep:
                  config: Optional[L2QConfig] = None,
                  workers: int = 1,
                  backend: Union[None, str, ExecutionBackend] = None,
-                 param_grid: Optional[Dict[str, object]] = None) -> None:
+                 param_grid: Optional[Dict[str, object]] = None,
+                 config_by_scenario: Optional[Dict[str, L2QConfig]] = None) -> None:
         # All inputs are validated eagerly: a sweep cell is expensive, so a
         # typo must fail here, not mid-run after the clean baseline.
         if not methods:
@@ -336,6 +433,18 @@ class ScenarioSweep:
         self.workers = workers
         self.backend = resolve_backend(backend, workers=workers)
         self.param_grid = param_grid
+        self.config_by_scenario = dict(config_by_scenario or {})
+        known = {spec.name for spec in self.specs}
+        orphans = sorted(set(self.config_by_scenario) - known)
+        if orphans:
+            raise ValueError(f"config_by_scenario names unknown scenarios "
+                             f"{orphans}; swept: {sorted(known)}")
+
+    def _config_for(self, scenario_name: Optional[str]) -> Optional[L2QConfig]:
+        """The L2Q config one cell evaluates with (clean cell: the base)."""
+        if scenario_name is None:
+            return self.config
+        return self.config_by_scenario.get(scenario_name, self.config)
 
     def run(self) -> ScenarioSweepResult:
         """Evaluate every (domain, scenario) cell and fold in the deltas."""
@@ -366,17 +475,21 @@ class ScenarioSweep:
         for domain in self.domains:
             base = self.scale.base_corpus_for(domain)
             for scenario, corpus in self._domain_corpora(base):
-                metrics, absolute = _evaluate_corpus(
+                name = scenario.name if scenario else None
+                metrics, absolute, waste, fetch = _evaluate_corpus(
                     corpus, self.methods, self.num_queries,
                     self.scale.num_splits, self.scale.max_test_entities,
-                    self.scale.max_aspects, self.config, RUNNER_BASE_SEED,
+                    self.scale.max_aspects, self._config_for(name),
+                    RUNNER_BASE_SEED,
                     backend=self.backend, workers=self.workers)
                 out.append(SweepCellResult(
                     domain=domain,
-                    scenario=scenario.name if scenario else None,
+                    scenario=name,
                     corpus_digest=corpus.content_digest(),
                     metrics=metrics,
                     absolute_metrics=absolute,
+                    duplicate_waste=waste,
+                    fetch=fetch,
                 ))
         return out
 
@@ -406,7 +519,7 @@ class ScenarioSweep:
                 num_splits=self.scale.num_splits,
                 max_test_entities=self.scale.max_test_entities,
                 max_aspects=self.scale.max_aspects,
-                config=self.config,
+                config=self._config_for(scenario.name if scenario else None),
                 base_seed=RUNNER_BASE_SEED,
             )
             for domain in self.domains
@@ -429,6 +542,8 @@ class ScenarioSweep:
                 "corpus_digest": clean.corpus_digest,
                 "metrics": clean.metrics,
                 "absolute_metrics": clean.absolute_metrics,
+                "duplicate_waste": clean.duplicate_waste,
+                "fetch": clean.fetch,
             }
             folded: Dict[str, ScenarioCell] = {}
             for spec in self.specs:
@@ -439,6 +554,8 @@ class ScenarioSweep:
                     corpus_digest=cell.corpus_digest,
                     metrics=cell.metrics,
                     absolute_metrics=cell.absolute_metrics,
+                    duplicate_waste=cell.duplicate_waste,
+                    fetch=cell.fetch,
                     f_delta={
                         method: cell.metrics[method]["f_score"]
                         - clean.metrics[method]["f_score"]

@@ -179,3 +179,8 @@ class SweepCellResult:
     corpus_digest: str
     metrics: dict = field(default_factory=dict)
     absolute_metrics: dict = field(default_factory=dict)
+    #: Per-method mean duplicate-fetch waste (repro.dedup.waste).
+    duplicate_waste: dict = field(default_factory=dict)
+    #: Merged per-run fetch accounting of the cell's harvest runs — this is
+    #: how worker-side engine counters survive the process boundary.
+    fetch: dict = field(default_factory=dict)

@@ -82,6 +82,84 @@ class FetchStatistics:
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
 
+    def as_dict(self) -> Dict[str, object]:
+        """A plain-JSON summary (used by benchmark matrices)."""
+        return {
+            "queries_fired": self.queries_fired,
+            "pages_fetched": self.pages_fetched,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+
+#: Result-cache key: ``(entity_id, query tuple, top_k)``.
+CacheKey = Tuple[str, Tuple[str, ...], int]
+
+
+@dataclass
+class RunFetchAccounting:
+    """Per-harvest-run fetch accounting (picklable, travels with results).
+
+    The shared engine's :class:`FetchStatistics` live in whichever process
+    ran the harvest — a sharded process backend throws them away with the
+    worker.  Each harvesting run therefore keeps its *own* account of what
+    it asked the engine for: fired queries, fetched pages, simulated fetch
+    cost, and the ordered result-cache keys it looked up.  Orchestrators
+    merge these per-run accounts with :func:`merge_run_accounting`, which
+    is identical on every backend because it only reads result payloads.
+
+    Cache hits are deliberately *not* classified here: whether a lookup
+    hits depends on what ran before it on the same engine, which is a
+    scheduling fact.  Recording the keys and replaying them at merge time
+    yields a deterministic batch-level classification instead.
+    """
+
+    queries_fired: int = 0
+    pages_fetched: int = 0
+    simulated_fetch_seconds: float = 0.0
+    queries_by_entity: Dict[str, int] = field(default_factory=dict)
+    cache_keys: List[CacheKey] = field(default_factory=list)
+
+    def record(self, entity_id: str, num_results: int, per_page_cost: float) -> None:
+        """Record one fired query and its fetched results."""
+        self.queries_fired += 1
+        self.pages_fetched += num_results
+        self.simulated_fetch_seconds += per_page_cost * num_results
+        self.queries_by_entity[entity_id] = self.queries_by_entity.get(entity_id, 0) + 1
+
+    def record_lookup(self, key: CacheKey) -> None:
+        """Record one result-cache key lookup (hit/miss decided at merge)."""
+        self.cache_keys.append(key)
+
+
+def merge_run_accounting(accountings: Sequence[Optional[RunFetchAccounting]]
+                         ) -> FetchStatistics:
+    """Fold per-run accounts into one batch-level :class:`FetchStatistics`.
+
+    Counters are summed; cache lookups are *replayed* in run order — a key
+    already seen earlier in the merged stream counts as a hit.  For a fresh
+    serial engine (no eviction) this reproduces the engine's own hit/miss
+    accounting exactly, and because it reads only result payloads, every
+    backend — serial, thread or sharded process — merges to the same
+    statistics.  ``None`` entries (results from before accounting existed)
+    are skipped.
+    """
+    stats = FetchStatistics()
+    seen: set = set()
+    for accounting in accountings:
+        if accounting is None:
+            continue
+        stats.queries_fired += accounting.queries_fired
+        stats.pages_fetched += accounting.pages_fetched
+        stats.simulated_fetch_seconds += accounting.simulated_fetch_seconds
+        for entity_id, count in accounting.queries_by_entity.items():
+            stats.queries_by_entity[entity_id] = (
+                stats.queries_by_entity.get(entity_id, 0) + count)
+        for key in accounting.cache_keys:
+            stats.record_cache(hit=key in seen)
+            seen.add(key)
+    return stats
+
 
 class SearchEngine:
     """Entity-scoped top-k retrieval over an offline corpus.
@@ -145,9 +223,12 @@ class SearchEngine:
         The lock cannot cross a process boundary and shipping the index,
         views, rankers and result cache would defeat the point of cheap
         spec-style payloads — each worker process constructs its own on
-        first use.  ``index_builds`` restarts at 0 accordingly, and fetch
-        statistics accumulated by a worker stay in that worker: process
-        backends return harvest *results*, not engine-side counters.
+        first use.  ``index_builds`` restarts at 0 accordingly, and the
+        engine-side fetch counters restart too: fetch accounting crosses
+        process boundaries through the per-run
+        :class:`RunFetchAccounting` attached to each harvest result
+        (merged orchestrator-side by :func:`merge_run_accounting`), never
+        through the engine object.
         """
         state = self.__dict__.copy()
         state["_lock"] = None
@@ -206,25 +287,38 @@ class SearchEngine:
 
     # -- Retrieval --------------------------------------------------------------
     def search(self, entity_id: str, query: Sequence[str],
-               top_k: Optional[int] = None, record_fetch: bool = True) -> List[SearchResult]:
+               top_k: Optional[int] = None, record_fetch: bool = True,
+               accounting: Optional[RunFetchAccounting] = None) -> List[SearchResult]:
         """Fire ``query`` for ``entity_id`` and return the top results.
 
         The entity's seed query is conceptually appended to ``query``; over
         the offline corpus that reduces to scoping the ranking to the
         entity's own pages, which is how the paper's experiments operate.
+
+        ``accounting``, when given, receives a per-caller copy of the fetch
+        and cache-lookup records (the engine's own statistics are recorded
+        regardless) — the harvesting loop passes its run's account here so
+        distributed backends can ship it home with the result.
         """
         k = top_k if top_k is not None else self.top_k
-        results = self._ranked_results(entity_id, tuple(query), k)
+        results = self._ranked_results(entity_id, tuple(query), k,
+                                       accounting=accounting)
         if record_fetch:
             with self._lock:
                 self.fetch_statistics.record(entity_id, len(results),
                                              self.simulated_fetch_seconds_per_page)
+            if accounting is not None:
+                accounting.record(entity_id, len(results),
+                                  self.simulated_fetch_seconds_per_page)
         return list(results)
 
-    def _ranked_results(self, entity_id: str, query: Tuple[str, ...],
-                        k: int) -> Tuple[SearchResult, ...]:
+    def _ranked_results(self, entity_id: str, query: Tuple[str, ...], k: int,
+                        accounting: Optional[RunFetchAccounting] = None
+                        ) -> Tuple[SearchResult, ...]:
         key = (entity_id, query, k)
         if self.result_cache_size:
+            if accounting is not None:
+                accounting.record_lookup(key)
             with self._lock:
                 cached = self._result_cache.get(key)
                 if cached is not None:
@@ -259,7 +353,9 @@ class SearchEngine:
         return [r.page_id for r in self.search(entity_id, query, top_k=top_k,
                                                record_fetch=False)]
 
-    def seed_results(self, entity_id: str, top_k: Optional[int] = None) -> List[SearchResult]:
+    def seed_results(self, entity_id: str, top_k: Optional[int] = None,
+                     accounting: Optional[RunFetchAccounting] = None
+                     ) -> List[SearchResult]:
         """Fire the entity's seed query ``q(0)`` and return the results.
 
         The seed query uniquely identifies the entity; within the entity's
@@ -268,18 +364,23 @@ class SearchEngine:
         naturally favours hub-like pages mentioning the entity's name.
         """
         entity = self.corpus.get_entity(entity_id)
-        results = self.search(entity_id, list(entity.seed_query), top_k=top_k)
+        results = self.search(entity_id, list(entity.seed_query), top_k=top_k,
+                              accounting=accounting)
         if results:
             return results
         # Degenerate corner: the seed terms may not literally occur on any
         # page; fall back to the entity's name tokens, then to arbitrary pages.
-        results = self.search(entity_id, list(entity.name_tokens), top_k=top_k)
+        results = self.search(entity_id, list(entity.name_tokens), top_k=top_k,
+                              accounting=accounting)
         if results:
             return results
         pages = self.corpus.pages_of(entity_id)[: (top_k or self.top_k)]
         with self._lock:
             self.fetch_statistics.record(entity_id, len(pages),
                                          self.simulated_fetch_seconds_per_page)
+        if accounting is not None:
+            accounting.record(entity_id, len(pages),
+                              self.simulated_fetch_seconds_per_page)
         return [SearchResult(page_id=p.page_id, score=0.0) for p in pages]
 
     # -- Introspection --------------------------------------------------------------

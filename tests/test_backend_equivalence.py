@@ -120,6 +120,63 @@ class TestRunnerEquivalence:
         return TINY_SCALE.corpus_spec_for("researcher")
 
 
+class TestFetchAccountingEquivalence:
+    """The PR 3 follow-up bugfix: worker-side fetch statistics must not be
+    lost by the process backend — every backend's results merge to the same
+    batch-level accounting."""
+
+    @pytest.fixture(scope="class")
+    def tiny_corpus(self):
+        return TINY_SCALE.corpus_for("researcher")
+
+    def _merged(self, corpus, backend, workers):
+        from repro.search.engine import merge_run_accounting
+
+        runner = ExperimentRunner(corpus, base_seed=5)
+        prepared = runner.prepare(runner.default_split(0))
+        jobs = _jobs(runner, prepared)
+        results = runner.harvester_for(prepared).harvest_many(
+            jobs, workers=workers, backend=backend)
+        engine_stats = prepared.engine.fetch_statistics
+        return merge_run_accounting(
+            [r.fetch_accounting for r in results]), engine_stats
+
+    def test_merged_accounting_identical_across_backends(self, tiny_corpus):
+        serial, _ = self._merged(tiny_corpus, "serial", 1)
+        assert serial.queries_fired > 0
+        for backend in ("thread", "process"):
+            merged, _ = self._merged(tiny_corpus, backend, 4)
+            assert merged == serial
+
+    def test_process_backend_ships_statistics_home(self, tiny_corpus):
+        # The orchestrator's engine never fired a query (workers did), yet
+        # the merged per-run accounts reproduce the serial engine's view.
+        serial, serial_engine = self._merged(tiny_corpus, "serial", 1)
+        merged, orchestrator_engine = self._merged(tiny_corpus, "process", 4)
+        assert orchestrator_engine.queries_fired == 0
+        assert merged.queries_fired == serial_engine.queries_fired
+        assert merged.pages_fetched == serial_engine.pages_fetched
+        assert merged.cache_hits == serial_engine.cache_hits
+        assert merged.cache_misses == serial_engine.cache_misses
+        assert merged.queries_by_entity == serial_engine.queries_by_entity
+
+    def test_runner_evaluation_exposes_merged_statistics(self, tiny_corpus):
+        def fetch_stats(backend, workers=1, corpus_spec=None):
+            runner = ExperimentRunner(tiny_corpus, base_seed=5, workers=workers,
+                                      backend=backend, corpus_spec=corpus_spec)
+            evaluation = runner.evaluate_methods_detailed(
+                ("RND", "L2QBAL"), num_queries_list=(2,),
+                max_test_entities=2, aspects=("RESEARCH",))
+            return evaluation.fetch_statistics
+
+        serial = fetch_stats("serial")
+        assert serial.queries_fired > 0
+        assert fetch_stats("thread", workers=4) == serial
+        assert fetch_stats("process", workers=4,
+                           corpus_spec=TINY_SCALE.corpus_spec_for(
+                               "researcher")) == serial
+
+
 class TestSweepEquivalence:
     @pytest.fixture(scope="class")
     def sweep_kwargs(self):

@@ -1,0 +1,86 @@
+"""Tests for the scenario regression gate (hard-fail promotion)."""
+
+import io
+import json
+
+from benchmarks.check_scenario_deltas import DEFAULT_THRESHOLD, compare, main
+
+
+def _report(deltas, schema="BENCH_scenarios/v3", scale="smoke"):
+    return {
+        "schema": schema,
+        "scale": scale,
+        "summary": {name: {"mean_f_delta": value}
+                    for name, value in deltas.items()},
+    }
+
+
+def _write(tmp_path, name, report):
+    path = tmp_path / name
+    path.write_text(json.dumps(report), encoding="utf-8")
+    return path
+
+
+class TestCompare:
+    def test_no_warning_within_tolerance(self):
+        out = io.StringIO()
+        warnings = compare(_report({"zipf-skew": -0.02}),
+                           _report({"zipf-skew": 0.0}),
+                           DEFAULT_THRESHOLD, out=out)
+        assert warnings == 0
+        assert "ok" in out.getvalue()
+
+    def test_regression_beyond_tolerance_warns(self):
+        out = io.StringIO()
+        warnings = compare(_report({"zipf-skew": -0.2}),
+                           _report({"zipf-skew": 0.0}),
+                           DEFAULT_THRESHOLD, out=out)
+        assert warnings == 1
+        assert "WARN" in out.getvalue()
+
+    def test_improvement_never_warns(self):
+        warnings = compare(_report({"zipf-skew": 0.2}),
+                           _report({"zipf-skew": 0.0}),
+                           DEFAULT_THRESHOLD, out=io.StringIO())
+        assert warnings == 0
+
+
+class TestHardGate:
+    def test_regression_fails_the_run(self, tmp_path, capsys):
+        fresh = _write(tmp_path, "fresh.json", _report({"zipf-skew": -0.5}))
+        baseline = _write(tmp_path, "base.json", _report({"zipf-skew": 0.0}))
+        code = main(["--fresh", str(fresh), "--baseline", str(baseline)])
+        assert code == 1
+        assert "regression gate FAILED" in capsys.readouterr().out
+
+    def test_clean_run_passes(self, tmp_path):
+        fresh = _write(tmp_path, "fresh.json", _report({"zipf-skew": 0.0}))
+        baseline = _write(tmp_path, "base.json", _report({"zipf-skew": 0.0}))
+        assert main(["--fresh", str(fresh), "--baseline", str(baseline)]) == 0
+
+    def test_warn_only_escape_hatch(self, tmp_path):
+        fresh = _write(tmp_path, "fresh.json", _report({"zipf-skew": -0.5}))
+        baseline = _write(tmp_path, "base.json", _report({"zipf-skew": 0.0}))
+        assert main(["--fresh", str(fresh), "--baseline", str(baseline),
+                     "--warn-only"]) == 0
+
+    def test_missing_files_pass_softly(self, tmp_path):
+        baseline = _write(tmp_path, "base.json", _report({"zipf-skew": 0.0}))
+        assert main(["--fresh", str(tmp_path / "absent.json"),
+                     "--baseline", str(baseline)]) == 0
+        fresh = _write(tmp_path, "fresh.json", _report({"zipf-skew": 0.0}))
+        assert main(["--fresh", str(fresh),
+                     "--baseline", str(tmp_path / "absent.json")]) == 0
+
+    def test_schema_change_noted_not_fatal(self, tmp_path):
+        fresh = _report({"zipf-skew": 0.0}, schema="BENCH_scenarios/v3")
+        baseline = _report({"zipf-skew": 0.0}, schema="BENCH_scenarios/v2")
+        out = io.StringIO()
+        warnings = compare(fresh, baseline, DEFAULT_THRESHOLD, out=out)
+        assert warnings == 0
+        assert "schema changed" in out.getvalue()
+        # And end to end: a schema bump alone must not fail the gate.
+        fresh_path = _write(tmp_path, "fresh.json", fresh)
+        baseline_path = _write(tmp_path, "base.json", baseline)
+        assert main(["--fresh", str(fresh_path),
+                     "--baseline", str(baseline_path)]) == 0

@@ -178,6 +178,62 @@ class TestScenariosCommand:
         assert "NAME=V1,V2" in out.getvalue()
 
 
+class TestDedupPenaltyArguments:
+    def test_harvest_accepts_dedup_penalty(self):
+        out = io.StringIO()
+        code = main(["harvest", "--domain", "researcher", "--entities", "12",
+                     "--pages", "8", "--method", "L2QBAL", "--queries", "2",
+                     "--dedup-penalty", "0.5"], out=out)
+        assert code == 0
+        assert "f-score=" in out.getvalue()
+
+    def test_out_of_range_penalty_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["harvest", "--dedup-penalty", "1.5"])
+
+    def test_scenarios_run_accepts_dedup_penalty(self, tmp_path):
+        import json
+
+        out = io.StringIO()
+        output = tmp_path / "BENCH_scenarios.json"
+        code = main(["scenarios", "run", "--scale", "smoke",
+                     "--scenarios", "near-duplicates", "--methods", "MQ",
+                     "--domains", "researcher", "--queries", "2",
+                     "--dedup-penalty", "0.5",
+                     "--output", str(output)], out=out)
+        assert code == 0
+        report = json.loads(output.read_text(encoding="utf-8"))
+        assert "duplicate_waste" in \
+            report["domains"]["researcher"]["scenarios"]["near-duplicates"]
+
+    def test_param_grid_over_dedup_penalty(self, tmp_path):
+        import json
+
+        out = io.StringIO()
+        output = tmp_path / "BENCH_scenarios.json"
+        code = main(["scenarios", "run", "--scale", "smoke",
+                     "--scenarios", "near-duplicates", "--methods", "MQ",
+                     "--domains", "researcher", "--queries", "2",
+                     "--param", "dedup_penalty=0.0,0.5",
+                     "--output", str(output)], out=out)
+        assert code == 0
+        report = json.loads(output.read_text(encoding="utf-8"))
+        assert report["scenarios"] == ["near-duplicates@dedup_penalty=0.0",
+                                       "near-duplicates@dedup_penalty=0.5"]
+        assert report["param_grid"]["target"] == "config"
+        cells = report["domains"]["researcher"]["scenarios"]
+        digests = {cell["corpus_digest"] for cell in cells.values()}
+        assert len(digests) == 1  # same corpus condition, different config
+
+    def test_param_grid_rejects_bad_config_value(self, tmp_path):
+        out = io.StringIO()
+        code = main(["scenarios", "run", "--scenarios", "near-duplicates",
+                     "--param", "dedup_penalty=7",
+                     "--output", str(tmp_path / "x.json")], out=out)
+        assert code == 2
+        assert "invalid value 7" in out.getvalue()
+
+
 class TestBackendArguments:
     def test_backend_choices(self):
         args = build_parser().parse_args(["experiment", "--figure", "fig13",

@@ -1,0 +1,90 @@
+"""Tests for the LSH-banded near-duplicate index."""
+
+import pytest
+
+from repro.dedup.index import NearDuplicateIndex
+from repro.dedup.minhash import MinHasher
+from repro.dedup.shingles import shingle_hashes
+
+
+@pytest.fixture(scope="module")
+def hasher():
+    return MinHasher(num_hashes=64, seed=3)
+
+
+def _sig(hasher, text):
+    return hasher.signature(shingle_hashes(tuple(text.split()), 2))
+
+
+@pytest.fixture()
+def index():
+    return NearDuplicateIndex(num_bands=32, similarity_threshold=0.5)
+
+
+PAGE = ("the quick brown fox jumps over the lazy dog near the river bank "
+        "every sunny morning before breakfast time")
+NEAR_COPY = ("the quick brown fox jumps over the lazy dog near the river bank "
+             "every sunny morning before lunch time")
+UNRELATED = ("completely different material about database systems and "
+             "distributed query processing at large scale")
+
+
+class TestNearDuplicateIndex:
+    def test_add_and_contains(self, index, hasher):
+        assert index.add("p1", _sig(hasher, PAGE))
+        assert "p1" in index
+        assert len(index) == 1
+
+    def test_re_add_is_noop(self, index, hasher):
+        index.add("p1", _sig(hasher, PAGE))
+        version = index.version
+        assert not index.add("p1", _sig(hasher, PAGE))
+        assert index.version == version
+
+    def test_near_copy_flagged(self, index, hasher):
+        index.add("p1", _sig(hasher, PAGE))
+        assert index.is_near_duplicate(_sig(hasher, NEAR_COPY))
+        assert index.near_duplicates(_sig(hasher, NEAR_COPY)) == ["p1"]
+
+    def test_unrelated_not_flagged(self, index, hasher):
+        index.add("p1", _sig(hasher, PAGE))
+        assert not index.is_near_duplicate(_sig(hasher, UNRELATED))
+        assert index.max_similarity(_sig(hasher, UNRELATED)) < 0.5
+
+    def test_exact_copy_max_similarity_one(self, index, hasher):
+        index.add("p1", _sig(hasher, PAGE))
+        assert index.max_similarity(_sig(hasher, PAGE)) == 1.0
+
+    def test_empty_index_similarity_zero(self, index, hasher):
+        assert index.max_similarity(_sig(hasher, PAGE)) == 0.0
+        assert not index.is_near_duplicate(_sig(hasher, PAGE))
+
+    def test_insertion_order_independent(self, hasher):
+        texts = {"a": PAGE, "b": NEAR_COPY, "c": UNRELATED}
+        forward = NearDuplicateIndex(num_bands=32, similarity_threshold=0.5)
+        backward = NearDuplicateIndex(num_bands=32, similarity_threshold=0.5)
+        for page_id in sorted(texts):
+            forward.add(page_id, _sig(hasher, texts[page_id]))
+        for page_id in sorted(texts, reverse=True):
+            backward.add(page_id, _sig(hasher, texts[page_id]))
+        probe = _sig(hasher, PAGE)
+        assert forward.max_similarity(probe) == backward.max_similarity(probe)
+        assert forward.near_duplicates(probe) == backward.near_duplicates(probe)
+
+    def test_version_bumps_on_insert(self, index, hasher):
+        assert index.version == 0
+        index.add("p1", _sig(hasher, PAGE))
+        index.add("p2", _sig(hasher, UNRELATED))
+        assert index.version == 2
+
+    def test_signature_length_must_divide_into_bands(self, index):
+        with pytest.raises(ValueError):
+            index.add("bad", (1, 2, 3))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            NearDuplicateIndex(num_bands=0)
+        with pytest.raises(ValueError):
+            NearDuplicateIndex(similarity_threshold=0.0)
+        with pytest.raises(ValueError):
+            NearDuplicateIndex(similarity_threshold=1.5)

@@ -1,0 +1,63 @@
+"""Tests for seeded MinHash signatures and Jaccard estimation."""
+
+import pytest
+
+from repro.dedup.minhash import EMPTY_COMPONENT, MinHasher, estimated_jaccard
+from repro.dedup.shingles import shingle_hashes
+
+
+@pytest.fixture(scope="module")
+def hasher():
+    return MinHasher(num_hashes=128, seed=42)
+
+
+class TestMinHasher:
+    def test_same_seed_same_signature(self):
+        shingles = shingle_hashes(tuple("some page content here".split()), 2)
+        assert MinHasher(64, seed=7).signature(shingles) == \
+            MinHasher(64, seed=7).signature(shingles)
+
+    def test_different_seed_different_signature(self):
+        shingles = shingle_hashes(tuple("some page content here".split()), 2)
+        assert MinHasher(64, seed=7).signature(shingles) != \
+            MinHasher(64, seed=8).signature(shingles)
+
+    def test_signature_length(self, hasher):
+        shingles = shingle_hashes(("a", "b", "c"), 2)
+        assert len(hasher.signature(shingles)) == 128
+
+    def test_empty_set_maps_to_sentinel(self, hasher):
+        assert hasher.signature(frozenset()) == (EMPTY_COMPONENT,) * 128
+
+    def test_invalid_num_hashes(self):
+        with pytest.raises(ValueError):
+            MinHasher(0)
+
+
+class TestEstimatedJaccard:
+    def test_identical_sets_estimate_one(self, hasher):
+        sig = hasher.signature(shingle_hashes(tuple("a b c d e".split()), 2))
+        assert estimated_jaccard(sig, sig) == 1.0
+
+    def test_disjoint_sets_estimate_near_zero(self, hasher):
+        left = hasher.signature(shingle_hashes(
+            tuple(f"left{i}" for i in range(50)), 2))
+        right = hasher.signature(shingle_hashes(
+            tuple(f"right{i}" for i in range(50)), 2))
+        assert estimated_jaccard(left, right) < 0.1
+
+    def test_estimate_tracks_true_jaccard(self, hasher):
+        # Two sets overlapping in half their shingles: true J = 1/3.
+        shared = [f"shared{i}" for i in range(40)]
+        left_tokens = tuple(shared + [f"l{i}" for i in range(40)])
+        right_tokens = tuple(shared + [f"r{i}" for i in range(40)])
+        left = shingle_hashes(left_tokens, 1)
+        right = shingle_hashes(right_tokens, 1)
+        true_j = len(left & right) / len(left | right)
+        estimate = estimated_jaccard(hasher.signature(left),
+                                     hasher.signature(right))
+        assert estimate == pytest.approx(true_j, abs=0.15)
+
+    def test_mismatched_lengths_rejected(self, hasher):
+        with pytest.raises(ValueError):
+            estimated_jaccard((1, 2), (1, 2, 3))

@@ -1,0 +1,129 @@
+"""Tests for the novelty estimator and the duplicate-waste scorer."""
+
+import pytest
+
+from repro.core.config import L2QConfig
+from repro.core.harvester import HarvestResult, IterationRecord
+from repro.dedup.novelty import NoveltyEstimator
+from repro.dedup.waste import DuplicateWasteScorer
+from repro.scenarios import make_scenario
+from repro.search.engine import SearchEngine
+
+
+@pytest.fixture(scope="module")
+def dup_corpus():
+    """Every page has one near-identical copy (tiny token noise)."""
+    return make_scenario("near-duplicates", fraction=1.0,
+                         token_noise=0.02).corpus_for(
+        "researcher", num_entities=6, pages_per_entity=4, seed=5)
+
+
+@pytest.fixture(scope="module")
+def dup_target(dup_corpus):
+    for entity_id in dup_corpus.entity_ids():
+        page_ids = sorted(p.page_id for p in dup_corpus.pages_of(entity_id))
+        dups = [p for p in page_ids if "_dup" in p]
+        if dups:
+            source_id = dups[0].split("_dup")[0]
+            return entity_id, source_id, dups[0]
+    pytest.fail("no duplicate page generated")
+
+
+@pytest.fixture()
+def estimator(dup_corpus, dup_target):
+    entity_id = dup_target[0]
+    engine = SearchEngine(dup_corpus, top_k=5)
+    return NoveltyEstimator(corpus=dup_corpus, engine=engine,
+                            entity=dup_corpus.get_entity(entity_id),
+                            config=L2QConfig(dedup_penalty=0.5))
+
+
+class TestNoveltyEstimator:
+    def test_unseen_page_fully_novel(self, estimator, dup_target):
+        _, source_id, _ = dup_target
+        assert estimator.page_novelty(source_id) == 1.0
+
+    def test_near_copy_of_gathered_page_not_novel(self, dup_corpus, estimator,
+                                                  dup_target):
+        _, source_id, dup_id = dup_target
+        estimator.observe_page(dup_corpus.get_page(source_id))
+        assert estimator.page_novelty(dup_id) < 0.5
+        assert estimator.page_novelty(source_id) == 0.0  # exact copy of itself
+
+    def test_novelty_cache_invalidated_by_new_pages(self, dup_corpus,
+                                                    estimator, dup_target):
+        _, source_id, dup_id = dup_target
+        before = estimator.page_novelty(dup_id)
+        estimator.observe_page(dup_corpus.get_page(source_id))
+        assert estimator.page_novelty(dup_id) < before
+
+    def test_expected_novelty_zero_when_all_postings_gathered(
+            self, dup_corpus, estimator, dup_target):
+        entity_id, source_id, _ = dup_target
+        pages = dup_corpus.pages_of(entity_id)
+        estimator.observe_pages(pages)
+        query = tuple(dup_corpus.get_page(source_id).tokens[:1])
+        assert estimator.expected_novelty(query, lambda pid: True) == 0.0
+
+    def test_expected_novelty_one_without_postings(self, estimator):
+        assert estimator.expected_novelty(("nosuchword",),
+                                          lambda pid: False) == 1.0
+
+    def test_expected_novelty_one_on_fresh_session(self, estimator, dup_corpus,
+                                                   dup_target):
+        # Nothing gathered yet: every posting page is fully novel.
+        _, source_id, _ = dup_target
+        query = tuple(dup_corpus.get_page(source_id).tokens[:1])
+        assert estimator.expected_novelty(query, lambda pid: False) == 1.0
+
+
+def _result(seed_ids, iteration_page_ids):
+    result = HarvestResult(entity_id="e", aspect="A", selector_name="T",
+                           seed_page_ids=list(seed_ids))
+    for index, page_ids in enumerate(iteration_page_ids):
+        result.iterations.append(IterationRecord(
+            index=index, query=("q", str(index)),
+            result_page_ids=tuple(page_ids), new_page_ids=(),
+            selection_seconds=0.0, fetch_seconds=0.0))
+    return result
+
+
+class TestDuplicateWasteScorer:
+    def test_refetches_count_as_waste(self, dup_corpus, dup_target):
+        entity_id, source_id, _ = dup_target
+        other = next(p.page_id for p in dup_corpus.pages_of(entity_id)
+                     if p.page_id != source_id and "_dup" not in p.page_id)
+        scorer = DuplicateWasteScorer(dup_corpus)
+        result = _result([source_id], [(source_id, other)])
+        assert scorer.waste(result) == pytest.approx(1 / 3)
+
+    def test_near_duplicates_count_as_waste(self, dup_corpus, dup_target):
+        _, source_id, dup_id = dup_target
+        scorer = DuplicateWasteScorer(dup_corpus)
+        result = _result([source_id], [(dup_id,)])
+        assert scorer.waste(result) == pytest.approx(1 / 2)
+
+    def test_budget_prefix_respected(self, dup_corpus, dup_target):
+        entity_id, source_id, _ = dup_target
+        scorer = DuplicateWasteScorer(dup_corpus)
+        result = _result([source_id], [(source_id,)])
+        assert scorer.waste(result, num_queries=0) == 0.0
+        assert scorer.waste(result, num_queries=1) == pytest.approx(1 / 2)
+
+    def test_empty_run_scores_zero(self, dup_corpus):
+        scorer = DuplicateWasteScorer(dup_corpus)
+        assert scorer.waste(_result([], [])) == 0.0
+
+    def test_waste_by_budget_matches_per_budget_replay(self, dup_corpus,
+                                                       dup_target):
+        # The single-pass profile must read off exactly what an independent
+        # per-budget replay computes.
+        entity_id, source_id, dup_id = dup_target
+        other = next(p.page_id for p in dup_corpus.pages_of(entity_id)
+                     if p.page_id != source_id and "_dup" not in p.page_id)
+        scorer = DuplicateWasteScorer(dup_corpus)
+        result = _result([source_id], [(source_id, other), (dup_id,)])
+        budgets = (0, 1, 2, 5)  # 5 exceeds the run's two iterations
+        profile = scorer.waste_by_budget(result, budgets)
+        assert profile == {k: scorer.waste(result, k) for k in budgets}
+        assert profile[5] == profile[2]  # stream simply ends early

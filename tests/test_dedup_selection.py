@@ -1,0 +1,125 @@
+"""Dedup-aware selection wiring: session index, discount, determinism."""
+
+import pytest
+
+from repro.aspects.relevance import AllRelevant
+from repro.core.config import L2QConfig
+from repro.core.context import CollectiveUtilities
+from repro.core.harvester import Harvester
+from repro.core.selection import make_selector
+from repro.core.session import HarvestSession
+from repro.scenarios import make_scenario
+from repro.search.engine import SearchEngine
+from repro.utils.rng import SeededRandom
+
+from tests.helpers import harvest_signature
+
+
+@pytest.fixture(scope="module")
+def dup_corpus():
+    return make_scenario("near-duplicates").corpus_for(
+        "researcher", num_entities=8, pages_per_entity=6, seed=9)
+
+
+def _session(corpus, config):
+    entity_id = corpus.entity_ids()[0]
+    return HarvestSession(
+        corpus=corpus,
+        engine=SearchEngine(corpus, top_k=5),
+        entity=corpus.get_entity(entity_id),
+        aspect="RESEARCH",
+        relevance=AllRelevant(),
+        config=config,
+        rng=SeededRandom(1),
+    )
+
+
+class TestSessionNoveltyIndex:
+    def test_disabled_by_default(self, dup_corpus):
+        session = _session(dup_corpus, L2QConfig())
+        assert session.novelty is None
+        assert session.expected_novelty(("anything",)) == 1.0
+
+    def test_enabled_with_penalty(self, dup_corpus):
+        session = _session(dup_corpus, L2QConfig(dedup_penalty=0.5))
+        assert session.novelty is not None
+
+    def test_index_tracks_added_pages(self, dup_corpus):
+        session = _session(dup_corpus, L2QConfig(dedup_penalty=0.5))
+        pages = dup_corpus.pages_of(session.entity.entity_id)[:2]
+        session.add_pages(pages)
+        assert len(session.novelty.index) == 2
+        # Re-adding must not grow the index (same contract as candidates).
+        session.add_pages(pages)
+        assert len(session.novelty.index) == 2
+
+    def test_gathered_postings_score_zero_novelty(self, dup_corpus):
+        session = _session(dup_corpus, L2QConfig(dedup_penalty=0.5))
+        pages = dup_corpus.pages_of(session.entity.entity_id)
+        session.add_pages(pages)
+        query = tuple(pages[0].tokens[:1])
+        assert session.expected_novelty(query) == 0.0
+
+
+class TestCollectiveDiscount:
+    def _collective(self):
+        return CollectiveUtilities(query=("q",), collective_recall=0.6,
+                                   collective_recall_all=0.8)
+
+    def test_full_novelty_is_identity(self):
+        collective = self._collective()
+        discounted = collective.discounted(expected_novelty=1.0, penalty=0.7)
+        assert discounted.collective_recall == collective.collective_recall
+        assert discounted.collective_precision == collective.collective_precision
+
+    def test_zero_penalty_is_identity(self):
+        collective = self._collective()
+        discounted = collective.discounted(expected_novelty=0.0, penalty=0.0)
+        assert discounted.collective_recall == collective.collective_recall
+
+    def test_fully_redundant_query_fully_discounted(self):
+        discounted = self._collective().discounted(expected_novelty=0.0,
+                                                   penalty=1.0)
+        assert discounted.collective_recall == 0.0
+        assert discounted.collective_precision == 0.0
+        assert discounted.balanced == 0.0
+
+    def test_precision_and_recall_shrink_proportionally(self):
+        collective = self._collective()
+        discounted = collective.discounted(expected_novelty=0.5, penalty=0.5)
+        factor = 1.0 - 0.5 * 0.5
+        assert discounted.collective_recall == pytest.approx(
+            collective.collective_recall * factor)
+        assert discounted.collective_precision == pytest.approx(
+            collective.collective_precision * factor)
+        # The Y* denominator is untouched — only the target-aspect recall
+        # carries the redundancy discount.
+        assert discounted.collective_recall_all == collective.collective_recall_all
+
+
+class TestPenalisedHarvestDeterminism:
+    @pytest.mark.parametrize("penalty", [0.0, 0.5])
+    def test_same_penalty_reproduces_bit_for_bit(self, dup_corpus, penalty):
+        signatures = []
+        for _ in range(2):
+            config = L2QConfig(dedup_penalty=penalty)
+            engine = SearchEngine(dup_corpus, top_k=5)
+            harvester = Harvester(dup_corpus, engine, config)
+            entity_id = dup_corpus.entity_ids()[0]
+            result = harvester.harvest(entity_id, "RESEARCH",
+                                       make_selector("L2QBAL", config),
+                                       AllRelevant(), num_queries=3)
+            signatures.append(harvest_signature(result))
+        assert signatures[0] == signatures[1]
+
+    def test_explicit_zero_penalty_matches_default_config(self, dup_corpus):
+        signatures = []
+        for config in (L2QConfig(), L2QConfig(dedup_penalty=0.0)):
+            engine = SearchEngine(dup_corpus, top_k=5)
+            harvester = Harvester(dup_corpus, engine, config)
+            entity_id = dup_corpus.entity_ids()[0]
+            result = harvester.harvest(entity_id, "RESEARCH",
+                                       make_selector("L2QBAL", config),
+                                       AllRelevant(), num_queries=3)
+            signatures.append(harvest_signature(result))
+        assert signatures[0] == signatures[1]

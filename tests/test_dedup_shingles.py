@@ -1,0 +1,36 @@
+"""Tests for w-shingling and its stable hashing."""
+
+import pytest
+
+from repro.dedup.shingles import shingle_hashes
+
+
+class TestShingleHashes:
+    def test_counts_contiguous_windows(self):
+        shingles = shingle_hashes(("a", "b", "c", "d"), size=2)
+        assert len(shingles) == 3  # ab, bc, cd
+
+    def test_set_semantics_deduplicate_repeats(self):
+        assert shingle_hashes(("a", "b", "a", "b"), size=2) == \
+            shingle_hashes(("a", "b", "a", "b", "a", "b"), size=2)
+
+    def test_short_sequence_falls_back_to_whole_sequence(self):
+        short = shingle_hashes(("only", "two"), size=3)
+        assert len(short) == 1
+        assert short != shingle_hashes(("other", "pair"), size=3)
+
+    def test_empty_sequence_yields_empty_set(self):
+        assert shingle_hashes((), size=3) == frozenset()
+
+    def test_separator_safe(self):
+        # Token boundaries must matter: ("ab", "c") != ("a", "bc").
+        assert shingle_hashes(("ab", "c"), size=2) != \
+            shingle_hashes(("a", "bc"), size=2)
+
+    def test_deterministic_across_calls(self):
+        tokens = tuple("the quick brown fox jumps over".split())
+        assert shingle_hashes(tokens, 3) == shingle_hashes(tokens, 3)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            shingle_hashes(("a",), size=0)

@@ -6,10 +6,12 @@ import pytest
 
 from repro.eval.experiments import ExperimentScale
 from repro.eval.reporting import format_scenarios
+from repro.core.config import L2QConfig
 from repro.eval.scenario_sweep import (
     DEFAULT_SWEEP_METHODS,
     SCHEMA,
     ScenarioSweep,
+    expand_config_grid,
     expand_severity_grid,
     run_scenario_sweep,
 )
@@ -95,6 +97,27 @@ class TestSweepStructure:
                             - block["clean"]["absolute_metrics"][method]["f_score"])
                 assert cell["absolute_f_delta"][method] == expected
             assert "mean_absolute_f_delta" in report["summary"][name]
+
+    def test_duplicate_waste_and_fetch_blocks(self, sweep_result):
+        report = sweep_result.to_json_dict()
+        block = report["domains"]["researcher"]
+        for cell in [block["clean"]] + [block["scenarios"][n] for n in SCENARIOS]:
+            assert set(cell["duplicate_waste"]) == {"L2QBAL", "MQ"}
+            for value in cell["duplicate_waste"].values():
+                assert 0.0 <= value <= 1.0
+            fetch = cell["fetch"]
+            assert fetch["queries_fired"] > 0
+            assert fetch["pages_fetched"] > 0
+            assert fetch["cache_hits"] + fetch["cache_misses"] > 0
+        for name in SCENARIOS:
+            assert "mean_duplicate_waste" in report["summary"][name]
+
+    def test_near_duplicates_raise_waste_over_clean(self, sweep_result):
+        # The scenario's whole point: injected near-copies get fetched.
+        block = sweep_result.to_json_dict()["domains"]["researcher"]
+        clean = block["clean"]["duplicate_waste"]["L2QBAL"]
+        scenario = block["scenarios"]["near-duplicates"]["duplicate_waste"]["L2QBAL"]
+        assert scenario > clean
 
     def test_absolute_f_scores_bounded(self, sweep_result):
         # Absolute metrics are raw precision/recall/F in [0, 1]; normalised
@@ -221,3 +244,62 @@ class TestSeverityGrid:
         # the matrix holds one real cell per grid point (a curve, not a dot).
         digests = {cell["corpus_digest"] for cell in cells.values()}
         assert len(digests) == 2
+
+
+class TestConfigGrid:
+    def test_expand_names_configs_and_metadata(self):
+        specs, grid, configs = expand_config_grid(
+            ["near-duplicates"], "dedup_penalty", [0.0, 0.5])
+        assert [s.name for s in specs] == ["near-duplicates@dedup_penalty=0.0",
+                                          "near-duplicates@dedup_penalty=0.5"]
+        assert grid == {"param": "dedup_penalty", "values": [0.0, 0.5],
+                        "scenarios": ["near-duplicates"], "target": "config"}
+        assert configs["near-duplicates@dedup_penalty=0.5"].dedup_penalty == 0.5
+        # The perturbation pipeline is the *same* for every grid point —
+        # only the learner config varies.
+        pipelines = {tuple(s.perturbations) for s in specs}
+        assert len(pipelines) == 1
+
+    def test_expand_preserves_base_config(self):
+        base = L2QConfig(ranker="bm25")
+        _, _, configs = expand_config_grid(["near-duplicates"],
+                                           "dedup_penalty", [0.3],
+                                           base_config=base)
+        config = configs["near-duplicates@dedup_penalty=0.3"]
+        assert config.ranker == "bm25"
+        assert config.dedup_penalty == 0.3
+        assert base.dedup_penalty == 0.0  # the base is not mutated
+
+    def test_expand_rejects_non_config_parameter(self):
+        with pytest.raises(ValueError, match="not an L2QConfig field"):
+            expand_config_grid(["zipf-skew"], "exponent", [0.5])
+
+    @pytest.mark.parametrize("param", ["num_queries", "random_seed"])
+    def test_expand_rejects_fields_the_sweep_ignores(self, param):
+        # The budget comes from --queries and seeds derive from base_seed:
+        # a grid over either would emit byte-identical cells.
+        with pytest.raises(ValueError, match="ignored by the sweep"):
+            expand_config_grid(["zipf-skew"], param, [1, 5])
+
+    def test_expand_rejects_invalid_value(self):
+        with pytest.raises(ValueError, match="invalid value 7"):
+            expand_config_grid(["zipf-skew"], "dedup_penalty", [7])
+
+    def test_sweep_rejects_orphan_config_overrides(self):
+        with pytest.raises(ValueError, match="unknown scenarios"):
+            ScenarioSweep(scale=TINY_SCALE, scenarios=("zipf-skew",),
+                          config_by_scenario={"no-such-cell": L2QConfig()})
+
+    def test_config_grid_cells_share_corpus_but_not_config(self):
+        specs, grid, configs = expand_config_grid(
+            ["near-duplicates"], "dedup_penalty", [0.0, 0.5])
+        result = ScenarioSweep(scale=TINY_SCALE, scenarios=specs,
+                               methods=("L2QBAL",), domains=("researcher",),
+                               num_queries=2, param_grid=grid,
+                               config_by_scenario=configs).run()
+        cells = result.to_json_dict()["domains"]["researcher"]["scenarios"]
+        off = cells["near-duplicates@dedup_penalty=0.0"]
+        on = cells["near-duplicates@dedup_penalty=0.5"]
+        # Same corpus condition (one digest), different learner behaviour.
+        assert off["corpus_digest"] == on["corpus_digest"]
+        assert set(off["duplicate_waste"]) == {"L2QBAL"}

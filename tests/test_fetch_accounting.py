@@ -1,0 +1,119 @@
+"""Per-run fetch accounting and its orchestrator-side merge.
+
+The sharded process backend used to discard worker-side engine statistics
+(``SearchEngine.__setstate__`` resets them and nothing shipped them back).
+Each harvest run now carries its own :class:`RunFetchAccounting` inside the
+result; :func:`merge_run_accounting` folds a batch of them into one
+:class:`FetchStatistics` by replaying cache-key lookups in job order —
+identical on every backend because it never reads a live engine.
+"""
+
+import pytest
+
+from repro.aspects.relevance import AllRelevant
+from repro.core.config import L2QConfig
+from repro.core.harvester import Harvester
+from repro.core.selection import make_selector
+from repro.search.engine import (
+    FetchStatistics,
+    RunFetchAccounting,
+    SearchEngine,
+    merge_run_accounting,
+)
+
+
+class TestRunFetchAccounting:
+    def test_record_accumulates_counters(self):
+        accounting = RunFetchAccounting()
+        accounting.record("e1", 5, 2.5)
+        accounting.record("e1", 3, 2.5)
+        accounting.record("e2", 1, 2.5)
+        assert accounting.queries_fired == 3
+        assert accounting.pages_fetched == 9
+        assert accounting.simulated_fetch_seconds == pytest.approx(22.5)
+        assert accounting.queries_by_entity == {"e1": 2, "e2": 1}
+
+    def test_merge_replays_cache_keys_in_order(self):
+        first = RunFetchAccounting()
+        first.record("e1", 5, 1.0)
+        first.record_lookup(("e1", ("q",), 5))
+        second = RunFetchAccounting()
+        second.record("e1", 5, 1.0)
+        second.record_lookup(("e1", ("q",), 5))     # repeat -> hit
+        second.record_lookup(("e1", ("other",), 5))  # fresh  -> miss
+        merged = merge_run_accounting([first, second])
+        assert merged.queries_fired == 2
+        assert merged.pages_fetched == 10
+        assert merged.cache_misses == 2
+        assert merged.cache_hits == 1
+        assert merged.queries_by_entity == {"e1": 2}
+
+    def test_merge_skips_missing_accounts(self):
+        accounting = RunFetchAccounting()
+        accounting.record("e1", 2, 1.0)
+        merged = merge_run_accounting([None, accounting, None])
+        assert merged.queries_fired == 1
+
+    def test_merge_of_nothing_is_empty(self):
+        assert merge_run_accounting([]) == FetchStatistics()
+
+
+class TestEngineAccountingParameter:
+    def test_search_records_into_accounting(self, researcher_corpus):
+        engine = SearchEngine(researcher_corpus, top_k=5)
+        entity_id = researcher_corpus.entity_ids()[0]
+        entity = researcher_corpus.get_entity(entity_id)
+        accounting = RunFetchAccounting()
+        results = engine.search(entity_id, list(entity.seed_query),
+                                accounting=accounting)
+        assert accounting.queries_fired == 1
+        assert accounting.pages_fetched == len(results)
+        assert len(accounting.cache_keys) == 1
+        # The engine's own statistics are recorded as before.
+        assert engine.fetch_statistics.queries_fired == 1
+
+    def test_unrecorded_search_skips_fetch_but_logs_lookup(self,
+                                                           researcher_corpus):
+        engine = SearchEngine(researcher_corpus, top_k=5)
+        entity_id = researcher_corpus.entity_ids()[0]
+        accounting = RunFetchAccounting()
+        engine.search(entity_id, ["anything"], record_fetch=False,
+                      accounting=accounting)
+        assert accounting.queries_fired == 0
+        assert len(accounting.cache_keys) == 1
+
+
+class TestHarvestAttachesAccounting:
+    def test_result_carries_run_account(self, researcher_corpus):
+        config = L2QConfig()
+        engine = SearchEngine(researcher_corpus, top_k=5)
+        harvester = Harvester(researcher_corpus, engine, config)
+        entity_id = researcher_corpus.entity_ids()[0]
+        result = harvester.harvest(entity_id, "RESEARCH",
+                                   make_selector("RND", config),
+                                   AllRelevant(), num_queries=2)
+        accounting = result.fetch_accounting
+        assert accounting is not None
+        # Seed query + every fired query, nothing else.
+        assert accounting.queries_fired == 1 + result.num_queries
+        assert accounting.pages_fetched == len(result.seed_page_ids) + sum(
+            len(record.result_page_ids) for record in result.iterations)
+
+    def test_serial_merge_matches_engine_counters(self, researcher_corpus):
+        config = L2QConfig()
+        engine = SearchEngine(researcher_corpus, top_k=5)
+        harvester = Harvester(researcher_corpus, engine, config)
+        entities = researcher_corpus.entity_ids()[:3]
+        results = [
+            harvester.harvest(entity_id, "RESEARCH",
+                              make_selector("RND", config),
+                              AllRelevant(), num_queries=2)
+            for entity_id in entities
+        ]
+        merged = merge_run_accounting([r.fetch_accounting for r in results])
+        engine_stats = engine.fetch_statistics
+        assert merged.queries_fired == engine_stats.queries_fired
+        assert merged.pages_fetched == engine_stats.pages_fetched
+        assert merged.cache_hits == engine_stats.cache_hits
+        assert merged.cache_misses == engine_stats.cache_misses
+        assert merged.queries_by_entity == engine_stats.queries_by_entity
