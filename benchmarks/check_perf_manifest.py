@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Hard regression gate for the benchmark-throughput trajectory.
+
+Compares a freshly built ``BENCH_manifest.json`` against the committed one
+and prints a per-backend throughput table.  A backend whose ``pages/sec``
+regresses by more than the **documented tolerance of 50%** (``--tolerance``,
+a relative fraction) fails the run: the script exits 1, turning the CI job
+red.  The tolerance is deliberately generous because the committed manifest
+was produced on a different machine than the CI runner — it exists to catch
+order-of-magnitude execution-layer regressions (an accidentally serialised
+backend, a quadratic hot path), not single-digit jitter.  Mirroring
+``check_scenario_deltas.py``, ``--warn-only`` restores fail-soft behaviour
+(always exit 0) for local experimentation.
+
+Two failure modes are gated unconditionally, tolerance aside: fresh
+throughput *collapsing* to zero/absent where the baseline had a real
+number, and a baselined backend disappearing from the fresh manifest (if
+the removal is deliberate, refresh the committed baseline in the same PR).
+Entries without a throughput axis (robustness matrices, selection-latency
+rows) are ignored; their regressions are gated elsewhere (scenario deltas,
+committed-artifact diffs).
+
+Usage::
+
+    python benchmarks/check_perf_manifest.py \
+        --fresh /tmp/BENCH_manifest.json \
+        [--baseline benchmarks/results/BENCH_manifest.json] \
+        [--tolerance 0.5] [--warn-only]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.perf.manifest import load_manifest  # noqa: E402
+from repro.perf.report import throughput_deltas  # noqa: E402
+
+#: A backend whose pages/sec drops by more than this fraction of the
+#: committed value fails the gate (0.5 = tolerate up to 50% slower).
+DEFAULT_TOLERANCE = 0.5
+
+#: Default committed baseline (refreshed whenever artifacts are promoted).
+DEFAULT_BASELINE = Path(__file__).parent / "results" / "BENCH_manifest.json"
+
+
+def _format_row(cells, widths) -> str:
+    return "  ".join(str(cell).ljust(width) for cell, width in zip(cells, widths))
+
+
+def compare(fresh: dict, baseline: dict, tolerance: float,
+            out=sys.stdout) -> int:
+    """Print the throughput comparison table; return the regression count.
+
+    Three conditions count as regressions: pages/sec dropping beyond the
+    tolerance, fresh throughput *collapsing* to zero/absent where the
+    baseline had a real number (the catastrophic case the gate exists
+    for), and a baselined backend disappearing from the fresh manifest
+    entirely (remove it from the committed baseline in the same PR if the
+    removal is deliberate).
+    """
+    deltas, new_keys, missing_keys = throughput_deltas(fresh, baseline)
+
+    regressions = 0
+    header = ["Benchmark/backend", "Committed pages/s", "Fresh pages/s",
+              "Change", "Status"]
+    rows = []
+    for delta in deltas:
+        if delta.collapsed:
+            status = "COLLAPSED"
+        elif delta.change is None:
+            # No usable baseline number: nothing to gate against.
+            status = "skipped"
+        elif delta.change < -tolerance:
+            status = "REGRESSED"
+        else:
+            status = "ok"
+        if status in ("REGRESSED", "COLLAPSED"):
+            regressions += 1
+        rows.append([delta.key,
+                     f"{delta.committed:.1f}" if delta.committed else str(delta.committed),
+                     f"{delta.fresh:.1f}" if delta.fresh else str(delta.fresh),
+                     f"{delta.change:+.1%}" if delta.change is not None else "-",
+                     status])
+    widths = [max(len(str(row[i])) for row in [header] + rows)
+              for i in range(len(header))]
+    print(_format_row(header, widths), file=out)
+    print(_format_row(["-" * w for w in widths], widths), file=out)
+    for row in rows:
+        print(_format_row(row, widths), file=out)
+
+    for key in new_keys:
+        print(f"note: {key} is new (no committed baseline)", file=out)
+    for key in missing_keys:
+        regressions += 1
+        print(f"MISSING: baselined {key} disappeared from the fresh "
+              f"manifest", file=out)
+
+    if regressions:
+        print(f"\n{regressions} backend(s) regressed beyond the "
+              f"{tolerance:.0%} pages/sec tolerance", file=out)
+    else:
+        print(f"\nno backend regressed beyond the {tolerance:.0%} "
+              f"pages/sec tolerance", file=out)
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", type=Path, required=True,
+                        help="freshly built BENCH_manifest.json")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="committed manifest to compare against")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="relative pages/sec regression that fails the "
+                             f"gate (default {DEFAULT_TOLERANCE})")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but always exit 0")
+    args = parser.parse_args(argv)
+
+    if not args.fresh.exists():
+        print(f"fresh manifest {args.fresh} missing; nothing to compare")
+        return 0
+    if not args.baseline.exists():
+        print(f"no committed baseline at {args.baseline}; nothing to compare")
+        return 0
+
+    regressions = compare(load_manifest(args.fresh),
+                          load_manifest(args.baseline), args.tolerance)
+    if regressions and not args.warn_only:
+        print(f"perf gate FAILED ({regressions} backend(s) beyond the "
+              f"{args.tolerance:.0%} tolerance)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

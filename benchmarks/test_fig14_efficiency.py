@@ -26,3 +26,9 @@ def test_fig14_selection_vs_fetch_time(benchmark, scale, results_dir):
         assert report.fetch_seconds > 0.0
         for count in report.queries_measured.values():
             assert count >= 1
+        # Cold-cache protocol: every method reports its own hit rate, and
+        # it reflects only the method's own query repetition (never the
+        # caches of an earlier-measured method).
+        assert set(report.cache_hit_rates) == set(report.selection_seconds)
+        for rate in report.cache_hit_rates.values():
+            assert 0.0 <= rate <= 1.0

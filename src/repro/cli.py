@@ -19,6 +19,13 @@ Four subcommands cover the common workflows:
     robustness matrix to ``BENCH_scenarios.json`` (same seed ⇒ byte-identical
     output).
 
+``repro-l2q perf``
+    Performance tracking: ``perf manifest`` regenerates the unified
+    ``BENCH_manifest.json`` from the ``benchmarks/results/BENCH_*.json``
+    artifacts (deterministic — CI diffs it for freshness); ``perf report``
+    renders per-backend speedup tables and throughput deltas vs the
+    committed manifest.
+
 ``harvest`` and ``experiment`` both accept ``--ranker`` to pick the
 retrieval model backing the offline search engine (any name in the ranker
 registry, ``dirichlet`` by default), plus ``--backend {serial,thread,
@@ -37,7 +44,9 @@ is an :class:`~repro.core.config.L2QConfig` field (e.g. ``dedup_penalty``)
 the grid varies the learner against a fixed corpus condition instead.
 ``harvest``, ``experiment`` and ``scenarios run`` take ``--dedup-penalty``
 to enable dedup-aware selection (page-level MinHash novelty discount;
-0 = off, the paper's exact behaviour).
+0 = off, the paper's exact behaviour) and ``--perf-output PATH`` to record
+wall-clock phase timings (split preparation, harvest loops, sweep cells)
+into a JSON report — the same profiling ``REPRO_PERF=1`` enables ambiently.
 
 Usage examples::
 
@@ -50,7 +59,9 @@ Usage examples::
     python -m repro.cli scenarios run --scenarios zipf-skew --param exponent=0.5,1.0,1.5
     python -m repro.cli scenarios run --scenarios near-duplicates --param dedup_penalty=0.0,0.5
     python -m repro.cli scenarios run --scenarios near-duplicates hostile-mix --dedup-penalty 0.5
-    python -m repro.cli scenarios run --paper-scale
+    python -m repro.cli scenarios run --paper-scale --perf-output perf.json
+    python -m repro.cli perf manifest
+    python -m repro.cli perf report
 """
 
 from __future__ import annotations
@@ -60,6 +71,7 @@ import os
 import sys
 from typing import List, Optional, Sequence, Tuple
 
+from repro import perf
 from repro.core.config import L2QConfig
 from repro.core.queries import format_query
 from repro.corpus.domains import available_domains
@@ -151,6 +163,32 @@ def build_parser() -> argparse.ArgumentParser:
                      help="path of the robustness matrix JSON "
                           "(default: ./BENCH_scenarios.json)")
     _add_engine_arguments(run)
+
+    perf_parser = subparsers.add_parser(
+        "perf", help="build the perf manifest or render speedup reports")
+    perf_commands = perf_parser.add_subparsers(dest="perf_command",
+                                               required=True)
+    manifest = perf_commands.add_parser(
+        "manifest", help="regenerate BENCH_manifest.json from the "
+                         "committed BENCH_*.json artifacts (deterministic)")
+    manifest.add_argument("--results", default="benchmarks/results",
+                          help="directory holding the BENCH_*.json artifacts "
+                               "(default: benchmarks/results)")
+    manifest.add_argument("--output", default=None,
+                          help="manifest path to write "
+                               "(default: <results>/BENCH_manifest.json)")
+    report = perf_commands.add_parser(
+        "report", help="render per-backend speedup tables and deltas vs "
+                       "the committed manifest")
+    report.add_argument("--results", default="benchmarks/results",
+                        help="artifact directory a fresh manifest is built "
+                             "from when --manifest is not given")
+    report.add_argument("--manifest", default=None,
+                        help="pre-built manifest to render (default: build "
+                             "one in memory from --results)")
+    report.add_argument("--baseline", default=None,
+                        help="committed manifest to diff against (default: "
+                             "<results>/BENCH_manifest.json when present)")
     return parser
 
 
@@ -192,6 +230,10 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
                         help="parallel harvesting workers (default 1, or all "
                              "CPUs under --paper-scale; results are identical "
                              "for any value)")
+    parser.add_argument("--perf-output", default=None, metavar="PATH",
+                        help="record wall-clock phase timings (split "
+                             "preparation, harvest loops, sweep cells) and "
+                             "write the JSON report to PATH")
 
 
 def _parse_param_grid(text: str) -> Tuple[str, List[object]]:
@@ -382,21 +424,68 @@ def _command_scenarios(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_perf(args: argparse.Namespace, out) -> int:
+    from pathlib import Path
+
+    if args.perf_command == "manifest":
+        results = Path(args.results)
+        if not results.is_dir():
+            print(f"results directory {results} does not exist", file=out)
+            return 2
+        path = perf.write_manifest(results, output=args.output)
+        print(f"wrote {path}", file=out)
+        return 0
+
+    # perf report
+    results = Path(args.results)
+    if args.manifest is not None:
+        manifest = perf.load_manifest(args.manifest)
+    elif results.is_dir():
+        manifest = perf.build_manifest(results)
+    else:
+        print(f"results directory {results} does not exist "
+              f"(pass --manifest or --results)", file=out)
+        return 2
+    print(perf.format_manifest(manifest), file=out)
+
+    baseline_path = Path(args.baseline) if args.baseline is not None \
+        else results / perf.MANIFEST_NAME
+    if baseline_path.exists():
+        baseline = perf.load_manifest(baseline_path)
+        print(f"\nThroughput vs committed manifest ({baseline_path}):",
+              file=out)
+        print(perf.format_manifest_delta(manifest, baseline), file=out)
+    elif args.baseline is not None:
+        print(f"baseline manifest {baseline_path} does not exist", file=out)
+        return 2
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
-    if args.command == "corpus":
-        return _command_corpus(args, out)
-    if args.command == "harvest":
-        return _command_harvest(args, out)
-    if args.command == "experiment":
-        return _command_experiment(args, out)
-    if args.command == "scenarios":
-        return _command_scenarios(args, out)
-    parser.error(f"unknown command {args.command!r}")
-    return 2  # pragma: no cover - parser.error raises
+    perf_output = getattr(args, "perf_output", None)
+    rec = perf.enable() if perf_output else None
+    try:
+        if args.command == "corpus":
+            return _command_corpus(args, out)
+        if args.command == "harvest":
+            return _command_harvest(args, out)
+        if args.command == "experiment":
+            return _command_experiment(args, out)
+        if args.command == "scenarios":
+            return _command_scenarios(args, out)
+        if args.command == "perf":
+            return _command_perf(args, out)
+        parser.error(f"unknown command {args.command!r}")
+        return 2  # pragma: no cover - parser.error raises
+    finally:
+        if rec is not None:
+            perf.disable()
+            path = rec.write(perf_output)
+            print(f"wrote perf report {path}", file=out)
 
 
 if __name__ == "__main__":  # pragma: no cover

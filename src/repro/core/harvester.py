@@ -28,6 +28,7 @@ from repro.core.selection import QuerySelector
 from repro.core.session import HarvestSession
 from repro.corpus.corpus import Corpus
 from repro.exec.backends import ExecutionBackend, resolve_backend
+from repro.perf import recorder as perf_recorder
 from repro.search.engine import RunFetchAccounting, SearchEngine
 from repro.utils.rng import SeededRandom
 from repro.utils.timing import Stopwatch, TimingAccumulator
@@ -197,6 +198,19 @@ class Harvester:
         seed:
             Randomness seed for this run (defaults to the configured seed).
         """
+        rec = perf_recorder()
+        if rec is None:
+            return self._harvest(entity_id, aspect, selector, relevance,
+                                 num_queries, domain_model, seed)
+        with rec.phase("harvest", entity=entity_id, aspect=aspect,
+                       selector=selector.name):
+            return self._harvest(entity_id, aspect, selector, relevance,
+                                 num_queries, domain_model, seed, rec=rec)
+
+    def _harvest(self, entity_id: str, aspect: str, selector: QuerySelector,
+                 relevance: RelevanceFunction, num_queries: Optional[int],
+                 domain_model: Optional[DomainModel], seed: Optional[int],
+                 rec=None) -> HarvestResult:
         entity = self.corpus.get_entity(entity_id)
         budget = num_queries if num_queries is not None else self.config.num_queries
         rng = SeededRandom(seed if seed is not None else self.config.random_seed)
@@ -236,6 +250,9 @@ class Harvester:
             new_pages = session.add_pages(pages)
             session.record_query(query)
             fetch_seconds = len(results) * self.engine.simulated_fetch_seconds_per_page
+            if rec is not None:
+                rec.record(SELECTION_TIME, select_watch.elapsed,
+                           selector=selector.name)
             result.timing.add(SELECTION_TIME, select_watch.elapsed)
             result.timing.add(FETCH_TIME, fetch_seconds)
             result.iterations.append(IterationRecord(

@@ -118,16 +118,29 @@ def format_fig13(result: ComparisonResult) -> str:
 
 
 def format_fig14(result: Fig14Result) -> str:
-    """Fig. 14: average time cost per query (seconds)."""
+    """Fig. 14: average time cost per query (seconds).
+
+    Each method is timed against cold engine caches; the per-method engine
+    cache hit rate (the method's own query repetition) is shown alongside
+    when the report carries one.
+    """
+    first = next(iter(result.reports_by_domain.values()))
+    show_hit_rates = bool(first.cache_hit_rates)
     rows = []
     for domain, report in result.reports_by_domain.items():
         row = [domain]
         for method in sorted(report.selection_seconds):
             row.append(f"{report.selection_seconds[method]:.3f}")
         row.append(f"~{report.fetch_seconds:.1f}")
+        if show_hit_rates:
+            for method in sorted(report.selection_seconds):
+                rate = report.cache_hit_rates.get(method)
+                row.append(f"{rate:.0%}" if rate is not None else "-")
         rows.append(row)
-    first = next(iter(result.reports_by_domain.values()))
-    headers = ["Domain"] + [f"{m} (selection)" for m in sorted(first.selection_seconds)] + ["Fetch"]
+    headers = ["Domain"] + [f"{m} (selection)"
+                            for m in sorted(first.selection_seconds)] + ["Fetch"]
+    if show_hit_rates:
+        headers += [f"{m} (cache hits)" for m in sorted(first.selection_seconds)]
     return _format_table(headers, rows)
 
 

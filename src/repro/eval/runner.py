@@ -15,6 +15,7 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -36,10 +37,14 @@ from repro.eval.splits import EntitySplit, split_entities, subsample_entities
 from repro.exec.backends import ExecutionBackend, resolve_backend
 from repro.exec.specs import (
     CorpusSpec,
+    HarvestBatchOutcome,
+    HarvestBatchSpec,
     HarvestJobSpec,
     HarvestTaskContext,
     _ProcessLocalCache,
 )
+from repro.perf import recorder as perf_recorder
+from repro.perf.timer import PerfRecorder
 from repro.search.engine import FetchStatistics, SearchEngine, merge_run_accounting
 from repro.utils.rng import derive_seed
 
@@ -86,11 +91,19 @@ class PreparedSplit:
 
 @dataclass
 class EfficiencyReport:
-    """Per-method selection time vs fetch time (the Fig. 14 rows)."""
+    """Per-method selection time vs fetch time (the Fig. 14 rows).
+
+    ``cache_hit_rates`` reports, per method, the fraction of engine-cache
+    lookups the method's own runs answered from cache.  Every method is
+    timed against *cold* caches (a fresh prepared split per method), so a
+    method's hit rate reflects only its own query-repetition behaviour —
+    not what an earlier-measured method happened to warm.
+    """
 
     selection_seconds: Dict[str, float]
     fetch_seconds: float
     queries_measured: Dict[str, int]
+    cache_hit_rates: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -124,16 +137,18 @@ class ExperimentRunner:
     ``backend`` picks the execution engine for the harvesting runs (a
     registered name, an :class:`ExecutionBackend` instance, or ``None`` for
     the historical ``workers`` semantics: 1 = serial, N = thread pool).
-    All runs of one split are dispatched as one batch.  Per-run seeds are
-    derived from ``(base_seed, split, method, entity, aspect)`` and never
-    from execution order, so every backend and worker count yields
-    identical results.
+    Per-run seeds are derived from ``(base_seed, split, method, entity,
+    aspect)`` and never from execution order, so every backend and worker
+    count yields identical results.
 
-    Distributed (process) backends ship picklable
-    :class:`~repro.exec.specs.HarvestJobSpec` payloads instead of live
-    jobs when ``corpus_spec`` describes how workers can rebuild the corpus;
-    without a spec they fall back to pickling the live harvester and jobs,
-    which is correct but heavier.
+    Distributed (process) backends shard **split-first** when
+    ``corpus_spec`` describes how workers can rebuild the corpus: every
+    split's job specs travel as one
+    :class:`~repro.exec.specs.HarvestBatchSpec`, so each worker prepares
+    and trains classifiers for exactly one split per batch (see
+    :func:`plan_harvest_batches` for the ``workers > num_splits``
+    page-batch fallback).  Without a spec they fall back to pickling the
+    live harvester and jobs, which is correct but heavier.
     """
 
     def __init__(self, corpus: Corpus, config: Optional[L2QConfig] = None,
@@ -150,6 +165,12 @@ class ExperimentRunner:
         self.backend = resolve_backend(backend, workers=workers)
         self.corpus_spec = corpus_spec
         self._corpus_digest: Optional[str] = None
+        #: Probes of the last distributed dispatch (split-first sharding):
+        #: one :class:`~repro.exec.specs.HarvestBatchOutcome` per executed
+        #: batch, carrying worker pid, split index and how many prepared
+        #: runtimes the batch built.  Instrumentation for tests and perf
+        #: accounting; empty until a distributed evaluation ran.
+        self.last_batch_outcomes: List[HarvestBatchOutcome] = []
 
     # -- Preparation ------------------------------------------------------------
     def prepare(self, split: EntitySplit, domain_fraction: float = 1.0) -> PreparedSplit:
@@ -160,6 +181,14 @@ class ExperimentRunner:
         the full domain half, mirroring the paper where the classifier is a
         fixed, pre-trained component.
         """
+        rec = perf_recorder()
+        if rec is None:
+            return self._prepare(split, domain_fraction)
+        with rec.phase("split-prepare", split_seed=split.seed,
+                       domain_fraction=domain_fraction):
+            return self._prepare(split, domain_fraction)
+
+    def _prepare(self, split: EntitySplit, domain_fraction: float) -> PreparedSplit:
         classifier_corpus = self.corpus.subset(split.domain_entities) \
             if split.domain_entities else self.corpus.subset(split.test_entities)
         suite = AspectClassifierSuite.train_on_corpus(
@@ -351,17 +380,20 @@ class ExperimentRunner:
             if collect_waste else None
         accountings: List = []
 
+        # Pass 1 — build every split's job specs up front.  One batch per
+        # split: every (method, entity, aspect) run plus the ideal
+        # upper-bound runs.  Specs and results stay in the same
+        # deterministic order, so metric folding is independent of
+        # scheduling.
+        split_batches: List[Tuple[EntitySplit,
+                                  List[Tuple[str, str, List[str]]],
+                                  List[HarvestJobSpec]]] = []
         for split_index in range(num_splits):
             split = self.default_split(split_index)
             test_entities = list(split.test_entities)
             if max_test_entities is not None:
                 test_entities = test_entities[:max_test_entities]
 
-            # One batch per split: every (method, entity, aspect) run plus
-            # the ideal upper-bound runs, dispatched together through the
-            # execution backend.  Specs and results stay in the same
-            # deterministic order, so metric folding is independent of
-            # scheduling.
             targets: List[Tuple[str, str, List[str]]] = []
             specs: List[HarvestJobSpec] = []
             for aspect in aspect_list:
@@ -377,8 +409,16 @@ class ExperimentRunner:
                     for method in methods:
                         specs.append(self.job_spec(split, method, entity_id,
                                                    aspect, max_budget))
-            split_results = self._run_split_specs(split, split_index, specs,
-                                                  domain_fraction)
+            split_batches.append((split, targets, specs))
+
+        # Pass 2 — dispatch all splits at once (split-first on distributed
+        # backends: each worker prepares a split at most once), then fold.
+        results_per_split = self._run_all_splits(
+            [(split, specs) for split, _, specs in split_batches],
+            domain_fraction)
+
+        for (split, targets, specs), split_results in zip(split_batches,
+                                                          results_per_split):
             accountings.extend(run.fetch_accounting for run in split_results)
             results = iter(split_results)
 
@@ -413,16 +453,26 @@ class ExperimentRunner:
                 waste_series,
                 merge_run_accounting(accountings))
 
-    def _run_split_specs(self, split: EntitySplit, split_index: int,
-                         specs: List[HarvestJobSpec],
-                         domain_fraction: float) -> List[HarvestResult]:
-        """Execute one split's job specs on the configured backend.
+    def _run_all_splits(self, split_specs: List[Tuple[EntitySplit,
+                                                      List[HarvestJobSpec]]],
+                        domain_fraction: float) -> List[List[HarvestResult]]:
+        """Execute every split's job specs; returns results grouped by split.
 
-        On a distributed backend with a known ``corpus_spec``, ship
-        ``(context, spec)`` payloads and let each worker rebuild the
-        prepared split once per shard (process-local cache).  Otherwise
-        resolve the specs into live jobs here and delegate the batch to
-        the backend via :meth:`Harvester.harvest_many`.
+        On a distributed backend with a known ``corpus_spec``, the batches
+        are sharded **split-first**: :func:`plan_harvest_batches` emits one
+        :class:`~repro.exec.specs.HarvestBatchSpec` per split (each worker
+        prepares and trains classifiers for exactly one split at a time),
+        falling back to cutting splits into contiguous page batches when
+        ``workers > num_splits`` so no worker idles.  Batches are
+        dispatched with work-stealing scheduling
+        (:meth:`~repro.exec.backends.ExecutionBackend.map_tasks`) and the
+        executed :class:`~repro.exec.specs.HarvestBatchOutcome` probes are
+        kept on :attr:`last_batch_outcomes` for preparation accounting.
+
+        In-process backends (and distributed ones without a spec, which
+        fall back to pickling live jobs) prepare each split locally and
+        delegate its batch to :meth:`Harvester.harvest_many`, exactly one
+        preparation per split.
         """
         if self.backend.distributed and self.corpus_spec is not None:
             if self._corpus_digest is None:
@@ -430,58 +480,95 @@ class ExperimentRunner:
                 # workers refuse to harvest a rebuilt corpus that does not
                 # match the corpus the metrics will be folded against.
                 self._corpus_digest = self.corpus.content_digest()
-            context = HarvestTaskContext(
-                corpus=self.corpus_spec,
-                config=self.config,
-                base_seed=self.base_seed,
-                split_index=split_index,
-                domain_fraction=domain_fraction,
-                corpus_digest=self._corpus_digest,
-            )
-            return self.backend.map(execute_harvest_task,
-                                    [(context, spec) for spec in specs])
-        prepared = self.prepare(split, domain_fraction=domain_fraction)
-        jobs = [self.job_from_spec(prepared, spec) for spec in specs]
-        return self.harvester_for(prepared).harvest_many(jobs, backend=self.backend)
+            payloads = plan_harvest_batches(
+                [(HarvestTaskContext(
+                    corpus=self.corpus_spec,
+                    config=self.config,
+                    base_seed=self.base_seed,
+                    split_index=split_index,
+                    domain_fraction=domain_fraction,
+                    corpus_digest=self._corpus_digest,
+                ), specs) for split_index, (_, specs) in enumerate(split_specs)],
+                self.backend.workers)
+            outcomes = self.backend.map_tasks(execute_harvest_batch, payloads)
+            self.last_batch_outcomes = list(outcomes)
+            per_split: List[List[HarvestResult]] = [[] for _ in split_specs]
+            for payload, outcome in zip(payloads, outcomes):
+                # Payloads are split-major and in-order, so extending per
+                # split reassembles each split's results in spec order.
+                per_split[payload.context.split_index].extend(outcome.results)
+            return per_split
+        out: List[List[HarvestResult]] = []
+        for split, specs in split_specs:
+            prepared = self.prepare(split, domain_fraction=domain_fraction)
+            jobs = [self.job_from_spec(prepared, spec) for spec in specs]
+            out.append(self.harvester_for(prepared).harvest_many(
+                jobs, backend=self.backend))
+        return out
 
     # -- Efficiency (Fig. 14) --------------------------------------------------------------
     def measure_efficiency(self, methods: Sequence[str] = ("L2QP", "L2QR", "L2QBAL"),
                            num_queries: int = 3,
                            max_test_entities: int = 2,
-                           aspects: Optional[Sequence[str]] = None) -> EfficiencyReport:
+                           aspects: Optional[Sequence[str]] = None,
+                           recorder: Optional[PerfRecorder] = None
+                           ) -> EfficiencyReport:
         """Measure per-query selection time and (simulated) fetch time.
 
         Always runs serially regardless of the configured backend or worker
         count: the wall-clock selection times *are* the result here, and
         concurrent runs contending for the interpreter (or a cold per-worker
         engine) would inflate them.
+
+        Every method is measured against **cold** engine state: a freshly
+        prepared split (fresh engine, result cache and classifier-relevance
+        memos) per method, so no method is timed against caches an
+        earlier-measured method warmed.  All samples route through a
+        :class:`~repro.perf.PerfRecorder` — pass ``recorder`` to keep the
+        raw phase samples (``selection`` / ``fetch`` per query,
+        ``fig14-method`` per method batch) — and each method's engine-cache
+        hit rate, merged from its runs' own fetch accounting, is reported
+        alongside the timings.
         """
         split = self.default_split(0)
-        prepared = self.prepare(split)
         aspect_list = list(aspects) if aspects is not None else list(self.corpus.aspects)[:2]
         test_entities = list(split.test_entities)[:max_test_entities]
+        rec = recorder if recorder is not None else PerfRecorder()
 
+        # The report folds only *this call's* samples (a reused recorder
+        # may already hold another corpus's fig14 samples under the same
+        # method names); ``rec`` additionally keeps every raw sample.
         selection: Dict[str, List[float]] = {m: [] for m in methods}
         queries: Dict[str, int] = {m: 0 for m in methods}
+        hit_rates: Dict[str, float] = {}
         fetch: List[float] = []
-        labelled_jobs = [
-            (method, self.build_job(prepared, method, entity_id, aspect, num_queries))
-            for method in methods
-            for aspect in aspect_list
-            for entity_id in test_entities]
-        runs = self.harvester_for(prepared).harvest_many(
-            [job for _, job in labelled_jobs], workers=1)
-        for (method, _), run in zip(labelled_jobs, runs):
-            for record in run.iterations:
-                selection[method].append(record.selection_seconds)
-                fetch.append(record.fetch_seconds)
-                queries[method] += 1
+        for method in methods:
+            # A fresh preparation per method: cold engine caches and memos.
+            # Harvest results are identical either way (seeds derive from
+            # the spec, never from cache state); only the timings differ.
+            prepared = self.prepare(split)
+            jobs = [self.build_job(prepared, method, entity_id, aspect, num_queries)
+                    for aspect in aspect_list
+                    for entity_id in test_entities]
+            with rec.phase("fig14-method", method=method):
+                runs = self.harvester_for(prepared).harvest_many(jobs, workers=1)
+            merged = merge_run_accounting([r.fetch_accounting for r in runs])
+            hit_rates[method] = merged.cache_hit_rate
+            for run in runs:
+                for record in run.iterations:
+                    rec.record("selection", record.selection_seconds,
+                               method=method)
+                    rec.record("fetch", record.fetch_seconds, method=method)
+                    selection[method].append(record.selection_seconds)
+                    fetch.append(record.fetch_seconds)
+                    queries[method] += 1
 
         return EfficiencyReport(
             selection_seconds={m: (sum(v) / len(v) if v else 0.0)
                                for m, v in selection.items()},
             fetch_seconds=(sum(fetch) / len(fetch) if fetch else 0.0),
             queries_measured=queries,
+            cache_hit_rates=hit_rates,
         )
 
     # -- Parameter validation --------------------------------------------------------------------
@@ -526,11 +613,62 @@ class ExperimentRunner:
         return best, scores
 
 
+# -- Split-first batch planning ----------------------------------------------------
+def plan_harvest_batches(split_payloads: Sequence[Tuple[HarvestTaskContext,
+                                                        Sequence[HarvestJobSpec]]],
+                         workers: int) -> List[HarvestBatchSpec]:
+    """Cut per-split spec lists into split-first batch payloads.
+
+    The sharding policy of the distributed evaluation path:
+
+    * ``workers <= num_splits`` — one batch per split.  Every split is
+      prepared exactly once in the whole cluster, by whichever worker
+      steals its batch.
+    * ``workers > num_splits`` — each split is cut into
+      ``ceil(workers / num_splits)`` contiguous *page batches* so every
+      worker has work to steal; the split's context travels with every
+      batch, so a worker executing several batches of one split still
+      prepares it only once (process-local runtime cache).
+
+    Batches are emitted split-major and in spec order, so concatenating
+    result lists per ``context.split_index`` reproduces each split's spec
+    order regardless of scheduling.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    payloads = [(context, list(specs)) for context, specs in split_payloads]
+    num_splits = sum(1 for _, specs in payloads if specs)
+    pieces_per_split = 1 if num_splits == 0 or workers <= num_splits \
+        else -(-workers // num_splits)
+    batches: List[HarvestBatchSpec] = []
+    for context, specs in payloads:
+        if not specs:
+            continue
+        pieces = min(pieces_per_split, len(specs))
+        size = -(-len(specs) // pieces)
+        for start in range(0, len(specs), size):
+            batches.append(HarvestBatchSpec(
+                context=context, specs=tuple(specs[start:start + size]),
+                runtime_slots=num_splits))
+    return batches
+
+
 # -- Distributed worker side -------------------------------------------------------
 #: Rebuilt (runner, prepared, harvester) runtimes, cached per worker process
 #: so every job of a contiguous shard reuses one corpus, classifier suite
 #: and engine.
 _TASK_RUNTIMES = _ProcessLocalCache(capacity=4)
+
+#: Process-local count of prepared-runtime *builds* (cache misses in
+#: ``_TASK_RUNTIMES``).  The preparation probe: batch outcomes report the
+#: delta across their execution, so orchestrators can assert each worker
+#: prepared each split at most once.
+_RUNTIME_BUILDS = 0
+
+
+def runtime_build_count() -> int:
+    """How many prepared-split runtimes this process has built."""
+    return _RUNTIME_BUILDS
 
 
 @dataclass
@@ -544,6 +682,8 @@ class _TaskRuntime:
 
 def _task_runtime(context: HarvestTaskContext) -> _TaskRuntime:
     def build() -> _TaskRuntime:
+        global _RUNTIME_BUILDS
+        _RUNTIME_BUILDS += 1
         corpus = context.corpus.build()
         if context.corpus_digest is not None and \
                 corpus.content_digest() != context.corpus_digest:
@@ -561,18 +701,31 @@ def _task_runtime(context: HarvestTaskContext) -> _TaskRuntime:
     return _TASK_RUNTIMES.get_or_build(context.cache_key(), build)
 
 
-def execute_harvest_task(task: Tuple[HarvestTaskContext, HarvestJobSpec]) -> HarvestResult:
-    """Worker entry point: rebuild the world from specs and run one job.
+def execute_harvest_batch(batch: HarvestBatchSpec) -> HarvestBatchOutcome:
+    """Worker entry point: rebuild one split's world and run its batch.
 
-    Deterministic given the task alone — the rebuilt corpus, split,
+    Deterministic given the batch alone — the rebuilt corpus, split,
     classifier suite and engine are bit-for-bit what the orchestrating
     process would build, so results are independent of which worker (or
-    whether a worker at all) executes the spec.
+    whether a worker at all) executes the batch.  The outcome carries the
+    preparation probe: how many runtimes this batch had to build (0 when
+    the worker had already prepared this split for an earlier batch).
     """
-    context, spec = task
-    runtime = _task_runtime(context)
-    job = runtime.runner.job_from_spec(runtime.prepared, spec)
-    return runtime.harvester.harvest_job(job)
+    # Room for every split in flight: without this, a worker interleaving
+    # work-stolen batches of more splits than the default capacity would
+    # evict and re-prepare runtimes it still needs.
+    _TASK_RUNTIMES.reserve(batch.runtime_slots)
+    before = _RUNTIME_BUILDS
+    runtime = _task_runtime(batch.context)
+    results = [runtime.harvester.harvest_job(
+                   runtime.runner.job_from_spec(runtime.prepared, spec))
+               for spec in batch.specs]
+    return HarvestBatchOutcome(
+        results=results,
+        worker_pid=os.getpid(),
+        split_index=batch.context.split_index,
+        runtime_builds=_RUNTIME_BUILDS - before,
+    )
 
 
 def _series_from(method: str, per_budget: Dict[int, List[HarvestMetrics]]) -> MetricSeries:

@@ -40,6 +40,7 @@ a drifting corpus generator is distinguishable from a drifting selector.
 from __future__ import annotations
 
 import json
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -52,6 +53,7 @@ from repro.eval.experiments import DOMAINS, SMOKE_SCALE, ExperimentScale
 from repro.eval.runner import BASELINE_METHODS, ExperimentRunner
 from repro.exec.backends import ExecutionBackend, resolve_backend
 from repro.exec.specs import SweepCellResult, SweepCellSpec
+from repro.perf import recorder as perf_recorder
 from repro.scenarios import ScenarioSpec, make_scenario, scenario_names
 
 #: Selectors swept by default: the paper's three full approaches.
@@ -339,6 +341,15 @@ def execute_sweep_cell(spec: SweepCellSpec) -> SweepCellResult:
     a process-locally cached shared base), evaluated serially, and only the
     plain-data result crosses back — config in, result dataclass out.
     """
+    rec = perf_recorder()
+    if rec is None:
+        return _execute_sweep_cell(spec)
+    with rec.phase("sweep-cell", domain=spec.domain,
+                   scenario=spec.scenario_name or "clean"):
+        return _execute_sweep_cell(spec)
+
+
+def _execute_sweep_cell(spec: SweepCellSpec) -> SweepCellResult:
     corpus = spec.corpus.build()
     metrics, absolute, waste, fetch = _evaluate_corpus(
         corpus, spec.methods, spec.num_queries, spec.num_splits,
@@ -471,17 +482,21 @@ class ScenarioSweep:
         *inside* each cell's evaluation; cells run sequentially so the
         shared base and engine caches stay warm.
         """
+        rec = perf_recorder()
         out: List[SweepCellResult] = []
         for domain in self.domains:
             base = self.scale.base_corpus_for(domain)
             for scenario, corpus in self._domain_corpora(base):
                 name = scenario.name if scenario else None
-                metrics, absolute, waste, fetch = _evaluate_corpus(
-                    corpus, self.methods, self.num_queries,
-                    self.scale.num_splits, self.scale.max_test_entities,
-                    self.scale.max_aspects, self._config_for(name),
-                    RUNNER_BASE_SEED,
-                    backend=self.backend, workers=self.workers)
+                with (rec.phase("sweep-cell", domain=domain,
+                                scenario=name or "clean")
+                      if rec else nullcontext()):
+                    metrics, absolute, waste, fetch = _evaluate_corpus(
+                        corpus, self.methods, self.num_queries,
+                        self.scale.num_splits, self.scale.max_test_entities,
+                        self.scale.max_aspects, self._config_for(name),
+                        RUNNER_BASE_SEED,
+                        backend=self.backend, workers=self.workers)
                 out.append(SweepCellResult(
                     domain=domain,
                     scenario=name,
@@ -525,7 +540,11 @@ class ScenarioSweep:
             for domain in self.domains
             for scenario in [None] + list(self.specs)
         ]
-        return self.backend.map(execute_sweep_cell, cell_specs)
+        rec = perf_recorder()
+        with (rec.phase("sweep-dispatch", cells=len(cell_specs),
+                        workers=self.backend.workers)
+              if rec else nullcontext()):
+            return self.backend.map(execute_sweep_cell, cell_specs)
 
     # -- Folding ----------------------------------------------------------------
     def _fold(self, result: ScenarioSweepResult,

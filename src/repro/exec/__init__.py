@@ -23,6 +23,8 @@ from repro.exec.backends import (
 )
 from repro.exec.specs import (
     CorpusSpec,
+    HarvestBatchOutcome,
+    HarvestBatchSpec,
     HarvestJobSpec,
     HarvestTaskContext,
     SweepCellResult,
@@ -43,6 +45,8 @@ __all__ = [
     "register_backend",
     "resolve_backend",
     "CorpusSpec",
+    "HarvestBatchOutcome",
+    "HarvestBatchSpec",
     "HarvestJobSpec",
     "HarvestTaskContext",
     "SweepCellResult",

@@ -74,6 +74,20 @@ class ExecutionBackend:
         """Apply ``fn`` to every item and return results in item order."""
         raise NotImplementedError
 
+    def map_tasks(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Like :meth:`map`, but schedule every item independently.
+
+        For items that are already coarse, self-contained batches (e.g. the
+        split-first :class:`~repro.exec.specs.HarvestBatchSpec` payloads),
+        contiguous sharding would pin each batch to a fixed worker and lose
+        load balance.  ``map_tasks`` asks the engine for per-item
+        scheduling — on the process backend every item becomes its own pool
+        task, so idle workers steal the next pending batch.  In-process
+        engines have no sharding to bypass; the default simply delegates to
+        :meth:`map`.  Results are returned in item order either way.
+        """
+        return self.map(fn, items)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"{type(self).__name__}(workers={self.workers})"
 
@@ -193,6 +207,24 @@ class ProcessBackend(ExecutionBackend):
         except Exception:
             # A dead/broken pool must not poison later calls; drop it so
             # the next map starts fresh.
+            self.close()
+            raise
+
+    def map_tasks(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """One pool task per item: work-stealing scheduling, results in order.
+
+        The per-item pickling cost this pays (vs one pickle per shard in
+        :meth:`map`) only makes sense for coarse payloads — whole splits or
+        sweep cells — where load balance matters more than dispatch
+        overhead.
+        """
+        items = list(items)
+        if not items:
+            return []
+        try:
+            futures = [self._executor().submit(fn, item) for item in items]
+            return [future.result() for future in futures]
+        except Exception:
             self.close()
             raise
 

@@ -41,6 +41,18 @@ class _ProcessLocalCache:
         self.capacity = capacity
         self._entries: "OrderedDict[str, object]" = OrderedDict()
 
+    def reserve(self, capacity: int) -> None:
+        """Grow (never shrink) the capacity.
+
+        Orchestrators that know how many distinct keys a workload touches
+        (e.g. the number of splits in an evaluation) reserve room for all
+        of them, so interleaved work-stolen batches cannot thrash the
+        cache into evict-and-rebuild cycles.  Only entries actually built
+        occupy memory; capacity is just the eviction bound.
+        """
+        if capacity > self.capacity:
+            self.capacity = capacity
+
     def get_or_build(self, key: str, build: Callable[[], V]) -> V:
         if key in self._entries:
             self._entries.move_to_end(key)
@@ -140,6 +152,47 @@ class HarvestTaskContext:
     def cache_key(self) -> str:
         """Process-local cache key for the rebuilt runtime."""
         return repr(self)
+
+
+@dataclass(frozen=True)
+class HarvestBatchSpec:
+    """One worker-sized batch of harvest jobs sharing one split context.
+
+    The payload unit of *split-first* sharding: every spec in the batch
+    belongs to the split its ``context`` describes, so the worker executing
+    the batch rebuilds (or cache-hits) exactly one prepared split and runs
+    the jobs as an in-order loop.  When a split is cut into several batches
+    (the ``workers > num_splits`` fallback), each batch still carries the
+    same context and the worker-side runtime cache dedupes preparation
+    within a worker.
+
+    ``runtime_slots`` is the number of distinct splits in flight across the
+    whole dispatch: workers grow their runtime cache to at least this many
+    slots, so the "each worker prepares each split at most once" guarantee
+    is structural — a worker interleaving batches of many splits can never
+    evict a runtime it will need again.
+    """
+
+    context: HarvestTaskContext
+    specs: Tuple[HarvestJobSpec, ...]
+    runtime_slots: int = 4
+
+
+@dataclass
+class HarvestBatchOutcome:
+    """What one executed batch ships home: results plus a preparation probe.
+
+    ``results`` are the batch's :class:`~repro.core.harvester.HarvestResult`
+    objects in spec order.  ``worker_pid`` and ``runtime_builds`` (how many
+    prepared-split runtimes this batch had to *build* rather than reuse —
+    0 or 1) exist so orchestrators and tests can assert the split-first
+    guarantee: each worker prepares each split at most once.
+    """
+
+    results: list
+    worker_pid: int
+    split_index: int
+    runtime_builds: int
 
 
 @dataclass(frozen=True)

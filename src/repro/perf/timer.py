@@ -1,0 +1,189 @@
+"""Phase timers with a zero-overhead-when-disabled switch.
+
+The harvesting hot paths (selection loops, split preparation, sweep cells)
+are exactly the code whose cost we want to measure, so the instrumentation
+must cost nothing when profiling is off.  The contract every instrumented
+site follows::
+
+    from repro import perf
+
+    rec = perf.recorder()          # None unless profiling is enabled
+    if rec is not None:
+        with rec.phase("split-prepare", split=index):
+            ...                     # timed
+    else:
+        ...                         # identical code, untimed
+
+    # or, for code that already measured a duration itself:
+    if rec is not None:
+        rec.record("selection", elapsed, method=name)
+
+When disabled (the default), the only overhead is one module-global read
+and a ``None`` check — no object allocation, no dictionary work, no clock
+call.  Profiling is enabled explicitly with :func:`enable` (optionally
+passing a recorder to collect into) or ambiently with the ``REPRO_PERF``
+environment variable, which the CLI and benchmark entry points honour.
+
+Samples are wall-clock (``time.perf_counter``) phase durations with
+optional metadata, aggregated per phase name.  A recorder is process-local:
+sharded process backends keep worker-side samples in their workers — the
+orchestrator's recorder sees dispatch phases, which is the honest
+multi-process view (worker CPU time is not orchestrator wall-clock).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class PhaseSample:
+    """One timed phase: name, elapsed seconds, optional metadata."""
+
+    name: str
+    seconds: float
+    meta: tuple = ()
+
+    def meta_dict(self) -> Dict[str, object]:
+        """Metadata as a plain dict (stored as items for hashability)."""
+        return dict(self.meta)
+
+
+class Timer:
+    """Context manager timing one phase into a recorder.
+
+    Returned by :meth:`PerfRecorder.phase`; usable standalone as a plain
+    stopwatch (``Timer(None, "x")`` records nowhere but still measures).
+    """
+
+    __slots__ = ("_recorder", "name", "meta", "elapsed", "_start")
+
+    def __init__(self, recorder: Optional["PerfRecorder"], name: str,
+                 **meta: object) -> None:
+        self._recorder = recorder
+        self.name = name
+        self.meta = meta
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+        if self._recorder is not None:
+            self._recorder.record(self.name, self.elapsed, **self.meta)
+
+
+class PerfRecorder:
+    """Collects named phase durations and aggregates them per phase.
+
+    Instances are cheap and independent; the module-level switch
+    (:func:`enable` / :func:`recorder`) only decides whether hot paths
+    *reach* a shared one.  Code that always wants timings (e.g. the
+    Fig. 14 efficiency measurement) constructs its own recorder and passes
+    it around explicitly.
+    """
+
+    def __init__(self) -> None:
+        self.samples: List[PhaseSample] = []
+
+    # -- Recording ----------------------------------------------------------
+    def phase(self, name: str, **meta: object) -> Timer:
+        """A context manager timing one phase into this recorder."""
+        return Timer(self, name, **meta)
+
+    def record(self, name: str, seconds: float, **meta: object) -> None:
+        """Record one already-measured phase duration."""
+        self.samples.append(PhaseSample(name=name, seconds=float(seconds),
+                                        meta=tuple(sorted(meta.items()))))
+
+    # -- Aggregation --------------------------------------------------------
+    def count(self, name: str) -> int:
+        """Number of samples recorded for ``name``."""
+        return sum(1 for s in self.samples if s.name == name)
+
+    def total(self, name: str) -> float:
+        """Summed seconds of all samples for ``name``."""
+        return sum(s.seconds for s in self.samples if s.name == name)
+
+    def mean(self, name: str) -> float:
+        """Mean seconds per sample for ``name`` (0.0 if none)."""
+        values = [s.seconds for s in self.samples if s.name == name]
+        return sum(values) / len(values) if values else 0.0
+
+    def phases(self) -> List[str]:
+        """Recorded phase names, sorted."""
+        return sorted({s.name for s in self.samples})
+
+    def samples_for(self, name: str) -> List[PhaseSample]:
+        """All samples of one phase, in recording order."""
+        return [s for s in self.samples if s.name == name]
+
+    def as_dict(self) -> Dict[str, object]:
+        """A plain-JSON aggregate: per-phase count / total / mean seconds."""
+        return {
+            "phases": {
+                name: {
+                    "count": self.count(name),
+                    "total_seconds": self.total(name),
+                    "mean_seconds": self.mean(name),
+                }
+                for name in self.phases()
+            },
+        }
+
+    def write(self, path) -> Path:
+        """Write the aggregate report as JSON and return the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.as_dict(), indent=2, sort_keys=True)
+                        + "\n", encoding="utf-8")
+        return path
+
+    def clear(self) -> None:
+        """Drop all recorded samples."""
+        self.samples.clear()
+
+
+#: The module-global recorder; ``None`` means profiling is off and every
+#: instrumented site skips its bookkeeping entirely.
+_RECORDER: Optional[PerfRecorder] = None
+
+#: Environment variable that enables ambient profiling ("", "0" = off).
+PERF_ENV_VAR = "REPRO_PERF"
+
+if os.environ.get(PERF_ENV_VAR, "") not in ("", "0"):
+    _RECORDER = PerfRecorder()
+
+
+def recorder() -> Optional[PerfRecorder]:
+    """The active global recorder, or ``None`` when profiling is disabled.
+
+    This is the hot-path check: one global read, one ``None`` compare.
+    """
+    return _RECORDER
+
+
+def enable(target: Optional[PerfRecorder] = None) -> PerfRecorder:
+    """Enable global profiling, collecting into ``target`` (or a fresh one)."""
+    global _RECORDER
+    _RECORDER = target if target is not None else PerfRecorder()
+    return _RECORDER
+
+
+def disable() -> None:
+    """Disable global profiling (instrumented sites go back to zero cost)."""
+    global _RECORDER
+    _RECORDER = None
+
+
+def is_enabled() -> bool:
+    """Whether a global recorder is active."""
+    return _RECORDER is not None

@@ -8,10 +8,12 @@ and scenario sweeps on their full JSON rendering.
 
 import pytest
 
+from repro.core.config import L2QConfig
 from repro.corpus.synthetic import base_generation_count
 from repro.eval.experiments import ExperimentScale
-from repro.eval.runner import ExperimentRunner
+from repro.eval.runner import ExperimentRunner, plan_harvest_batches
 from repro.eval.scenario_sweep import run_scenario_sweep
+from repro.exec.specs import CorpusSpec, HarvestJobSpec, HarvestTaskContext
 
 from tests.helpers import harvest_signature
 
@@ -175,6 +177,199 @@ class TestFetchAccountingEquivalence:
         assert fetch_stats("process", workers=4,
                            corpus_spec=TINY_SCALE.corpus_spec_for(
                                "researcher")) == serial
+
+
+def _context(split_index: int) -> HarvestTaskContext:
+    return HarvestTaskContext(
+        corpus=CorpusSpec(domain="researcher", num_entities=8,
+                          pages_per_entity=4, seed=1),
+        config=L2QConfig(),
+        base_seed=5,
+        split_index=split_index,
+    )
+
+
+def _specs(split_index: int, count: int):
+    return [HarvestJobSpec(method="RND", entity_id=f"e{i}", aspect="A",
+                           num_queries=2, seed=split_index * 100 + i)
+            for i in range(count)]
+
+
+class TestPlanHarvestBatches:
+    """The split-first sharding policy, pinned deterministically."""
+
+    def test_one_batch_per_split_when_workers_do_not_exceed_splits(self):
+        payloads = [(_context(i), _specs(i, 6)) for i in range(4)]
+        batches = plan_harvest_batches(payloads, workers=2)
+        assert len(batches) == 4
+        for index, batch in enumerate(batches):
+            assert batch.context.split_index == index
+            assert list(batch.specs) == payloads[index][1]
+
+    def test_workers_exceeding_splits_cut_splits_into_page_batches(self):
+        payloads = [(_context(i), _specs(i, 6)) for i in range(2)]
+        batches = plan_harvest_batches(payloads, workers=4)
+        # ceil(4 workers / 2 splits) = 2 contiguous pieces per split.
+        assert len(batches) == 4
+        for index in range(2):
+            pieces = [b for b in batches if b.context.split_index == index]
+            assert len(pieces) == 2
+            reassembled = [spec for piece in pieces for spec in piece.specs]
+            assert reassembled == payloads[index][1]
+
+    def test_batches_stay_split_major_and_in_spec_order(self):
+        payloads = [(_context(i), _specs(i, 5)) for i in range(3)]
+        batches = plan_harvest_batches(payloads, workers=7)
+        flattened = [spec for batch in batches for spec in batch.specs]
+        assert flattened == [spec for _, specs in payloads for spec in specs]
+        assert [b.context.split_index for b in batches] == \
+            sorted(b.context.split_index for b in batches)
+
+    def test_tiny_splits_never_produce_empty_batches(self):
+        payloads = [(_context(0), _specs(0, 1)), (_context(1), [])]
+        batches = plan_harvest_batches(payloads, workers=8)
+        assert len(batches) == 1
+        assert all(batch.specs for batch in batches)
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError, match="workers"):
+            plan_harvest_batches([(_context(0), _specs(0, 2))], workers=0)
+
+    def test_batches_reserve_a_runtime_slot_per_split(self):
+        # The at-most-once preparation guarantee is structural: every batch
+        # tells the worker how many distinct split runtimes are in flight,
+        # so the worker-side cache can never evict one it still needs.
+        payloads = [(_context(i), _specs(i, 6)) for i in range(6)]
+        batches = plan_harvest_batches(payloads, workers=3)
+        assert all(batch.runtime_slots == 6 for batch in batches)
+
+    def test_runtime_cache_reserve_grows_but_never_shrinks(self):
+        from repro.exec.specs import _ProcessLocalCache
+
+        cache = _ProcessLocalCache(capacity=4)
+        cache.reserve(10)
+        assert cache.capacity == 10
+        cache.reserve(2)
+        assert cache.capacity == 10
+        built = []
+        for i in range(10):
+            cache.get_or_build(f"k{i}", lambda i=i: built.append(i) or i)
+        # All ten keys fit: re-asking for the first builds nothing new.
+        cache.get_or_build("k0", lambda: built.append("rebuilt"))
+        assert "rebuilt" not in built
+
+
+class TestSplitFirstSharding:
+    """Tentpole acceptance: split-first distributed evaluation — bit-identical
+    to serial, with each worker preparing each split at most once."""
+
+    METHODS = ("RND", "MQ")
+
+    @pytest.fixture(scope="class")
+    def tiny_corpus(self):
+        return TINY_SCALE.corpus_for("researcher")
+
+    @pytest.fixture(scope="class")
+    def tiny_corpus_spec(self):
+        return TINY_SCALE.corpus_spec_for("researcher")
+
+    def _split_specs(self, runner, num_splits=2):
+        out = []
+        for index in range(num_splits):
+            split = runner.default_split(index)
+            entities = list(split.test_entities)[:2]
+            out.append((split, [
+                runner.job_spec(split, method, entity_id, "RESEARCH", 2)
+                for method in self.METHODS
+                for entity_id in entities
+            ]))
+        return out
+
+    def test_split_first_results_bit_identical_to_serial(self, tiny_corpus,
+                                                         tiny_corpus_spec):
+        serial_runner = ExperimentRunner(tiny_corpus, base_seed=5)
+        split_specs = self._split_specs(serial_runner)
+        serial = serial_runner._run_all_splits(split_specs, 1.0)
+
+        process_runner = ExperimentRunner(tiny_corpus, base_seed=5, workers=2,
+                                          backend="process",
+                                          corpus_spec=tiny_corpus_spec)
+        process = process_runner._run_all_splits(split_specs, 1.0)
+        assert [[harvest_signature(r) for r in split] for split in process] \
+            == [[harvest_signature(r) for r in split] for split in serial]
+
+    def test_each_worker_prepares_each_split_at_most_once(self, tiny_corpus,
+                                                          tiny_corpus_spec):
+        runner = ExperimentRunner(tiny_corpus, base_seed=5, workers=2,
+                                  backend="process",
+                                  corpus_spec=tiny_corpus_spec)
+        runner.evaluate_methods(self.METHODS, num_queries_list=(2,),
+                                num_splits=2, max_test_entities=2,
+                                aspects=("RESEARCH",))
+        outcomes = runner.last_batch_outcomes
+        # workers (2) <= splits (2): exactly one batch per split, so every
+        # split is prepared exactly once in the whole cluster.
+        assert [o.split_index for o in outcomes] == [0, 1]
+        builds_per_split: dict = {}
+        builds_per_worker_split: dict = {}
+        for outcome in outcomes:
+            builds_per_split[outcome.split_index] = \
+                builds_per_split.get(outcome.split_index, 0) + outcome.runtime_builds
+            key = (outcome.worker_pid, outcome.split_index)
+            builds_per_worker_split[key] = \
+                builds_per_worker_split.get(key, 0) + outcome.runtime_builds
+        assert all(count == 1 for count in builds_per_split.values())
+        assert all(count <= 1 for count in builds_per_worker_split.values())
+
+    def test_workers_exceeding_splits_fall_back_to_page_batches(
+            self, tiny_corpus, tiny_corpus_spec):
+        serial = ExperimentRunner(tiny_corpus, base_seed=5).evaluate_methods(
+            self.METHODS, num_queries_list=(2,), num_splits=1,
+            max_test_entities=2, aspects=("RESEARCH",))
+        runner = ExperimentRunner(tiny_corpus, base_seed=5, workers=4,
+                                  backend="process",
+                                  corpus_spec=tiny_corpus_spec)
+        process = runner.evaluate_methods(self.METHODS, num_queries_list=(2,),
+                                          num_splits=1, max_test_entities=2,
+                                          aspects=("RESEARCH",))
+        outcomes = runner.last_batch_outcomes
+        # The single split was cut into several stealable page batches ...
+        assert len(outcomes) > 1
+        assert {o.split_index for o in outcomes} == {0}
+        # ... yet a worker executing several of them prepared the split once.
+        builds: dict = {}
+        for outcome in outcomes:
+            key = (outcome.worker_pid, outcome.split_index)
+            builds[key] = builds.get(key, 0) + outcome.runtime_builds
+        assert all(count <= 1 for count in builds.values())
+        # And the fallback is still bit-identical to serial.
+        for method in self.METHODS:
+            assert process[method].precision == serial[method].precision
+            assert process[method].recall == serial[method].recall
+            assert process[method].f_score == serial[method].f_score
+
+    def test_multi_split_evaluation_identical_across_backends(
+            self, tiny_corpus, tiny_corpus_spec):
+        def evaluate(backend, workers=1, corpus_spec=None):
+            runner = ExperimentRunner(tiny_corpus, base_seed=5, workers=workers,
+                                      backend=backend, corpus_spec=corpus_spec)
+            return runner.evaluate_methods_detailed(
+                self.METHODS, num_queries_list=(2,), num_splits=2,
+                max_test_entities=2, aspects=("RESEARCH",))
+
+        serial = evaluate("serial")
+        thread = evaluate("thread", workers=4)
+        process = evaluate("process", workers=4, corpus_spec=tiny_corpus_spec)
+        for method in self.METHODS:
+            for other in (thread, process):
+                assert other.normalized[method].f_score == \
+                    serial.normalized[method].f_score
+                assert other.absolute[method].precision == \
+                    serial.absolute[method].precision
+        # Merged fetch accounting survives split-first sharding unchanged.
+        assert serial.fetch_statistics.queries_fired > 0
+        assert thread.fetch_statistics == serial.fetch_statistics
+        assert process.fetch_statistics == serial.fetch_statistics
 
 
 class TestSweepEquivalence:

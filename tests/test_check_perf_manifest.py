@@ -1,0 +1,123 @@
+"""The perf gate script: synthetic regressions must fail, noise must not."""
+
+import io
+import json
+
+import pytest
+
+from benchmarks.check_perf_manifest import DEFAULT_TOLERANCE, compare, main
+
+
+def _manifest(pages_per_second_by_backend):
+    return {
+        "schema": "BENCH_manifest/v1",
+        "entries": [
+            {"source": "BENCH_harvest.json", "benchmark": "harvest",
+             "kind": "backend-throughput", "scale": "smoke",
+             "backend": backend, "method": None, "versions": {},
+             "wall_seconds": 1.0, "pages_per_second": pages,
+             "speedup_vs_serial": 1.0, "metrics": {}}
+            for backend, pages in pages_per_second_by_backend.items()
+        ],
+    }
+
+
+def _write(path, manifest):
+    path.write_text(json.dumps(manifest), encoding="utf-8")
+    return path
+
+
+class TestCompare:
+    def test_no_regression_within_tolerance(self):
+        baseline = _manifest({"serial": 100.0, "process": 200.0})
+        fresh = _manifest({"serial": 80.0, "process": 150.0})  # -20% / -25%
+        out = io.StringIO()
+        assert compare(fresh, baseline, tolerance=0.5, out=out) == 0
+        assert "REGRESSED" not in out.getvalue()
+
+    def test_regression_beyond_tolerance_is_counted(self):
+        baseline = _manifest({"serial": 100.0, "process": 200.0})
+        fresh = _manifest({"serial": 100.0, "process": 40.0})  # -80%
+        out = io.StringIO()
+        assert compare(fresh, baseline, tolerance=0.5, out=out) == 1
+        text = out.getvalue()
+        assert "REGRESSED" in text
+        assert "harvest/process" in text
+
+    def test_faster_is_never_flagged(self):
+        baseline = _manifest({"serial": 100.0})
+        fresh = _manifest({"serial": 500.0})
+        assert compare(fresh, baseline, tolerance=0.5, out=io.StringIO()) == 0
+
+    def test_new_backend_is_a_note_not_a_failure(self):
+        baseline = _manifest({"serial": 100.0})
+        fresh = _manifest({"serial": 100.0, "fresh-only": 10.0})
+        out = io.StringIO()
+        assert compare(fresh, baseline, tolerance=0.5, out=out) == 0
+        assert "fresh-only is new" in out.getvalue()
+
+    def test_disappeared_backend_is_a_regression(self):
+        baseline = _manifest({"serial": 100.0, "gone": 50.0})
+        fresh = _manifest({"serial": 100.0})
+        out = io.StringIO()
+        assert compare(fresh, baseline, tolerance=0.5, out=out) == 1
+        assert "gone disappeared" in out.getvalue()
+
+    def test_collapsed_throughput_is_a_regression_not_skipped(self):
+        # The catastrophic case the gate exists for: a backend that
+        # gathered nothing reports 0.0 (or null) pages/sec — that must
+        # fail, not be skipped as unmeasurable.
+        baseline = _manifest({"serial": 100.0, "process": 200.0})
+        for collapsed in (0.0, None):
+            fresh = _manifest({"serial": 100.0, "process": collapsed})
+            out = io.StringIO()
+            assert compare(fresh, baseline, tolerance=0.5, out=out) == 1
+            assert "COLLAPSED" in out.getvalue()
+
+    def test_unmeasurable_baseline_is_skipped(self):
+        baseline = _manifest({"serial": None})
+        fresh = _manifest({"serial": 100.0})
+        out = io.StringIO()
+        assert compare(fresh, baseline, tolerance=0.5, out=out) == 0
+        assert "skipped" in out.getvalue()
+
+
+class TestMain:
+    def test_exit_1_on_synthetic_regression(self, tmp_path):
+        baseline = _write(tmp_path / "baseline.json",
+                          _manifest({"serial": 100.0}))
+        fresh = _write(tmp_path / "fresh.json", _manifest({"serial": 10.0}))
+        assert main(["--fresh", str(fresh), "--baseline", str(baseline)]) == 1
+
+    def test_warn_only_restores_exit_0(self, tmp_path):
+        baseline = _write(tmp_path / "baseline.json",
+                          _manifest({"serial": 100.0}))
+        fresh = _write(tmp_path / "fresh.json", _manifest({"serial": 10.0}))
+        assert main(["--fresh", str(fresh), "--baseline", str(baseline),
+                     "--warn-only"]) == 0
+
+    def test_within_tolerance_exits_0(self, tmp_path):
+        baseline = _write(tmp_path / "baseline.json",
+                          _manifest({"serial": 100.0}))
+        fresh = _write(tmp_path / "fresh.json", _manifest({"serial": 60.0}))
+        assert main(["--fresh", str(fresh), "--baseline", str(baseline)]) == 0
+
+    def test_custom_tolerance(self, tmp_path):
+        baseline = _write(tmp_path / "baseline.json",
+                          _manifest({"serial": 100.0}))
+        fresh = _write(tmp_path / "fresh.json", _manifest({"serial": 89.0}))
+        assert main(["--fresh", str(fresh), "--baseline", str(baseline),
+                     "--tolerance", "0.1"]) == 1
+
+    def test_missing_files_are_not_failures(self, tmp_path):
+        fresh = _write(tmp_path / "fresh.json", _manifest({"serial": 10.0}))
+        assert main(["--fresh", str(tmp_path / "absent.json"),
+                     "--baseline", str(fresh)]) == 0
+        assert main(["--fresh", str(fresh),
+                     "--baseline", str(tmp_path / "absent.json")]) == 0
+
+    def test_documented_tolerance_is_generous(self):
+        # The tolerance exists to catch order-of-magnitude regressions
+        # across different machines, not jitter; keep it documented and
+        # generous.
+        assert DEFAULT_TOLERANCE == pytest.approx(0.5)

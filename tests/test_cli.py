@@ -281,3 +281,85 @@ class TestBackendArguments:
                      "--output", str(tmp_path / "x.json")], out=out)
         assert code == 2
         assert "conflicts" in out.getvalue()
+
+
+class TestPerfCommand:
+    def test_perf_requires_subcommand(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["perf"])
+
+    def test_manifest_regenerates_from_artifacts(self, tmp_path):
+        import json
+
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "BENCH_harvest.json").write_text(json.dumps({
+            "scale": "smoke", "python": "3.11.7", "workers": 2, "jobs": 4,
+            "backends": {"serial": {"wall_seconds": 1.0,
+                                    "pages_gathered": 100,
+                                    "pages_per_second": 100.0,
+                                    "jobs_per_second": 4.0,
+                                    "speedup_vs_serial": 1.0}},
+        }), encoding="utf-8")
+        out = io.StringIO()
+        code = main(["perf", "manifest", "--results", str(results)], out=out)
+        assert code == 0
+        manifest = json.loads(
+            (results / "BENCH_manifest.json").read_text(encoding="utf-8"))
+        assert manifest["schema"] == "BENCH_manifest/v1"
+        assert manifest["sources"] == ["BENCH_harvest.json"]
+
+    def test_manifest_rejects_missing_results_dir(self, tmp_path):
+        out = io.StringIO()
+        code = main(["perf", "manifest", "--results",
+                     str(tmp_path / "absent")], out=out)
+        assert code == 2
+        assert "does not exist" in out.getvalue()
+
+    def test_report_renders_speedups_and_deltas(self):
+        out = io.StringIO()
+        code = main(["perf", "report", "--results", "benchmarks/results"],
+                    out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "harvest/serial" in text
+        assert "Speedup" in text
+        # The committed manifest exists, so the delta section renders too.
+        assert "Throughput vs committed manifest" in text
+
+    def test_report_rejects_missing_baseline(self, tmp_path):
+        out = io.StringIO()
+        code = main(["perf", "report", "--results", "benchmarks/results",
+                     "--baseline", str(tmp_path / "absent.json")], out=out)
+        assert code == 2
+
+    def test_perf_output_writes_phase_report(self, tmp_path):
+        import json
+
+        out = io.StringIO()
+        perf_path = tmp_path / "perf.json"
+        code = main(["scenarios", "run", "--scale", "smoke",
+                     "--scenarios", "zipf-skew", "--methods", "MQ",
+                     "--domains", "researcher", "--queries", "2",
+                     "--output", str(tmp_path / "matrix.json"),
+                     "--perf-output", str(perf_path)], out=out)
+        assert code == 0
+        assert f"wrote perf report {perf_path}" in out.getvalue()
+        report = json.loads(perf_path.read_text(encoding="utf-8"))
+        # The instrumented phases of a local sweep all fired.
+        for phase in ("sweep-cell", "split-prepare", "harvest", "selection"):
+            assert report["phases"][phase]["count"] >= 1, phase
+        assert report["phases"]["sweep-cell"]["total_seconds"] > 0.0
+
+    def test_perf_output_does_not_leak_global_recorder(self, tmp_path):
+        from repro import perf
+
+        main(["scenarios", "run", "--scale", "smoke",
+              "--scenarios", "zipf-skew", "--methods", "MQ",
+              "--domains", "researcher", "--queries", "2",
+              "--output", str(tmp_path / "matrix.json"),
+              "--perf-output", str(tmp_path / "perf.json")],
+             out=io.StringIO())
+        assert perf.recorder() is None

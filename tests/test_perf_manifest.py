@@ -1,0 +1,157 @@
+"""BENCH_manifest: unified schema, determinism, and artifact freshness."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.perf.manifest import (
+    MANIFEST_NAME,
+    MANIFEST_SCHEMA,
+    build_manifest,
+    load_manifest,
+    render_manifest_json,
+    throughput_entries,
+    write_manifest,
+)
+from repro.perf.report import format_manifest, format_manifest_delta
+
+RESULTS_DIR = Path(__file__).parent.parent / "benchmarks" / "results"
+
+UNIFIED_FIELDS = {"source", "benchmark", "kind", "scale", "backend", "method",
+                  "versions", "wall_seconds", "pages_per_second",
+                  "speedup_vs_serial", "metrics"}
+
+
+@pytest.fixture()
+def synthetic_results(tmp_path):
+    """A results directory with one artifact of every known family."""
+    (tmp_path / "BENCH_harvest.json").write_text(json.dumps({
+        "scale": "smoke", "num_queries": 3, "workers": 2, "python": "3.11.7",
+        "jobs": 16,
+        "backends": {
+            "serial": {"wall_seconds": 2.0, "pages_gathered": 200,
+                       "pages_per_second": 100.0, "jobs_per_second": 8.0,
+                       "speedup_vs_serial": 1.0},
+            "process": {"wall_seconds": 1.0, "pages_gathered": 200,
+                        "pages_per_second": 200.0, "jobs_per_second": 16.0,
+                        "speedup_vs_serial": 2.0},
+        },
+    }), encoding="utf-8")
+    (tmp_path / "BENCH_selection.json").write_text(json.dumps({
+        "scale": "smoke", "python": "3.11.7", "cache_hit_rate": 0.5,
+        "methods": {"L2QP": {"queries_measured": 12,
+                             "mean_selection_seconds": 0.08,
+                             "selection_queries_per_second": 12.5,
+                             "selection_to_fetch_ratio": 0.01}},
+    }), encoding="utf-8")
+    (tmp_path / "BENCH_scenarios.json").write_text(json.dumps({
+        "schema": "BENCH_scenarios/v3", "scale": "smoke",
+        "methods": ["L2QBAL"], "scenarios": ["zipf-skew"],
+        "summary": {"zipf-skew": {"mean_f_delta": -0.1}},
+    }), encoding="utf-8")
+    (tmp_path / "BENCH_mystery.json").write_text(json.dumps({
+        "schema": "BENCH_mystery/v9", "scale": "huge", "stuff": [1, 2],
+    }), encoding="utf-8")
+    return tmp_path
+
+
+class TestManifestSchema:
+    def test_every_entry_carries_the_unified_fields(self, synthetic_results):
+        manifest = build_manifest(synthetic_results)
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["entries"]
+        for entry in manifest["entries"]:
+            assert set(entry) == UNIFIED_FIELDS
+
+    def test_backend_throughput_entries(self, synthetic_results):
+        manifest = build_manifest(synthetic_results)
+        backends = throughput_entries(manifest)
+        assert set(backends) == {"harvest/serial", "harvest/process"}
+        process = backends["harvest/process"]
+        assert process["scale"] == "smoke"
+        assert process["pages_per_second"] == 200.0
+        assert process["speedup_vs_serial"] == 2.0
+        assert process["versions"] == {"python": "3.11.7"}
+        assert process["metrics"]["workers"] == 2
+
+    def test_selection_and_robustness_entries(self, synthetic_results):
+        manifest = build_manifest(synthetic_results)
+        by_kind = {}
+        for entry in manifest["entries"]:
+            by_kind.setdefault(entry["kind"], []).append(entry)
+        selection = by_kind["selection-latency"][0]
+        assert selection["method"] == "L2QP"
+        assert selection["wall_seconds"] == 0.08
+        robustness = by_kind["robustness-matrix"][0]
+        assert robustness["metrics"]["summary"]["zipf-skew"]["mean_f_delta"] == -0.1
+        # Robustness matrices are wall-clock-free by design.
+        assert robustness["pages_per_second"] is None
+
+    def test_unknown_artifact_family_is_indexed_not_dropped(self, synthetic_results):
+        manifest = build_manifest(synthetic_results)
+        unknown = [e for e in manifest["entries"]
+                   if e["source"] == "BENCH_mystery.json"]
+        assert len(unknown) == 1
+        assert unknown[0]["kind"] == "unclassified"
+        assert unknown[0]["scale"] == "huge"
+        assert unknown[0]["metrics"]["schema"] == "BENCH_mystery/v9"
+
+    def test_sources_index(self, synthetic_results):
+        manifest = build_manifest(synthetic_results)
+        assert manifest["sources"] == sorted({
+            "BENCH_harvest.json", "BENCH_selection.json",
+            "BENCH_scenarios.json", "BENCH_mystery.json"})
+
+
+class TestManifestDeterminism:
+    def test_round_trip(self, synthetic_results):
+        path = write_manifest(synthetic_results)
+        assert path.name == MANIFEST_NAME
+        assert load_manifest(path) == build_manifest(synthetic_results)
+
+    def test_regeneration_is_byte_identical(self, synthetic_results):
+        first = write_manifest(synthetic_results).read_bytes()
+        second = write_manifest(synthetic_results).read_bytes()
+        assert first == second
+
+    def test_manifest_ignores_itself(self, synthetic_results):
+        before = build_manifest(synthetic_results)
+        write_manifest(synthetic_results)
+        after = build_manifest(synthetic_results)
+        assert before == after
+
+
+class TestCommittedManifest:
+    def test_committed_manifest_is_current(self):
+        """The committed BENCH_manifest.json must be exactly what the
+        committed artifacts produce — the same freshness bar CI enforces
+        with `git diff --exit-code`."""
+        committed = RESULTS_DIR / MANIFEST_NAME
+        assert committed.exists(), "run: python -m repro.cli perf manifest"
+        assert committed.read_text(encoding="utf-8") == \
+            render_manifest_json(build_manifest(RESULTS_DIR))
+
+
+class TestReports:
+    def test_format_manifest_lists_backends(self, synthetic_results):
+        text = format_manifest(build_manifest(synthetic_results))
+        assert "harvest/process" in text
+        assert "2.00x" in text
+        assert "BENCH_mystery.json" in text
+
+    def test_format_delta_flags_changes(self, synthetic_results):
+        fresh = build_manifest(synthetic_results)
+        committed = json.loads(json.dumps(fresh))
+        for entry in committed["entries"]:
+            if entry["kind"] == "backend-throughput":
+                entry["pages_per_second"] = entry["pages_per_second"] * 2
+        text = format_manifest_delta(fresh, committed)
+        assert "-50.0%" in text
+
+    def test_format_delta_notes_new_and_missing(self, synthetic_results):
+        fresh = build_manifest(synthetic_results)
+        committed = {"schema": MANIFEST_SCHEMA, "entries": []}
+        text = format_manifest_delta(fresh, committed)
+        assert "no throughput entries shared" in text
+        assert "new" in text

@@ -1,0 +1,96 @@
+"""PerfRecorder: phase timing, aggregation, and the global on/off switch."""
+
+import json
+
+import pytest
+
+from repro import perf
+from repro.perf.timer import PerfRecorder, Timer
+
+
+@pytest.fixture(autouse=True)
+def _reset_global_recorder():
+    """Tests must not leak an enabled recorder into the rest of the suite."""
+    yield
+    perf.disable()
+
+
+class TestPerfRecorder:
+    def test_phase_records_elapsed_seconds(self):
+        rec = PerfRecorder()
+        with rec.phase("harvest", entity="e1") as timer:
+            _ = sum(range(1000))
+        assert timer.elapsed >= 0.0
+        assert rec.count("harvest") == 1
+        assert rec.total("harvest") == pytest.approx(timer.elapsed)
+        assert rec.samples_for("harvest")[0].meta_dict() == {"entity": "e1"}
+
+    def test_record_and_aggregates(self):
+        rec = PerfRecorder()
+        rec.record("selection", 0.25, method="L2QP")
+        rec.record("selection", 0.75, method="L2QR")
+        rec.record("fetch", 1.0)
+        assert rec.count("selection") == 2
+        assert rec.total("selection") == pytest.approx(1.0)
+        assert rec.mean("selection") == pytest.approx(0.5)
+        assert rec.mean("missing") == 0.0
+        assert rec.phases() == ["fetch", "selection"]
+
+    def test_as_dict_and_write_round_trip(self, tmp_path):
+        rec = PerfRecorder()
+        rec.record("sweep-cell", 2.0, domain="car")
+        path = rec.write(tmp_path / "perf.json")
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert loaded == rec.as_dict()
+        assert loaded["phases"]["sweep-cell"]["count"] == 1
+        assert loaded["phases"]["sweep-cell"]["total_seconds"] == pytest.approx(2.0)
+
+    def test_clear(self):
+        rec = PerfRecorder()
+        rec.record("x", 1.0)
+        rec.clear()
+        assert rec.samples == []
+
+    def test_standalone_timer_measures_without_recorder(self):
+        with Timer(None, "anything") as timer:
+            _ = sum(range(100))
+        assert timer.elapsed >= 0.0
+
+
+class TestGlobalSwitch:
+    def test_disabled_by_default_returns_none(self):
+        perf.disable()
+        assert perf.recorder() is None
+        assert not perf.is_enabled()
+
+    def test_enable_installs_and_collects(self):
+        rec = perf.enable()
+        assert perf.recorder() is rec
+        assert perf.is_enabled()
+        with perf.recorder().phase("split-prepare"):
+            pass
+        assert rec.count("split-prepare") == 1
+
+    def test_enable_accepts_existing_recorder(self):
+        mine = PerfRecorder()
+        assert perf.enable(mine) is mine
+        assert perf.recorder() is mine
+
+    def test_instrumented_harvest_records_phases(self, researcher_runner,
+                                                 researcher_prepared):
+        rec = perf.enable()
+        researcher_runner.harvest_once(researcher_prepared, "RND",
+                                       researcher_prepared.split.test_entities[0],
+                                       "RESEARCH", 2)
+        assert rec.count("harvest") == 1
+        assert rec.count("selection") >= 1
+        perf.disable()
+
+    def test_disabled_harvest_records_nothing(self, researcher_runner,
+                                              researcher_prepared):
+        rec = perf.enable()
+        perf.disable()
+        researcher_runner.harvest_once(researcher_prepared, "RND",
+                                       researcher_prepared.split.test_entities[0],
+                                       "RESEARCH", 2)
+        assert rec.samples == []
