@@ -23,10 +23,13 @@ iterations and evaluates the collective utilities of candidates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
+
+import numpy as np
 
 from repro.core.entity_phase import EntityUtilities
 from repro.core.queries import Query
+from repro.utils.vectorize import exact_pow_half
 
 _EPSILON = 1e-12
 
@@ -79,6 +82,47 @@ class CollectiveUtilities:
         )
 
 
+@dataclass(frozen=True)
+class CollectiveUtilityArrays:
+    """Collective utilities of the context plus each of many candidates.
+
+    The batched counterpart of :class:`CollectiveUtilities`: element ``i``
+    of every array corresponds to ``queries[i]``, and each derived quantity
+    reproduces the scalar property of the same name bit for bit (the square
+    root uses :func:`repro.utils.vectorize.exact_pow_half`, matching
+    Python's ``** 0.5``).
+    """
+
+    queries: List[Query]
+    collective_recall: np.ndarray
+    collective_recall_all: np.ndarray
+
+    @property
+    def collective_precision(self) -> np.ndarray:
+        """Elementwise :attr:`CollectiveUtilities.collective_precision`."""
+        return (np.maximum(self.collective_recall, 0.0)
+                / np.maximum(self.collective_recall_all, _EPSILON))
+
+    @property
+    def balanced(self) -> np.ndarray:
+        """Elementwise :attr:`CollectiveUtilities.balanced`."""
+        return exact_pow_half(self.collective_precision
+                              * np.maximum(self.collective_recall, 0.0))
+
+    def discounted(self, expected_novelty: np.ndarray,
+                   penalty: float) -> "CollectiveUtilityArrays":
+        """Elementwise :meth:`CollectiveUtilities.discounted`."""
+        redundancy = np.minimum(np.maximum(1.0 - np.asarray(expected_novelty,
+                                                            dtype=np.float64),
+                                           0.0), 1.0)
+        factor = 1.0 - penalty * redundancy
+        return CollectiveUtilityArrays(
+            queries=self.queries,
+            collective_recall=self.collective_recall * factor,
+            collective_recall_all=self.collective_recall_all,
+        )
+
+
 class ContextTracker:
     """Tracks the collective recall of the fired queries ``Phi``."""
 
@@ -111,6 +155,27 @@ class ContextTracker:
             collective_recall_all=_clamp(collective_recall_all),
         )
 
+    def evaluate_many(self, queries: Sequence[Query],
+                      utilities: EntityUtilities) -> CollectiveUtilityArrays:
+        """Collective utilities of ``Phi u {q}`` for every candidate at once.
+
+        The batched counterpart of :meth:`evaluate`: one gather of the five
+        utility vectors and a handful of array operations replace the
+        per-candidate Python loop.  Element ``i`` equals
+        ``evaluate(queries[i], utilities)`` bit for bit (same expression
+        order, same clamping).
+        """
+        arrays = utilities.gather(queries)
+        collective_recall = (self.context_recall + arrays.recall
+                             - arrays.recall_current * self.context_recall)
+        collective_recall_all = (self.context_recall_all + arrays.recall_all
+                                 - arrays.recall_current_all * self.context_recall_all)
+        return CollectiveUtilityArrays(
+            queries=list(queries),
+            collective_recall=_clamp_array(collective_recall),
+            collective_recall_all=_clamp_array(collective_recall_all),
+        )
+
     # -- Updates ---------------------------------------------------------------
     def update(self, query: Query, utilities: EntityUtilities) -> None:
         """Fold the selected query into the context (``Phi <- Phi u {q*}``)."""
@@ -125,3 +190,8 @@ class ContextTracker:
 
 def _clamp(value: float, low: float = 0.0, high: float = 1.0) -> float:
     return min(max(value, low), high)
+
+
+def _clamp_array(values: np.ndarray, low: float = 0.0,
+                 high: float = 1.0) -> np.ndarray:
+    return np.minimum(np.maximum(values, low), high)

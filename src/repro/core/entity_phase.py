@@ -19,8 +19,10 @@ the auxiliary recall problems needed by context-aware L2Q (Sect. V):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.aspects.relevance import AllRelevant, RelevanceFunction
 from repro.core.config import L2QConfig
@@ -35,7 +37,26 @@ from repro.core.utility import (
 )
 from repro.corpus.document import Entity, Page
 from repro.corpus.knowledge_base import TypeSystem
-from repro.graph.random_walk import UtilityVector
+from repro.graph.random_walk import RegularizationProblem, UtilityVector
+
+
+@dataclass(frozen=True)
+class CandidateUtilityArrays:
+    """All five utility vectors gathered per candidate query, as arrays.
+
+    Row ``i`` of every array is the utility of ``queries[i]`` (0.0 for a
+    query absent from the graph) — exactly what the per-query scalar
+    lookups :meth:`~repro.graph.random_walk.UtilityVector.query` return,
+    gathered once so the selection loop can score all candidates with a
+    handful of array operations.
+    """
+
+    queries: List[Query]
+    precision: np.ndarray
+    recall: np.ndarray
+    recall_current: np.ndarray
+    recall_all: np.ndarray
+    recall_current_all: np.ndarray
 
 
 @dataclass
@@ -49,6 +70,12 @@ class EntityUtilities:
     recall_current: UtilityVector
     recall_all: UtilityVector
     recall_current_all: UtilityVector
+    #: Last :meth:`gather` result, keyed by the identity of the query list
+    #: (the reference is retained, so the id cannot be recycled) — the
+    #: scorer and the context evaluator both gather the same candidate list
+    #: during one selection, so the second gather is free.
+    _gather_cache: Optional[Tuple[Sequence[Query], CandidateUtilityArrays]] = \
+        field(default=None, init=False, repr=False, compare=False)
 
     def precision_of(self, query: Query) -> float:
         """Inferred (individual) precision of a candidate query."""
@@ -57,6 +84,34 @@ class EntityUtilities:
     def recall_of(self, query: Query) -> float:
         """Inferred (individual) recall of a candidate query."""
         return self.recall.query(query)
+
+    def gather(self, queries: Sequence[Query]) -> CandidateUtilityArrays:
+        """Gather every utility vector for ``queries`` into aligned arrays."""
+        cache = self._gather_cache
+        if cache is not None and cache[0] is queries:
+            return cache[1]
+        index = self.assembled.graph.queries
+        positions = np.asarray(
+            [position if (position := index.index_of(q)) is not None else -1
+             for q in queries], dtype=np.int64)
+        present = positions >= 0
+        safe = np.where(present, positions, 0)
+
+        def values_of(vector: UtilityVector) -> np.ndarray:
+            if vector.query_values.size == 0 or not queries:
+                return np.zeros(len(queries), dtype=np.float64)
+            return np.where(present, vector.query_values[safe], 0.0)
+
+        arrays = CandidateUtilityArrays(
+            queries=list(queries),
+            precision=values_of(self.precision),
+            recall=values_of(self.recall),
+            recall_current=values_of(self.recall_current),
+            recall_all=values_of(self.recall_all),
+            recall_current_all=values_of(self.recall_current_all),
+        )
+        self._gather_cache = (queries, arrays)
+        return arrays
 
     def ranked_by_precision(self) -> List[Query]:
         """Candidates sorted by decreasing precision (ties lexicographic)."""
@@ -75,6 +130,11 @@ class EntityPhase:
         self.config = config if config is not None else L2QConfig()
         self.config.validate()
         self._assembler = GraphAssembler(type_system, self.config)
+        # (domain_model, entity_id, queries): domain queries that survive the
+        # entity's excluded-word filter.  The filter result is fixed for one
+        # (model, entity) pair, and a long-lived phase runs one selection per
+        # harvest iteration over exactly that pair.
+        self._domain_usable_cache: Optional[Tuple[DomainModel, str, List[Query]]] = None
 
     # -- Candidate enumeration --------------------------------------------------
     def enumerate_candidates(self, entity: Entity, current_pages: Sequence[Page],
@@ -106,15 +166,21 @@ class EntityPhase:
                                    max_queries=self.config.max_entity_candidates)
         seen = set(candidates)
         if domain_model is not None and not domain_model.is_empty():
-            excluded_words = entity.excluded_words()
             if observed_words is None:
                 observed_words = set()
                 for page in current_pages:
                     observed_words.update(page.token_set)
-            for query in domain_model.frequent_queries:
+            cache = self._domain_usable_cache
+            if (cache is not None and cache[0] is domain_model
+                    and cache[1] == entity.entity_id):
+                usable = cache[2]
+            else:
+                excluded_words = entity.excluded_words()
+                usable = [query for query in domain_model.frequent_queries
+                          if not any(word in excluded_words for word in query)]
+                self._domain_usable_cache = (domain_model, entity.entity_id, usable)
+            for query in usable:
                 if query in seen:
-                    continue
-                if any(word in excluded_words for word in query):
                     continue
                 # Require at least partial evidence for the target entity:
                 # a frequent domain query none of whose words occur on any
@@ -186,20 +252,28 @@ class EntityPhase:
                 domain_model.template_recall_all, graph_templates,
                 self.config.adaptation_lambda)
 
-        precision = solver.solve_precision(
-            page_regularization=page_precision_reg,
-            template_regularization=template_precision_reg)
-        recall = solver.solve_recall(
-            page_regularization=page_recall_reg,
-            template_regularization=template_recall_reg)
-        # Y~: recall restricted to the currently gathered relevant pages —
-        # no domain-template regularization (the domain speaks about the
-        # whole universe, not about what has already been downloaded).
-        recall_current = solver.solve_recall(page_regularization=page_recall_reg)
-        recall_all = solver.solve_recall(
-            page_regularization=page_recall_all_reg,
-            template_regularization=template_recall_all_reg)
-        recall_current_all = solver.solve_recall(page_regularization=page_recall_all_reg)
+        # The precision problem and the four recall problems (w.r.t. Y, Y~,
+        # Y* and Y~*) run in one joint loop: recall problems share every
+        # sparse matmul as multi-RHS columns, and the precision iteration
+        # rides the same Python loop.  Y~ / Y~* carry no domain-template
+        # regularization: the domain speaks about the whole universe, not
+        # about what has already been downloaded.
+        precision_solved, recall_solved = solver.solve_joint(
+            [RegularizationProblem(
+                page_regularization=page_precision_reg,
+                template_regularization=template_precision_reg)],
+            [
+                RegularizationProblem(
+                    page_regularization=page_recall_reg,
+                    template_regularization=template_recall_reg),
+                RegularizationProblem(page_regularization=page_recall_reg),
+                RegularizationProblem(
+                    page_regularization=page_recall_all_reg,
+                    template_regularization=template_recall_all_reg),
+                RegularizationProblem(page_regularization=page_recall_all_reg),
+            ])
+        precision = precision_solved[0]
+        recall, recall_current, recall_all, recall_current_all = recall_solved
 
         return EntityUtilities(
             candidates=candidates,

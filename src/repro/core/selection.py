@@ -20,13 +20,16 @@ factory :func:`make_selector` does exactly that).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.config import L2QConfig
 from repro.core.context import ContextTracker
 from repro.core.entity_phase import EntityPhase, EntityUtilities
 from repro.core.queries import Query
 from repro.core.session import HarvestSession
+from repro.utils.vectorize import exact_pow_half, first_lexicographic_argmax
 
 OBJECTIVE_PRECISION = "precision"
 OBJECTIVE_RECALL = "recall"
@@ -79,7 +82,28 @@ class RandomSelection(QuerySelector):
 # P / R — utility inference without domain or context
 # ---------------------------------------------------------------------------
 
-class UtilityOnlySelection(QuerySelector):
+class EntityPhaseSelection(QuerySelector):
+    """Base for selectors that run the entity phase on every selection.
+
+    One :class:`EntityPhase` instance is shared across a run's selections so
+    its per-``(domain model, entity)`` caches survive from one harvesting
+    iteration to the next; the phase is rebuilt whenever the session's type
+    system or config differs from the one it was built for.
+    """
+
+    _phase: Optional[EntityPhase] = None
+
+    def _entity_phase(self, session: HarvestSession) -> EntityPhase:
+        phase = self._phase
+        if (phase is None
+                or phase.type_system is not session.corpus.type_system
+                or phase.config is not session.config):
+            phase = EntityPhase(session.corpus.type_system, session.config)
+            self._phase = phase
+        return phase
+
+
+class UtilityOnlySelection(EntityPhaseSelection):
     """Optimise inferred precision or recall; no domain, no context (Sect. III)."""
 
     def __init__(self, objective: str) -> None:
@@ -89,7 +113,7 @@ class UtilityOnlySelection(QuerySelector):
         self.name = "P" if objective == OBJECTIVE_PRECISION else "R"
 
     def select(self, session: HarvestSession) -> Optional[Query]:
-        phase = EntityPhase(session.corpus.type_system, session.config)
+        phase = self._entity_phase(session)
         utilities = phase.compute(
             entity=session.entity,
             current_pages=session.current_pages,
@@ -135,7 +159,7 @@ class DomainQuerySelection(QuerySelector):
 # P+t / R+t — domain-aware via templates, without context awareness
 # ---------------------------------------------------------------------------
 
-class TemplateSelection(QuerySelector):
+class TemplateSelection(EntityPhaseSelection):
     """Optimise inferred precision or recall with template-based domain awareness."""
 
     def __init__(self, objective: str) -> None:
@@ -145,7 +169,7 @@ class TemplateSelection(QuerySelector):
         self.name = "P+t" if objective == OBJECTIVE_PRECISION else "R+t"
 
     def select(self, session: HarvestSession) -> Optional[Query]:
-        phase = EntityPhase(session.corpus.type_system, session.config)
+        phase = self._entity_phase(session)
         utilities = phase.compute(
             entity=session.entity,
             current_pages=session.current_pages,
@@ -166,7 +190,7 @@ class TemplateSelection(QuerySelector):
 # L2QP / L2QR / L2QBAL — full approach (domain + context aware)
 # ---------------------------------------------------------------------------
 
-class ContextAwareSelection(QuerySelector):
+class ContextAwareSelection(EntityPhaseSelection):
     """The full L2Q approach: collective utilities over the query context."""
 
     def __init__(self, objective: str, config: Optional[L2QConfig] = None) -> None:
@@ -186,7 +210,7 @@ class ContextAwareSelection(QuerySelector):
         if self._tracker is None:
             self.prepare(session)
         assert self._tracker is not None
-        phase = EntityPhase(session.corpus.type_system, session.config)
+        phase = self._entity_phase(session)
         utilities = phase.compute(
             entity=session.entity,
             current_pages=session.current_pages,
@@ -198,23 +222,67 @@ class ContextAwareSelection(QuerySelector):
             observed_words=session.candidates.observed_words,
         )
         penalty = (self._config or session.config).dedup_penalty
+        candidates = [query for query in sorted(utilities.candidates)
+                      if not session.is_fired(query)]
+        best_query = self._choose(session, utilities, candidates, penalty)
+        if best_query is not None:
+            self._tracker.update(best_query, utilities)
+        return best_query
+
+    def _choose(self, session: HarvestSession, utilities: EntityUtilities,
+                candidates: List[Query], penalty: float) -> Optional[Query]:
+        """Vectorized candidate scoring: the whole set in a few array ops.
+
+        Ranks every unfired candidate by ``(collective utility, individual
+        utility)`` and returns the first lexicographic maximum — the same
+        winner the scalar reference :meth:`_choose_scalar` produces (array
+        expressions mirror the scalar ones operation for operation).
+        """
+        if not candidates:
+            return None
+        assert self._tracker is not None
+        collective = self._tracker.evaluate_many(candidates, utilities)
+        if penalty > 0.0:
+            # Dedup awareness: discount collective utility by the expected
+            # page-level redundancy of each query's postings.
+            novelty = np.asarray(session.expected_novelties(candidates),
+                                 dtype=np.float64)
+            collective = collective.discounted(novelty, penalty)
+        primary, secondary = self._score_arrays(collective, utilities, candidates)
+        return candidates[first_lexicographic_argmax(primary, secondary)]
+
+    def _score_arrays(self, collective, utilities: EntityUtilities,
+                      candidates: List[Query]) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`_score`: per-candidate (primary, secondary) arrays."""
+        arrays = utilities.gather(candidates)
+        if self.objective == OBJECTIVE_PRECISION:
+            return collective.collective_precision, arrays.precision
+        if self.objective == OBJECTIVE_RECALL:
+            return collective.collective_recall, arrays.recall
+        individual = exact_pow_half(np.maximum(arrays.precision, 0.0)
+                                    * np.maximum(arrays.recall, 0.0))
+        return collective.balanced, individual
+
+    def _choose_scalar(self, session: HarvestSession, utilities: EntityUtilities,
+                       candidates: List[Query],
+                       penalty: float) -> Optional[Query]:
+        """Scalar reference implementation of :meth:`_choose`.
+
+        Kept (and exercised by the equivalence tests) as the executable
+        specification the vectorized path must reproduce choice for choice.
+        """
+        assert self._tracker is not None
         best_query: Optional[Query] = None
         best_score: Optional[tuple] = None
-        for query in sorted(utilities.candidates):
-            if session.is_fired(query):
-                continue
+        for query in candidates:
             collective = self._tracker.evaluate(query, utilities)
             if penalty > 0.0:
-                # Dedup awareness: discount collective utility by the
-                # expected page-level redundancy of this query's postings.
                 collective = collective.discounted(
                     session.expected_novelty(query), penalty)
             score = self._score(collective, utilities, query)
             if best_score is None or score > best_score:
                 best_score = score
                 best_query = query
-        if best_query is not None:
-            self._tracker.update(best_query, utilities)
         return best_query
 
     def _score(self, collective, utilities: EntityUtilities, query: Query) -> tuple:

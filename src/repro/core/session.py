@@ -90,6 +90,19 @@ class HarvestSession:
             return 1.0
         return self.novelty.expected_novelty(query, self.has_page)
 
+    def expected_novelties(self, queries: Sequence[Query]) -> List[float]:
+        """Batched :meth:`expected_novelty` over a candidate set.
+
+        One selection step scores every candidate; gathering the novelty
+        estimates in a single pass keeps the vectorized selection kernel
+        free of per-candidate session round-trips (the estimator's
+        page-novelty cache makes each additional query O(its postings)).
+        """
+        if self.novelty is None:
+            return [1.0] * len(queries)
+        return [self.novelty.expected_novelty(query, self.has_page)
+                for query in queries]
+
     def has_page(self, page_id: str) -> bool:
         """Whether a page has already been gathered in this session."""
         return self.candidates.has_page(page_id)

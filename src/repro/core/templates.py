@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from itertools import product
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from weakref import WeakKeyDictionary
 
 from repro.core.queries import Query
 from repro.corpus.knowledge_base import TypeSystem
@@ -46,6 +47,30 @@ def format_template(template: Template) -> str:
     return " ".join(template)
 
 
+#: Memo of ``abstract_query`` answers per type system.  Abstraction is a
+#: pure function of the query and the type system's contents, yet the
+#: selection loop rebuilds its template layer every iteration over a largely
+#: unchanged candidate pool — without the memo it re-derives the same
+#: templates tens of thousands of times per harvest.  Entries are keyed by
+#: the type system's mutation counter so ``add_word`` after caching starts a
+#: fresh memo rather than serving stale templates.
+_ABSTRACTION_MEMO: "WeakKeyDictionary[TypeSystem, Tuple[int, Dict]]" = WeakKeyDictionary()
+
+
+def _abstraction_memo(type_system: TypeSystem) -> Optional[Dict]:
+    version = getattr(type_system, "_version", None)
+    if version is None:
+        return None
+    try:
+        entry = _ABSTRACTION_MEMO.get(type_system)
+        if entry is None or entry[0] != version:
+            entry = (version, {})
+            _ABSTRACTION_MEMO[type_system] = entry
+    except TypeError:  # non-weakref-able type system: skip caching
+        return None
+    return entry[1]
+
+
 def abstract_query(query: Query, type_system: TypeSystem,
                    max_templates: int = 16) -> List[Template]:
     """Return the templates that abstract ``query``.
@@ -56,6 +81,19 @@ def abstract_query(query: Query, type_system: TypeSystem,
     returned templates is capped at ``max_templates`` (deterministically, by
     preferring more-abstract templates first).
     """
+    memo = _abstraction_memo(type_system)
+    if memo is not None:
+        key = (tuple(query), max_templates)
+        cached = memo.get(key)
+        if cached is None:
+            cached = tuple(_abstract_query_uncached(query, type_system, max_templates))
+            memo[key] = cached
+        return list(cached)
+    return _abstract_query_uncached(query, type_system, max_templates)
+
+
+def _abstract_query_uncached(query: Query, type_system: TypeSystem,
+                             max_templates: int) -> List[Template]:
     per_word_options: List[List[str]] = []
     any_typed = False
     for word in query:
@@ -107,14 +145,41 @@ class TemplateIndex:
         self.max_templates_per_query = max_templates_per_query
         self._query_templates: Dict[Query, Tuple[Template, ...]] = {}
         self._template_queries: Dict[Template, Set[Query]] = {}
+        self._memo: Optional[Dict] = None
+        self._memo_version: Optional[int] = None
+
+    def _current_memo(self) -> Optional[Dict]:
+        """The shared abstraction memo, revalidated against the type system.
+
+        Re-fetching the :data:`_ABSTRACTION_MEMO` entry involves a weakref
+        lookup on every call; comparing the type system's mutation counter
+        is much cheaper, so the entry is kept until the counter moves.
+        """
+        version = getattr(self.type_system, "_version", None)
+        if version is None:
+            return None
+        if version != self._memo_version:
+            self._memo = _abstraction_memo(self.type_system)
+            self._memo_version = version
+        return self._memo
 
     def add_query(self, query: Query) -> Tuple[Template, ...]:
         """Register a query, computing (and caching) its templates."""
         cached = self._query_templates.get(query)
         if cached is not None:
             return cached
-        templates = tuple(abstract_query(query, self.type_system,
-                                         max_templates=self.max_templates_per_query))
+        memo = self._current_memo()
+        if memo is not None:
+            key = (tuple(query), self.max_templates_per_query)
+            templates = memo.get(key)
+            if templates is None:
+                templates = tuple(_abstract_query_uncached(
+                    query, self.type_system, self.max_templates_per_query))
+                memo[key] = templates
+        else:
+            templates = tuple(abstract_query(
+                query, self.type_system,
+                max_templates=self.max_templates_per_query))
         self._query_templates[query] = templates
         for template in templates:
             self._template_queries.setdefault(template, set()).add(query)

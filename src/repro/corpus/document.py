@@ -10,6 +10,7 @@ objects.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 
@@ -64,17 +65,21 @@ class Page:
     entity_id: str
     paragraphs: Tuple[Paragraph, ...]
 
-    @property
+    @cached_property
     def tokens(self) -> Tuple[str, ...]:
-        """All tokens of the page in order (concatenation of paragraphs)."""
+        """All tokens of the page in order (concatenation of paragraphs).
+
+        Cached: pages are immutable, and the selection loop consults the
+        bag-of-words view of every current page on every iteration.
+        """
         out: List[str] = []
         for paragraph in self.paragraphs:
             out.extend(paragraph.tokens)
         return tuple(out)
 
-    @property
+    @cached_property
     def token_set(self) -> FrozenSet[str]:
-        """The set of distinct tokens on the page (bag-of-words view)."""
+        """The set of distinct tokens on the page (bag-of-words view, cached)."""
         return frozenset(self.tokens)
 
     @property

@@ -33,6 +33,9 @@ class TypeSystem:
         self._type_to_words: Dict[str, set] = {}
         self._word_to_types: Dict[str, set] = {}
         self._regex_types: List[Tuple[str, Pattern[str]]] = []
+        #: Mutation counter; lets lookup caches (e.g. the template
+        #: abstraction memo) detect that earlier answers are stale.
+        self._version = 0
 
     # -- Construction ------------------------------------------------------
     @staticmethod
@@ -47,6 +50,7 @@ class TypeSystem:
             return
         self._type_to_words.setdefault(type_name, set()).add(token)
         self._word_to_types.setdefault(token, set()).add(type_name)
+        self._version += 1
 
     def add_words(self, type_name: str, words: Iterable[str]) -> None:
         """Add many words/phrases to a type."""
@@ -61,6 +65,7 @@ class TypeSystem:
         """
         self._regex_types.append((type_name, re.compile(pattern)))
         self._type_to_words.setdefault(type_name, set())
+        self._version += 1
 
     # -- Lookups -------------------------------------------------------------
     def type_names(self) -> List[str]:

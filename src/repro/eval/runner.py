@@ -492,6 +492,16 @@ class ExperimentRunner:
                 self.backend.workers)
             outcomes = self.backend.map_tasks(execute_harvest_batch, payloads)
             self.last_batch_outcomes = list(outcomes)
+            rec = perf_recorder()
+            if rec is not None:
+                # Fold each worker's shipped-home phase aggregates into the
+                # active recorder: one weighted sample per (batch, phase),
+                # tagged with its origin.
+                for outcome in self.last_batch_outcomes:
+                    if outcome.perf_phases:
+                        rec.record_aggregates(outcome.perf_phases,
+                                              worker_pid=outcome.worker_pid,
+                                              split=outcome.split_index)
             per_split: List[List[HarvestResult]] = [[] for _ in split_specs]
             for payload, outcome in zip(payloads, outcomes):
                 # Payloads are split-major and in-order, so extending per
@@ -716,6 +726,8 @@ def execute_harvest_batch(batch: HarvestBatchSpec) -> HarvestBatchOutcome:
     # evict and re-prepare runtimes it still needs.
     _TASK_RUNTIMES.reserve(batch.runtime_slots)
     before = _RUNTIME_BUILDS
+    rec = perf_recorder()
+    perf_mark = rec.mark() if rec is not None else 0
     runtime = _task_runtime(batch.context)
     results = [runtime.harvester.harvest_job(
                    runtime.runner.job_from_spec(runtime.prepared, spec))
@@ -725,6 +737,10 @@ def execute_harvest_batch(batch: HarvestBatchSpec) -> HarvestBatchOutcome:
         worker_pid=os.getpid(),
         split_index=batch.context.split_index,
         runtime_builds=_RUNTIME_BUILDS - before,
+        # This worker's phase timings for exactly this batch, shipped home
+        # so the orchestrator's profile covers worker-side work too.
+        perf_phases=(rec.aggregates_since(perf_mark)
+                     if rec is not None else {}),
     )
 
 

@@ -187,12 +187,20 @@ class HarvestBatchOutcome:
     prepared-split runtimes this batch had to *build* rather than reuse —
     0 or 1) exist so orchestrators and tests can assert the split-first
     guarantee: each worker prepares each split at most once.
+
+    ``perf_phases`` carries the worker-side profiling view when the worker
+    process had an active :class:`~repro.perf.PerfRecorder`: per-phase
+    ``{count, total_seconds}`` aggregates of exactly the samples this batch
+    produced (empty when worker profiling is off).  The orchestrator folds
+    them into its own recorder, so sharded runs lose no phase accounting to
+    the process boundary.
     """
 
     results: list
     worker_pid: int
     split_index: int
     runtime_builds: int
+    perf_phases: dict = field(default_factory=dict)
 
 
 @dataclass(frozen=True)

@@ -28,33 +28,148 @@ vector: ``U <- (1 - alpha) F(U) + alpha U_hat`` (Eq. 13).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Mapping, Optional, Tuple
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import sparse
 
 from repro.graph.reinforcement import ReinforcementGraph
 
+try:  # pragma: no cover - exercised implicitly by every solve
+    from scipy.sparse import _sparsetools as _scipy_sparsetools
+    _CSR_MATVECS = _scipy_sparsetools.csr_matvecs
+except (ImportError, AttributeError):  # pragma: no cover - older/newer scipy
+    _CSR_MATVECS = None
+
 MODE_PRECISION = "precision"
 MODE_RECALL = "recall"
 _MODES = (MODE_PRECISION, MODE_RECALL)
 
 
+@dataclass(frozen=True)
+class RegularizationProblem:
+    """One utility-regularization ``U_hat`` triple for a multi-RHS solve.
+
+    The entity phase solves several regularization problems on the *same*
+    graph (recall w.r.t. ``Y``, ``Y~``, ``Y*``, ``Y~*``); stacking them as
+    the columns of one right-hand-side matrix lets the power iteration
+    share every sparse matmul across problems.
+    """
+
+    page_regularization: Optional[Mapping[Hashable, float]] = None
+    query_regularization: Optional[Mapping[Hashable, float]] = None
+    template_regularization: Optional[Mapping[Hashable, float]] = None
+
+
+def _matmul_into(matrix: sparse.csr_matrix, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """``out <- matrix @ x`` for a 2-D dense ``x``, reusing ``out``.
+
+    Calls the same compiled ``csr_matvecs`` kernel ``csr @ dense`` dispatches
+    to (bit-identical accumulation in stored-index order), skipping the
+    Python-level dispatch that dominates on the small matrices of the power
+    iteration.  Falls back to the operator when the kernel is unavailable.
+    """
+    if _CSR_MATVECS is None:
+        out[...] = matrix @ x
+        return out
+    out.fill(0.0)
+    rows, cols = matrix.shape
+    _CSR_MATVECS(rows, cols, x.shape[1], matrix.indptr, matrix.indices,
+                 matrix.data, x.ravel(), out.ravel())
+    return out
+
+
+def _raw_csr(data: np.ndarray, indices: np.ndarray, indptr: np.ndarray,
+             shape: Tuple[int, int]) -> sparse.csr_matrix:
+    """A CSR matrix from pre-validated arrays, skipping constructor checks.
+
+    The validating constructor re-derives the index dtype and walks the
+    structure on every call; for matrices assembled from arrays that are
+    *by construction* consistent (copies or concatenations of existing CSR
+    internals) that work is pure overhead on the selection hot path.
+    """
+    matrix = sparse.csr_matrix.__new__(sparse.csr_matrix)
+    matrix.data = data
+    matrix.indices = indices
+    matrix.indptr = indptr
+    matrix._shape = shape
+    return matrix
+
+
+def _scale_rows_exact(matrix: sparse.csr_matrix, weights: np.ndarray,
+                      copy: bool = True) -> sparse.csr_matrix:
+    """Row-scale a CSR by per-row ``weights``, preserving stored order.
+
+    Callers only pass powers of two (0.5 / 1.0), so every scaled entry is
+    exact and a dot product against the scaled rows equals the scaled dot
+    product against the original rows bit for bit.  ``copy=False`` scales a
+    matrix the caller owns (e.g. a freshly materialised transpose) in
+    place; with ``copy=True`` only the data array is duplicated — the
+    structure arrays are shared with the (never mutated) input.
+    """
+    scaled = matrix.tocsr()
+    data = scaled.data if not copy else scaled.data.copy()
+    if data.size:
+        data *= np.repeat(np.asarray(weights, dtype=np.float64),
+                          np.diff(scaled.indptr))
+    if not copy:
+        return scaled
+    return _raw_csr(data, scaled.indices, scaled.indptr, scaled.shape)
+
+
+def _vstack_csr(top: sparse.csr_matrix, bottom: sparse.csr_matrix) -> sparse.csr_matrix:
+    """Stack two CSR matrices vertically without canonicalising.
+
+    ``sparse.vstack`` may re-sort indices within rows; the power iteration
+    needs every row's stored order untouched so that accumulation order (and
+    thus every rounding) matches a matmul against the original matrix.
+    """
+    top = top.tocsr()
+    bottom = bottom.tocsr()
+    indptr = np.concatenate([top.indptr,
+                             top.indptr[-1] + bottom.indptr[1:]])
+    indices = np.concatenate([top.indices, bottom.indices])
+    data = np.concatenate([top.data, bottom.data])
+    return _raw_csr(data, indices, indptr,
+                    (top.shape[0] + bottom.shape[0], top.shape[1]))
+
+
+def _raw_diagonal(scale: np.ndarray, container) -> sparse.spmatrix:
+    """A diagonal matrix in CSR/CSC form from pre-validated arrays.
+
+    ``sparse.diags(scale)`` builds a DIA matrix that the matmul dispatch
+    converts to exactly this compressed form before the kernel runs;
+    constructing it directly skips both the DIA detour and the validating
+    constructor, changing no bits of the product.
+    """
+    n = scale.shape[0]
+    diagonal = container.__new__(container)
+    diagonal.data = scale
+    diagonal.indices = np.arange(n, dtype=np.int32)
+    diagonal.indptr = np.arange(n + 1, dtype=np.int32)
+    diagonal._shape = (n, n)
+    return diagonal
+
+
 def normalize_rows(matrix: sparse.csr_matrix) -> sparse.csr_matrix:
     """Return a row-stochastic copy of ``matrix`` (zero rows stay zero)."""
-    matrix = matrix.tocsr(copy=True).astype(np.float64)
+    matrix = matrix.tocsr()
+    if matrix.dtype != np.float64:
+        matrix = matrix.astype(np.float64)
     row_sums = np.asarray(matrix.sum(axis=1)).ravel()
     scale = np.divide(1.0, row_sums, out=np.zeros_like(row_sums), where=row_sums > 0)
-    diagonal = sparse.diags(scale)
+    diagonal = _raw_diagonal(scale, sparse.csr_matrix)
     return (diagonal @ matrix).tocsr()
 
 
 def normalize_columns(matrix: sparse.csr_matrix) -> sparse.csr_matrix:
     """Return a column-stochastic copy of ``matrix`` (zero columns stay zero)."""
-    matrix = matrix.tocsc(copy=True).astype(np.float64)
+    matrix = matrix.tocsc()
+    if matrix.dtype != np.float64:
+        matrix = matrix.astype(np.float64)
     col_sums = np.asarray(matrix.sum(axis=0)).ravel()
     scale = np.divide(1.0, col_sums, out=np.zeros_like(col_sums), where=col_sums > 0)
-    diagonal = sparse.diags(scale)
+    diagonal = _raw_diagonal(scale, sparse.csc_matrix)
     return (matrix @ diagonal).tocsr()
 
 
@@ -126,6 +241,31 @@ class UtilitySolver:
         # Which queries have neighbours on each side (for averaging the two sides).
         self._query_has_pages = np.asarray(pq.sum(axis=0)).ravel() > 0
         self._query_has_templates = np.asarray(qt.sum(axis=1)).ravel() > 0
+        # Per-mode iteration operators with the two-sided average folded in.
+        # A query connected on both sides averages them — equivalently, both
+        # incoming operators carry weight 0.5 on that query's row.  0.5 is a
+        # power of two, so the folded matmul is bit-identical to averaging
+        # afterwards; one-sided queries keep weight 1.0, and their missing
+        # side contributes an exact +0.0.  The page and template updates both
+        # multiply the query vector, so their operators stack into one matrix
+        # (rows are unchanged, hence every dot product is unchanged).
+        # Transposes are materialised as CSR: a transposed-CSR matvec is
+        # bit-identical to the CSC-view matvec it replaces, and ``.T`` inside
+        # the loop would allocate a view per matmul per iteration.
+        both = self._query_has_pages & self._query_has_templates
+        weight = np.where(both, 0.5, 1.0)
+        self._operators = {
+            MODE_PRECISION: (
+                _scale_rows_exact(self._pq_col.T.tocsr(), weight, copy=False),
+                _scale_rows_exact(self._qt_row, weight),
+                _vstack_csr(self._pq_row, self._qt_col.T.tocsr()),
+            ),
+            MODE_RECALL: (
+                _scale_rows_exact(self._pq_row.T.tocsr(), weight, copy=False),
+                _scale_rows_exact(self._qt_col, weight),
+                _vstack_csr(self._pq_col, self._qt_row.T.tocsr()),
+            ),
+        }
 
     # -- Public API ----------------------------------------------------------
     def solve(self, mode: str,
@@ -142,57 +282,58 @@ class UtilitySolver:
             The utility regularization ``U_hat`` per vertex key.  Missing
             vertices default to 0 (no regularization), as in the paper.
         """
+        problem = RegularizationProblem(
+            page_regularization=page_regularization,
+            query_regularization=query_regularization,
+            template_regularization=template_regularization)
+        return self.solve_many(mode, [problem])[0]
+
+    def solve_many(self, mode: str,
+                   problems: Sequence[RegularizationProblem]) -> List[UtilityVector]:
+        """Solve several regularization problems on this graph at once.
+
+        The problems share every sparse matmul: their ``U_hat`` vectors are
+        stacked as the columns of one right-hand-side matrix and the power
+        iteration advances all columns together.  A column whose own delta
+        drops below the tolerance is *frozen* (copied forward unchanged)
+        while the others continue, so each returned
+        :class:`UtilityVector` — values, ``iterations`` and ``converged``
+        — is bit-identical to a separate :meth:`solve` of that problem.
+        """
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        if not problems:
+            return []
 
-        page_hat = self._vector(self.graph.pages, page_regularization)
-        query_hat = self._vector(self.graph.queries, query_regularization)
-        template_hat = self._vector(self.graph.templates, template_regularization)
+        if mode == MODE_PRECISION:
+            return self.solve_joint(problems, [])[0]
+        return self.solve_joint([], problems)[1]
 
-        pages = page_hat.copy()
-        queries = query_hat.copy()
-        templates = template_hat.copy()
+    def solve_joint(self, precision_problems: Sequence[RegularizationProblem],
+                    recall_problems: Sequence[RegularizationProblem]
+                    ) -> Tuple[List[UtilityVector], List[UtilityVector]]:
+        """Solve precision and recall problems in one shared iteration loop.
 
-        converged = False
-        iteration = 0
+        The two modes iterate independent state over different operators, so
+        their per-column results are bit-identical to separate
+        :meth:`solve_many` calls — but one Python loop drives both, halving
+        the per-iteration interpreter overhead that dominates on the small
+        graphs of the selection hot path.  A mode whose columns have all
+        converged stops doing any work while the other finishes.
+        """
+        states = [_ModeIteration(self, mode, problems)
+                  for mode, problems in ((MODE_PRECISION, precision_problems),
+                                         (MODE_RECALL, recall_problems))
+                  if problems]
         for iteration in range(1, self.max_iterations + 1):
-            if mode == MODE_PRECISION:
-                new_queries = self._combine_sides(
-                    self._pq_col.T @ pages, self._qt_row @ templates)
-                new_pages = self._pq_row @ queries
-                new_templates = self._qt_col.T @ queries
-            else:
-                new_queries = self._combine_sides(
-                    self._pq_row.T @ pages, self._qt_col @ templates)
-                new_pages = self._pq_col @ queries
-                new_templates = self._qt_row.T @ queries
-
-            new_pages = (1.0 - self.alpha) * new_pages + self.alpha * page_hat
-            new_queries = (1.0 - self.alpha) * new_queries + self.alpha * query_hat
-            new_templates = (1.0 - self.alpha) * new_templates + self.alpha * template_hat
-
-            delta = 0.0
-            if new_pages.size:
-                delta = max(delta, float(np.max(np.abs(new_pages - pages))))
-            if new_queries.size:
-                delta = max(delta, float(np.max(np.abs(new_queries - queries))))
-            if new_templates.size:
-                delta = max(delta, float(np.max(np.abs(new_templates - templates))))
-
-            pages, queries, templates = new_pages, new_queries, new_templates
-            if delta < self.tolerance:
-                converged = True
+            any_active = False
+            for state in states:
+                if state.step(iteration):
+                    any_active = True
+            if not any_active:
                 break
-
-        return UtilityVector(
-            mode=mode,
-            page_values=pages,
-            query_values=queries,
-            template_values=templates,
-            graph=self.graph,
-            iterations=iteration,
-            converged=converged,
-        )
+        by_mode = {state.mode: state.results() for state in states}
+        return (by_mode.get(MODE_PRECISION, []), by_mode.get(MODE_RECALL, []))
 
     def solve_precision(self, **kwargs) -> UtilityVector:
         """Shorthand for ``solve(MODE_PRECISION, ...)``."""
@@ -202,18 +343,23 @@ class UtilitySolver:
         """Shorthand for ``solve(MODE_RECALL, ...)``."""
         return self.solve(MODE_RECALL, **kwargs)
 
+    def solve_recall_many(self, problems: Sequence[RegularizationProblem]
+                          ) -> List[UtilityVector]:
+        """Shorthand for ``solve_many(MODE_RECALL, ...)``."""
+        return self.solve_many(MODE_RECALL, problems)
+
     # -- Internals -------------------------------------------------------------
     def _combine_sides(self, from_pages: np.ndarray, from_templates: np.ndarray) -> np.ndarray:
         """Average the page-side and template-side estimates per query.
 
         The paper combines the two sides "by taking their average as the
         final utility of q" (Sect. IV-A).  Queries connected to only one side
-        use that side alone.
+        use that side alone.  Accepts one estimate per query (1-D) or one
+        column per regularization problem (2-D, the multi-RHS solve).
         """
-        num_queries = self.graph.num_queries
-        if num_queries == 0:
-            return np.zeros(0)
-        combined = np.zeros(num_queries)
+        combined = np.zeros_like(from_pages)
+        if self.graph.num_queries == 0:
+            return combined
         both = self._query_has_pages & self._query_has_templates
         only_pages = self._query_has_pages & ~self._query_has_templates
         only_templates = ~self._query_has_pages & self._query_has_templates
@@ -231,3 +377,181 @@ class UtilitySolver:
                 if position is not None:
                     values[position] = float(value)
         return values
+
+
+class _ModeIteration:
+    """Multi-RHS power-iteration state for one mode of a joint solve.
+
+    Pages and templates both update from the query vector alone, so they
+    live stacked in one array driven by one stacked operator; the query
+    update sums the two pre-scaled side operators.  All buffers are
+    preallocated and ping-ponged between iterations.
+
+    The per-iteration loop is deliberately overhead-lean: the sparse
+    kernels are called with pre-extracted index arrays and pre-raveled
+    buffer views (ping-ponged as whole bundles), and the per-column
+    convergence bookkeeping runs on plain Python ints and lists — with at
+    most a handful of problems, ``ndarray.any``-style reductions on
+    length-5 boolean arrays cost more than the arithmetic they guard.
+    """
+
+    __slots__ = ("solver", "mode", "num_problems", "num_pages", "tolerance",
+                 "alpha_pt_hat", "alpha_query_hat", "one_minus_alpha",
+                 "query_from_pages", "query_from_templates", "pt_from_queries",
+                 "op_query_from_pages", "op_query_from_templates",
+                 "op_pt_from_queries", "pt_bundle", "new_pt_bundle",
+                 "queries_bundle", "new_queries_bundle", "side_buffer",
+                 "side_flat", "scratch", "active_columns", "frozen_columns",
+                 "converged", "iterations", "last_iteration")
+
+    @staticmethod
+    def _pt_bundle_of(array: np.ndarray, num_pages: int):
+        """A pages+templates buffer with its raveled kernel views.
+
+        The page rows and template rows are contiguous leading/trailing
+        blocks of the stacked array, so all three raveled views alias the
+        buffer — swapping the bundle swaps the views consistently.
+        """
+        return (array, array[:num_pages].ravel(), array[num_pages:].ravel(),
+                array.ravel())
+
+    @staticmethod
+    def _operator_args(matrix: sparse.csr_matrix):
+        """The ``csr_matvecs`` argument prefix of one operator matrix."""
+        rows, cols = matrix.shape
+        return (rows, cols, matrix.indptr, matrix.indices, matrix.data)
+
+    def __init__(self, solver: "UtilitySolver", mode: str,
+                 problems: Sequence[RegularizationProblem]) -> None:
+        self.solver = solver
+        self.mode = mode
+        self.num_problems = len(problems)
+        graph = solver.graph
+        self.num_pages = graph.num_pages
+        self.tolerance = solver.tolerance
+        page_hat = np.stack(
+            [solver._vector(graph.pages, p.page_regularization)
+             for p in problems], axis=1)
+        query_hat = np.stack(
+            [solver._vector(graph.queries, p.query_regularization)
+             for p in problems], axis=1)
+        template_hat = np.stack(
+            [solver._vector(graph.templates, p.template_regularization)
+             for p in problems], axis=1)
+        pt_hat = np.concatenate([page_hat, template_hat], axis=0)
+        # ``alpha * U_hat`` is the same product every iteration.
+        self.alpha_pt_hat = solver.alpha * pt_hat
+        self.alpha_query_hat = solver.alpha * query_hat
+        self.one_minus_alpha = 1.0 - solver.alpha
+        (self.query_from_pages, self.query_from_templates,
+         self.pt_from_queries) = solver._operators[mode]
+        self.op_query_from_pages = self._operator_args(self.query_from_pages)
+        self.op_query_from_templates = self._operator_args(self.query_from_templates)
+        self.op_pt_from_queries = self._operator_args(self.pt_from_queries)
+        self.pt_bundle = self._pt_bundle_of(pt_hat.copy(), self.num_pages)
+        self.new_pt_bundle = self._pt_bundle_of(np.empty_like(pt_hat),
+                                                self.num_pages)
+        queries = query_hat.copy()
+        self.queries_bundle = (queries, queries.ravel())
+        new_queries = np.empty_like(queries)
+        self.new_queries_bundle = (new_queries, new_queries.ravel())
+        self.side_buffer = np.empty_like(queries)
+        self.side_flat = self.side_buffer.ravel()
+        # One scratch spanning [pages; templates; queries]: the convergence
+        # delta is a max over every vertex, so the three layers' residuals
+        # reduce in a single pass.
+        self.scratch = np.empty((pt_hat.shape[0] + queries.shape[0],
+                                 self.num_problems))
+        self.active_columns: List[int] = list(range(self.num_problems))
+        self.frozen_columns: List[int] = []
+        self.converged = [False] * self.num_problems
+        self.iterations = [0] * self.num_problems
+        self.last_iteration = 0
+
+    def step(self, iteration: int) -> bool:
+        """Advance one iteration; no-op (False) once every column converged."""
+        active = self.active_columns
+        if not active:
+            return False
+        self.last_iteration = iteration
+        pt, pt_pages_flat, pt_templates_flat, _ = self.pt_bundle
+        queries, queries_flat = self.queries_bundle
+        new_pt, _, _, new_pt_flat = self.new_pt_bundle
+        new_queries, new_queries_flat = self.new_queries_bundle
+
+        # new_q = W_qp @ pages + W_qt @ templates (two-sided average folded
+        # into the operators); new_[p;t] = W_ptq @ queries.
+        if _CSR_MATVECS is not None:
+            k = self.num_problems
+            new_queries_flat.fill(0.0)
+            rows, cols, indptr, indices, data = self.op_query_from_pages
+            _CSR_MATVECS(rows, cols, k, indptr, indices, data,
+                         pt_pages_flat, new_queries_flat)
+            self.side_flat.fill(0.0)
+            rows, cols, indptr, indices, data = self.op_query_from_templates
+            _CSR_MATVECS(rows, cols, k, indptr, indices, data,
+                         pt_templates_flat, self.side_flat)
+            new_pt_flat.fill(0.0)
+            rows, cols, indptr, indices, data = self.op_pt_from_queries
+            _CSR_MATVECS(rows, cols, k, indptr, indices, data,
+                         queries_flat, new_pt_flat)
+        else:  # pragma: no cover - scipy without the private kernel
+            num_pages = self.num_pages
+            _matmul_into(self.query_from_pages, pt[:num_pages], new_queries)
+            _matmul_into(self.query_from_templates, pt[num_pages:],
+                         self.side_buffer)
+            _matmul_into(self.pt_from_queries, queries, new_pt)
+        np.add(new_queries, self.side_buffer, out=new_queries)
+
+        np.multiply(new_pt, self.one_minus_alpha, out=new_pt)
+        np.add(new_pt, self.alpha_pt_hat, out=new_pt)
+        np.multiply(new_queries, self.one_minus_alpha, out=new_queries)
+        np.add(new_queries, self.alpha_query_hat, out=new_queries)
+
+        frozen = self.frozen_columns
+        if frozen:
+            # Frozen columns keep exactly the values they converged at —
+            # a separate solve would have broken out of the loop there.
+            new_pt[:, frozen] = pt[:, frozen]
+            new_queries[:, frozen] = queries[:, frozen]
+
+        scratch = self.scratch
+        if scratch.shape[0]:
+            boundary = pt.shape[0]
+            np.subtract(new_pt, pt, out=scratch[:boundary])
+            np.subtract(new_queries, queries, out=scratch[boundary:])
+            np.abs(scratch, out=scratch)
+            deltas = np.maximum.reduce(scratch, axis=0).tolist()
+        else:
+            deltas = [0.0] * self.num_problems
+
+        self.pt_bundle, self.new_pt_bundle = self.new_pt_bundle, self.pt_bundle
+        self.queries_bundle, self.new_queries_bundle = \
+            self.new_queries_bundle, self.queries_bundle
+        tolerance = self.tolerance
+        still_active: List[int] = []
+        for column in active:
+            if deltas[column] < tolerance:
+                self.iterations[column] = iteration
+                self.converged[column] = True
+                frozen.append(column)
+            else:
+                still_active.append(column)
+        self.active_columns = still_active
+        return bool(still_active)
+
+    def results(self) -> List[UtilityVector]:
+        for column in self.active_columns:
+            self.iterations[column] = self.last_iteration
+        num_pages = self.num_pages
+        pt = self.pt_bundle[0]
+        queries = self.queries_bundle[0]
+        return [UtilityVector(
+            mode=self.mode,
+            page_values=pt[:num_pages, j].copy(),
+            query_values=queries[:, j].copy(),
+            template_values=pt[num_pages:, j].copy(),
+            graph=self.solver.graph,
+            iterations=int(self.iterations[j]),
+            converged=bool(self.converged[j]),
+        ) for j in range(self.num_problems)]

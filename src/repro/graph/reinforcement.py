@@ -40,6 +40,21 @@ class VertexIndex:
             self._keys.append(key)
         return index
 
+    def extend(self, keys: Sequence[Hashable]) -> List[int]:
+        """Add many keys (idempotent, like repeated :meth:`add`) and return
+        their indices.  On an empty index with all-distinct keys — the
+        common bulk-registration case — the mapping is built in one dict
+        construction instead of one :meth:`add` call per key.
+        """
+        if not self._keys:
+            mapping = {key: position for position, key in enumerate(keys)}
+            if len(mapping) == len(keys):
+                self._key_to_index = mapping
+                self._keys = list(keys)
+                return list(range(len(keys)))
+        add = self.add
+        return [add(key) for key in keys]
+
     def index_of(self, key: Hashable) -> Optional[int]:
         """Index of ``key`` or ``None`` if absent."""
         return self._key_to_index.get(key)

@@ -101,7 +101,9 @@ def _harvest_entries(source: str, report: Dict[str, object]) -> List[Dict[str, o
 
 def _selection_entries(source: str, report: Dict[str, object]) -> List[Dict[str, object]]:
     """Per-method selection-latency entries from ``BENCH_selection.json``."""
-    versions = {"python": report.get("python")}
+    versions = {"python": report.get("python"),
+                "numpy": report.get("numpy"),
+                "scipy": report.get("scipy")}
     entries = []
     for method in sorted(report.get("methods", {})):
         stats = report["methods"][method]

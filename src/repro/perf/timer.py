@@ -25,10 +25,14 @@ passing a recorder to collect into) or ambiently with the ``REPRO_PERF``
 environment variable, which the CLI and benchmark entry points honour.
 
 Samples are wall-clock (``time.perf_counter``) phase durations with
-optional metadata, aggregated per phase name.  A recorder is process-local:
-sharded process backends keep worker-side samples in their workers — the
-orchestrator's recorder sees dispatch phases, which is the honest
-multi-process view (worker CPU time is not orchestrator wall-clock).
+optional metadata, aggregated per phase name.  A recorder is process-local,
+but worker processes are not a blind spot: a worker with an active recorder
+ships per-phase ``{count, total_seconds}`` aggregates home with each batch
+outcome (see :func:`repro.eval.runner.execute_harvest_batch`), and the
+orchestrator folds them into its recorder as aggregate samples
+(:meth:`PerfRecorder.record_aggregate`) tagged with the worker pid.  Worker
+seconds remain worker CPU time — they are *summed alongside*, never
+conflated with, orchestrator wall-clock dispatch phases.
 """
 
 from __future__ import annotations
@@ -43,11 +47,20 @@ from typing import Dict, List, Optional
 
 @dataclass(frozen=True)
 class PhaseSample:
-    """One timed phase: name, elapsed seconds, optional metadata."""
+    """One timed phase: name, elapsed seconds, optional metadata.
+
+    ``count`` is how many phase occurrences this sample stands for:
+    1 for a directly timed phase, more for an aggregate folded in from a
+    worker process — ``seconds`` is then the summed duration of all of
+    them.  Aggregation (:meth:`PerfRecorder.count` / ``mean``) weights by
+    ``count`` so folded-in samples contribute exactly like their original
+    per-occurrence samples would have.
+    """
 
     name: str
     seconds: float
     meta: tuple = ()
+    count: int = 1
 
     def meta_dict(self) -> Dict[str, object]:
         """Metadata as a plain dict (stored as items for hashability)."""
@@ -104,19 +117,66 @@ class PerfRecorder:
         self.samples.append(PhaseSample(name=name, seconds=float(seconds),
                                         meta=tuple(sorted(meta.items()))))
 
+    def record_aggregate(self, name: str, total_seconds: float, count: int,
+                         **meta: object) -> None:
+        """Record ``count`` phase occurrences totalling ``total_seconds``.
+
+        This is how worker-side timings cross a process boundary: the
+        worker's per-phase aggregate becomes one weighted sample here, and
+        :meth:`count` / :meth:`mean` treat it as ``count`` occurrences.
+        """
+        if count <= 0:
+            return
+        self.samples.append(PhaseSample(name=name, seconds=float(total_seconds),
+                                        meta=tuple(sorted(meta.items())),
+                                        count=int(count)))
+
+    def record_aggregates(self, aggregates: Dict[str, Dict[str, float]],
+                          **meta: object) -> None:
+        """Fold an :meth:`aggregates_since`-shaped mapping in, one sample
+        per phase name (e.g. the ``perf_phases`` a batch outcome shipped
+        home)."""
+        for name in sorted(aggregates):
+            entry = aggregates[name]
+            self.record_aggregate(name, float(entry["total_seconds"]),
+                                  int(entry["count"]), **meta)
+
     # -- Aggregation --------------------------------------------------------
+    def mark(self) -> int:
+        """A position marker for :meth:`aggregates_since` (samples so far)."""
+        return len(self.samples)
+
+    def aggregates_since(self, mark: int = 0) -> Dict[str, Dict[str, float]]:
+        """Per-phase ``{count, total_seconds}`` over samples from ``mark`` on.
+
+        The plain-data shape that travels across process boundaries; feed
+        it to :meth:`record_aggregates` on the receiving recorder.
+        """
+        aggregates: Dict[str, Dict[str, float]] = {}
+        for sample in self.samples[mark:]:
+            entry = aggregates.setdefault(
+                sample.name, {"count": 0, "total_seconds": 0.0})
+            entry["count"] += sample.count
+            entry["total_seconds"] += sample.seconds
+        return aggregates
+
     def count(self, name: str) -> int:
-        """Number of samples recorded for ``name``."""
-        return sum(1 for s in self.samples if s.name == name)
+        """Number of phase occurrences recorded for ``name``."""
+        return sum(s.count for s in self.samples if s.name == name)
 
     def total(self, name: str) -> float:
         """Summed seconds of all samples for ``name``."""
         return sum(s.seconds for s in self.samples if s.name == name)
 
     def mean(self, name: str) -> float:
-        """Mean seconds per sample for ``name`` (0.0 if none)."""
-        values = [s.seconds for s in self.samples if s.name == name]
-        return sum(values) / len(values) if values else 0.0
+        """Mean seconds per phase occurrence for ``name`` (0.0 if none)."""
+        seconds = 0.0
+        occurrences = 0
+        for sample in self.samples:
+            if sample.name == name:
+                seconds += sample.seconds
+                occurrences += sample.count
+        return seconds / occurrences if occurrences else 0.0
 
     def phases(self) -> List[str]:
         """Recorded phase names, sorted."""

@@ -3,14 +3,23 @@
 The paper uses a Dirichlet-smoothed language model as its offline search
 engine; BM25 is provided so that the sensitivity of L2Q to the underlying
 retrieval model can be measured (``benchmarks/test_ablation_ranker.py``).
+
+Like the language model, ranking runs through a vectorized kernel over the
+index's CSR term–document matrix: per query term, one sparse column gather
+and a handful of array operations score every candidate document at once.
+The scalar :meth:`BM25Ranker.score` is the reference implementation and the
+kernel matches it bit for bit (per-term contributions are accumulated in
+query order; IDF values are computed with scalar ``math.log``).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.search.index import InvertedIndex
+import numpy as np
+
+from repro.search.index import InvertedIndex, TermDocumentMatrix
 
 
 class BM25Ranker:
@@ -34,7 +43,11 @@ class BM25Ranker:
         return max(0.0, math.log((n - df + 0.5) / (df + 0.5) + 1.0))
 
     def score(self, query: Sequence[str], doc_id: str) -> float:
-        """BM25 score of ``doc_id`` for ``query``."""
+        """BM25 score of ``doc_id`` for ``query``.
+
+        Scalar reference implementation of the vectorized
+        :meth:`score_rows` kernel (which must match it bit for bit).
+        """
         if doc_id not in self.index:
             raise KeyError(f"unknown document {doc_id!r}")
         avgdl = self.index.average_document_length or 1.0
@@ -49,12 +62,107 @@ class BM25Ranker:
             total += idf * tf * (self.k1 + 1.0) / denominator
         return total
 
+    # -- Vectorized kernel -------------------------------------------------------
+    def score_rows(self, query: Sequence[str], matrix: TermDocumentMatrix,
+                   rows: np.ndarray) -> np.ndarray:
+        """Scores of ``query`` for the document rows ``rows`` of ``matrix``.
+
+        ``rows`` are row positions into ``matrix`` in strictly increasing
+        order.  Per-term contributions are accumulated in query order and
+        zero-tf terms contribute an exact ``0.0`` (the scalar path skips
+        them; adding zero to the non-negative partial sums is an identity),
+        so the result equals the scalar :meth:`score` bit for bit.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        num_docs = matrix.num_documents
+        avgdl = (matrix.total_tokens / num_docs if num_docs else 0.0) or 1.0
+        doc_lengths = matrix.doc_lengths[rows]
+        total = np.zeros(rows.size, dtype=np.float64)
+        for term in query:
+            column = matrix.term_position(term)
+            if column is None:
+                continue
+            col_rows, col_values = matrix.term_column(column)
+            if col_rows.size == 0:
+                continue
+            df = col_rows.size
+            idf = max(0.0, math.log((num_docs - df + 0.5) / (df + 0.5) + 1.0)) \
+                if num_docs else 0.0
+            tf = np.zeros(rows.size, dtype=np.float64)
+            positions = np.searchsorted(rows, col_rows)
+            positions = np.minimum(positions, rows.size - 1)
+            inside = rows[positions] == col_rows
+            tf[positions[inside]] = col_values[inside]
+            denominator = tf + self.k1 * (1.0 - self.b + self.b * doc_lengths / avgdl)
+            # Zero-tf rows may have a zero denominator (b = 1 and an empty
+            # document); the scalar path skips them, so mask them to an
+            # exact 0.0 — adding zero to the non-negative total is exact.
+            with np.errstate(divide="ignore", invalid="ignore"):
+                contribution = idf * tf * (self.k1 + 1.0) / denominator
+            total = total + np.where(tf > 0.0, contribution, 0.0)
+        return total
+
+    def _matrix(self) -> Optional[TermDocumentMatrix]:
+        builder = getattr(self.index, "term_document_matrix", None)
+        return builder() if builder is not None else None
+
+    def _candidate_rows(self, query: Sequence[str], matrix: TermDocumentMatrix,
+                        require_match: bool) -> np.ndarray:
+        if not require_match:
+            return np.arange(matrix.num_documents, dtype=np.int64)
+        columns = {matrix.term_position(term) for term in query}
+        columns.discard(None)
+        if not columns:
+            return np.zeros(0, dtype=np.int64)
+        gathered = [matrix.term_column(column)[0] for column in sorted(columns)]
+        return np.unique(np.concatenate(gathered)).astype(np.int64)
+
     def rank(self, query: Sequence[str], top_k: int = 0,
              require_match: bool = True) -> List[Tuple[str, float]]:
         """Rank documents for ``query`` (same contract as the language model)."""
         query = [t for t in query if t]
         if not query:
             return []
+        matrix = self._matrix()
+        if matrix is None:
+            return self._rank_scalar(query, top_k, require_match)
+        rows = self._candidate_rows(query, matrix, require_match)
+        scores = self.score_rows(query, matrix, rows)
+        scored = [(matrix.doc_ids[row], float(score))
+                  for row, score in zip(rows.tolist(), scores.tolist())]
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        if top_k > 0:
+            scored = scored[:top_k]
+        return scored
+
+    def rank_many(self, queries: Sequence[Sequence[str]], top_k: int = 0,
+                  require_match: bool = True) -> List[List[Tuple[str, float]]]:
+        """Rank a batch of queries (one CSR snapshot, shared across queries)."""
+        return [self.rank(query, top_k=top_k, require_match=require_match)
+                for query in queries]
+
+    def score_matrix(self, queries: Sequence[Sequence[str]]
+                     ) -> Tuple[np.ndarray, Tuple[str, ...]]:
+        """All (query, document) scores as a dense ``queries × docs`` array.
+
+        Returns the score matrix together with the document-id order of its
+        columns; row ``i`` equals the scalar scores of ``queries[i]``.
+        """
+        matrix = self._matrix()
+        if matrix is None:
+            raise TypeError("index does not expose a term-document matrix")
+        rows = np.arange(matrix.num_documents, dtype=np.int64)
+        scores = np.vstack([
+            self.score_rows([t for t in query if t], matrix, rows)
+            for query in queries
+        ]) if queries else np.zeros((0, matrix.num_documents))
+        return scores, matrix.doc_ids
+
+    def _rank_scalar(self, query: Sequence[str], top_k: int,
+                     require_match: bool) -> List[Tuple[str, float]]:
+        """Reference ranking path for indexes without a matrix view."""
         if require_match:
             candidates = sorted(self.index.matching_documents(query))
         else:

@@ -20,6 +20,75 @@ from __future__ import annotations
 from collections import Counter, defaultdict
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+import numpy as np
+from scipy import sparse
+
+
+class TermDocumentMatrix:
+    """An immutable CSR snapshot of an index: tf matrix plus statistic vectors.
+
+    The matrix layer beneath the batched ranker kernels
+    (:meth:`repro.search.language_model.DirichletLanguageModel.rank_many`,
+    :meth:`repro.search.bm25.BM25Ranker.rank_many`): a ``docs × terms``
+    term-frequency matrix with rows in sorted-document-id order and columns
+    in sorted-term order, alongside the cached document-length and
+    collection-frequency vectors every retrieval model needs.  Term
+    frequencies are exact integers stored as float64, so all derived
+    statistics match the scalar dictionary lookups bit for bit.
+    """
+
+    __slots__ = ("doc_ids", "terms", "matrix", "matrix_csc", "doc_lengths",
+                 "collection_frequencies", "total_tokens", "_doc_positions",
+                 "_term_positions")
+
+    def __init__(self, doc_ids: Sequence[str], terms: Sequence[str],
+                 matrix: sparse.csr_matrix, doc_lengths: np.ndarray,
+                 collection_frequencies: np.ndarray, total_tokens: int) -> None:
+        self.doc_ids: Tuple[str, ...] = tuple(doc_ids)
+        self.terms: Tuple[str, ...] = tuple(terms)
+        self.matrix = matrix.tocsr()
+        # Column access (per query term) is the kernel's hot operation.
+        self.matrix_csc = self.matrix.tocsc()
+        self.doc_lengths = np.asarray(doc_lengths, dtype=np.float64)
+        self.collection_frequencies = np.asarray(collection_frequencies,
+                                                 dtype=np.float64)
+        self.total_tokens = int(total_tokens)
+        self._doc_positions = {doc_id: i for i, doc_id in enumerate(self.doc_ids)}
+        self._term_positions = {term: j for j, term in enumerate(self.terms)}
+
+    @property
+    def num_documents(self) -> int:
+        """Number of document rows."""
+        return len(self.doc_ids)
+
+    @property
+    def num_terms(self) -> int:
+        """Number of term columns."""
+        return len(self.terms)
+
+    def doc_position(self, doc_id: str) -> Optional[int]:
+        """Row of ``doc_id``, or ``None`` if absent."""
+        return self._doc_positions.get(doc_id)
+
+    def term_position(self, term: str) -> Optional[int]:
+        """Column of ``term``, or ``None`` if absent."""
+        return self._term_positions.get(term)
+
+    def term_column(self, column: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The sparse column ``column`` as ``(row_indices, tf_values)``."""
+        csc = self.matrix_csc
+        start, end = csc.indptr[column], csc.indptr[column + 1]
+        return csc.indices[start:end], csc.data[start:end]
+
+    def collection_probability(self, term: str) -> float:
+        """Maximum-likelihood collection probability of ``term``."""
+        if self.total_tokens == 0:
+            return 0.0
+        position = self._term_positions.get(term)
+        if position is None:
+            return 0.0
+        return float(self.collection_frequencies[position]) / self.total_tokens
+
 
 class InvertedIndex:
     """A simple in-memory inverted index."""
@@ -29,6 +98,7 @@ class InvertedIndex:
         self._doc_lengths: Dict[str, int] = {}
         self._collection_frequency: Counter = Counter()
         self._total_tokens = 0
+        self._matrix: Optional[TermDocumentMatrix] = None
 
     # -- Construction ------------------------------------------------------
     def add_document(self, doc_id: str, tokens: Sequence[str]) -> None:
@@ -41,6 +111,9 @@ class InvertedIndex:
         for term, tf in counts.items():
             self._postings[term][doc_id] = tf
             self._collection_frequency[term] += tf
+        # The CSR snapshot is a pure function of the postings; incremental
+        # updates invalidate it and the next access rebuilds lazily.
+        self._matrix = None
 
     @classmethod
     def from_documents(cls, documents: Mapping[str, Sequence[str]]) -> "InvertedIndex":
@@ -123,6 +196,41 @@ class InvertedIndex:
         """All indexed terms, sorted."""
         return sorted(self._postings)
 
+    # -- Matrix view -------------------------------------------------------------
+    def term_document_matrix(self) -> TermDocumentMatrix:
+        """The (lazily built, cached) CSR snapshot of this index.
+
+        Invalidated by :meth:`add_document`; because indexed term
+        frequencies are immutable, a returned snapshot stays valid for the
+        documents it covers even after the index grows.
+        """
+        if self._matrix is None:
+            self._matrix = self._build_matrix()
+        return self._matrix
+
+    def _build_matrix(self) -> TermDocumentMatrix:
+        doc_ids = sorted(self._doc_lengths)
+        terms = sorted(self._postings)
+        doc_positions = {doc_id: i for i, doc_id in enumerate(doc_ids)}
+        rows: List[int] = []
+        cols: List[int] = []
+        data: List[int] = []
+        for column, term in enumerate(terms):
+            for doc_id, tf in self._postings[term].items():
+                rows.append(doc_positions[doc_id])
+                cols.append(column)
+                data.append(tf)
+        matrix = sparse.csr_matrix(
+            (np.asarray(data, dtype=np.float64),
+             (np.asarray(rows, dtype=np.int64), np.asarray(cols, dtype=np.int64))),
+            shape=(len(doc_ids), len(terms)))
+        doc_lengths = np.asarray([self._doc_lengths[d] for d in doc_ids],
+                                 dtype=np.float64)
+        collection = np.asarray([self._collection_frequency[t] for t in terms],
+                                dtype=np.float64)
+        return TermDocumentMatrix(doc_ids, terms, matrix, doc_lengths,
+                                  collection, self._total_tokens)
+
     # -- Scoped views -----------------------------------------------------------
     def view(self, doc_ids: Iterable[str]) -> "IndexView":
         """A view of this index restricted to ``doc_ids``."""
@@ -151,6 +259,9 @@ class IndexView:
         # term -> (restricted postings, their tf sum); the sum is cached so
         # collection_frequency stays O(1) on the ranker's innermost loop.
         self._postings_cache: Dict[str, Tuple[Dict[str, int], int]] = {}
+        # The document subset is frozen and indexed term frequencies are
+        # immutable, so a built snapshot never goes stale.
+        self._matrix: Optional[TermDocumentMatrix] = None
 
     #: Shared sentinel for terms absent from a view, so caching a miss costs
     #: one dict slot instead of a fresh empty dict per term.
@@ -249,3 +360,32 @@ class IndexView:
         """Terms occurring in the view's documents, sorted."""
         return sorted(term for term in self._parent.vocabulary()
                       if self._restricted_stats(term, cache_empty=False)[0])
+
+    # -- Matrix view -------------------------------------------------------------
+    def term_document_matrix(self) -> TermDocumentMatrix:
+        """The (lazily built, cached) CSR snapshot of this view.
+
+        Built by row-slicing the parent's snapshot to the view's documents
+        and dropping terms that do not occur in them, so N entity views
+        share one corpus-wide matrix build and each keeps only its own
+        compact vocabulary.
+        """
+        if self._matrix is None:
+            parent = self._parent.term_document_matrix()
+            doc_ids = self.document_ids()
+            rows = np.asarray([parent.doc_position(d) for d in doc_ids],
+                              dtype=np.int64)
+            if rows.size:
+                restricted = parent.matrix[rows]
+            else:
+                restricted = sparse.csr_matrix((0, parent.num_terms))
+            frequencies = np.asarray(restricted.sum(axis=0)).ravel()
+            columns = np.flatnonzero(frequencies)
+            matrix = restricted[:, columns].tocsr()
+            terms = [parent.terms[c] for c in columns]
+            doc_lengths = (parent.doc_lengths[rows] if rows.size
+                           else np.zeros(0, dtype=np.float64))
+            self._matrix = TermDocumentMatrix(
+                doc_ids, terms, matrix, doc_lengths,
+                frequencies[columns], self._total_tokens)
+        return self._matrix

@@ -372,6 +372,56 @@ class TestSplitFirstSharding:
         assert process.fetch_statistics == serial.fetch_statistics
 
 
+class TestWorkerPerfShipping:
+    """Worker-side phase timings must survive the process boundary: every
+    batch outcome ships its per-phase aggregates home, and the orchestrator
+    folds them into its active recorder."""
+
+    @pytest.fixture(scope="class")
+    def tiny_corpus(self):
+        return TINY_SCALE.corpus_for("researcher")
+
+    def test_distributed_run_folds_worker_phases_home(self, tiny_corpus):
+        from repro import perf
+
+        rec = perf.enable()
+        try:
+            runner = ExperimentRunner(
+                tiny_corpus, base_seed=5, workers=2, backend="process",
+                corpus_spec=TINY_SCALE.corpus_spec_for("researcher"))
+            runner.evaluate_methods(("RND",), num_queries_list=(2,),
+                                    num_splits=2, max_test_entities=2,
+                                    aspects=("RESEARCH",))
+        finally:
+            perf.disable()
+        outcomes = runner.last_batch_outcomes
+        assert outcomes
+        assert all(o.perf_phases for o in outcomes)
+        # The orchestrator never harvested anything itself, yet its recorder
+        # counts exactly the harvests the workers timed.
+        shipped_harvests = sum(o.perf_phases["harvest"]["count"]
+                               for o in outcomes)
+        assert shipped_harvests > 0
+        assert rec.count("harvest") == shipped_harvests
+        assert rec.mean("harvest") > 0.0
+        meta = rec.samples_for("harvest")[0].meta_dict()
+        assert meta["worker_pid"] in {o.worker_pid for o in outcomes}
+        assert "split" in meta
+
+    def test_disabled_profiling_ships_nothing(self, tiny_corpus):
+        from repro import perf
+
+        perf.disable()
+        runner = ExperimentRunner(
+            tiny_corpus, base_seed=5, workers=2, backend="process",
+            corpus_spec=TINY_SCALE.corpus_spec_for("researcher"))
+        runner.evaluate_methods(("RND",), num_queries_list=(2,),
+                                num_splits=2, max_test_entities=2,
+                                aspects=("RESEARCH",))
+        assert runner.last_batch_outcomes
+        assert all(o.perf_phases == {} for o in runner.last_batch_outcomes)
+
+
 class TestSweepEquivalence:
     @pytest.fixture(scope="class")
     def sweep_kwargs(self):

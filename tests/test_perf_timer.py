@@ -36,6 +36,36 @@ class TestPerfRecorder:
         assert rec.mean("missing") == 0.0
         assert rec.phases() == ["fetch", "selection"]
 
+    def test_record_aggregate_weights_count(self):
+        rec = PerfRecorder()
+        rec.record("selection", 0.2)
+        rec.record_aggregate("selection", 0.8, 4, worker_pid=123)
+        assert rec.count("selection") == 5
+        assert rec.total("selection") == pytest.approx(1.0)
+        assert rec.mean("selection") == pytest.approx(0.2)
+        # Zero-occurrence aggregates record nothing.
+        rec.record_aggregate("noop", 1.0, 0)
+        assert rec.count("noop") == 0
+
+    def test_mark_and_aggregates_since_round_trip(self):
+        worker = PerfRecorder()
+        worker.record("split-prepare", 1.0)
+        mark = worker.mark()
+        worker.record("harvest", 0.5)
+        worker.record("selection", 0.25)
+        worker.record("selection", 0.75)
+        shipped = worker.aggregates_since(mark)
+        assert shipped == {
+            "harvest": {"count": 1, "total_seconds": 0.5},
+            "selection": {"count": 2, "total_seconds": pytest.approx(1.0)},
+        }
+        home = PerfRecorder()
+        home.record_aggregates(shipped, worker_pid=7)
+        assert home.count("selection") == 2
+        assert home.mean("selection") == pytest.approx(0.5)
+        assert home.count("split-prepare") == 0  # before the mark
+        assert home.samples_for("harvest")[0].meta_dict() == {"worker_pid": 7}
+
     def test_as_dict_and_write_round_trip(self, tmp_path):
         rec = PerfRecorder()
         rec.record("sweep-cell", 2.0, domain="car")

@@ -1,0 +1,281 @@
+"""Vectorized hot-path kernels vs their scalar references, property-tested.
+
+The sparse-matrix selection kernels promise *bit-identical* results to the
+scalar reference implementations they replaced: the ranker ``score_rows`` /
+``score_matrix`` kernels vs ``score``, the multi-RHS joint solver vs one
+:meth:`~repro.graph.random_walk.UtilitySolver.solve` per problem, and the
+selector's batched ``_choose`` vs ``_choose_scalar``.  These tests pin that
+contract over seeded random corpora, graphs and regularizations — including
+the edge cases (empty/singleton candidate sets, unseen query terms,
+incremental index updates) where a vectorized path most easily drifts.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.selection import ContextAwareSelection
+from repro.core.utility import GraphAssembler
+from repro.corpus.knowledge_base import build_type_system
+from repro.graph.random_walk import (
+    MODE_PRECISION,
+    MODE_RECALL,
+    RegularizationProblem,
+    UtilitySolver,
+)
+from repro.graph.reinforcement import ReinforcementGraphBuilder
+from repro.search.bm25 import BM25Ranker
+from repro.search.index import InvertedIndex
+from repro.search.language_model import DirichletLanguageModel
+
+VOCABULARY = [f"w{i}" for i in range(30)]
+
+
+def _random_index(rng: random.Random, num_docs: int) -> InvertedIndex:
+    index = InvertedIndex()
+    for position in range(num_docs):
+        tokens = [rng.choice(VOCABULARY)
+                  for _ in range(rng.randint(1, 25))]
+        index.add_document(f"d{position:02d}", tokens)
+    return index
+
+
+def _random_query(rng: random.Random) -> list:
+    pool = VOCABULARY + ["unseen-term"]
+    return [rng.choice(pool) for _ in range(rng.randint(1, 3))]
+
+
+RANKERS = [
+    pytest.param(lambda index: DirichletLanguageModel(index, mu=50.0),
+                 id="dirichlet-lm"),
+    pytest.param(lambda index: BM25Ranker(index, k1=1.2, b=0.75), id="bm25"),
+]
+
+
+class TestRankerKernelEquivalence:
+    @pytest.mark.parametrize("make_ranker", RANKERS)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_score_matrix_matches_scalar_bitwise(self, make_ranker, seed):
+        rng = random.Random(seed)
+        ranker = make_ranker(_random_index(rng, rng.randint(1, 10)))
+        queries = [_random_query(rng) for _ in range(6)]
+        scores, doc_ids = ranker.score_matrix(queries)
+        for row, query in enumerate(queries):
+            for column, doc_id in enumerate(doc_ids):
+                # Bit-identical, not approximately equal.
+                assert scores[row, column] == ranker.score(query, doc_id), \
+                    (query, doc_id)
+
+    @pytest.mark.parametrize("make_ranker", RANKERS)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_rank_matches_scalar_path(self, make_ranker, seed):
+        rng = random.Random(100 + seed)
+        ranker = make_ranker(_random_index(rng, rng.randint(2, 10)))
+        for _ in range(6):
+            query = _random_query(rng)
+            top_k = rng.choice([0, 1, 3])
+            require_match = rng.random() < 0.5
+            assert ranker.rank(query, top_k=top_k,
+                               require_match=require_match) == \
+                ranker._rank_scalar(query, top_k, require_match)
+
+    @pytest.mark.parametrize("make_ranker", RANKERS)
+    def test_unseen_terms_and_empty_query(self, make_ranker):
+        ranker = make_ranker(InvertedIndex.from_documents(
+            {"d0": ["alpha", "beta"], "d1": ["beta", "gamma"]}))
+        # A query of only unseen terms matches nothing.
+        assert ranker.rank(["never-indexed"]) == []
+        # Mixed seen/unseen still scores identically to the scalar path.
+        query = ["alpha", "never-indexed"]
+        scores, doc_ids = ranker.score_matrix([query])
+        for column, doc_id in enumerate(doc_ids):
+            assert scores[0, column] == ranker.score(query, doc_id)
+        # Empty queries retrieve nothing.
+        assert ranker.rank([]) == []
+
+    @pytest.mark.parametrize("make_ranker", RANKERS)
+    def test_incremental_updates_refresh_the_kernel_snapshot(self, make_ranker):
+        # The CSR snapshot is invalidated by add_document: scores after an
+        # incremental update must match a scalar re-score, not the stale
+        # snapshot.
+        index = InvertedIndex.from_documents({"d0": ["alpha", "beta"]})
+        ranker = make_ranker(index)
+        before = ranker.rank(["beta"])
+        assert [doc_id for doc_id, _ in before] == ["d0"]
+        index.add_document("d1", ["beta", "beta", "gamma"])
+        after = ranker.rank(["beta"])
+        assert {doc_id for doc_id, _ in after} == {"d0", "d1"}
+        assert after == ranker._rank_scalar(["beta"], 0, True)
+
+    def test_singleton_index_matches_scalar(self):
+        index = InvertedIndex.from_documents({"only": ["alpha"]})
+        for make_ranker in (DirichletLanguageModel, BM25Ranker):
+            ranker = make_ranker(index)
+            scores, doc_ids = ranker.score_matrix([["alpha"], ["beta"]])
+            assert doc_ids == ("only",)
+            assert scores[0, 0] == ranker.score(["alpha"], "only")
+            assert scores[1, 0] == ranker.score(["beta"], "only")
+
+
+def _random_graph(rng: random.Random):
+    builder = ReinforcementGraphBuilder()
+    num_pages = rng.randint(1, 5)
+    num_queries = rng.randint(1, 7)
+    num_templates = rng.randint(0, 4)
+    for p in range(num_pages):
+        builder.add_page(f"p{p}")
+    for q in range(num_queries):
+        builder.add_query(f"q{q}")
+    for t in range(num_templates):
+        builder.add_template(f"t{t}")
+    for p in range(num_pages):
+        for q in range(num_queries):
+            if rng.random() < 0.4:
+                builder.connect_page_query(f"p{p}", f"q{q}",
+                                           rng.choice([0.5, 1.0, 2.0]))
+    for q in range(num_queries):
+        for t in range(num_templates):
+            if rng.random() < 0.3:
+                builder.connect_query_template(f"q{q}", f"t{t}")
+    return builder.build()
+
+
+def _random_problem(rng: random.Random, graph) -> RegularizationProblem:
+    def layer(index, probability):
+        if rng.random() > probability:
+            return None
+        return {key: rng.random() for key in index.keys()
+                if rng.random() < 0.7}
+
+    return RegularizationProblem(
+        page_regularization=layer(graph.pages, 0.9),
+        query_regularization=layer(graph.queries, 0.3),
+        template_regularization=layer(graph.templates, 0.5),
+    )
+
+
+def _vectors_identical(left, right) -> bool:
+    return (np.array_equal(left.page_values, right.page_values)
+            and np.array_equal(left.query_values, right.query_values)
+            and np.array_equal(left.template_values, right.template_values)
+            and left.iterations == right.iterations
+            and left.converged == right.converged)
+
+
+class TestSolverEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_solve_joint_bit_identical_to_separate_solves(self, seed):
+        rng = random.Random(seed)
+        graph = _random_graph(rng)
+        solver = UtilitySolver(graph)
+        precision_problems = [_random_problem(rng, graph)
+                              for _ in range(rng.randint(0, 2))]
+        recall_problems = [_random_problem(rng, graph)
+                           for _ in range(rng.randint(1, 4))]
+        joint_p, joint_r = solver.solve_joint(precision_problems,
+                                              recall_problems)
+        for mode, problems, joint in ((MODE_PRECISION, precision_problems,
+                                       joint_p),
+                                      (MODE_RECALL, recall_problems, joint_r)):
+            assert len(joint) == len(problems)
+            for problem, vector in zip(problems, joint):
+                single = UtilitySolver(graph).solve(
+                    mode,
+                    page_regularization=problem.page_regularization,
+                    query_regularization=problem.query_regularization,
+                    template_regularization=problem.template_regularization)
+                assert _vectors_identical(vector, single), (seed, mode)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_duplicated_problems_converge_identically(self, seed):
+        # Column freezing must not couple columns: solving [a, a] gives two
+        # bit-identical results.
+        rng = random.Random(50 + seed)
+        graph = _random_graph(rng)
+        problem = _random_problem(rng, graph)
+        first, second = UtilitySolver(graph).solve_many(
+            MODE_RECALL, [problem, problem])
+        assert _vectors_identical(first, second)
+
+    def test_known_fixed_point_single_edge(self):
+        # One page, one query, p_hat = 1: the iteration alternates
+        # u_q <- 0.85 u_p and u_p <- 0.85 u_q + 0.15, whose fixed point is
+        # u_p = 0.15 / (1 - 0.85^2), u_q = 0.85 u_p.
+        builder = ReinforcementGraphBuilder()
+        builder.connect_page_query("p", "q", 1.0)
+        solver = UtilitySolver(builder.build(), alpha=0.15)
+        solved = solver.solve_precision(page_regularization={"p": 1.0})
+        assert solved.converged
+        expected_page = 0.15 / (1.0 - 0.85 ** 2)
+        assert solved.page("p") == pytest.approx(expected_page, abs=1e-4)
+        assert solved.query("q") == pytest.approx(0.85 * expected_page,
+                                                  abs=1e-4)
+
+    def test_empty_problem_list_returns_empty(self):
+        builder = ReinforcementGraphBuilder()
+        builder.connect_page_query("p", "q", 1.0)
+        solver = UtilitySolver(builder.build())
+        assert solver.solve_many(MODE_RECALL, []) == []
+        precision, recall = solver.solve_joint([], [])
+        assert precision == [] and recall == []
+
+
+class _CrossCheckingSelection(ContextAwareSelection):
+    """ContextAwareSelection that cross-checks every vectorized choice
+    against the scalar reference implementation in situ."""
+
+    def __init__(self, objective: str) -> None:
+        super().__init__(objective)
+        self.comparisons = 0
+
+    def _choose(self, session, utilities, candidates, penalty):
+        chosen = super()._choose(session, utilities, candidates, penalty)
+        reference = self._choose_scalar(session, utilities, candidates,
+                                        penalty)
+        assert chosen == reference, \
+            f"vectorized choice {chosen!r} != scalar choice {reference!r}"
+        self.comparisons += 1
+        return chosen
+
+
+class TestSelectorEquivalence:
+    @pytest.mark.parametrize("objective,method", [("precision", "L2QP"),
+                                                  ("recall", "L2QR"),
+                                                  ("balanced", "L2QBAL")])
+    def test_choose_matches_scalar_reference_during_harvest(
+            self, researcher_runner, researcher_prepared, objective, method):
+        job = researcher_runner.build_job(
+            researcher_prepared, method,
+            researcher_prepared.split.test_entities[0], "RESEARCH", 3)
+        selector = _CrossCheckingSelection(objective)
+        harvester = researcher_runner.harvester_for(researcher_prepared)
+        result = harvester.harvest(job.entity_id, job.aspect, selector,
+                                   job.relevance, num_queries=job.num_queries,
+                                   domain_model=job.domain_model,
+                                   seed=job.seed)
+        assert selector.comparisons >= 1
+        assert result.iterations
+
+    def test_choose_empty_candidates_returns_none(self):
+        selector = ContextAwareSelection("precision")
+        assert selector._choose(None, None, [], 0.0) is None
+
+
+class TestAssembledGraphTemplates:
+    def test_templates_attribute_is_a_materialised_list(self):
+        # Regression: ``AssembledGraph.templates`` was once the live
+        # ``dict_keys`` view of the vertex index — iterable exactly once and
+        # mutated under the caller's feet by later vertex registration.  It
+        # must be a plain list, aligned with the template vertex order.
+        from tests.helpers import make_page
+
+        type_system = build_type_system({"person": ["smith"]})
+        pages = [make_page("p0", "e1", [(["smith", "essay"], "RESEARCH")])]
+        assembled = GraphAssembler(type_system).assemble(
+            pages, [("smith", "essay")], use_templates=True)
+        assert isinstance(assembled.templates, list)
+        assert assembled.templates == list(assembled.graph.templates.keys())
+        assert len(assembled.templates) >= 1
+        # A list survives repeated iteration (a consumed iterator would not).
+        assert list(assembled.templates) == list(assembled.templates)
