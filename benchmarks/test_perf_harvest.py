@@ -15,6 +15,11 @@ PRs can track the execution-layer throughput trajectory:
 Determinism is asserted alongside the timing: every backend must produce
 the same queries and page ids as serial.
 
+A ``preparation`` section records what the shared corpus store buys the
+process backend: worker-side corpus preparation seconds with the store off
+(every worker regenerates) versus on (every worker attaches zero-copy),
+plus the orchestrator's one-time publish cost.
+
 Run with ``python -m pytest benchmarks/test_perf_harvest.py -q``.
 """
 
@@ -25,6 +30,7 @@ import os
 import platform
 import time
 
+from repro import perf
 from repro.eval.experiments import SMOKE_SCALE
 from repro.eval.runner import ExperimentRunner
 
@@ -94,6 +100,8 @@ def test_harvest_backend_benchmark(results_dir):
                                   if elapsed > 0 and serial_seconds else None),
         }
 
+    report["preparation"] = {"process": _store_preparation(corpus)}
+
     path = results_dir / "BENCH_harvest.json"
     path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(f"\n===== BENCH_harvest =====\n{json.dumps(report, indent=2)}\n")
@@ -105,3 +113,53 @@ def test_harvest_backend_benchmark(results_dir):
         assert entry["pages_gathered"] > 0
         assert entry["pages_per_second"] > 0
         assert signatures[backend] == signatures["serial"]
+    # The store must actually have attached (zero index rebuilds) and the
+    # rebuild baseline must actually have rebuilt.
+    prep = report["preparation"]["process"]
+    assert prep["attach"]["attached"] and prep["attach"]["index_builds"] == 0
+    assert prep["rebuild"]["corpus_rebuilds"] > 0
+
+
+def _store_preparation(corpus):
+    """Worker-side preparation cost with the corpus store off vs on.
+
+    The per-phase worker timings ship home through the batch outcomes and
+    fold into the orchestrator's recorder, so the totals below cover every
+    worker in the pool.
+    """
+    def distributed_run(corpus_store):
+        rec = perf.enable()
+        try:
+            runner = ExperimentRunner(
+                corpus, base_seed=5, workers=WORKERS, backend="process",
+                corpus_spec=SMOKE_SCALE.corpus_spec_for("researcher"),
+                corpus_store=corpus_store)
+            try:
+                runner.evaluate_methods(("RND",), num_queries_list=(NUM_QUERIES,),
+                                        num_splits=2, max_test_entities=2,
+                                        aspects=("RESEARCH",))
+            finally:
+                runner.release_store()
+        finally:
+            perf.disable()
+        outcomes = runner.last_batch_outcomes
+        return {
+            "corpus_attach_seconds": rec.total("corpus-attach"),
+            "corpus_attaches": rec.count("corpus-attach"),
+            "corpus_rebuild_seconds": rec.total("corpus-rebuild"),
+            "corpus_rebuilds": rec.count("corpus-rebuild"),
+            "store_publish_seconds": rec.total("store-publish"),
+            "attached": all(o.attached for o in outcomes),
+            "index_builds": sum(o.index_builds for o in outcomes),
+        }
+
+    rebuild = distributed_run("off")
+    attach = distributed_run("auto")
+    attach_seconds = attach["corpus_attach_seconds"]
+    return {
+        "rebuild": rebuild,
+        "attach": attach,
+        "preparation_speedup": (
+            rebuild["corpus_rebuild_seconds"] / attach_seconds
+            if attach_seconds else None),
+    }

@@ -87,6 +87,7 @@ from repro.eval.scenario_sweep import (
 )
 from repro.exec.backends import BACKEND_PROCESS, backend_names
 from repro.scenarios import make_scenario, scenario_names
+from repro.store import STORE_MODES
 from repro.search.rankers import ranker_names
 
 _FIGURES = {
@@ -230,6 +231,13 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
                         help="parallel harvesting workers (default 1, or all "
                              "CPUs under --paper-scale; results are identical "
                              "for any value)")
+    parser.add_argument("--corpus-store", default=None,
+                        choices=list(STORE_MODES),
+                        help="shared corpus store for the process backend: "
+                             "publish the corpus + index once and have "
+                             "workers attach instead of rebuilding (auto = "
+                             "probe shm, else mmap; results are identical "
+                             "with or without the store)")
     parser.add_argument("--perf-output", default=None, metavar="PATH",
                         help="record wall-clock phase timings (split "
                              "preparation, harvest loops, sweep cells) and "
@@ -330,8 +338,11 @@ def _command_experiment(args: argparse.Namespace, out) -> int:
                 print("note: fig14 measures wall-clock selection time; "
                       "harvests stay pinned to the serial backend, "
                       "--backend/--workers ignored", file=out)
-        elif args.backend:
-            kwargs["backend"] = args.backend
+        else:
+            if args.backend:
+                kwargs["backend"] = args.backend
+            if args.corpus_store is not None:
+                kwargs["corpus_store"] = args.corpus_store
     result = run(scale, domains=tuple(args.domains), **kwargs)
     print(render(result), file=out)
     return 0
@@ -413,6 +424,8 @@ def _command_scenarios(args: argparse.Namespace, out) -> int:
             backend=backend,
             param_grid=param_grid,
             config_by_scenario=config_by_scenario,
+            corpus_store=(args.corpus_store if args.corpus_store is not None
+                          else "auto"),
         )
     except ValueError as error:  # unknown/duplicate scenario or method
         print(str(error), file=out)

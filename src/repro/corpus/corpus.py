@@ -19,6 +19,48 @@ from repro.corpus.tokenizer import Tokenizer
 from repro.corpus.vocabulary import Vocabulary
 
 
+# -- Canonical content digest -------------------------------------------------
+# Shared by Corpus.content_digest (whole-corpus hash) and the corpus store
+# writer (incremental hash while streaming pages), so a published store's
+# digest equals the digest of the corpus it serialises by construction.
+
+def _feed_fields(digest, *fields: str) -> None:
+    # Each field is terminated by \x1e (and tuple elements joined by \x1f),
+    # so adjacent variable-length fields can never collide.
+    for value in fields:
+        digest.update(value.encode("utf-8"))
+        digest.update(b"\x1e")
+
+
+def content_digester(domain: str):
+    """A SHA-256 digest primed with the domain header field."""
+    digest = hashlib.sha256()
+    _feed_fields(digest, domain)
+    return digest
+
+
+def feed_entity(digest, entity_id: str, entity: Entity) -> None:
+    """Fold one entity into a canonical content digest."""
+    digest.update(b"\x1dE")
+    _feed_fields(digest, entity_id,
+                 "\x1f".join(entity.name_tokens),
+                 "\x1f".join(entity.seed_query))
+    for type_name in sorted(entity.attributes):
+        digest.update(b"\x1dA")
+        _feed_fields(digest, type_name, "\x1f".join(entity.attributes[type_name]))
+
+
+def feed_page(digest, page: Page) -> None:
+    """Fold one page into a canonical content digest."""
+    digest.update(b"\x1dP")
+    _feed_fields(digest, page.page_id, page.entity_id)
+    for paragraph in page.paragraphs:
+        digest.update(b"\x1dG")
+        _feed_fields(digest, paragraph.paragraph_id,
+                     paragraph.aspect if paragraph.aspect is not None else "\x00",
+                     "\x1f".join(paragraph.tokens))
+
+
 @dataclass
 class CorpusStats:
     """Summary statistics of a corpus (used in reports and sanity tests)."""
@@ -173,33 +215,11 @@ class Corpus:
         promises *byte-identical* corpora for equal seeds; this digest is
         what that promise is tested — and benchmarked — against.
         """
-        digest = hashlib.sha256()
-
-        def feed(*fields: str) -> None:
-            # Each field is terminated by \x1e (and tuple elements joined by
-            # \x1f), so adjacent variable-length fields can never collide.
-            for value in fields:
-                digest.update(value.encode("utf-8"))
-                digest.update(b"\x1e")
-
-        feed(self.domain)
+        digest = content_digester(self.domain)
         for entity_id in self.entity_ids():
-            entity = self.entities[entity_id]
-            digest.update(b"\x1dE")
-            feed(entity_id,
-                 "\x1f".join(entity.name_tokens),
-                 "\x1f".join(entity.seed_query))
-            for type_name in sorted(entity.attributes):
-                digest.update(b"\x1dA")
-                feed(type_name, "\x1f".join(entity.attributes[type_name]))
+            feed_entity(digest, entity_id, self.entities[entity_id])
         for page in self.iter_pages():
-            digest.update(b"\x1dP")
-            feed(page.page_id, page.entity_id)
-            for paragraph in page.paragraphs:
-                digest.update(b"\x1dG")
-                feed(paragraph.paragraph_id,
-                     paragraph.aspect if paragraph.aspect is not None else "\x00",
-                     "\x1f".join(paragraph.tokens))
+            feed_page(digest, page)
         return digest.hexdigest()
 
     def stats(self) -> CorpusStats:

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from types import MappingProxyType
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.corpus.corpus import Corpus
 from repro.corpus.document import Entity, Page, Paragraph
@@ -167,6 +167,29 @@ class CorpusGenerator:
         return BaseCorpus(config=self.config.base_config(),
                           entities=MappingProxyType(entities),
                           pages=MappingProxyType(pages))
+
+    def generate_entities(self) -> Dict[str, Entity]:
+        """Generate just the entity table of the base corpus.
+
+        The first half of streaming generation: pair with
+        :meth:`generate_pages` to feed pages one at a time into a consumer
+        (e.g. a corpus-store writer) without ever materialising the full
+        page map in this process.
+        """
+        return self._generate_entities()
+
+    def generate_pages(self, entities: Mapping[str, Entity]) -> Iterator[Page]:
+        """Stream the base corpus's pages in sorted page-id order.
+
+        Per-entity page RNGs are label-derived (``"pages"``, entity id) —
+        never drawn from generation state — so this stream yields pages
+        byte-identical to :meth:`generate_base`'s.  Entity ids embed a
+        zero-padded index and page ids a zero-padded per-entity index, so
+        iterating entities in sorted-id order yields pages in globally
+        sorted page-id order (the order stores and indexes require).
+        """
+        for entity_id in sorted(entities):
+            yield from self._generate_entity_pages(entities[entity_id])
 
     def realise(self, base: BaseCorpus,
                 perturbations: Optional[Tuple] = None) -> Corpus:

@@ -200,7 +200,8 @@ def run_fig10(scale: ExperimentScale = DEFAULT_SCALE,
               config: Optional[L2QConfig] = None,
               num_queries: int = 3,
               workers: int = 1,
-              backend: BackendArg = None) -> Fig10Result:
+              backend: BackendArg = None,
+              corpus_store: str = "auto") -> Fig10Result:
     """Compare {RND, P, P+q, P+t, L2QP} on precision and the recall ladder on recall."""
     precision_results: Dict[str, Dict[str, float]] = {}
     recall_results: Dict[str, Dict[str, float]] = {}
@@ -208,15 +209,19 @@ def run_fig10(scale: ExperimentScale = DEFAULT_SCALE,
         corpus = scale.corpus_for(domain)
         runner = ExperimentRunner(corpus, config=config, workers=workers,
                                   backend=backend,
-                                  corpus_spec=scale.corpus_spec_for(domain))
+                                  corpus_spec=scale.corpus_spec_for(domain),
+                                  corpus_store=corpus_store)
         aspects = scale.aspects_for(corpus)
         methods = sorted(set(FIG10_PRECISION_METHODS) | set(FIG10_RECALL_METHODS))
-        series = runner.evaluate_methods(
-            methods, num_queries_list=(num_queries,),
-            num_splits=scale.num_splits,
-            max_test_entities=scale.max_test_entities,
-            aspects=aspects,
-        )
+        try:
+            series = runner.evaluate_methods(
+                methods, num_queries_list=(num_queries,),
+                num_splits=scale.num_splits,
+                max_test_entities=scale.max_test_entities,
+                aspects=aspects,
+            )
+        finally:
+            runner.release_store()
         precision_results[domain] = {
             m: series[m].precision[num_queries] for m in FIG10_PRECISION_METHODS
         }
@@ -247,7 +252,8 @@ def run_fig11(scale: ExperimentScale = DEFAULT_SCALE,
               config: Optional[L2QConfig] = None,
               num_queries: int = 3,
               workers: int = 1,
-              backend: BackendArg = None) -> Fig11Result:
+              backend: BackendArg = None,
+              corpus_store: str = "auto") -> Fig11Result:
     """Sweep the fraction of domain entities available to the domain phase."""
     precision_results: Dict[str, Dict[float, float]] = {}
     recall_results: Dict[str, Dict[float, float]] = {}
@@ -255,20 +261,24 @@ def run_fig11(scale: ExperimentScale = DEFAULT_SCALE,
         corpus = scale.corpus_for(domain)
         runner = ExperimentRunner(corpus, config=config, workers=workers,
                                   backend=backend,
-                                  corpus_spec=scale.corpus_spec_for(domain))
+                                  corpus_spec=scale.corpus_spec_for(domain),
+                                  corpus_store=corpus_store)
         aspects = scale.aspects_for(corpus)
         precision_results[domain] = {}
         recall_results[domain] = {}
-        for fraction in fractions:
-            series = runner.evaluate_methods(
-                ("L2QP", "L2QR"), num_queries_list=(num_queries,),
-                num_splits=scale.num_splits,
-                domain_fraction=fraction,
-                max_test_entities=scale.max_test_entities,
-                aspects=aspects,
-            )
-            precision_results[domain][fraction] = series["L2QP"].precision[num_queries]
-            recall_results[domain][fraction] = series["L2QR"].recall[num_queries]
+        try:
+            for fraction in fractions:
+                series = runner.evaluate_methods(
+                    ("L2QP", "L2QR"), num_queries_list=(num_queries,),
+                    num_splits=scale.num_splits,
+                    domain_fraction=fraction,
+                    max_test_entities=scale.max_test_entities,
+                    aspects=aspects,
+                )
+                precision_results[domain][fraction] = series["L2QP"].precision[num_queries]
+                recall_results[domain][fraction] = series["L2QR"].recall[num_queries]
+        finally:
+            runner.release_store()
     return Fig11Result(precision_by_domain=precision_results,
                        recall_by_domain=recall_results,
                        fractions=tuple(fractions))
@@ -324,20 +334,25 @@ class ComparisonResult:
 def _run_comparison(methods: Sequence[str], scale: ExperimentScale,
                     domains: Sequence[str], config: Optional[L2QConfig],
                     workers: int = 1,
-                    backend: BackendArg = None) -> ComparisonResult:
+                    backend: BackendArg = None,
+                    corpus_store: str = "auto") -> ComparisonResult:
     series_by_domain: Dict[str, Dict[str, MetricSeries]] = {}
     for domain in domains:
         corpus = scale.corpus_for(domain)
         runner = ExperimentRunner(corpus, config=config, workers=workers,
                                   backend=backend,
-                                  corpus_spec=scale.corpus_spec_for(domain))
+                                  corpus_spec=scale.corpus_spec_for(domain),
+                                  corpus_store=corpus_store)
         aspects = scale.aspects_for(corpus)
-        series_by_domain[domain] = runner.evaluate_methods(
-            methods, num_queries_list=scale.num_queries_list,
-            num_splits=scale.num_splits,
-            max_test_entities=scale.max_test_entities,
-            aspects=aspects,
-        )
+        try:
+            series_by_domain[domain] = runner.evaluate_methods(
+                methods, num_queries_list=scale.num_queries_list,
+                num_splits=scale.num_splits,
+                max_test_entities=scale.max_test_entities,
+                aspects=aspects,
+            )
+        finally:
+            runner.release_store()
     return ComparisonResult(series_by_domain=series_by_domain,
                             num_queries_list=tuple(scale.num_queries_list))
 
@@ -346,20 +361,24 @@ def run_fig12(scale: ExperimentScale = DEFAULT_SCALE,
               domains: Sequence[str] = DOMAINS,
               config: Optional[L2QConfig] = None,
               workers: int = 1,
-              backend: BackendArg = None) -> ComparisonResult:
+              backend: BackendArg = None,
+              corpus_store: str = "auto") -> ComparisonResult:
     """Precision and recall of L2QP / L2QR vs LM, AQ, HR, MQ (Fig. 12)."""
     return _run_comparison(FIG12_METHODS, scale, domains, config,
-                           workers=workers, backend=backend)
+                           workers=workers, backend=backend,
+                           corpus_store=corpus_store)
 
 
 def run_fig13(scale: ExperimentScale = DEFAULT_SCALE,
               domains: Sequence[str] = DOMAINS,
               config: Optional[L2QConfig] = None,
               workers: int = 1,
-              backend: BackendArg = None) -> ComparisonResult:
+              backend: BackendArg = None,
+              corpus_store: str = "auto") -> ComparisonResult:
     """F-score of the balanced strategy L2QBAL vs the baselines (Fig. 13)."""
     return _run_comparison(FIG13_METHODS, scale, domains, config,
-                           workers=workers, backend=backend)
+                           workers=workers, backend=backend,
+                           corpus_store=corpus_store)
 
 
 @dataclass

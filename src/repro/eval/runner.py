@@ -16,7 +16,7 @@
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.aspects.classifier import AspectClassifierSuite
@@ -42,10 +42,14 @@ from repro.exec.specs import (
     HarvestJobSpec,
     HarvestTaskContext,
     _ProcessLocalCache,
+    reserve_base_slots,
 )
 from repro.perf import recorder as perf_recorder
 from repro.perf.timer import PerfRecorder
 from repro.search.engine import FetchStatistics, SearchEngine, merge_run_accounting
+from repro.store import MODE_OFF, StoreError, StoreHandle, publish_store, release
+from repro.store import resolve_mode as resolve_store_mode
+from repro.corpus.synthetic import CorpusConfig
 from repro.utils.rng import derive_seed
 
 #: Methods that consume the domain phase output.
@@ -154,7 +158,8 @@ class ExperimentRunner:
     def __init__(self, corpus: Corpus, config: Optional[L2QConfig] = None,
                  base_seed: int = 99, workers: int = 1,
                  backend: Union[None, str, ExecutionBackend] = None,
-                 corpus_spec: Optional[CorpusSpec] = None) -> None:
+                 corpus_spec: Optional[CorpusSpec] = None,
+                 corpus_store: str = "auto") -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.corpus = corpus
@@ -164,6 +169,13 @@ class ExperimentRunner:
         self.workers = workers
         self.backend = resolve_backend(backend, workers=workers)
         self.corpus_spec = corpus_spec
+        #: Shared corpus store policy for distributed dispatches:
+        #: ``auto`` (probe shm, else mmap), ``off``, ``shm`` or ``mmap``.
+        self.corpus_store = corpus_store
+        if corpus_store != MODE_OFF:
+            resolve_store_mode(corpus_store)  # validate eagerly
+        self._store_handle: Optional[StoreHandle] = None
+        self._store_failed = False
         self._corpus_digest: Optional[str] = None
         #: Probes of the last distributed dispatch (split-first sharding):
         #: one :class:`~repro.exec.specs.HarvestBatchOutcome` per executed
@@ -453,6 +465,67 @@ class ExperimentRunner:
                 waste_series,
                 merge_run_accounting(accountings))
 
+    # -- Shared corpus store --------------------------------------------------------
+    def _ensure_store(self) -> Optional[StoreHandle]:
+        """Publish this runner's corpus once for workers to attach.
+
+        Only meaningful when the dispatch is distributed, a ``corpus_spec``
+        exists and it describes the *clean* corpus (a scenario spec's store
+        would have to hold the unperturbed base, which this runner does not
+        have).  Publishing streams the live corpus — entities plus pages in
+        sorted id order — through a store writer whose incremental digest is
+        checked against :attr:`_corpus_digest`, so the published bytes are
+        provably the corpus the metrics fold against.  Publish failures
+        latch: the run silently continues on the rebuild path.
+        """
+        if self._store_handle is not None:
+            return self._store_handle
+        if (self._store_failed or self.corpus_store == MODE_OFF
+                or self.corpus_spec is None
+                or self.corpus_spec.scenario is not None):
+            return None
+        spec = self.corpus_spec
+        config = CorpusConfig(domain=spec.domain,
+                              num_entities=spec.num_entities,
+                              pages_per_entity=spec.pages_per_entity,
+                              seed=spec.seed)
+        rec = perf_recorder()
+        try:
+            if rec is None:
+                self._store_handle = publish_store(
+                    config, self.corpus.entities, self.corpus.iter_pages(),
+                    mode=self.corpus_store,
+                    expected_digest=self._corpus_digest)
+            else:
+                with rec.phase("store-publish", domain=spec.domain):
+                    self._store_handle = publish_store(
+                        config, self.corpus.entities, self.corpus.iter_pages(),
+                        mode=self.corpus_store,
+                        expected_digest=self._corpus_digest)
+        except StoreError:
+            self._store_failed = True
+            return None
+        return self._store_handle
+
+    def _dispatch_spec(self) -> Optional[CorpusSpec]:
+        """The corpus spec workers receive: with a store handle when published."""
+        handle = self._ensure_store()
+        if handle is None:
+            return self.corpus_spec
+        return replace(self.corpus_spec, store_handle=handle)
+
+    def release_store(self) -> None:
+        """Unlink the published store, if any (idempotent).
+
+        Attached workers keep their mappings; only new attaches stop
+        resolving (and fall back to rebuilding).  Also called automatically
+        at interpreter exit via the store module's cleanup hook.
+        """
+        if self._store_handle is not None:
+            release(self._store_handle)
+            self._store_handle = None
+            self._store_failed = False
+
     def _run_all_splits(self, split_specs: List[Tuple[EntitySplit,
                                                       List[HarvestJobSpec]]],
                         domain_fraction: float) -> List[List[HarvestResult]]:
@@ -480,9 +553,10 @@ class ExperimentRunner:
                 # workers refuse to harvest a rebuilt corpus that does not
                 # match the corpus the metrics will be folded against.
                 self._corpus_digest = self.corpus.content_digest()
+            dispatch_spec = self._dispatch_spec()
             payloads = plan_harvest_batches(
                 [(HarvestTaskContext(
-                    corpus=self.corpus_spec,
+                    corpus=dispatch_spec,
                     config=self.config,
                     base_seed=self.base_seed,
                     split_index=split_index,
@@ -648,6 +722,8 @@ def plan_harvest_batches(split_payloads: Sequence[Tuple[HarvestTaskContext,
         raise ValueError("workers must be >= 1")
     payloads = [(context, list(specs)) for context, specs in split_payloads]
     num_splits = sum(1 for _, specs in payloads if specs)
+    base_slots = len({context.corpus.base_key()
+                      for context, specs in payloads if specs})
     pieces_per_split = 1 if num_splits == 0 or workers <= num_splits \
         else -(-workers // num_splits)
     batches: List[HarvestBatchSpec] = []
@@ -659,7 +735,7 @@ def plan_harvest_batches(split_payloads: Sequence[Tuple[HarvestTaskContext,
         for start in range(0, len(specs), size):
             batches.append(HarvestBatchSpec(
                 context=context, specs=tuple(specs[start:start + size]),
-                runtime_slots=num_splits))
+                runtime_slots=num_splits, base_slots=base_slots))
     return batches
 
 
@@ -695,12 +771,18 @@ def _task_runtime(context: HarvestTaskContext) -> _TaskRuntime:
         global _RUNTIME_BUILDS
         _RUNTIME_BUILDS += 1
         corpus = context.corpus.build()
-        if context.corpus_digest is not None and \
-                corpus.content_digest() != context.corpus_digest:
-            raise ValueError(
-                f"corpus_spec {context.corpus!r} rebuilds a corpus whose "
-                f"digest does not match the orchestrator's corpus; the spec "
-                f"describes a different corpus (stale seed or sizes?)")
+        if context.corpus_digest is not None:
+            # A store-backed corpus carries the publish-time digest, which
+            # the publisher already verified against the live corpus —
+            # trusting it avoids realising every lazy page just to re-hash.
+            digest = getattr(corpus, "store_digest", None)
+            if digest is None:
+                digest = corpus.content_digest()
+            if digest != context.corpus_digest:
+                raise ValueError(
+                    f"corpus_spec {context.corpus!r} rebuilds a corpus whose "
+                    f"digest does not match the orchestrator's corpus; the spec "
+                    f"describes a different corpus (stale seed or sizes?)")
         runner = ExperimentRunner(corpus, config=context.config,
                                   base_seed=context.base_seed, workers=1)
         prepared = runner.prepare(runner.default_split(context.split_index),
@@ -725,6 +807,10 @@ def execute_harvest_batch(batch: HarvestBatchSpec) -> HarvestBatchOutcome:
     # work-stolen batches of more splits than the default capacity would
     # evict and re-prepare runtimes it still needs.
     _TASK_RUNTIMES.reserve(batch.runtime_slots)
+    # Likewise for the base-corpus and realised-corpus caches: room for
+    # every distinct base in the dispatch, so shards touching many
+    # (domain, sizes, seed) bases cannot thrash into regeneration cycles.
+    reserve_base_slots(batch.base_slots)
     before = _RUNTIME_BUILDS
     rec = perf_recorder()
     perf_mark = rec.mark() if rec is not None else 0
@@ -741,6 +827,9 @@ def execute_harvest_batch(batch: HarvestBatchSpec) -> HarvestBatchOutcome:
         # so the orchestrator's profile covers worker-side work too.
         perf_phases=(rec.aggregates_since(perf_mark)
                      if rec is not None else {}),
+        attached=getattr(runtime.runner.corpus, "store_handle", None)
+        is not None,
+        index_builds=runtime.prepared.engine.index_builds,
     )
 
 

@@ -48,13 +48,16 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.core.config import L2QConfig
 from repro.core.selection import selector_names
 from repro.corpus.corpus import Corpus
-from repro.corpus.synthetic import realise_base
+from repro.corpus.synthetic import CorpusConfig, realise_base
 from repro.eval.experiments import DOMAINS, SMOKE_SCALE, ExperimentScale
 from repro.eval.runner import BASELINE_METHODS, ExperimentRunner
 from repro.exec.backends import ExecutionBackend, resolve_backend
-from repro.exec.specs import SweepCellResult, SweepCellSpec
+from repro.exec.specs import SweepCellResult, SweepCellSpec, reserve_base_slots
 from repro.perf import recorder as perf_recorder
 from repro.scenarios import ScenarioSpec, make_scenario, scenario_names
+from repro.store import MODE_OFF, StoreError, StoreHandle
+from repro.store import publish_generated, release
+from repro.store import resolve_mode as resolve_store_mode
 
 #: Selectors swept by default: the paper's three full approaches.
 DEFAULT_SWEEP_METHODS = ("L2QP", "L2QR", "L2QBAL")
@@ -350,14 +353,20 @@ def execute_sweep_cell(spec: SweepCellSpec) -> SweepCellResult:
 
 
 def _execute_sweep_cell(spec: SweepCellSpec) -> SweepCellResult:
+    # Room in the worker's base/corpus caches for every base in the sweep,
+    # so interleaved work-stolen cells cannot thrash into regeneration.
+    reserve_base_slots(spec.base_slots)
     corpus = spec.corpus.build()
     metrics, absolute, waste, fetch = _evaluate_corpus(
         corpus, spec.methods, spec.num_queries, spec.num_splits,
         spec.max_test_entities, spec.max_aspects, spec.config, spec.base_seed)
+    # Store-attached corpora carry their publish-time content digest (the
+    # same canonical hash), sparing a full lazy-page realisation pass.
+    digest = getattr(corpus, "store_digest", None)
     return SweepCellResult(
         domain=spec.domain,
         scenario=spec.scenario_name,
-        corpus_digest=corpus.content_digest(),
+        corpus_digest=digest if digest is not None else corpus.content_digest(),
         metrics=metrics,
         absolute_metrics=absolute,
         duplicate_waste=waste,
@@ -408,7 +417,8 @@ class ScenarioSweep:
                  workers: int = 1,
                  backend: Union[None, str, ExecutionBackend] = None,
                  param_grid: Optional[Dict[str, object]] = None,
-                 config_by_scenario: Optional[Dict[str, L2QConfig]] = None) -> None:
+                 config_by_scenario: Optional[Dict[str, L2QConfig]] = None,
+                 corpus_store: str = "auto") -> None:
         # All inputs are validated eagerly: a sweep cell is expensive, so a
         # typo must fail here, not mid-run after the clean baseline.
         if not methods:
@@ -444,6 +454,11 @@ class ScenarioSweep:
         self.workers = workers
         self.backend = resolve_backend(backend, workers=workers)
         self.param_grid = param_grid
+        #: Shared corpus store policy for the distributed path (one
+        #: published base per domain; workers attach instead of
+        #: regenerating).  ``auto`` / ``off`` / ``shm`` / ``mmap``.
+        self.corpus_store = corpus_store
+        resolve_store_mode(corpus_store)  # validate eagerly
         self.config_by_scenario = dict(config_by_scenario or {})
         known = {spec.name for spec in self.specs}
         orphans = sorted(set(self.config_by_scenario) - known)
@@ -519,16 +534,53 @@ class ScenarioSweep:
                 # scenario pays for its own full generation.
                 yield spec, self.scale.corpus_for(base.domain, scenario=spec)
 
+    def _publish_domain_stores(self) -> Dict[str, StoreHandle]:
+        """Stream-publish one clean base store per domain for workers.
+
+        Pages flow straight from the generator into the store writer
+        (:func:`repro.store.publish_generated`), so the orchestrating
+        process never materialises a domain's page set — the store is how
+        large sweep corpora reach workers at all.  A publish failure stops
+        publishing (already-published domains stay usable); affected cells
+        simply rebuild.
+        """
+        handles: Dict[str, StoreHandle] = {}
+        if self.corpus_store == MODE_OFF:
+            return handles
+        rec = perf_recorder()
+        for domain in self.domains:
+            config = CorpusConfig(domain=domain,
+                                  num_entities=self.scale.num_entities[domain],
+                                  pages_per_entity=self.scale.pages_per_entity,
+                                  seed=self.scale.corpus_seed)
+            try:
+                with (rec.phase("store-publish", domain=domain)
+                      if rec else nullcontext()):
+                    handles[domain] = publish_generated(
+                        config, mode=self.corpus_store)
+            except StoreError:
+                break
+        return handles
+
     def _run_distributed(self) -> List[SweepCellResult]:
         """Process path: shard whole (domain, scenario) cells across workers.
 
         Cells are ordered domain-major, so contiguous shards keep a
         domain's cells together and the workers' process-local base-corpus
         caches amortise generation the same way the in-process path does.
+        Unless the store is off, each domain's clean base is published to a
+        shared corpus store first and every cell spec carries its handle:
+        workers attach (clean cells zero-copy, base-sharing scenarios
+        perturb the attached base) instead of regenerating, and fall back
+        to generation if a segment vanishes.  Stores are unlinked once the
+        dispatch returns — attached workers keep their mappings.
         """
+        handles = self._publish_domain_stores()
         cell_specs = [
             SweepCellSpec(
-                corpus=self.scale.corpus_spec_for(domain, scenario=scenario),
+                corpus=replace(
+                    self.scale.corpus_spec_for(domain, scenario=scenario),
+                    store_handle=handles.get(domain)),
                 methods=tuple(self.methods),
                 num_queries=self.num_queries,
                 num_splits=self.scale.num_splits,
@@ -540,11 +592,18 @@ class ScenarioSweep:
             for domain in self.domains
             for scenario in [None] + list(self.specs)
         ]
+        base_slots = len({spec.corpus.base_key() for spec in cell_specs})
+        cell_specs = [replace(spec, base_slots=base_slots)
+                      for spec in cell_specs]
         rec = perf_recorder()
-        with (rec.phase("sweep-dispatch", cells=len(cell_specs),
-                        workers=self.backend.workers)
-              if rec else nullcontext()):
-            return self.backend.map(execute_sweep_cell, cell_specs)
+        try:
+            with (rec.phase("sweep-dispatch", cells=len(cell_specs),
+                            workers=self.backend.workers)
+                  if rec else nullcontext()):
+                return self.backend.map(execute_sweep_cell, cell_specs)
+        finally:
+            for handle in handles.values():
+                release(handle)
 
     # -- Folding ----------------------------------------------------------------
     def _fold(self, result: ScenarioSweepResult,
@@ -596,9 +655,11 @@ def run_scenario_sweep(scale: ExperimentScale = SMOKE_SCALE,
                        num_queries: int = 3,
                        config: Optional[L2QConfig] = None,
                        workers: int = 1,
-                       backend: Union[None, str, ExecutionBackend] = None
+                       backend: Union[None, str, ExecutionBackend] = None,
+                       corpus_store: str = "auto"
                        ) -> ScenarioSweepResult:
     """Convenience wrapper: build a :class:`ScenarioSweep` and run it."""
     return ScenarioSweep(scale=scale, scenarios=scenarios, methods=methods,
                          domains=domains, num_queries=num_queries,
-                         config=config, workers=workers, backend=backend).run()
+                         config=config, workers=workers, backend=backend,
+                         corpus_store=corpus_store).run()

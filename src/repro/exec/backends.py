@@ -190,6 +190,21 @@ class ProcessBackend(ExecutionBackend):
             pool.shutdown()
             self._pool = None
 
+    def _abort(self) -> None:
+        """Tear the pool down after a failed future, without waiting.
+
+        ``close()`` would block behind every still-running sibling (a
+        shutdown waits by default), so one poisoned batch could hide its
+        error behind minutes of doomed work.  Aborting cancels the queued
+        futures and returns immediately; in-flight ones finish in workers
+        that are no longer ours.  The pool is dropped either way so a
+        dead/broken pool cannot poison later calls.
+        """
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent
         self.close()
 
@@ -205,9 +220,7 @@ class ProcessBackend(ExecutionBackend):
                 results.extend(future.result())
             return results
         except Exception:
-            # A dead/broken pool must not poison later calls; drop it so
-            # the next map starts fresh.
-            self.close()
+            self._abort()
             raise
 
     def map_tasks(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
@@ -225,7 +238,7 @@ class ProcessBackend(ExecutionBackend):
             futures = [self._executor().submit(fn, item) for item in items]
             return [future.result() for future in futures]
         except Exception:
-            self.close()
+            self._abort()
             raise
 
 

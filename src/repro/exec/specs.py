@@ -25,7 +25,9 @@ from typing import Callable, Optional, Tuple, TypeVar
 from repro.core.config import L2QConfig
 from repro.corpus.corpus import Corpus
 from repro.corpus.synthetic import BaseCorpus, build_base, realise_base
+from repro.perf import recorder as perf_recorder
 from repro.scenarios import ScenarioSpec
+from repro.store import StoreError, StoreHandle, attach
 
 V = TypeVar("V")
 
@@ -66,6 +68,33 @@ class _ProcessLocalCache:
 
 _BASE_CACHE = _ProcessLocalCache(capacity=4)
 
+#: Realised-corpus cache keyed by full spec repr: scenarios whose config
+#: overrides prevent base sharing (``shares_base == False``) land here, so
+#: repeated cells of such a scenario in one worker still build once.
+_CORPUS_CACHE = _ProcessLocalCache(capacity=4)
+
+#: Process-local count of realised-corpus builds (cache misses of
+#: :meth:`CorpusSpec.build`) — a test/diagnostic probe, like
+#: :func:`repro.corpus.synthetic.base_generation_count`.
+_CORPUS_BUILDS = 0
+
+
+def corpus_build_count() -> int:
+    """How many realised corpora this process built (cache misses)."""
+    return _CORPUS_BUILDS
+
+
+def reserve_base_slots(count: int) -> None:
+    """Grow the worker's base- and corpus-cache capacity to ``count``.
+
+    Dispatchers call this (via the ``base_slots`` carried on batch and cell
+    specs) with the number of distinct base keys in flight, so a worker
+    shard touching many ``(domain, sizes, seed)`` bases cannot thrash either
+    cache into evict-and-rebuild cycles.
+    """
+    _BASE_CACHE.reserve(count)
+    _CORPUS_CACHE.reserve(count)
+
 
 @dataclass(frozen=True)
 class CorpusSpec:
@@ -76,6 +105,12 @@ class CorpusSpec:
     corpus.  :meth:`build` realises scenarios against a process-locally
     cached shared base, so all cells of one domain landing in the same
     worker shard pay base generation once.
+
+    ``store_handle`` optionally points at a published corpus store
+    (:mod:`repro.store`) holding this spec's *clean* realisation: workers
+    then attach zero-copy instead of regenerating, falling back to the
+    rebuild path automatically when the segment is gone.  The handle never
+    changes what corpus the spec denotes — only how fast a worker gets it.
     """
 
     domain: str
@@ -83,6 +118,7 @@ class CorpusSpec:
     pages_per_entity: int
     seed: int
     scenario: Optional[ScenarioSpec] = None
+    store_handle: Optional[StoreHandle] = None
 
     def base_key(self) -> str:
         """Cache key of the shared base this spec realises against."""
@@ -90,16 +126,57 @@ class CorpusSpec:
                      self.seed))
 
     def build_base(self) -> BaseCorpus:
-        """The (process-locally cached) shared base corpus of this spec."""
-        return _BASE_CACHE.get_or_build(
-            self.base_key(),
-            lambda: build_base(domain=self.domain,
-                               num_entities=self.num_entities,
-                               pages_per_entity=self.pages_per_entity,
-                               seed=self.seed))
+        """The (process-locally cached) shared base corpus of this spec.
+
+        With a live store attached, the base is served straight from the
+        store's lazily page-backed snapshot — no generation at all.
+        """
+        def generate() -> BaseCorpus:
+            if self.store_handle is not None:
+                try:
+                    return attach(self.store_handle).base_corpus()
+                except StoreError:
+                    pass  # released or unreachable: fall back to generation
+            return build_base(domain=self.domain,
+                              num_entities=self.num_entities,
+                              pages_per_entity=self.pages_per_entity,
+                              seed=self.seed)
+
+        return _BASE_CACHE.get_or_build(self.base_key(), generate)
 
     def build(self) -> Corpus:
-        """Rebuild the corpus this spec describes (deterministic)."""
+        """Rebuild the corpus this spec describes (deterministic).
+
+        Realised corpora are cached per worker by full spec repr, so every
+        spec — including non-base-sharing scenarios — builds at most once
+        per process.  The build is timed as ``corpus-attach`` (store served)
+        or ``corpus-rebuild`` (generated) when profiling is on; cache hits
+        are not timed.
+        """
+        return _CORPUS_CACHE.get_or_build(repr(self), self._build_fresh)
+
+    def _build_fresh(self) -> Corpus:
+        global _CORPUS_BUILDS
+        _CORPUS_BUILDS += 1
+        if self.scenario is None and self.store_handle is not None:
+            try:
+                attachment = attach(self.store_handle)
+            except StoreError:
+                attachment = None
+            if attachment is not None:
+                rec = perf_recorder()
+                if rec is None:
+                    return attachment.corpus()
+                with rec.phase("corpus-attach", domain=self.domain):
+                    return attachment.corpus()
+        rec = perf_recorder()
+        if rec is None:
+            return self._rebuild()
+        with rec.phase("corpus-rebuild", domain=self.domain):
+            return self._rebuild()
+
+    def _rebuild(self) -> Corpus:
+        """Today's generation path (also the no-store / store-gone fallback)."""
         if self.scenario is None:
             return realise_base(self.build_base())
         if not self.scenario.shares_base:
@@ -176,6 +253,10 @@ class HarvestBatchSpec:
     context: HarvestTaskContext
     specs: Tuple[HarvestJobSpec, ...]
     runtime_slots: int = 4
+    #: Distinct base-corpus keys in flight across the dispatch — workers
+    #: grow their base/corpus caches to at least this (see
+    #: :func:`reserve_base_slots`).
+    base_slots: int = 4
 
 
 @dataclass
@@ -201,6 +282,13 @@ class HarvestBatchOutcome:
     split_index: int
     runtime_builds: int
     perf_phases: dict = field(default_factory=dict)
+    #: True when the batch's corpus came from an attached store segment —
+    #: with it, ``index_builds`` must be 0 (the attach == rebuild guarantee
+    #: is asserted by tests, not assumed).
+    attached: bool = False
+    #: Full corpus indexing passes the batch's engine performed (0 when a
+    #: published store supplied the index, else at most 1 per runtime).
+    index_builds: int = 0
 
 
 @dataclass(frozen=True)
@@ -219,6 +307,9 @@ class SweepCellSpec:
     max_aspects: Optional[int]
     config: Optional[L2QConfig]
     base_seed: int
+    #: Distinct base-corpus keys across the sweep's dispatched cells (see
+    #: :func:`reserve_base_slots`).
+    base_slots: int = 4
 
     @property
     def domain(self) -> str:

@@ -76,9 +76,21 @@ def _entry(source: str, benchmark: str, kind: str,
 def _harvest_entries(source: str, report: Dict[str, object]) -> List[Dict[str, object]]:
     """Per-backend throughput entries from ``BENCH_harvest.json``."""
     versions = {"python": report.get("python")}
+    preparation = report.get("preparation", {})
     entries = []
     for backend in sorted(report.get("backends", {})):
         stats = report["backends"][backend]
+        metrics = {
+            "jobs": report.get("jobs"),
+            "jobs_per_second": stats.get("jobs_per_second"),
+            "pages_gathered": stats.get("pages_gathered"),
+            "workers": report.get("workers"),
+        }
+        if backend in preparation:
+            # Corpus-store preparation cost (attach vs rebuild seconds per
+            # worker pool, publish cost, attach probes) rides along
+            # untruncated for the backends that measured it.
+            metrics["preparation"] = preparation[backend]
         entries.append(_entry(
             source=source,
             benchmark="harvest",
@@ -89,12 +101,7 @@ def _harvest_entries(source: str, report: Dict[str, object]) -> List[Dict[str, o
             wall_seconds=stats.get("wall_seconds"),
             pages_per_second=stats.get("pages_per_second"),
             speedup_vs_serial=stats.get("speedup_vs_serial"),
-            metrics={
-                "jobs": report.get("jobs"),
-                "jobs_per_second": stats.get("jobs_per_second"),
-                "pages_gathered": stats.get("pages_gathered"),
-                "workers": report.get("workers"),
-            },
+            metrics=metrics,
         ))
     return entries
 

@@ -208,6 +208,9 @@ class SearchEngine:
         self.fetch_statistics = FetchStatistics()
         #: Number of full corpus indexing passes performed (1 after first use).
         self.index_builds = 0
+        #: Number of times the corpus supplied a pre-built shared index
+        #: (store-backed corpora; see :meth:`shared_index`).
+        self.index_attaches = 0
         self._shared_index: Optional[InvertedIndex] = None
         self._entity_views: Dict[str, IndexView] = {}
         self._entity_rankers: Dict[str, Ranker] = {}
@@ -237,6 +240,7 @@ class SearchEngine:
         state["_entity_rankers"] = {}
         state["_result_cache"] = OrderedDict()
         state["index_builds"] = 0
+        state["index_attaches"] = 0
         state["fetch_statistics"] = FetchStatistics()
         return state
 
@@ -253,14 +257,28 @@ class SearchEngine:
 
     # -- Index management -----------------------------------------------------
     def shared_index(self) -> InvertedIndex:
-        """The corpus-wide index, built on first use (one pass per corpus)."""
+        """The corpus-wide index, built on first use (one pass per corpus).
+
+        A corpus that already carries its index — a store-backed corpus
+        attached from a published segment exposes it via
+        ``shared_index_supplier`` — is adopted as-is instead of re-indexed:
+        the supplied index is bit-identical to the one this build loop
+        produces (the store writer added the same documents in the same
+        sorted order), and ``index_attaches`` (not ``index_builds``) counts
+        the adoption.
+        """
         with self._lock:
             if self._shared_index is None:
-                index = InvertedIndex()
-                for page in sorted(self.corpus.iter_pages(), key=lambda p: p.page_id):
-                    index.add_document(page.page_id, page.tokens)
-                self._shared_index = index
-                self.index_builds += 1
+                supplier = getattr(self.corpus, "shared_index_supplier", None)
+                if supplier is not None:
+                    self._shared_index = supplier()
+                    self.index_attaches += 1
+                else:
+                    index = InvertedIndex()
+                    for page in sorted(self.corpus.iter_pages(), key=lambda p: p.page_id):
+                        index.add_document(page.page_id, page.tokens)
+                    self._shared_index = index
+                    self.index_builds += 1
             return self._shared_index
 
     def _index_for(self, entity_id: str) -> IndexView:

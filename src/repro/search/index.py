@@ -237,6 +237,75 @@ class InvertedIndex:
         return IndexView(self, doc_ids)
 
 
+class _SnapshotPostings(Mapping):
+    """Lazy ``{term: {doc_id: tf}}`` postings over a CSR snapshot.
+
+    Backs :class:`AttachedInvertedIndex`: per-term postings dicts are
+    materialised from the snapshot's CSC columns on first access and cached.
+    Column row-indices are sorted, so each dict's insertion order is sorted
+    doc-id order — the same order :meth:`InvertedIndex.add_document` produces
+    when documents arrive in sorted id order, keeping every iteration-order-
+    sensitive consumer bit-identical to the rebuilt index.
+    """
+
+    __slots__ = ("_snapshot", "_cache")
+
+    def __init__(self, snapshot: TermDocumentMatrix) -> None:
+        self._snapshot = snapshot
+        self._cache: Dict[str, Dict[str, int]] = {}
+
+    def __getitem__(self, term: str) -> Dict[str, int]:
+        postings = self._cache.get(term)
+        if postings is None:
+            column = self._snapshot.term_position(term)
+            if column is None:
+                raise KeyError(term)
+            rows, values = self._snapshot.term_column(column)
+            doc_ids = self._snapshot.doc_ids
+            postings = {doc_ids[row]: int(tf)
+                        for row, tf in zip(rows, values)}
+            self._cache[term] = postings
+        return postings
+
+    def __iter__(self):
+        return iter(self._snapshot.terms)
+
+    def __len__(self) -> int:
+        return self._snapshot.num_terms
+
+    def __contains__(self, term: object) -> bool:
+        return self._snapshot.term_position(term) is not None  # type: ignore[arg-type]
+
+
+class AttachedInvertedIndex(InvertedIndex):
+    """A read-only :class:`InvertedIndex` reconstructed from a CSR snapshot.
+
+    The attach-construction path of the shared corpus store: instead of
+    re-tokenising and re-counting every document, the index adopts a
+    published :class:`TermDocumentMatrix` (typically zero-copy views over a
+    shared-memory segment) as its matrix snapshot and serves the dictionary
+    interface through lazy per-term postings.  All statistics — term/
+    document/collection frequencies, probabilities, views — are bit-for-bit
+    identical to an index built by adding the same documents in sorted id
+    order, because the snapshot is a pure function of exactly that build.
+    """
+
+    def __init__(self, snapshot: TermDocumentMatrix) -> None:
+        self._postings = _SnapshotPostings(snapshot)  # type: ignore[assignment]
+        self._doc_lengths = {doc_id: int(length)
+                             for doc_id, length
+                             in zip(snapshot.doc_ids, snapshot.doc_lengths)}
+        self._collection_frequency = Counter(
+            {term: int(cf) for term, cf
+             in zip(snapshot.terms, snapshot.collection_frequencies)})
+        self._total_tokens = snapshot.total_tokens
+        self._matrix = snapshot
+
+    def add_document(self, doc_id: str, tokens: Sequence[str]) -> None:
+        raise TypeError("attached indexes are read-only; "
+                        "rebuild from the corpus to extend")
+
+
 class IndexView:
     """A read-only restriction of an :class:`InvertedIndex` to a document subset.
 

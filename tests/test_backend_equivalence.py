@@ -85,7 +85,9 @@ class TestRunnerEquivalence:
     def test_mismatched_corpus_spec_fails_loudly(self, tiny_corpus):
         # A spec describing a different corpus (wrong seed) must error in
         # the worker, not silently fold metrics against the wrong ground
-        # truth.
+        # truth.  The store stays off: publish-on-dispatch ships the *live*
+        # corpus, so with a store attached there is no mismatch to catch —
+        # this guard covers the rebuild path.
         from repro.exec.specs import CorpusSpec
 
         stale = CorpusSpec(domain="researcher",
@@ -93,7 +95,8 @@ class TestRunnerEquivalence:
                            pages_per_entity=TINY_SCALE.pages_per_entity,
                            seed=TINY_SCALE.corpus_seed + 1)
         runner = ExperimentRunner(tiny_corpus, base_seed=5, workers=2,
-                                  backend="process", corpus_spec=stale)
+                                  backend="process", corpus_spec=stale,
+                                  corpus_store="off")
         with pytest.raises(ValueError, match="digest does not match"):
             runner.evaluate_methods(("RND",), num_queries_list=(2,),
                                     max_test_entities=1,
@@ -438,6 +441,112 @@ class TestSweepEquivalence:
         swept = run_scenario_sweep(backend=backend, workers=workers,
                                    **sweep_kwargs).to_json()
         assert swept == serial_json
+
+
+class TestSharedCorpusStore:
+    """PR 7 tentpole acceptance: with a published store, workers *attach*
+    to the orchestrator's corpus + index instead of rebuilding — and the
+    attached run is bit-identical to both the rebuild run and serial."""
+
+    METHODS = ("RND", "MQ")
+
+    @pytest.fixture(scope="class")
+    def tiny_corpus(self):
+        return TINY_SCALE.corpus_for("researcher")
+
+    @pytest.fixture(scope="class")
+    def tiny_corpus_spec(self):
+        return TINY_SCALE.corpus_spec_for("researcher")
+
+    def _evaluate(self, corpus, backend, *, workers=1, corpus_spec=None,
+                  corpus_store="off"):
+        runner = ExperimentRunner(corpus, base_seed=5, workers=workers,
+                                  backend=backend, corpus_spec=corpus_spec,
+                                  corpus_store=corpus_store)
+        try:
+            evaluation = runner.evaluate_methods_detailed(
+                self.METHODS, num_queries_list=(2,), num_splits=2,
+                max_test_entities=2, aspects=("RESEARCH",))
+        finally:
+            runner.release_store()
+        return runner, evaluation
+
+    def _signatures(self, runner):
+        return sorted(
+            harvest_signature(r)
+            for outcome in runner.last_batch_outcomes
+            for r in outcome.results)
+
+    def test_attach_bit_identical_to_rebuild_and_serial(
+            self, tiny_corpus, tiny_corpus_spec):
+        serial_runner, serial = self._evaluate(tiny_corpus, "serial")
+        rebuild_runner, rebuild = self._evaluate(
+            tiny_corpus, "process", workers=2, corpus_spec=tiny_corpus_spec,
+            corpus_store="off")
+        attach_runner, attach = self._evaluate(
+            tiny_corpus, "process", workers=2, corpus_spec=tiny_corpus_spec,
+            corpus_store="auto")
+        for method in self.METHODS:
+            for other in (rebuild, attach):
+                assert other.normalized[method].precision == \
+                    serial.normalized[method].precision
+                assert other.normalized[method].recall == \
+                    serial.normalized[method].recall
+                assert other.normalized[method].f_score == \
+                    serial.normalized[method].f_score
+        assert attach.fetch_statistics == serial.fetch_statistics
+        # Bit-for-bit: every harvest (queries, page-id trajectories, seeds)
+        # of the attached run matches the rebuild run exactly.  (The serial
+        # path runs without batches, so it is tied in via the metric and
+        # fetch-statistics equalities above.)
+        del serial_runner
+        reference = self._signatures(rebuild_runner)
+        assert len(reference) > 0
+        assert self._signatures(attach_runner) == reference
+
+    def test_store_eliminates_worker_index_rebuilds(self, tiny_corpus,
+                                                    tiny_corpus_spec):
+        rebuild_runner, _ = self._evaluate(
+            tiny_corpus, "process", workers=2, corpus_spec=tiny_corpus_spec,
+            corpus_store="off")
+        attach_runner, _ = self._evaluate(
+            tiny_corpus, "process", workers=2, corpus_spec=tiny_corpus_spec,
+            corpus_store="auto")
+        rebuild_outcomes = rebuild_runner.last_batch_outcomes
+        attach_outcomes = attach_runner.last_batch_outcomes
+        assert rebuild_outcomes and attach_outcomes
+        # Store off: every worker rebuilt its inverted index from pages.
+        assert all(not o.attached for o in rebuild_outcomes)
+        assert sum(o.index_builds for o in rebuild_outcomes) > 0
+        # Store on: zero rebuilds anywhere in the cluster — every runtime
+        # adopted the published CSR snapshot.
+        assert all(o.attached for o in attach_outcomes)
+        assert sum(o.index_builds for o in attach_outcomes) == 0
+
+    def test_thread_backend_ignores_store_publication(self, tiny_corpus):
+        # In-process backends share the live corpus already; the store flag
+        # must be a no-op there, not an error.
+        _, threaded = self._evaluate(tiny_corpus, "thread", workers=4,
+                                     corpus_store="auto")
+        _, serial = self._evaluate(tiny_corpus, "serial")
+        for method in self.METHODS:
+            assert threaded.normalized[method].f_score == \
+                serial.normalized[method].f_score
+
+    def test_store_off_flag_disables_publication(self, tiny_corpus,
+                                                 tiny_corpus_spec):
+        runner, _ = self._evaluate(
+            tiny_corpus, "process", workers=2, corpus_spec=tiny_corpus_spec,
+            corpus_store="off")
+        assert all(not o.attached for o in runner.last_batch_outcomes)
+
+    def test_batches_carry_distinct_base_slot_counts(self):
+        # Dispatch computes how many distinct base corpora are in flight so
+        # workers can grow their caches *before* the first build.
+        payloads = [(_context(i), _specs(i, 4)) for i in range(3)]
+        batches = plan_harvest_batches(payloads, workers=3)
+        # All three contexts share one CorpusSpec → one distinct base.
+        assert all(batch.base_slots == 1 for batch in batches)
 
 
 class TestSharedBaseGeneration:

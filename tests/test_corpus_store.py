@@ -1,0 +1,237 @@
+"""The shared corpus store: publish once, attach everywhere, bit for bit.
+
+Covers the full lifecycle (publish → attach → release → fallback), the
+zero-copy attached index's equivalence to a freshly built one, streaming
+generation, pickling semantics and both transport modes (shm + mmap).
+"""
+
+import pickle
+
+import pytest
+
+from repro.corpus.synthetic import (
+    CorpusConfig,
+    CorpusGenerator,
+    build_corpus,
+)
+from repro.exec.specs import CorpusSpec
+from repro.search.engine import SearchEngine
+from repro.search.index import AttachedInvertedIndex, InvertedIndex
+from repro.store import (
+    MODE_MMAP,
+    MODE_SHM,
+    CorpusStoreWriter,
+    StoreError,
+    StoreNotFoundError,
+    attach,
+    attach_corpus,
+    publish_generated,
+    publish_store,
+    release,
+    resolve_mode,
+)
+
+DOMAIN = "researcher"
+NUM_ENTITIES = 6
+PAGES_PER_ENTITY = 4
+SEED = 3
+
+
+def _config() -> CorpusConfig:
+    return CorpusConfig(domain=DOMAIN, num_entities=NUM_ENTITIES,
+                        pages_per_entity=PAGES_PER_ENTITY, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def live_corpus():
+    return build_corpus(domain=DOMAIN, num_entities=NUM_ENTITIES,
+                        pages_per_entity=PAGES_PER_ENTITY, seed=SEED)
+
+
+@pytest.fixture()
+def handle(live_corpus):
+    published = publish_store(_config(), live_corpus.entities,
+                              live_corpus.iter_pages(),
+                              expected_digest=live_corpus.content_digest())
+    yield published
+    release(published)
+
+
+def _built_index(corpus) -> InvertedIndex:
+    index = InvertedIndex()
+    for page in sorted(corpus.iter_pages(), key=lambda p: p.page_id):
+        index.add_document(page.page_id, page.tokens)
+    return index
+
+
+class TestStreamingGeneration:
+    def test_generate_pages_matches_generate_base(self):
+        generator = CorpusGenerator(_config())
+        base = generator.generate_base()
+        entities = generator.generate_entities()
+        assert entities == dict(base.entities)
+        streamed = list(generator.generate_pages(entities))
+        assert [p.page_id for p in streamed] == sorted(base.pages)
+        for page in streamed:
+            reference = base.pages[page.page_id]
+            assert page.entity_id == reference.entity_id
+            assert page.paragraphs == reference.paragraphs
+
+    def test_streamed_page_ids_globally_sorted(self):
+        generator = CorpusGenerator(_config())
+        ids = [p.page_id for p in
+               generator.generate_pages(generator.generate_entities())]
+        assert ids == sorted(ids)
+
+
+class TestPublishAttach:
+    def test_published_digest_matches_live_corpus(self, live_corpus, handle):
+        assert handle.digest == live_corpus.content_digest()
+
+    def test_attached_corpus_is_content_identical(self, live_corpus, handle):
+        attached = attach_corpus(handle)
+        assert attached.content_digest() == live_corpus.content_digest()
+        assert set(attached.entities) == set(live_corpus.entities)
+        assert sorted(attached.pages) == sorted(live_corpus.pages)
+        assert attached.store_digest == handle.digest
+
+    def test_publish_generated_equals_live_generation(self, live_corpus):
+        streamed = publish_generated(_config())
+        try:
+            assert streamed.digest == live_corpus.content_digest()
+            assert attach_corpus(streamed).content_digest() == \
+                live_corpus.content_digest()
+        finally:
+            release(streamed)
+
+    def test_digest_mismatch_fails_and_unpublishes(self, live_corpus):
+        from repro.store import published_handles
+
+        before = set(published_handles())
+        with pytest.raises(StoreError, match="does not match"):
+            publish_store(_config(), live_corpus.entities,
+                          live_corpus.iter_pages(),
+                          expected_digest="0" * 64)
+        assert set(published_handles()) == before
+
+    def test_double_attach_returns_cached_attachment(self, handle):
+        assert attach(handle) is attach(handle)
+
+    def test_subset_preserves_content(self, live_corpus, handle):
+        kept = sorted(live_corpus.entities)[:2]
+        assert attach_corpus(handle).subset(kept).content_digest() == \
+            live_corpus.subset(kept).content_digest()
+
+    def test_mmap_mode_round_trips(self, live_corpus):
+        mmap_handle = publish_store(_config(), live_corpus.entities,
+                                    live_corpus.iter_pages(), mode=MODE_MMAP,
+                                    expected_digest=live_corpus.content_digest())
+        try:
+            assert mmap_handle.mode == MODE_MMAP
+            assert attach_corpus(mmap_handle).content_digest() == \
+                live_corpus.content_digest()
+        finally:
+            release(mmap_handle)
+
+
+class TestAttachedIndex:
+    def test_attached_index_equals_built_index(self, live_corpus, handle):
+        built = _built_index(live_corpus)
+        attached = attach(handle).index()
+        assert attached.document_ids() == built.document_ids()
+        assert attached.vocabulary() == built.vocabulary()
+        assert attached.total_tokens == built.total_tokens
+        assert attached.average_document_length == built.average_document_length
+        for doc_id in built.document_ids():
+            assert attached.document_length(doc_id) == \
+                built.document_length(doc_id)
+        for term in built.vocabulary():
+            assert attached.postings(term) == built.postings(term)
+            assert attached.collection_frequency(term) == \
+                built.collection_frequency(term)
+            assert attached.collection_probability(term) == \
+                built.collection_probability(term)
+
+    def test_attached_matrix_equals_built_matrix(self, live_corpus, handle):
+        built = _built_index(live_corpus).term_document_matrix()
+        attached = attach(handle).index().term_document_matrix()
+        assert attached.doc_ids == built.doc_ids
+        assert attached.terms == built.terms
+        assert (attached.matrix != built.matrix).nnz == 0
+        assert (attached.doc_lengths == built.doc_lengths).all()
+        assert (attached.collection_frequencies ==
+                built.collection_frequencies).all()
+
+    def test_attached_index_is_read_only(self, handle):
+        index = attach(handle).index()
+        assert isinstance(index, AttachedInvertedIndex)
+        with pytest.raises(TypeError, match="read-only"):
+            index.add_document("zzz_new_page", ["some", "tokens"])
+
+    def test_engine_adopts_index_without_building(self, handle):
+        engine = SearchEngine(attach_corpus(handle))
+        engine.shared_index()
+        assert engine.index_builds == 0
+        assert engine.index_attaches == 1
+
+
+class TestLifecycle:
+    def test_release_prevents_new_attach(self, live_corpus):
+        fresh = publish_store(_config(), live_corpus.entities,
+                              live_corpus.iter_pages())
+        release(fresh)
+        with pytest.raises(StoreNotFoundError):
+            attach(fresh)
+
+    def test_release_is_idempotent(self, live_corpus):
+        fresh = publish_store(_config(), live_corpus.entities,
+                              live_corpus.iter_pages())
+        release(fresh)
+        release(fresh)  # must not raise
+
+    def test_spec_falls_back_to_rebuild_after_release(self, live_corpus):
+        fresh = publish_store(_config(), live_corpus.entities,
+                              live_corpus.iter_pages())
+        release(fresh)
+        spec = CorpusSpec(domain=DOMAIN, num_entities=NUM_ENTITIES,
+                          pages_per_entity=PAGES_PER_ENTITY, seed=SEED,
+                          store_handle=fresh)
+        rebuilt = spec.build()
+        assert rebuilt.content_digest() == live_corpus.content_digest()
+        assert getattr(rebuilt, "store_handle", None) is None
+
+    def test_spec_with_handle_attaches(self, live_corpus, handle):
+        spec = CorpusSpec(domain=DOMAIN, num_entities=NUM_ENTITIES,
+                          pages_per_entity=PAGES_PER_ENTITY, seed=SEED,
+                          store_handle=handle)
+        corpus = spec.build()
+        assert corpus.store_handle == handle
+        assert corpus.store_digest == live_corpus.content_digest()
+
+    def test_writer_enforces_sorted_page_order(self, live_corpus):
+        pages = sorted(live_corpus.iter_pages(), key=lambda p: p.page_id)
+        writer = CorpusStoreWriter(_config(), live_corpus.entities)
+        writer.add_page(pages[1])
+        with pytest.raises(StoreError, match="sorted page-id order"):
+            writer.add_page(pages[0])
+
+    def test_resolve_mode_rejects_unknown_modes(self):
+        with pytest.raises(ValueError, match="unknown corpus-store mode"):
+            resolve_mode("carrier-pigeon")
+        assert resolve_mode(MODE_SHM) in (MODE_SHM,)
+
+
+class TestPickling:
+    def test_store_backed_corpus_pickles_by_handle(self, live_corpus, handle):
+        corpus = attach_corpus(handle)
+        clone = pickle.loads(pickle.dumps(corpus))
+        # Within one process the round-trip lands on the cached attachment.
+        assert clone is corpus
+
+    def test_pickled_engine_reattaches(self, handle):
+        engine = SearchEngine(attach_corpus(handle))
+        engine.shared_index()
+        clone = pickle.loads(pickle.dumps(engine))
+        clone.shared_index()
+        assert clone.index_builds == 0
+        assert clone.index_attaches == 1

@@ -25,6 +25,41 @@ def _double(value):
     return value * 2
 
 
+def _mark_or_poison(payload):
+    """Touch a marker file, or raise — the failure-path probe payload."""
+    import time
+    from pathlib import Path
+
+    directory, name, poison, sleep = payload
+    if poison:
+        raise RuntimeError("poisoned payload")
+    if sleep:
+        time.sleep(sleep)
+    Path(directory, name).touch()
+    return name
+
+
+def _count_base_generations(payload):
+    """Build every spec's base in one worker; return generations performed.
+
+    Clears and re-pins the inherited (forked) base cache so the probe is
+    independent of whatever the parent process cached or reserved.
+    """
+    from repro.corpus import synthetic
+    from repro.exec import specs as specs_module
+
+    spec_cycle, capacity, slots = payload
+    cache = specs_module._BASE_CACHE
+    cache._entries.clear()
+    cache.capacity = capacity
+    if slots:
+        specs_module.reserve_base_slots(slots)
+    before = synthetic.base_generation_count()
+    for spec in spec_cycle:
+        spec.build_base()
+    return synthetic.base_generation_count() - before
+
+
 class TestRegistry:
     def test_builtins_registered(self):
         assert {BACKEND_SERIAL, BACKEND_THREAD, BACKEND_PROCESS} <= set(backend_names())
@@ -143,6 +178,104 @@ class TestSharding:
         backend.close()
 
 
+class TestFailurePropagation:
+    """A poisoned payload must surface promptly: the pool is torn down with
+    ``cancel_futures=True`` instead of waiting for every doomed sibling."""
+
+    def test_map_tasks_failure_skips_cancelled_siblings(self, tmp_path):
+        backend = ProcessBackend(1)
+        items = [(str(tmp_path), "poison", True, 0.0)] + \
+            [(str(tmp_path), f"sibling_{i}", False, 0.5) for i in range(4)]
+        try:
+            with pytest.raises(RuntimeError, match="poisoned payload"):
+                backend.map_tasks(_mark_or_poison, items)
+            # One worker, poison first: every sibling was still queued when
+            # the failure hit, so cancellation means none of them ran.
+            assert list(tmp_path.iterdir()) == []
+            # The dead pool was dropped, not left to poison later calls.
+            assert backend._pool is None
+            assert backend.map(_double, [21]) == [42]
+        finally:
+            backend.close()
+
+    def test_map_failure_aborts_without_draining_shards(self, tmp_path):
+        backend = ProcessBackend(1)
+        # Two shards on one worker: the first poisons, the second (still
+        # queued) must be cancelled rather than executed.
+        items = [(str(tmp_path), "poison", True, 0.0),
+                 (str(tmp_path), "late", False, 0.5)]
+        try:
+            with pytest.raises(RuntimeError, match="poisoned payload"):
+                backend.map(_mark_or_poison, items)
+            assert not (tmp_path / "late").exists()
+            assert backend._pool is None
+        finally:
+            backend.close()
+
+    def test_failure_surfaces_promptly(self, tmp_path):
+        import time
+
+        backend = ProcessBackend(1)
+        items = [(str(tmp_path), "poison", True, 0.0)] + \
+            [(str(tmp_path), f"slow_{i}", False, 2.0) for i in range(4)]
+        try:
+            start = time.monotonic()
+            with pytest.raises(RuntimeError):
+                backend.map_tasks(_mark_or_poison, items)
+            elapsed = time.monotonic() - start
+        finally:
+            backend.close()
+        # A waiting shutdown would drain 4 x 2 s of doomed work; the abort
+        # path returns as soon as the first result raises.
+        assert elapsed < 4.0
+
+
+class TestBaseCacheReservation:
+    """The dispatch-time ``reserve_base_slots`` bugfix: a worker shard that
+    touches more distinct bases than the default cache capacity (4) must not
+    thrash into evict-and-regenerate cycles."""
+
+    def _specs(self, count):
+        return [CorpusSpec(domain="researcher", num_entities=4,
+                           pages_per_entity=2, seed=100 + i)
+                for i in range(count)]
+
+    def test_reserved_worker_generates_each_base_once(self):
+        specs = self._specs(6)
+        backend = ProcessBackend(1)
+        try:
+            (generated,) = backend.map(
+                _count_base_generations, [(tuple(specs * 2), 4, 6)])
+        finally:
+            backend.close()
+        assert generated == 6
+
+    def test_unreserved_worker_thrashes(self):
+        # The regression this PR fixes: six bases cycled twice through an
+        # unreserved capacity-4 LRU miss on every single access.
+        specs = self._specs(6)
+        backend = ProcessBackend(1)
+        try:
+            (generated,) = backend.map(
+                _count_base_generations, [(tuple(specs * 2), 4, 0)])
+        finally:
+            backend.close()
+        assert generated == 12
+
+    def test_reserve_grows_both_caches(self):
+        from repro.exec.specs import _BASE_CACHE, _CORPUS_CACHE, reserve_base_slots
+
+        base_before = _BASE_CACHE.capacity
+        corpus_before = _CORPUS_CACHE.capacity
+        target = max(base_before, corpus_before) + 3
+        reserve_base_slots(target)
+        assert _BASE_CACHE.capacity == target
+        assert _CORPUS_CACHE.capacity == target
+        reserve_base_slots(1)  # never shrinks
+        assert _BASE_CACHE.capacity == target
+        assert _CORPUS_CACHE.capacity == target
+
+
 class TestProcessLocalCache:
     def test_build_once_per_key(self):
         cache = _ProcessLocalCache(capacity=2)
@@ -177,6 +310,35 @@ class TestCorpusSpec:
         full = scenario.corpus_for("researcher", num_entities=8,
                                    pages_per_entity=6, seed=11)
         assert spec.build().content_digest() == full.content_digest()
+
+    def test_non_base_sharing_scenario_builds_once(self):
+        # The realised-corpus cache bugfix: scenarios with config overrides
+        # (shares_base == False) used to bypass caching entirely and
+        # regenerate on every build() call.
+        from repro.exec.specs import corpus_build_count
+        from repro.scenarios import ScenarioSpec
+
+        scenario = ScenarioSpec(name="dense-hubs-test",
+                                description="hub-heavy override scenario",
+                                config_overrides={"hub_page_fraction": 0.4})
+        assert not scenario.shares_base
+        spec = CorpusSpec(domain="researcher", num_entities=4,
+                          pages_per_entity=3, seed=9119, scenario=scenario)
+        before = corpus_build_count()
+        first = spec.build()
+        assert corpus_build_count() == before + 1
+        assert spec.build() is first
+        assert corpus_build_count() == before + 1
+
+    def test_clean_build_is_cached_per_spec(self):
+        from repro.exec.specs import corpus_build_count
+
+        spec = CorpusSpec(domain="car", num_entities=4, pages_per_entity=3,
+                          seed=9120)
+        first = spec.build()
+        count = corpus_build_count()
+        assert spec.build() is first
+        assert corpus_build_count() == count
 
     def test_spec_is_picklable(self):
         import pickle
