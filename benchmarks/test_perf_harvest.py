@@ -100,7 +100,11 @@ def test_harvest_backend_benchmark(results_dir):
                                   if elapsed > 0 and serial_seconds else None),
         }
 
-    report["preparation"] = {"process": _store_preparation(corpus)}
+    process_preparation = _store_preparation(corpus)
+    report["preparation"] = {
+        "process": process_preparation,
+        "classifier": process_preparation.pop("classifier"),
+    }
 
     path = results_dir / "BENCH_harvest.json"
     path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
@@ -118,6 +122,15 @@ def test_harvest_backend_benchmark(results_dir):
     prep = report["preparation"]["process"]
     assert prep["attach"]["attached"] and prep["attach"]["index_builds"] == 0
     assert prep["rebuild"]["corpus_rebuilds"] > 0
+    # Classifier suites ship through the store: with it on, no worker batch
+    # retrained anything, and attaching a trained suite beats training one
+    # by a wide margin even at smoke scale.
+    classifier = report["preparation"]["classifier"]
+    assert prep["rebuild"]["worker_classifier_trainings"] > 0
+    assert prep["attach"]["worker_classifier_trainings"] == 0
+    assert prep["attach"]["classifier_attached"]
+    assert classifier["trainings"] > 0 and classifier["attaches"] > 0
+    assert classifier["attach_speedup"] >= 5
 
 
 def _store_preparation(corpus):
@@ -149,17 +162,48 @@ def _store_preparation(corpus):
             "corpus_rebuild_seconds": rec.total("corpus-rebuild"),
             "corpus_rebuilds": rec.count("corpus-rebuild"),
             "store_publish_seconds": rec.total("store-publish"),
+            "classifier_train_seconds": rec.total("classifier-train"),
+            "classifier_trainings": rec.count("classifier-train"),
+            "classifier_attach_seconds": rec.total("classifier-attach"),
+            "classifier_attaches": rec.count("classifier-attach"),
             "attached": all(o.attached for o in outcomes),
             "index_builds": sum(o.index_builds for o in outcomes),
+            "worker_classifier_trainings": sum(o.classifier_trainings
+                                               for o in outcomes),
+            "classifier_attached": all(o.classifier_attached
+                                       for o in outcomes),
         }
 
     rebuild = distributed_run("off")
     attach = distributed_run("auto")
     attach_seconds = attach["corpus_attach_seconds"]
+    # Train vs attach: with the store off every worker trains its split's
+    # suite; with the store on the orchestrator trains once at publish
+    # ("classifier-train" samples of the attach run) and every worker
+    # attaches zero-copy.  The per-attach cost is what the store buys.
+    trainings = rebuild["classifier_trainings"]
+    attaches = attach["classifier_attaches"]
+    train_per = (rebuild["classifier_train_seconds"] / trainings
+                 if trainings else None)
+    attach_per = (attach["classifier_attach_seconds"] / attaches
+                  if attaches else None)
+    classifier = {
+        "train_seconds": rebuild["classifier_train_seconds"],
+        "trainings": trainings,
+        "attach_seconds": attach["classifier_attach_seconds"],
+        "attaches": attaches,
+        "publish_train_seconds": attach["classifier_train_seconds"],
+        "publish_trainings": attach["classifier_trainings"],
+        "train_seconds_per_suite": train_per,
+        "attach_seconds_per_suite": attach_per,
+        "attach_speedup": (train_per / attach_per
+                           if train_per and attach_per else None),
+    }
     return {
         "rebuild": rebuild,
         "attach": attach,
         "preparation_speedup": (
             rebuild["corpus_rebuild_seconds"] / attach_seconds
             if attach_seconds else None),
+        "classifier": classifier,
     }

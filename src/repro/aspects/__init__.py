@@ -6,7 +6,7 @@ from repro.aspects.classifier import (
     AspectAccuracy,
     AspectClassifierSuite,
 )
-from repro.aspects.features import BagOfWordsExtractor
+from repro.aspects.features import BagOfWordsExtractor, FeatureMatrix
 from repro.aspects.naive_bayes import MultinomialNaiveBayes
 from repro.aspects.relevance import (
     AllRelevant,
@@ -21,6 +21,7 @@ __all__ = [
     "AspectClassifierSuite",
     "BagOfWordsExtractor",
     "ClassifierRelevance",
+    "FeatureMatrix",
     "IRRELEVANT",
     "MultinomialNaiveBayes",
     "OracleRelevance",

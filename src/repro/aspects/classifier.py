@@ -6,12 +6,23 @@ paragraph labels.  This module provides :class:`AspectClassifierSuite`,
 which trains one binary Naive-Bayes classifier per aspect on labelled
 paragraphs of the domain corpus and reports per-aspect accuracy on a held
 out split — the reproduction of Fig. 9.
+
+Training and page scoring run on the batched array kernels of
+:class:`~repro.aspects.naive_bayes.MultinomialNaiveBayes` (bit-identical to
+the scalar oracles by construction).  A fitted suite also serialises to raw
+arrays (:meth:`AspectClassifierSuite.to_state` /
+:meth:`~AspectClassifierSuite.from_state`): one shared vocabulary table
+plus a per-aspect class-prior vector and log-probability matrix — the
+layout the shared corpus store publishes so distributed workers can attach
+trained suites zero-copy instead of retraining.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.aspects.features import BagOfWordsExtractor
 from repro.aspects.naive_bayes import MultinomialNaiveBayes
@@ -71,7 +82,13 @@ class AspectClassifierSuite:
         shuffled = rng.shuffled(list(paragraphs))
         holdout_size = int(len(shuffled) * holdout_fraction)
         holdout = shuffled[:holdout_size]
-        train = shuffled[holdout_size:] or shuffled
+        train = shuffled[holdout_size:]
+        if not train:
+            # Training on the holdout itself would leak the Fig. 9
+            # evaluation set into the models, so refuse loudly instead.
+            raise ValueError(
+                f"holdout_fraction={holdout_fraction!r} holds out all "
+                f"{len(shuffled)} paragraphs, leaving no training data")
 
         train_tokens = [p.tokens for p in train]
         self._extractor.fit(train_tokens)
@@ -80,14 +97,10 @@ class AspectClassifierSuite:
 
         for aspect in self.aspects:
             labels = [RELEVANT if p.aspect == aspect else IRRELEVANT for p in train]
+            # A degenerate training set (the aspect never or always occurs)
+            # yields a single-class model that simply repeats its class.
             model = MultinomialNaiveBayes(alpha=self.alpha)
-            if len(set(labels)) < 2:
-                # Degenerate training set: the aspect never (or always)
-                # occurs.  Fall back to a trivial model fitted on the single
-                # observed class; predictions will simply repeat that class.
-                model.fit(train_features, labels)
-            else:
-                model.fit(train_features, labels)
+            model.fit_matrix(train_features, labels)
             self._models[aspect] = model
 
             frequency = sum(1 for p in paragraphs if p.aspect == aspect)
@@ -96,10 +109,7 @@ class AspectClassifierSuite:
                                   for p in holdout]
                 accuracy = model.score(holdout_features, holdout_labels)
             else:
-                accuracy = model.score(
-                    train_features,
-                    [RELEVANT if p.aspect == aspect else IRRELEVANT for p in train],
-                )
+                accuracy = model.score(train_features, labels)
             self._accuracies[aspect] = AspectAccuracy(
                 aspect=aspect,
                 paragraph_frequency=frequency,
@@ -121,6 +131,87 @@ class AspectClassifierSuite:
         if not self._models:
             raise RuntimeError("classifier suite is not fitted; call fit() first")
 
+    # -- Serialisation ---------------------------------------------------------------
+    def to_state(self) -> Tuple[Dict[str, Any], Dict[str, Dict[str, np.ndarray]]]:
+        """Raw-array state: ``(metadata, {aspect: {prior, logprob}})``.
+
+        The metadata is a small picklable dict (config, shared vocabulary
+        table, per-aspect classes and accuracy records); the arrays are the
+        per-aspect class-prior vectors and log-probability matrices, ready
+        to be published as zero-copy store sections.
+        """
+        self._check_fitted()
+        terms = self._models[self.aspects[0]]._terms
+        meta: Dict[str, Any] = {
+            "aspects": list(self.aspects),
+            "alpha": self.alpha,
+            "min_document_frequency": self.min_document_frequency,
+            "extractor": {
+                "remove_stopwords": self._extractor.remove_stopwords,
+                "stopwords": sorted(self._extractor.stopwords),
+                "vocabulary": sorted(self._extractor._vocabulary or ()),
+            },
+            "terms": list(terms),
+            "models": {},
+            "accuracies": {
+                aspect: {
+                    "aspect": record.aspect,
+                    "paragraph_frequency": record.paragraph_frequency,
+                    "accuracy": record.accuracy,
+                    "num_train": record.num_train,
+                    "num_test": record.num_test,
+                }
+                for aspect, record in self._accuracies.items()
+            },
+        }
+        arrays: Dict[str, Dict[str, np.ndarray]] = {}
+        for aspect in self.aspects:
+            model = self._models[aspect]
+            if model._terms != terms:
+                raise ValueError(
+                    f"aspect {aspect!r} has a diverging vocabulary table; "
+                    "suite models must share one")
+            meta["models"][aspect] = {
+                "classes": list(model._classes),
+                "vocabulary_size": model._vocabulary_size,
+            }
+            arrays[aspect] = {
+                "prior": model._prior_array,
+                "logprob": model._log_prob_table,
+            }
+        return meta, arrays
+
+    @classmethod
+    def from_state(cls, meta: Mapping[str, Any],
+                   arrays: Mapping[str, Mapping[str, np.ndarray]]) -> "AspectClassifierSuite":
+        """Rebuild a fitted suite from :meth:`to_state` output.
+
+        The arrays may be read-only ``np.frombuffer`` views over a shared
+        store segment — nothing is copied, so attaching a published suite
+        costs only the metadata unpickle.
+        """
+        suite = cls(meta["aspects"], alpha=meta["alpha"],
+                    min_document_frequency=meta["min_document_frequency"])
+        extractor_meta = meta["extractor"]
+        suite._extractor = BagOfWordsExtractor(
+            remove_stopwords=extractor_meta["remove_stopwords"],
+            min_document_frequency=meta["min_document_frequency"],
+            stopwords=extractor_meta["stopwords"])
+        suite._extractor._vocabulary = frozenset(extractor_meta["vocabulary"])
+        terms = tuple(meta["terms"])
+        for aspect in suite.aspects:
+            model_meta = meta["models"][aspect]
+            suite._models[aspect] = MultinomialNaiveBayes.from_arrays(
+                alpha=meta["alpha"],
+                classes=model_meta["classes"],
+                vocabulary_size=model_meta["vocabulary_size"],
+                terms=terms,
+                class_log_prior=arrays[aspect]["prior"],
+                log_prob_table=arrays[aspect]["logprob"])
+        for aspect, record in meta["accuracies"].items():
+            suite._accuracies[aspect] = AspectAccuracy(**record)
+        return suite
+
     # -- Prediction ------------------------------------------------------------------
     def classify_paragraph(self, paragraph: Paragraph, aspect: str) -> int:
         """Predict whether one paragraph is relevant to ``aspect`` (1/0)."""
@@ -136,6 +227,29 @@ class AspectClassifierSuite:
         features = self._extractor.transform(paragraph.tokens)
         probabilities = model.predict_proba(features)
         return probabilities.get(RELEVANT, 0.0)
+
+    def page_assessment(self, page: Page, aspect: str) -> Tuple[int, float]:
+        """Page label and relevance probability from one batched kernel pass.
+
+        Bit-identical to ``(classify_page(page, aspect),
+        page_probability(page, aspect))`` but transforms and scores all
+        paragraphs of the page at once instead of looping per paragraph.
+        """
+        self._check_fitted()
+        if not page.paragraphs:
+            return 0, 0.0
+        model = self._models[aspect]
+        matrix = self._extractor.transform_many([p.tokens for p in page.paragraphs])
+        scores = model.joint_log_likelihood_matrix(matrix)
+        classes = model.classes
+        winners = np.argmax(scores, axis=1)
+        label = int(any(int(classes[int(c)]) == RELEVANT for c in winners))
+        if RELEVANT in classes:
+            probabilities = model.posteriors_from_scores(scores)
+            probability = float(probabilities[:, classes.index(RELEVANT)].max())
+        else:
+            probability = 0.0
+        return label, probability
 
     def classify_page(self, page: Page, aspect: str) -> int:
         """Predict whether a page is relevant: any relevant paragraph suffices."""

@@ -45,7 +45,13 @@ class OracleRelevance(RelevanceFunction):
 
 
 class ClassifierRelevance(RelevanceFunction):
-    """Relevance given by a trained aspect classifier (with memoisation)."""
+    """Relevance given by a trained aspect classifier (with memoisation).
+
+    Each page is assessed once through the suite's batched kernel
+    (:meth:`~repro.aspects.classifier.AspectClassifierSuite.page_assessment`
+    scores every paragraph in one pass) and both the binary label and the
+    relevance probability are cached together.
+    """
 
     def __init__(self, aspect: str, suite: AspectClassifierSuite) -> None:
         super().__init__(aspect)
@@ -53,18 +59,22 @@ class ClassifierRelevance(RelevanceFunction):
         self._label_cache: Dict[str, int] = {}
         self._score_cache: Dict[str, float] = {}
 
+    def _assess(self, page: Page) -> tuple:
+        label, value = self.suite.page_assessment(page, self.aspect)
+        self._label_cache[page.page_id] = label
+        self._score_cache[page.page_id] = value
+        return label, value
+
     def __call__(self, page: Page) -> int:
         label = self._label_cache.get(page.page_id)
         if label is None:
-            label = self.suite.classify_page(page, self.aspect)
-            self._label_cache[page.page_id] = label
+            label, _ = self._assess(page)
         return label
 
     def score(self, page: Page) -> float:
         value = self._score_cache.get(page.page_id)
         if value is None:
-            value = self.suite.page_probability(page, self.aspect)
-            self._score_cache[page.page_id] = value
+            _, value = self._assess(page)
         return value
 
 

@@ -47,7 +47,13 @@ from repro.exec.specs import (
 from repro.perf import recorder as perf_recorder
 from repro.perf.timer import PerfRecorder
 from repro.search.engine import FetchStatistics, SearchEngine, merge_run_accounting
-from repro.store import MODE_OFF, StoreError, StoreHandle, publish_store, release
+from repro.store import (
+    MODE_OFF,
+    CorpusStoreWriter,
+    StoreError,
+    StoreHandle,
+    release,
+)
 from repro.store import resolve_mode as resolve_store_mode
 from repro.corpus.synthetic import CorpusConfig
 from repro.utils.rng import derive_seed
@@ -71,6 +77,9 @@ class PreparedSplit:
     engine: SearchEngine
     config: L2QConfig
     domain_fraction: float = 1.0
+    #: True when the classifier suite was attached from a published store
+    #: instead of trained (the zero-retrain guarantee probed by outcomes).
+    classifier_attached: bool = False
     _domain_models: Dict[str, DomainModel] = field(default_factory=dict)
     _hr_statistics: Dict[str, HarvestRateStatistics] = field(default_factory=dict)
 
@@ -201,10 +210,7 @@ class ExperimentRunner:
             return self._prepare(split, domain_fraction)
 
     def _prepare(self, split: EntitySplit, domain_fraction: float) -> PreparedSplit:
-        classifier_corpus = self.corpus.subset(split.domain_entities) \
-            if split.domain_entities else self.corpus.subset(split.test_entities)
-        suite = AspectClassifierSuite.train_on_corpus(
-            classifier_corpus, seed=derive_seed(self.base_seed, "classifier", split.seed))
+        suite, classifier_attached = self._classifier_suite(split)
 
         if domain_fraction >= 1.0:
             domain_entity_ids: Sequence[str] = split.domain_entities
@@ -230,7 +236,48 @@ class ExperimentRunner:
             engine=engine,
             config=self.config,
             domain_fraction=domain_fraction,
+            classifier_attached=classifier_attached,
         )
+
+    def _classifier_key(self, split: EntitySplit) -> str:
+        """Store key of this split's trained suite (shared orchestrator/worker)."""
+        return str(derive_seed(self.base_seed, "classifier", split.seed))
+
+    def _classifier_suite(self, split: EntitySplit
+                          ) -> Tuple[AspectClassifierSuite, bool]:
+        """Attach the split's trained suite from the store, else train it.
+
+        A store-backed corpus may carry suites published at dispatch
+        (:meth:`_ensure_store`); attaching one is zero-copy and skips both
+        the training pass *and* realising the classifier corpus subset.
+        Any :class:`~repro.store.StoreError` — no classifier block, unknown
+        key, failed digest check — falls back to the bit-identical retrain
+        path.  Returns ``(suite, attached)``.
+        """
+        rec = perf_recorder()
+        attach_source = getattr(self.corpus, "classifier_suite", None)
+        if attach_source is not None:
+            try:
+                if rec is None:
+                    return attach_source(self._classifier_key(split)), True
+                with rec.phase("classifier-attach", split_seed=split.seed):
+                    return attach_source(self._classifier_key(split)), True
+            except StoreError:
+                pass
+        if rec is None:
+            return self._train_classifier_suite(split), False
+        with rec.phase("classifier-train", split_seed=split.seed):
+            return self._train_classifier_suite(split), False
+
+    def _train_classifier_suite(self, split: EntitySplit) -> AspectClassifierSuite:
+        """Train the split's suite on the domain half (the reference path)."""
+        global _CLASSIFIER_TRAININGS
+        _CLASSIFIER_TRAININGS += 1
+        classifier_corpus = self.corpus.subset(split.domain_entities) \
+            if split.domain_entities else self.corpus.subset(split.test_entities)
+        return AspectClassifierSuite.train_on_corpus(
+            classifier_corpus,
+            seed=derive_seed(self.base_seed, "classifier", split.seed))
 
     def default_split(self, split_seed: int = 0) -> EntitySplit:
         """The canonical 50/25/25 split of this corpus's entities."""
@@ -466,7 +513,8 @@ class ExperimentRunner:
                 merge_run_accounting(accountings))
 
     # -- Shared corpus store --------------------------------------------------------
-    def _ensure_store(self) -> Optional[StoreHandle]:
+    def _ensure_store(self, splits: Sequence[EntitySplit] = ()
+                      ) -> Optional[StoreHandle]:
         """Publish this runner's corpus once for workers to attach.
 
         Only meaningful when the dispatch is distributed, a ``corpus_spec``
@@ -475,8 +523,14 @@ class ExperimentRunner:
         have).  Publishing streams the live corpus — entities plus pages in
         sorted id order — through a store writer whose incremental digest is
         checked against :attr:`_corpus_digest`, so the published bytes are
-        provably the corpus the metrics fold against.  Publish failures
-        latch: the run silently continues on the rebuild path.
+        provably the corpus the metrics fold against.
+
+        ``splits`` are the entity splits of the imminent dispatch: each
+        split's aspect-classifier suite is trained **once** here (the
+        train-once/attach-many side of the classifier vectorization) and
+        published alongside the corpus, so workers attach trained suites
+        zero-copy instead of retraining per (worker, split).  Publish
+        failures latch: the run silently continues on the rebuild path.
         """
         if self._store_handle is not None:
             return self._store_handle
@@ -491,25 +545,43 @@ class ExperimentRunner:
                               seed=spec.seed)
         rec = perf_recorder()
         try:
+            suites = []
+            for split in splits:
+                if rec is None:
+                    suite = self._train_classifier_suite(split)
+                else:
+                    with rec.phase("classifier-train", split_seed=split.seed):
+                        suite = self._train_classifier_suite(split)
+                suites.append((self._classifier_key(split), suite))
+
+            def publish() -> StoreHandle:
+                writer = CorpusStoreWriter(config, self.corpus.entities)
+                writer.add_pages(self.corpus.iter_pages())
+                for key, suite in suites:
+                    writer.add_classifier_suite(key, suite)
+                handle = writer.publish(mode=self.corpus_store)
+                if (self._corpus_digest is not None
+                        and handle.digest != self._corpus_digest):
+                    release(handle)
+                    raise StoreError(
+                        f"published digest {handle.digest} does not match "
+                        f"the runner's corpus digest {self._corpus_digest}")
+                return handle
+
             if rec is None:
-                self._store_handle = publish_store(
-                    config, self.corpus.entities, self.corpus.iter_pages(),
-                    mode=self.corpus_store,
-                    expected_digest=self._corpus_digest)
+                self._store_handle = publish()
             else:
                 with rec.phase("store-publish", domain=spec.domain):
-                    self._store_handle = publish_store(
-                        config, self.corpus.entities, self.corpus.iter_pages(),
-                        mode=self.corpus_store,
-                        expected_digest=self._corpus_digest)
+                    self._store_handle = publish()
         except StoreError:
             self._store_failed = True
             return None
         return self._store_handle
 
-    def _dispatch_spec(self) -> Optional[CorpusSpec]:
+    def _dispatch_spec(self, splits: Sequence[EntitySplit] = ()
+                       ) -> Optional[CorpusSpec]:
         """The corpus spec workers receive: with a store handle when published."""
-        handle = self._ensure_store()
+        handle = self._ensure_store(splits)
         if handle is None:
             return self.corpus_spec
         return replace(self.corpus_spec, store_handle=handle)
@@ -553,7 +625,8 @@ class ExperimentRunner:
                 # workers refuse to harvest a rebuilt corpus that does not
                 # match the corpus the metrics will be folded against.
                 self._corpus_digest = self.corpus.content_digest()
-            dispatch_spec = self._dispatch_spec()
+            dispatch_spec = self._dispatch_spec(
+                [split for split, _ in split_specs])
             payloads = plan_harvest_batches(
                 [(HarvestTaskContext(
                     corpus=dispatch_spec,
@@ -757,6 +830,17 @@ def runtime_build_count() -> int:
     return _RUNTIME_BUILDS
 
 
+#: Process-local count of aspect-classifier suite *trainings*.  The
+#: train-once/attach-many probe: with a store carrying published suites,
+#: worker batches must report a delta of 0 (attach instead of train).
+_CLASSIFIER_TRAININGS = 0
+
+
+def classifier_training_count() -> int:
+    """How many classifier suites this process has trained from scratch."""
+    return _CLASSIFIER_TRAININGS
+
+
 @dataclass
 class _TaskRuntime:
     """Everything a worker rebuilds once per (corpus, config, split)."""
@@ -812,6 +896,7 @@ def execute_harvest_batch(batch: HarvestBatchSpec) -> HarvestBatchOutcome:
     # (domain, sizes, seed) bases cannot thrash into regeneration cycles.
     reserve_base_slots(batch.base_slots)
     before = _RUNTIME_BUILDS
+    trainings_before = _CLASSIFIER_TRAININGS
     rec = perf_recorder()
     perf_mark = rec.mark() if rec is not None else 0
     runtime = _task_runtime(batch.context)
@@ -830,6 +915,8 @@ def execute_harvest_batch(batch: HarvestBatchSpec) -> HarvestBatchOutcome:
         attached=getattr(runtime.runner.corpus, "store_handle", None)
         is not None,
         index_builds=runtime.prepared.engine.index_builds,
+        classifier_trainings=_CLASSIFIER_TRAININGS - trainings_before,
+        classifier_attached=runtime.prepared.classifier_attached,
     )
 
 

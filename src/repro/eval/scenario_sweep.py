@@ -45,19 +45,22 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.aspects.classifier import AspectClassifierSuite
 from repro.core.config import L2QConfig
 from repro.core.selection import selector_names
 from repro.corpus.corpus import Corpus
-from repro.corpus.synthetic import CorpusConfig, realise_base
+from repro.corpus.synthetic import CorpusConfig, CorpusGenerator, realise_base
 from repro.eval.experiments import DOMAINS, SMOKE_SCALE, ExperimentScale
 from repro.eval.runner import BASELINE_METHODS, ExperimentRunner
+from repro.eval.splits import split_entities
 from repro.exec.backends import ExecutionBackend, resolve_backend
 from repro.exec.specs import SweepCellResult, SweepCellSpec, reserve_base_slots
 from repro.perf import recorder as perf_recorder
 from repro.scenarios import ScenarioSpec, make_scenario, scenario_names
-from repro.store import MODE_OFF, StoreError, StoreHandle
-from repro.store import publish_generated, release
+from repro.store import MODE_OFF, CorpusStoreWriter, StoreError, StoreHandle
+from repro.store import release
 from repro.store import resolve_mode as resolve_store_mode
+from repro.utils.rng import derive_seed
 
 #: Selectors swept by default: the paper's three full approaches.
 DEFAULT_SWEEP_METHODS = ("L2QP", "L2QR", "L2QBAL")
@@ -537,12 +540,19 @@ class ScenarioSweep:
     def _publish_domain_stores(self) -> Dict[str, StoreHandle]:
         """Stream-publish one clean base store per domain for workers.
 
-        Pages flow straight from the generator into the store writer
-        (:func:`repro.store.publish_generated`), so the orchestrating
-        process never materialises a domain's page set — the store is how
-        large sweep corpora reach workers at all.  A publish failure stops
-        publishing (already-published domains stay usable); affected cells
-        simply rebuild.
+        Pages flow straight from the generator into the store writer, so
+        the orchestrating process never materialises a domain's full page
+        set — the store is how large sweep corpora reach workers at all.
+        Each store also carries the clean cell's trained aspect-classifier
+        suites (one per evaluation split, keyed exactly as
+        :meth:`~repro.eval.runner.ExperimentRunner._classifier_key`
+        derives them), so worker clean cells attach trained models instead
+        of retraining per worker; only the pages of split training
+        entities are retained in this process to train those suites.
+        Scenario cells perturb the base, so their runners always retrain —
+        attached suites would describe the wrong corpus.  A publish
+        failure stops publishing (already-published domains stay usable);
+        affected cells simply rebuild.
         """
         handles: Dict[str, StoreHandle] = {}
         if self.corpus_store == MODE_OFF:
@@ -554,13 +564,49 @@ class ScenarioSweep:
                                   pages_per_entity=self.scale.pages_per_entity,
                                   seed=self.scale.corpus_seed)
             try:
-                with (rec.phase("store-publish", domain=domain)
-                      if rec else nullcontext()):
-                    handles[domain] = publish_generated(
-                        config, mode=self.corpus_store)
+                handles[domain] = self._publish_domain_store(domain, config, rec)
             except StoreError:
                 break
         return handles
+
+    def _publish_domain_store(self, domain: str, config: CorpusConfig,
+                              rec) -> StoreHandle:
+        """Publish one domain's clean store plus its per-split suites."""
+        generator = CorpusGenerator(config.base_config())
+        entities = generator.generate_entities()
+        writer = CorpusStoreWriter(config, entities)
+        # The clean cell's runner derives one split per index from the same
+        # base seed; training entities are the split's domain entities
+        # (test entities only in the degenerate no-domain-half case).
+        splits = [split_entities(sorted(entities),
+                                 seed=derive_seed(RUNNER_BASE_SEED,
+                                                  "split", index))
+                  for index in range(self.scale.num_splits)]
+        needed = set()
+        for split in splits:
+            needed.update(split.domain_entities or split.test_entities)
+        retained = {}
+        with (rec.phase("store-publish", domain=domain)
+              if rec else nullcontext()):
+            for page in generator.generate_pages(entities):
+                writer.add_page(page)
+                if page.entity_id in needed:
+                    retained[page.page_id] = page
+        training_corpus = Corpus(generator.domain_spec, entities, retained,
+                                 type_system=generator.type_system)
+        for split in splits:
+            suite_seed = derive_seed(RUNNER_BASE_SEED, "classifier",
+                                     split.seed)
+            with (rec.phase("classifier-train", split_seed=split.seed)
+                  if rec else nullcontext()):
+                suite = AspectClassifierSuite.train_on_corpus(
+                    training_corpus.subset(
+                        split.domain_entities or split.test_entities),
+                    seed=suite_seed)
+            writer.add_classifier_suite(str(suite_seed), suite)
+        with (rec.phase("store-publish", domain=domain)
+              if rec else nullcontext()):
+            return writer.publish(mode=self.corpus_store)
 
     def _run_distributed(self) -> List[SweepCellResult]:
         """Process path: shard whole (domain, scenario) cells across workers.

@@ -289,6 +289,13 @@ class HarvestBatchOutcome:
     #: Full corpus indexing passes the batch's engine performed (0 when a
     #: published store supplied the index, else at most 1 per runtime).
     index_builds: int = 0
+    #: Aspect-classifier suites this batch had to *train* (0 when the
+    #: published store carried the split's trained suite and the worker
+    #: attached it, else at most 1 per runtime build).
+    classifier_trainings: int = 0
+    #: True when the batch's split runtime attached its classifier suite
+    #: from the store instead of training.
+    classifier_attached: bool = False
 
 
 @dataclass(frozen=True)

@@ -89,8 +89,11 @@ def _harvest_entries(source: str, report: Dict[str, object]) -> List[Dict[str, o
         if backend in preparation:
             # Corpus-store preparation cost (attach vs rebuild seconds per
             # worker pool, publish cost, attach probes) rides along
-            # untruncated for the backends that measured it.
+            # untruncated for the backends that measured it — as does the
+            # classifier train-vs-attach section measured on that backend.
             metrics["preparation"] = preparation[backend]
+            if backend == "process" and "classifier" in preparation:
+                metrics["classifier_preparation"] = preparation["classifier"]
         entries.append(_entry(
             source=source,
             benchmark="harvest",
@@ -103,6 +106,48 @@ def _harvest_entries(source: str, report: Dict[str, object]) -> List[Dict[str, o
             speedup_vs_serial=stats.get("speedup_vs_serial"),
             metrics=metrics,
         ))
+    return entries
+
+
+def _fig09_entries(source: str, report: Dict[str, object]) -> List[Dict[str, object]]:
+    """Classifier-throughput entries from ``BENCH_fig09.json``.
+
+    Three entries per domain — suite training, the batched page-scoring
+    kernel, and its scalar oracle — on the unified throughput axis
+    (``pages_per_second`` carries paragraphs/second here).
+    """
+    versions = {"python": report.get("python"),
+                "numpy": report.get("numpy"),
+                "scipy": report.get("scipy")}
+    entries = []
+    for domain in sorted(report.get("domains", {})):
+        stats = report["domains"][domain]
+        metrics = {
+            "paragraphs": stats.get("paragraphs"),
+            "scored_paragraph_assessments":
+                stats.get("scored_paragraph_assessments"),
+            "mean_accuracy": stats.get("mean_accuracy"),
+        }
+        for backend, seconds_key, rate_key, speedup in (
+                ("train", "train_seconds",
+                 "train_paragraphs_per_second", None),
+                ("batched", "batched_score_seconds",
+                 "batched_paragraphs_per_second",
+                 stats.get("speedup_vs_scalar")),
+                ("scalar", "scalar_score_seconds",
+                 "scalar_paragraphs_per_second", None)):
+            entries.append(_entry(
+                source=source,
+                benchmark="fig09",
+                kind=KIND_BACKEND_THROUGHPUT,
+                scale=report.get("scale"),
+                backend=f"{domain}/{backend}",
+                versions=versions,
+                wall_seconds=stats.get(seconds_key),
+                pages_per_second=stats.get(rate_key),
+                speedup_vs_serial=speedup,
+                metrics=metrics,
+            ))
     return entries
 
 
@@ -184,6 +229,8 @@ def manifest_entries(results_dir) -> List[Dict[str, object]]:
         report = json.loads(path.read_text(encoding="utf-8"))
         if path.name == "BENCH_harvest.json":
             entries.extend(_harvest_entries(path.name, report))
+        elif path.name == "BENCH_fig09.json":
+            entries.extend(_fig09_entries(path.name, report))
         elif path.name == "BENCH_selection.json":
             entries.extend(_selection_entries(path.name, report))
         elif isinstance(report, dict) and \

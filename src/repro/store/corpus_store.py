@@ -43,6 +43,7 @@ exits (bpo-39959); the rebuild fallback keeps runs correct there, and
 from __future__ import annotations
 
 import atexit
+import hashlib
 import json
 import mmap as mmap_module
 import os
@@ -58,6 +59,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 import numpy as np
 from scipy import sparse
 
+from repro.aspects.classifier import AspectClassifierSuite
 from repro.corpus.corpus import Corpus, content_digester, feed_entity, feed_page
 from repro.corpus.document import Entity, Page
 from repro.corpus.domains import get_domain
@@ -155,6 +157,24 @@ def resolve_mode(mode: str) -> str:
     return default_mode() if mode == MODE_AUTO else mode
 
 
+def _classifier_digest(meta: Mapping[str, object],
+                       arrays: Mapping[str, Mapping[str, np.ndarray]]) -> str:
+    """Content digest of one serialised classifier suite.
+
+    Hashes the canonical JSON of the metadata plus the raw bytes of every
+    per-aspect prior/log-prob array.  Recomputed over the attached views at
+    attach time; a mismatch means the block is corrupt (or was produced by
+    an incompatible writer) and the attaching side falls back to retraining.
+    """
+    digest = hashlib.sha256()
+    digest.update(json.dumps(meta, sort_keys=True).encode("utf-8"))
+    for aspect in meta["aspects"]:
+        entry = arrays[aspect]
+        digest.update(np.ascontiguousarray(entry["prior"]).tobytes())
+        digest.update(np.ascontiguousarray(entry["logprob"]).tobytes())
+    return digest.hexdigest()
+
+
 # -- Writer ------------------------------------------------------------------
 class CorpusStoreWriter:
     """Streams one corpus into a publishable segment.
@@ -174,6 +194,8 @@ class CorpusStoreWriter:
         self._page_ids: List[str] = []
         self._page_entity_ids: List[str] = []
         self._page_offsets: List[int] = [0]
+        self._classifier_suites: Dict[str, Tuple[Dict[str, object],
+                                                 Dict[str, Dict[str, np.ndarray]]]] = {}
         self._published = False
         # The clean-corpus content digest, fed incrementally in the same
         # canonical order Corpus.content_digest uses (entities sorted, then
@@ -216,6 +238,25 @@ class CorpusStoreWriter:
         for page in pages:
             self.add_page(page)
 
+    def add_classifier_suite(self, key: str,
+                             suite: AspectClassifierSuite) -> None:
+        """Publish a trained aspect-classifier suite alongside the corpus.
+
+        The suite's raw-array state (shared vocabulary table plus one
+        class-prior vector and log-probability matrix per aspect) lands as
+        zero-copy-attachable sections; workers restore it with
+        :meth:`StoreAttachment.classifier_suite` instead of retraining.
+        ``key`` is the caller's suite identity (e.g. derived from the split
+        seed).  The classifier block does not enter the corpus content
+        digest — the stored corpus stays byte-compatible with a store that
+        carries no classifiers.
+        """
+        if self._published:
+            raise StoreError("writer already published")
+        if key in self._classifier_suites:
+            raise StoreError(f"classifier suite {key!r} already added")
+        self._classifier_suites[key] = suite.to_state()
+
     def _assemble(self) -> Tuple[bytes, bytearray, str]:
         sections: Dict[str, Dict[str, object]] = {}
         payload = bytearray()
@@ -250,6 +291,22 @@ class CorpusStoreWriter:
         put_array("doc_lengths", snapshot.doc_lengths)
         put_array("collection_frequencies", snapshot.collection_frequencies)
         put_bytes("terms", pickle.dumps(snapshot.terms, protocol=_PICKLE_PROTOCOL))
+
+        if self._classifier_suites:
+            classifier_table: Dict[str, Dict[str, object]] = {}
+            for key in sorted(self._classifier_suites):
+                meta, arrays = self._classifier_suites[key]
+                classifier_table[key] = {
+                    "meta": meta,
+                    "digest": _classifier_digest(meta, arrays),
+                }
+                for aspect in meta["aspects"]:
+                    put_array(f"clf/{key}/{aspect}/prior",
+                              arrays[aspect]["prior"])
+                    put_array(f"clf/{key}/{aspect}/logprob",
+                              arrays[aspect]["logprob"])
+            put_bytes("classifiers", pickle.dumps(classifier_table,
+                                                  protocol=_PICKLE_PROTOCOL))
 
         header = {
             "version": 1,
@@ -419,6 +476,15 @@ class StoreBackedCorpus(Corpus):
         """
         return self._attachment.index()
 
+    def classifier_suite(self, key: str) -> AspectClassifierSuite:
+        """A trained suite published with this corpus.
+
+        Raises :class:`StoreError` when the store carries no suite under
+        ``key`` (or its digest check fails) — callers fall back to the
+        bit-identical retrain path.
+        """
+        return self._attachment.classifier_suite(key)
+
     def subset(self, entity_ids: Iterable[str]) -> Corpus:
         keep = set(entity_ids)
         unknown = keep - set(self.entities)
@@ -490,6 +556,7 @@ class StoreAttachment:
         self._page_offsets: Optional[np.ndarray] = None
         self._pages_section: Optional[Tuple[int, int]] = None
         self._snapshot: Optional[TermDocumentMatrix] = None
+        self._classifier_cache: Dict[str, AspectClassifierSuite] = {}
         self._index: Optional[AttachedInvertedIndex] = None
         self._corpus: Optional[StoreBackedCorpus] = None
         self._base_corpus: Optional[BaseCorpus] = None
@@ -582,6 +649,42 @@ class StoreAttachment:
                 self._array("collection_frequencies"),
                 int(self._header["total_tokens"]))
         return self._snapshot
+
+    def classifier_keys(self) -> List[str]:
+        """Keys of the trained suites this store carries (sorted; may be empty)."""
+        if "classifiers" not in self._header["sections"]:
+            return []
+        return sorted(self._unpickle("classifiers"))
+
+    def classifier_suite(self, key: str) -> AspectClassifierSuite:
+        """Attach one published trained suite (cached per process).
+
+        The per-aspect prior/log-prob arrays stay zero-copy views over the
+        shared buffer; only the small metadata block is unpickled.  The
+        block's content digest is recomputed over the attached bytes first —
+        raises :class:`StoreError` on a missing key, a store without a
+        classifier block, or a digest mismatch, and the caller falls back
+        to the bit-identical retrain path.
+        """
+        suite = self._classifier_cache.get(key)
+        if suite is None:
+            table = self._unpickle("classifiers") \
+                if "classifiers" in self._header["sections"] else {}
+            entry = table.get(key)
+            if entry is None:
+                raise StoreError(f"store has no classifier suite {key!r}")
+            meta = entry["meta"]
+            arrays = {
+                aspect: {"prior": self._array(f"clf/{key}/{aspect}/prior"),
+                         "logprob": self._array(f"clf/{key}/{aspect}/logprob")}
+                for aspect in meta["aspects"]
+            }
+            if _classifier_digest(meta, arrays) != entry["digest"]:
+                raise StoreError(
+                    f"classifier suite {key!r} failed its digest check")
+            suite = AspectClassifierSuite.from_state(meta, arrays)
+            self._classifier_cache[key] = suite
+        return suite
 
     def index(self) -> AttachedInvertedIndex:
         """The read-only corpus-wide inverted index (built once, shared)."""

@@ -26,6 +26,19 @@ class TestTraining:
         with pytest.raises(ValueError):
             suite.fit(list(researcher_corpus.iter_paragraphs()), holdout_fraction=1.0)
 
+    def test_degenerate_holdout_leaves_no_training_data(self, researcher_corpus):
+        # Regression: a fraction whose product rounds up to the full corpus
+        # used to fall back to training on the holdout itself, silently
+        # leaking the Fig. 9 evaluation set into the models.
+        class FullHoldout(float):
+            def __rmul__(self, other):
+                return float(other)
+
+        suite = AspectClassifierSuite(researcher_corpus.aspects)
+        paragraphs = list(researcher_corpus.iter_paragraphs())[:8]
+        with pytest.raises(ValueError, match="leaving no training data"):
+            suite.fit(paragraphs, holdout_fraction=FullHoldout(0.5))
+
     def test_unfitted_suite_raises(self, researcher_corpus):
         suite = AspectClassifierSuite(researcher_corpus.aspects)
         page = next(researcher_corpus.iter_pages())

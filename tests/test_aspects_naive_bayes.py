@@ -58,6 +58,15 @@ class TestPredict:
         predictions = self.model.predict_many([{"award": 1}, {"research": 1}])
         assert predictions == [1, 0]
 
+    def test_predict_many_matrix_matches_scalar_loop(self):
+        from repro.aspects.features import FeatureMatrix
+
+        evaluation = [{"award": 1}, {"research": 1}, {},
+                      {"novel": 2, "award": 1}, {"prize": 1, "papers": 3}]
+        matrix = FeatureMatrix.from_dicts(evaluation)
+        assert self.model.predict_many(matrix) == \
+            [self.model.predict(features) for features in evaluation]
+
     def test_predict_proba_normalised(self):
         probabilities = self.model.predict_proba({"award": 1, "research": 1})
         assert sum(probabilities.values()) == pytest.approx(1.0)

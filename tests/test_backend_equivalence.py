@@ -570,3 +570,68 @@ class TestSharedBaseGeneration:
             scale=TINY_SCALE, scenarios=("zipf-skew", "near-duplicates"),
             methods=("MQ",), domains=("researcher",), num_queries=2)
         return base_generation_count() - before, result
+
+
+class TestClassifierSuiteAttach:
+    """Trained suites ship through the corpus store: with a store attached,
+    no worker batch ever retrains an aspect classifier, and the attached
+    run is identical to retraining everywhere."""
+
+    METHODS = ("RND", "MQ")
+
+    @pytest.fixture(scope="class")
+    def tiny_corpus(self):
+        return TINY_SCALE.corpus_for("researcher")
+
+    @pytest.fixture(scope="class")
+    def tiny_corpus_spec(self):
+        return TINY_SCALE.corpus_spec_for("researcher")
+
+    def _evaluate(self, corpus, backend, *, workers=1, corpus_spec=None,
+                  corpus_store="off"):
+        runner = ExperimentRunner(corpus, base_seed=5, workers=workers,
+                                  backend=backend, corpus_spec=corpus_spec,
+                                  corpus_store=corpus_store)
+        try:
+            evaluation = runner.evaluate_methods(
+                self.METHODS, num_queries_list=(2,), num_splits=2,
+                max_test_entities=2, aspects=("RESEARCH",))
+        finally:
+            runner.release_store()
+        return runner, evaluation
+
+    def test_attached_workers_never_retrain(self, tiny_corpus,
+                                            tiny_corpus_spec):
+        runner, _ = self._evaluate(
+            tiny_corpus, "process", workers=2, corpus_spec=tiny_corpus_spec,
+            corpus_store="auto")
+        outcomes = runner.last_batch_outcomes
+        assert outcomes
+        assert all(o.classifier_trainings == 0 for o in outcomes)
+        assert all(o.classifier_attached for o in outcomes)
+
+    def test_store_off_workers_train_per_split(self, tiny_corpus,
+                                               tiny_corpus_spec):
+        runner, _ = self._evaluate(
+            tiny_corpus, "process", workers=2, corpus_spec=tiny_corpus_spec,
+            corpus_store="off")
+        outcomes = runner.last_batch_outcomes
+        assert outcomes
+        assert all(not o.classifier_attached for o in outcomes)
+        # Every runtime build trains its split's suite from scratch.
+        assert sum(o.classifier_trainings for o in outcomes) == \
+            sum(o.runtime_builds for o in outcomes) > 0
+
+    def test_attached_metrics_identical_across_backends(self, tiny_corpus,
+                                                        tiny_corpus_spec):
+        _, serial = self._evaluate(tiny_corpus, "serial")
+        _, threaded = self._evaluate(tiny_corpus, "thread", workers=4,
+                                     corpus_store="auto")
+        _, attached = self._evaluate(
+            tiny_corpus, "process", workers=4, corpus_spec=tiny_corpus_spec,
+            corpus_store="auto")
+        for method in self.METHODS:
+            for other in (threaded, attached):
+                assert other[method].precision == serial[method].precision
+                assert other[method].recall == serial[method].recall
+                assert other[method].f_score == serial[method].f_score

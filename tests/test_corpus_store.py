@@ -6,9 +6,12 @@ generation, pickling semantics and both transport modes (shm + mmap).
 """
 
 import pickle
+from pathlib import Path
 
+import numpy as np
 import pytest
 
+from repro.aspects.classifier import AspectClassifierSuite
 from repro.corpus.synthetic import (
     CorpusConfig,
     CorpusGenerator,
@@ -235,3 +238,90 @@ class TestPickling:
         clone.shared_index()
         assert clone.index_builds == 0
         assert clone.index_attaches == 1
+
+
+class TestClassifierBlock:
+    @pytest.fixture(scope="class")
+    def trained_suite(self, live_corpus):
+        return AspectClassifierSuite.train_on_corpus(live_corpus, seed=3)
+
+    @pytest.fixture()
+    def classifier_handle(self, live_corpus, trained_suite):
+        writer = CorpusStoreWriter(_config(), live_corpus.entities)
+        writer.add_pages(live_corpus.iter_pages())
+        writer.add_classifier_suite("42", trained_suite)
+        published = writer.publish()
+        yield published
+        release(published)
+
+    def test_store_without_block_has_no_keys(self, handle):
+        attachment = attach(handle)
+        assert attachment.classifier_keys() == []
+        with pytest.raises(StoreError):
+            attachment.classifier_suite("42")
+
+    def test_round_trip_preserves_predictions(self, live_corpus,
+                                              trained_suite, classifier_handle):
+        attachment = attach(classifier_handle)
+        assert attachment.classifier_keys() == ["42"]
+        attached = attachment.classifier_suite("42")
+        for page in list(live_corpus.iter_pages())[:8]:
+            for aspect in live_corpus.aspects:
+                assert attached.page_assessment(page, aspect) == \
+                    trained_suite.page_assessment(page, aspect)
+        report = attached.accuracy_report()
+        assert report == trained_suite.accuracy_report()
+
+    def test_attached_suite_is_cached_and_zero_copy(self, live_corpus,
+                                                    classifier_handle):
+        attachment = attach(classifier_handle)
+        attached = attachment.classifier_suite("42")
+        assert attachment.classifier_suite("42") is attached
+        for aspect in live_corpus.aspects:
+            model = attached._models[aspect]
+            assert not model._log_prob_table.flags.writeable
+            assert not model._prior_array.flags.writeable
+
+    def test_store_backed_corpus_delegates(self, classifier_handle):
+        corpus = attach_corpus(classifier_handle)
+        suite = corpus.classifier_suite("42")
+        assert suite is attach(classifier_handle).classifier_suite("42")
+        with pytest.raises(StoreError):
+            corpus.classifier_suite("other-key")
+
+    def test_missing_key_raises(self, classifier_handle):
+        with pytest.raises(StoreError):
+            attach(classifier_handle).classifier_suite("other-key")
+
+    def test_corpus_digest_unchanged_by_classifier_block(self, live_corpus,
+                                                         handle,
+                                                         classifier_handle):
+        assert classifier_handle.digest == handle.digest == \
+            live_corpus.content_digest()
+
+    def test_duplicate_key_rejected(self, live_corpus, trained_suite):
+        writer = CorpusStoreWriter(_config(), live_corpus.entities)
+        writer.add_classifier_suite("42", trained_suite)
+        with pytest.raises(StoreError):
+            writer.add_classifier_suite("42", trained_suite)
+
+    def test_tampered_arrays_fail_the_digest_check(self, live_corpus,
+                                                   trained_suite):
+        writer = CorpusStoreWriter(_config(), live_corpus.entities)
+        writer.add_pages(live_corpus.iter_pages())
+        writer.add_classifier_suite("42", trained_suite)
+        published = writer.publish(mode=MODE_MMAP)
+        try:
+            path = Path(published.name)
+            data = bytearray(path.read_bytes())
+            _, arrays = trained_suite.to_state()
+            needle = np.ascontiguousarray(
+                arrays[live_corpus.aspects[0]]["logprob"]).tobytes()[:64]
+            position = bytes(data).find(needle)
+            assert position != -1
+            data[position] ^= 0xFF
+            path.write_bytes(bytes(data))
+            with pytest.raises(StoreError):
+                attach(published).classifier_suite("42")
+        finally:
+            release(published)

@@ -1,0 +1,245 @@
+"""Batched aspect-classifier kernels vs their scalar oracles, property-tested.
+
+The vectorized Naive Bayes stack promises *bit-identical* results to the
+scalar dict-loop reference it replaced: ``fit_matrix`` vs ``fit``,
+``joint_log_likelihood_matrix`` vs ``joint_log_likelihood``,
+``predict_many``/``predict_proba_many`` vs per-document ``predict``/
+``predict_proba``, and the suite's one-pass ``page_assessment`` vs
+``(classify_page, page_probability)``.  These tests pin that contract over
+seeded random corpora — including the edge cases where a vectorized path
+most easily drifts: unseen terms, empty documents, single-class training
+sets and exact score ties.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.aspects.classifier import AspectClassifierSuite
+from repro.aspects.features import BagOfWordsExtractor, FeatureMatrix
+from repro.aspects.naive_bayes import MultinomialNaiveBayes
+
+VOCABULARY = [f"w{i}" for i in range(25)]
+SEEDS = [0, 1, 2, 3, 4]
+
+
+def _random_documents(rng: random.Random, num_docs: int,
+                      vocabulary=VOCABULARY, allow_empty: bool = True) -> list:
+    documents = []
+    for _ in range(num_docs):
+        length = rng.randint(0 if allow_empty else 1, 12)
+        counts = {}
+        for _ in range(length):
+            term = rng.choice(vocabulary)
+            counts[term] = counts.get(term, 0) + 1
+        documents.append(counts)
+    return documents
+
+
+def _random_training_set(rng: random.Random, num_docs: int = 40):
+    documents = _random_documents(rng, num_docs)
+    labels = [rng.choice([0, 1, 2]) for _ in documents]
+    return documents, labels
+
+
+class TestFitMatrix:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fit_matrix_bitwise_equal_to_fit(self, seed):
+        rng = random.Random(seed)
+        documents, labels = _random_training_set(rng)
+        scalar = MultinomialNaiveBayes(alpha=0.5).fit(documents, labels)
+        batched = MultinomialNaiveBayes(alpha=0.5).fit_matrix(
+            FeatureMatrix.from_dicts(documents), labels)
+        assert batched._classes == scalar._classes
+        assert batched._terms == scalar._terms
+        assert batched._vocabulary_size == scalar._vocabulary_size
+        assert batched._prior_array.tobytes() == scalar._prior_array.tobytes()
+        assert batched._log_prob_table.tobytes() == \
+            scalar._log_prob_table.tobytes()
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_lazy_scalar_state_matches_fit(self, seed):
+        rng = random.Random(seed)
+        documents, labels = _random_training_set(rng)
+        scalar = MultinomialNaiveBayes().fit(documents, labels)
+        batched = MultinomialNaiveBayes().fit_matrix(
+            FeatureMatrix.from_dicts(documents), labels)
+        probe = documents[0]
+        assert batched.joint_log_likelihood(probe) == \
+            scalar.joint_log_likelihood(probe)
+        # The lazy rebuild materialises zero-count terms explicitly (at the
+        # default value), so compare per-term lookups, not dict keys.
+        assert batched._default_log_prob == scalar._default_log_prob
+        for label in scalar.classes:
+            batched_terms = batched._feature_log_prob[label]
+            scalar_terms = scalar._feature_log_prob[label]
+            default = scalar._default_log_prob[label]
+            for term in batched._terms:
+                assert batched_terms.get(term, default) == \
+                    scalar_terms.get(term, default)
+
+    def test_unused_extractor_columns_never_enter_the_model(self):
+        # The matrix carries the extractor's full vocabulary; documents use
+        # only part of it.  The scalar path's vocabulary is the used part.
+        documents = [{"a": 1}, {"b": 2}]
+        matrix = FeatureMatrix.from_dicts(documents, terms=["a", "b", "c", "d"])
+        batched = MultinomialNaiveBayes().fit_matrix(matrix, [0, 1])
+        scalar = MultinomialNaiveBayes().fit(documents, [0, 1])
+        assert batched._terms == scalar._terms == ("a", "b")
+        assert batched._vocabulary_size == scalar._vocabulary_size == 2
+        assert batched._log_prob_table.tobytes() == \
+            scalar._log_prob_table.tobytes()
+
+    def test_negative_counts_rejected(self):
+        matrix = FeatureMatrix.from_dicts([{"a": -1}])
+        with pytest.raises(ValueError):
+            MultinomialNaiveBayes().fit_matrix(matrix, [0])
+
+    def test_length_mismatch_and_empty_rejected(self):
+        matrix = FeatureMatrix.from_dicts([{"a": 1}])
+        with pytest.raises(ValueError):
+            MultinomialNaiveBayes().fit_matrix(matrix, [0, 1])
+        with pytest.raises(ValueError):
+            MultinomialNaiveBayes().fit_matrix(
+                FeatureMatrix.from_dicts([]), [])
+
+
+class TestBatchedInference:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_joint_log_likelihood_matrix_bitwise(self, seed):
+        rng = random.Random(seed)
+        documents, labels = _random_training_set(rng)
+        model = MultinomialNaiveBayes().fit(documents, labels)
+        # Evaluation documents draw from a wider vocabulary, so some terms
+        # are unseen and must hit the default column.
+        evaluation = _random_documents(
+            rng, 25, vocabulary=VOCABULARY + ["u1", "u2", "u3"])
+        matrix = FeatureMatrix.from_dicts(evaluation)
+        scores = model.joint_log_likelihood_matrix(matrix)
+        assert scores.shape == (len(evaluation), len(model.classes))
+        for i, features in enumerate(evaluation):
+            scalar = model.joint_log_likelihood(features)
+            for c, label in enumerate(model.classes):
+                assert scores[i, c] == scalar[label]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_predict_many_matches_scalar_predict(self, seed):
+        rng = random.Random(seed)
+        documents, labels = _random_training_set(rng)
+        model = MultinomialNaiveBayes().fit(documents, labels)
+        evaluation = _random_documents(
+            rng, 25, vocabulary=VOCABULARY + ["unseen"])
+        matrix = FeatureMatrix.from_dicts(evaluation)
+        assert model.predict_many(matrix) == \
+            [model.predict(features) for features in evaluation]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_predict_proba_many_bitwise(self, seed):
+        rng = random.Random(seed)
+        documents, labels = _random_training_set(rng)
+        model = MultinomialNaiveBayes().fit(documents, labels)
+        evaluation = _random_documents(
+            rng, 25, vocabulary=VOCABULARY + ["unseen"])
+        matrix = FeatureMatrix.from_dicts(evaluation)
+        probabilities = model.predict_proba_many(matrix)
+        for i, features in enumerate(evaluation):
+            scalar = model.predict_proba(features)
+            for c, label in enumerate(model.classes):
+                assert probabilities[i, c] == scalar[label]
+
+    def test_empty_document_scores_are_the_priors(self):
+        model = MultinomialNaiveBayes().fit([{"a": 1}, {"b": 1}], [0, 1])
+        matrix = FeatureMatrix.from_dicts([{}])
+        scores = model.joint_log_likelihood_matrix(matrix)
+        scalar = model.joint_log_likelihood({})
+        assert [scores[0, c] for c in range(2)] == \
+            [scalar[label] for label in model.classes]
+
+    def test_empty_batch_returns_empty(self):
+        model = MultinomialNaiveBayes().fit([{"a": 1}, {"b": 1}], [0, 1])
+        matrix = FeatureMatrix.from_dicts([])
+        assert model.predict_many(matrix) == []
+        assert model.predict_proba_many(matrix).shape == (0, 2)
+
+    def test_single_class_training_set(self):
+        documents = [{"a": 2}, {"a": 1, "b": 1}]
+        model = MultinomialNaiveBayes().fit_matrix(
+            FeatureMatrix.from_dicts(documents), [1, 1])
+        matrix = FeatureMatrix.from_dicts([{"a": 1}, {}, {"c": 3}])
+        assert model.predict_many(matrix) == [1, 1, 1]
+        assert np.all(model.predict_proba_many(matrix) == 1.0)
+
+    def test_exact_tie_breaks_like_the_scalar_reference(self):
+        # Identical per-class training data makes every score an exact tie;
+        # the winner must be the first label in str-sorted order (here 10,
+        # because "10" < "9"), on both paths.
+        documents = [{"a": 1}, {"a": 1}]
+        labels = [9, 10]
+        scalar = MultinomialNaiveBayes().fit(documents, labels)
+        matrix = FeatureMatrix.from_dicts([{"a": 2}, {}])
+        assert scalar.predict({"a": 2}) == 10
+        assert scalar.predict_many(matrix) == [10, 10]
+
+    def test_predict_many_falls_back_to_scalar_for_plain_lists(self):
+        documents, labels = _random_training_set(random.Random(7))
+        model = MultinomialNaiveBayes().fit(documents, labels)
+        evaluation = _random_documents(random.Random(8), 10)
+        assert model.predict_many(evaluation) == \
+            [model.predict(features) for features in evaluation]
+
+
+class TestFeatureMatrix:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_rows_round_trip_the_scalar_dicts(self, seed):
+        rng = random.Random(seed)
+        documents = _random_documents(rng, 20)
+        matrix = FeatureMatrix.from_dicts(documents)
+        assert len(matrix) == len(documents)
+        assert list(matrix) == documents
+        assert matrix[0] == documents[0]
+        assert matrix[-1] == documents[-1]
+        assert matrix[1:3] == documents[1:3]
+        # First-occurrence order is preserved, not just dict equality.
+        assert [list(row) for row in matrix] == \
+            [list(features) for features in documents]
+
+    def test_transform_many_matches_transform(self):
+        rng = random.Random(3)
+        train = [[rng.choice(VOCABULARY) for _ in range(rng.randint(1, 10))]
+                 for _ in range(15)]
+        extractor = BagOfWordsExtractor(min_document_frequency=2).fit(train)
+        documents = train + [["unseen-token"], []]
+        matrix = extractor.transform_many(documents)
+        assert matrix.terms == tuple(sorted(extractor.vocabulary))
+        assert list(matrix) == [extractor.transform(tokens)
+                                for tokens in documents]
+
+    def test_out_of_range_row_raises(self):
+        matrix = FeatureMatrix.from_dicts([{"a": 1}])
+        with pytest.raises(IndexError):
+            matrix[1]
+
+
+class TestSuiteBatchedScoring:
+    @pytest.fixture(scope="class")
+    def suite(self, researcher_corpus):
+        return AspectClassifierSuite.train_on_corpus(researcher_corpus, seed=3)
+
+    def test_page_assessment_matches_scalar_pair(self, suite, researcher_corpus):
+        for page in list(researcher_corpus.iter_pages())[:25]:
+            for aspect in researcher_corpus.aspects:
+                label, probability = suite.page_assessment(page, aspect)
+                assert label == suite.classify_page(page, aspect)
+                assert probability == suite.page_probability(page, aspect)
+
+    def test_state_round_trip_preserves_predictions(self, suite, researcher_corpus):
+        meta, arrays = suite.to_state()
+        restored = AspectClassifierSuite.from_state(meta, arrays)
+        pages = list(researcher_corpus.iter_pages())[:10]
+        for page in pages:
+            for aspect in researcher_corpus.aspects:
+                assert restored.page_assessment(page, aspect) == \
+                    suite.page_assessment(page, aspect)
+        assert [record.accuracy for record in restored.accuracy_report()] == \
+            [record.accuracy for record in suite.accuracy_report()]
