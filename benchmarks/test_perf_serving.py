@@ -1,0 +1,81 @@
+"""Micro-benchmark: the async serving runner under a simulated service.
+
+Serves one smoke-scale job batch through the asyncio
+:class:`~repro.serving.runner.ServingRunner` — simulated search service
+with latency tails, a QPS cap and injected timeouts/failures — at
+concurrency 1 and 8, and writes ``BENCH_serving.json`` next to the other
+benchmark results.  The perf manifest folds the per-level sessions/sec
+onto the gated throughput axis.
+
+Two properties are asserted alongside the timing, straight from the
+serving acceptance criteria:
+
+* **Determinism** — two runs at concurrency 8 under the same client seed
+  produce identical session results (harvest signatures) and identical
+  ``metrics`` blocks; wall-clock fields are excluded from the comparison.
+* **Concurrency pays** — sessions/sec at concurrency 8 is at least 3x
+  the concurrency-1 rate under the default latency distribution (sessions
+  sleep through their simulated service latency while others select).
+
+Run with ``python -m pytest benchmarks/test_perf_serving.py -q``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.search.clients import CLIENT_SIMULATED, ClientSpec
+from repro.serving.bench import run_serving_bench
+
+from tests.helpers import harvest_signature as _signature
+
+CONCURRENCY_LEVELS = (1, 8)
+#: The stock simulated service (lognormal 25ms/100ms, 5% timeouts, 5%
+#: failures, 3 retries) — the distribution the committed numbers quote.
+SPEC = ClientSpec(kind=CLIENT_SIMULATED)
+SPEEDUP_FLOOR = 3.0
+
+
+def test_serving_benchmark(results_dir):
+    artifact, reports = run_serving_bench(
+        scale="smoke", concurrency_levels=CONCURRENCY_LEVELS, spec=SPEC)
+
+    path = results_dir / "BENCH_serving.json"
+    path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    print(f"\n===== BENCH_serving =====\n"
+          f"{json.dumps(artifact, indent=2, sort_keys=True)}\n")
+
+    # Every level served the whole batch and measured real throughput.
+    for concurrency in CONCURRENCY_LEVELS:
+        report = reports[concurrency]
+        metrics = report.metrics()
+        assert metrics["sessions"] == artifact["sessions"] > 0
+        assert metrics["queries_fired"] > 0
+        assert report.wall_clock()["sessions_per_second"] > 0
+    # The simulated failure rates actually bit (and deterministically so:
+    # draws are request-keyed, not scheduling-dependent).
+    level_8 = artifact["concurrency"]["8"]["metrics"]
+    assert level_8["retries"] > 0
+    # Deterministic blocks are identical across concurrency levels.
+    assert artifact["concurrency"]["1"]["metrics"] == level_8
+    assert artifact["concurrency"]["1"]["client_stats"] == \
+        artifact["concurrency"]["8"]["client_stats"]
+    # Retries are charged to the fetch budget: every fired query is either
+    # served by the engine or a failed, budget-charged attempt.
+    stats = artifact["concurrency"]["8"]["client_stats"]
+    assert level_8["queries_fired"] == \
+        stats["engine_queries"] + stats["retry_queries"]
+    assert stats["retry_queries"] > 0
+
+    # Acceptance: concurrency 8 sustains >= 3x the concurrency-1 rate.
+    assert artifact["speedup_vs_baseline"]["8"] >= SPEEDUP_FLOOR
+
+    # Acceptance: a second concurrency-8 run under the same seed is
+    # bit-identical — session results and metrics blocks both.
+    rerun_artifact, rerun_reports = run_serving_bench(
+        scale="smoke", concurrency_levels=(8,), spec=SPEC)
+    assert rerun_artifact["concurrency"]["8"]["metrics"] == level_8
+    assert rerun_artifact["concurrency"]["8"]["client_stats"] == stats
+    assert [_signature(r) for r in rerun_reports[8].results] == \
+        [_signature(r) for r in reports[8].results]

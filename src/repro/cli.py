@@ -19,12 +19,20 @@ Four subcommands cover the common workflows:
     robustness matrix to ``BENCH_scenarios.json`` (same seed ⇒ byte-identical
     output).
 
+``repro-l2q serve``
+    Async serving layer: ``serve bench`` drives one job batch through the
+    asyncio :class:`~repro.serving.runner.ServingRunner` at each requested
+    concurrency level (simulated search service: latency tails, QPS cap,
+    injected timeouts/failures with budget-charged retries) and writes the
+    ``BENCH_serving.json`` artifact — deterministic metrics blocks under a
+    fixed client seed, measured sessions/sec per level.
+
 ``repro-l2q perf``
     Performance tracking: ``perf manifest`` regenerates the unified
     ``BENCH_manifest.json`` from the ``benchmarks/results/BENCH_*.json``
     artifacts (deterministic — CI diffs it for freshness); ``perf report``
-    renders per-backend speedup tables and throughput deltas vs the
-    committed manifest.
+    renders per-backend speedup tables, the serving table and throughput
+    deltas vs the committed manifest.
 
 ``harvest`` and ``experiment`` both accept ``--ranker`` to pick the
 retrieval model backing the offline search engine (any name in the ranker
@@ -35,6 +43,15 @@ seeds are derived per run, not per schedule).  ``--backend``/``--workers``
 are ignored — with a note — where they cannot help: single ``harvest``
 runs, ``fig09`` (no harvesting) and ``fig14`` (wall-clock selection timings
 must be measured serially).
+
+They also accept ``--client {instant,simulated}`` to pick the search
+client at the fetch boundary (``instant`` is the historical in-process
+oracle; ``simulated`` wraps the engine in a seeded flaky search service)
+and — for ``experiment`` — ``--concurrency N`` to route harvesting
+through the async serving backend with N sessions in flight.  Session
+results stay bit-identical across clients' *scheduling* (draws are
+request-keyed), and the instant client reproduces the historical results
+exactly at any concurrency.
 
 ``scenarios run`` additionally accepts ``--paper-scale`` (the paper's 996
 researchers / 143 cars sweep, defaulting to the sharded process backend
@@ -60,6 +77,9 @@ Usage examples::
     python -m repro.cli scenarios run --scenarios near-duplicates --param dedup_penalty=0.0,0.5
     python -m repro.cli scenarios run --scenarios near-duplicates hostile-mix --dedup-penalty 0.5
     python -m repro.cli scenarios run --paper-scale --perf-output perf.json
+    python -m repro.cli harvest --domain researcher --client simulated
+    python -m repro.cli experiment --figure fig13 --client simulated --concurrency 8
+    python -m repro.cli serve bench --scale smoke --concurrency 1 8
     python -m repro.cli perf manifest
     python -m repro.cli perf report
 """
@@ -85,9 +105,10 @@ from repro.eval.scenario_sweep import (
     expand_config_grid,
     expand_severity_grid,
 )
-from repro.exec.backends import BACKEND_PROCESS, backend_names
+from repro.exec.backends import BACKEND_PROCESS, backend_names, make_backend
 from repro.scenarios import make_scenario, scenario_names
 from repro.store import STORE_MODES
+from repro.search.clients import CLIENT_KINDS, CLIENT_SIMULATED, make_client
 from repro.search.rankers import ranker_names
 
 _FIGURES = {
@@ -121,6 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
     harvest.add_argument("--entity", default=None,
                          help="entity id to harvest (defaults to the first test entity)")
     _add_engine_arguments(harvest)
+    _add_serving_arguments(harvest)
 
     experiment = subparsers.add_parser("experiment", help="regenerate a paper figure")
     experiment.add_argument("--figure", choices=sorted(_FIGURES), required=True)
@@ -129,6 +151,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--domains", nargs="+", default=list(experiments.DOMAINS),
                             choices=available_domains())
     _add_engine_arguments(experiment)
+    _add_serving_arguments(experiment)
 
     scenarios = subparsers.add_parser(
         "scenarios", help="list or run hostile-corpus robustness scenarios")
@@ -164,6 +187,39 @@ def build_parser() -> argparse.ArgumentParser:
                      help="path of the robustness matrix JSON "
                           "(default: ./BENCH_scenarios.json)")
     _add_engine_arguments(run)
+
+    serve = subparsers.add_parser(
+        "serve", help="async serving runner over the harvest loop")
+    serve_commands = serve.add_subparsers(dest="serve_command", required=True)
+    bench = serve_commands.add_parser(
+        "bench", help="serve one job batch per concurrency level and write "
+                      "BENCH_serving.json (sessions/sec, latency tails, "
+                      "retry/timeout counts)")
+    bench.add_argument("--scale", choices=["smoke", "default", "paper"],
+                       default="smoke")
+    bench.add_argument("--domain", default="researcher",
+                       choices=available_domains())
+    bench.add_argument("--methods", nargs="+", default=None, metavar="METHOD",
+                       help="selection strategies served (default: RND MQ)")
+    bench.add_argument("--queries", type=_positive_int, default=3,
+                       help="query budget per session (default 3)")
+    bench.add_argument("--entities", type=_positive_int, default=4,
+                       help="test entities served per method x aspect "
+                            "(default 4)")
+    bench.add_argument("--concurrency", type=_positive_int, nargs="+",
+                       default=None, metavar="N",
+                       help="concurrency levels to measure (default: 1 8)")
+    bench.add_argument("--time-scale", type=_non_negative_float, default=1.0,
+                       metavar="FACTOR",
+                       help="simulated-latency-to-real-sleep multiplier; "
+                            "< 1 compresses wall-clock without touching the "
+                            "deterministic metrics (default 1.0)")
+    bench.add_argument("--client-seed", type=int, default=None,
+                       help="seed of the simulated service's stochastic "
+                            "draws (default: the stock ClientSpec seed)")
+    bench.add_argument("--output", default="benchmarks/results/BENCH_serving.json",
+                       help="artifact path "
+                            "(default: benchmarks/results/BENCH_serving.json)")
 
     perf_parser = subparsers.add_parser(
         "perf", help="build the perf manifest or render speedup reports")
@@ -212,6 +268,27 @@ def _dedup_penalty(value: str) -> float:
     if not 0.0 <= number <= 1.0:
         raise argparse.ArgumentTypeError(f"must be in [0, 1], got {number}")
     return number
+
+
+def _non_negative_float(value: str) -> float:
+    number = float(value)
+    if number < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {number}")
+    return number
+
+
+def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--client", default=None, choices=list(CLIENT_KINDS),
+                        help="search client at the fetch boundary: 'instant' "
+                             "is the in-process oracle (default, the paper's "
+                             "semantics); 'simulated' wraps the engine in a "
+                             "seeded flaky service (latency tails, QPS cap, "
+                             "timeouts/failures with budget-charged retries)")
+    parser.add_argument("--concurrency", type=_positive_int, default=None,
+                        metavar="N",
+                        help="serve harvests through the async serving "
+                             "backend with N sessions in flight (instant "
+                             "client results stay identical to serial)")
 
 
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
@@ -291,6 +368,9 @@ def _command_harvest(args: argparse.Namespace, out) -> int:
     if args.workers is not None or args.backend:
         print("note: harvest runs a single loop; --backend/--workers ignored",
               file=out)
+    if args.concurrency is not None:
+        print("note: harvest runs a single session; --concurrency ignored",
+              file=out)
     runner = ExperimentRunner(corpus, config=config)
     split = runner.default_split(0)
     prepared = runner.prepare(split)
@@ -299,7 +379,20 @@ def _command_harvest(args: argparse.Namespace, out) -> int:
         print(f"unknown entity {entity_id!r}", file=out)
         return 2
 
-    result = runner.harvest_once(prepared, args.method, entity_id, aspect, args.queries)
+    client = None
+    if args.client is not None:
+        # Route the session through the stepper + client path explicitly,
+        # so the fetch boundary (latency, retries, budget charging) shows.
+        from repro.core.harvester import drive_stepper
+
+        harvester = runner.harvester_for(prepared)
+        job = runner.build_job(prepared, args.method, entity_id, aspect,
+                               args.queries)
+        client = make_client(args.client, prepared.engine)
+        result = drive_stepper(harvester.stepper_for_job(job), client)
+    else:
+        result = runner.harvest_once(prepared, args.method, entity_id, aspect,
+                                     args.queries)
     entity = corpus.get_entity(entity_id)
     print(f"entity : {entity.name} ({entity_id})", file=out)
     print(f"aspect : {aspect}", file=out)
@@ -312,6 +405,17 @@ def _command_harvest(args: argparse.Namespace, out) -> int:
     print(f"gathered {len(result.gathered_after(args.queries))} pages; "
           f"precision={metrics.precision:.3f} recall={metrics.recall:.3f} "
           f"f-score={metrics.f_score:.3f}", file=out)
+    if client is not None:
+        stats = client.stats
+        print(f"client : {client.name}; requests={stats.requests} "
+              f"attempts={stats.attempts} retries={stats.retries} "
+              f"timeouts={stats.timeouts} failures={stats.failures} "
+              f"exhausted={stats.exhausted}", file=out)
+        print(f"client latency {stats.latency_seconds:.3f}s "
+              f"(throttle {stats.throttle_seconds:.3f}s); "
+              f"engine queries {stats.engine_queries}, "
+              f"retry queries charged to budget {stats.retry_queries}",
+              file=out)
     return 0
 
 
@@ -319,11 +423,14 @@ def _command_experiment(args: argparse.Namespace, out) -> int:
     run, render = _FIGURES[args.figure]
     scale = experiments.get_scale(args.scale)
     kwargs = {}
+    serving_requested = args.client == CLIENT_SIMULATED \
+        or args.concurrency is not None
     if args.figure == "fig09":  # fig09 trains classifiers only, no harvesting
         if args.ranker or args.workers is not None or args.backend \
-                or args.dedup_penalty is not None:
+                or args.dedup_penalty is not None or serving_requested:
             print("note: fig09 does no harvesting; --ranker/--backend/"
-                  "--workers/--dedup-penalty ignored", file=out)
+                  "--workers/--dedup-penalty/--client/--concurrency ignored",
+                  file=out)
     else:
         if args.ranker or args.dedup_penalty is not None:
             config = L2QConfig()
@@ -334,10 +441,19 @@ def _command_experiment(args: argparse.Namespace, out) -> int:
             kwargs["config"] = config
         kwargs["workers"] = args.workers if args.workers is not None else 1
         if args.figure == "fig14":
-            if args.workers is not None or args.backend:
+            if args.workers is not None or args.backend or serving_requested:
                 print("note: fig14 measures wall-clock selection time; "
                       "harvests stay pinned to the serial backend, "
-                      "--backend/--workers ignored", file=out)
+                      "--backend/--workers/--client/--concurrency ignored",
+                      file=out)
+        elif serving_requested:
+            if args.backend:
+                print("--client/--concurrency route harvesting through the "
+                      "serving backend; drop --backend or the serving flags",
+                      file=out)
+                return 2
+            kwargs["backend"] = make_backend(
+                "serving", workers=args.concurrency or 8, client=args.client)
         else:
             if args.backend:
                 kwargs["backend"] = args.backend
@@ -437,6 +553,41 @@ def _command_scenarios(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace, out) -> int:
+    import json
+    from pathlib import Path
+
+    # Lazy: the serving layer (asyncio runner, bench assembly) is only
+    # needed by this subcommand.
+    from repro.search.clients import ClientSpec
+    from repro.serving.bench import (
+        DEFAULT_CONCURRENCY_LEVELS,
+        DEFAULT_METHODS,
+        format_serving_report,
+        run_serving_bench,
+    )
+
+    spec = ClientSpec(kind=CLIENT_SIMULATED) if args.client_seed is None \
+        else ClientSpec(kind=CLIENT_SIMULATED, seed=args.client_seed)
+    artifact, _ = run_serving_bench(
+        scale=args.scale,
+        domain=args.domain,
+        methods=tuple(args.methods) if args.methods else DEFAULT_METHODS,
+        num_queries=args.queries,
+        concurrency_levels=(tuple(args.concurrency) if args.concurrency
+                            else DEFAULT_CONCURRENCY_LEVELS),
+        spec=spec,
+        time_scale=args.time_scale,
+        max_entities=args.entities,
+    )
+    print(format_serving_report(artifact), file=out)
+    path = Path(args.output)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {path}", file=out)
+    return 0
+
+
 def _command_perf(args: argparse.Namespace, out) -> int:
     from pathlib import Path
 
@@ -490,6 +641,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return _command_experiment(args, out)
         if args.command == "scenarios":
             return _command_scenarios(args, out)
+        if args.command == "serve":
+            return _command_serve(args, out)
         if args.command == "perf":
             return _command_perf(args, out)
         parser.error(f"unknown command {args.command!r}")

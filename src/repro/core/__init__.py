@@ -5,11 +5,21 @@ from repro.core.context import CollectiveUtilities, ContextTracker
 from repro.core.domain_phase import DomainModel, DomainPhase, learn_domain_models
 from repro.core.entity_phase import EntityPhase, EntityUtilities
 from repro.core.harvester import (
+    CLIENT_TIME,
     FETCH_TIME,
     SELECTION_TIME,
     HarvestResult,
     Harvester,
     IterationRecord,
+    drive_stepper,
+)
+from repro.core.stepper import (
+    DONE,
+    Done,
+    HarvestStepper,
+    QueryFetch,
+    SeedFetch,
+    StepperProtocolError,
 )
 from repro.core.queries import (
     Query,
@@ -51,20 +61,27 @@ from repro.core.utility import (
 
 __all__ = [
     "AssembledGraph",
+    "CLIENT_TIME",
     "CollectiveUtilities",
     "ContextAwareSelection",
     "ContextTracker",
+    "DONE",
     "DomainModel",
     "DomainPhase",
     "DomainQuerySelection",
+    "Done",
     "EntityPhase",
     "EntityUtilities",
     "FETCH_TIME",
     "GraphAssembler",
     "HarvestResult",
     "HarvestSession",
+    "HarvestStepper",
     "Harvester",
     "IterationRecord",
+    "QueryFetch",
+    "SeedFetch",
+    "StepperProtocolError",
     "L2QConfig",
     "Query",
     "QueryEnumerator",
@@ -77,6 +94,7 @@ __all__ = [
     "TemplateSelection",
     "UtilityOnlySelection",
     "abstract_query",
+    "drive_stepper",
     "format_query",
     "format_template",
     "is_type_unit",

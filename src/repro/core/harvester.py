@@ -6,6 +6,18 @@ the new result pages into the working set.  Selection (CPU) and fetch
 (simulated I/O) times are recorded separately so that the efficiency
 experiment of Fig. 14 can be reproduced.
 
+The loop itself lives in :class:`~repro.core.stepper.HarvestStepper`, a
+resumable state machine split at the fetch boundary; :meth:`Harvester.harvest`
+is a thin synchronous driver over it.  What sits between a step's
+``next_action()`` and its ``feed()`` is a pluggable
+:class:`~repro.search.clients.SearchClient`: the default
+:class:`~repro.search.clients.InstantClient` calls the in-process engine
+directly (the historical behaviour, bit-for-bit), while
+:class:`~repro.search.clients.SimulatedServiceClient` models a real search
+service — latency tails, QPS caps, timeouts and retries — and the async
+:class:`~repro.serving.runner.ServingRunner` drives many steppers
+concurrently by awaiting at that same boundary.
+
 Batched runs go through :meth:`Harvester.harvest_many`: each
 :class:`HarvestJob` is an independent harvesting run (own session, own
 seeded RNG, own selector instance), so job batches can be delegated to any
@@ -26,27 +38,47 @@ from repro.core.domain_phase import DomainModel
 from repro.core.queries import Query
 from repro.core.selection import QuerySelector
 from repro.core.session import HarvestSession
+from repro.core.stepper import Done, HarvestStepper
 from repro.corpus.corpus import Corpus
 from repro.exec.backends import ExecutionBackend, resolve_backend
 from repro.perf import recorder as perf_recorder
+from repro.search.clients import InstantClient, SearchClient
 from repro.search.engine import RunFetchAccounting, SearchEngine
 from repro.utils.rng import SeededRandom
-from repro.utils.timing import Stopwatch, TimingAccumulator
+from repro.utils.timing import TimingAccumulator
 
 SELECTION_TIME = "selection"
 FETCH_TIME = "fetch"
+#: Measured client-side fetch latency (retries and backoff included) —
+#: kept strictly apart from the paper's *simulated* per-page cost above,
+#: so serving metrics never double-count into the Fig. 14 accounting.
+CLIENT_TIME = "client"
 
 
 @dataclass(frozen=True)
 class IterationRecord:
-    """What happened in one iteration of the harvesting loop."""
+    """What happened in one iteration of the harvesting loop.
+
+    ``simulated_fetch_seconds`` is the *paper's* accounting — result count
+    times the engine's configured per-page cost, the quantity Fig. 14
+    contrasts with selection time.  ``client_seconds`` is the measured (or
+    simulated-service) client latency of the fetch, including retries and
+    backoff; it is 0.0 for the in-process instant client.  The two axes
+    used to be conflated in a single ``fetch_seconds`` field.
+    """
 
     index: int
     query: Query
     result_page_ids: tuple
     new_page_ids: tuple
     selection_seconds: float
-    fetch_seconds: float
+    simulated_fetch_seconds: float
+    client_seconds: float = 0.0
+
+    @property
+    def fetch_seconds(self) -> float:
+        """Backward-compatible alias for ``simulated_fetch_seconds``."""
+        return self.simulated_fetch_seconds
 
 
 @dataclass
@@ -100,8 +132,12 @@ class HarvestResult:
         return self.timing.average(SELECTION_TIME)
 
     def average_fetch_seconds(self) -> float:
-        """Mean per-query (simulated) fetch time."""
+        """Mean per-query (simulated, paper-accounting) fetch time."""
         return self.timing.average(FETCH_TIME)
+
+    def total_client_seconds(self) -> float:
+        """Total measured client-side fetch latency (0.0 for instant)."""
+        return self.timing.total(CLIENT_TIME)
 
 
 @dataclass
@@ -118,17 +154,42 @@ class HarvestJob:
     seed: Optional[int] = None
 
 
+def drive_stepper(stepper: HarvestStepper, client: SearchClient) -> HarvestResult:
+    """The synchronous driver loop: fetch every action in-line.
+
+    With the default :class:`~repro.search.clients.InstantClient` this
+    reproduces the historical monolithic loop bit-for-bit (same engine
+    calls in the same order, same RNG streams).  Any other client slots in
+    between selection and ingestion without the stepper noticing.
+    """
+    action = stepper.next_action()
+    while not isinstance(action, Done):
+        outcome = client.fetch(action, accounting=stepper.accounting)
+        stepper.feed(outcome.results, outcome.pages,
+                     client_seconds=outcome.latency_seconds)
+        action = stepper.next_action()
+    return stepper.result
+
+
 class Harvester:
-    """Drives the iterative harvesting loop for one corpus and engine."""
+    """Drives the iterative harvesting loop for one corpus and engine.
+
+    ``client`` is the default :class:`~repro.search.clients.SearchClient`
+    used by :meth:`harvest` when none is passed per call; ``None`` means
+    the in-process instant client (the paper's semantics).
+    """
 
     def __init__(self, corpus: Corpus, engine: SearchEngine,
-                 config: Optional[L2QConfig] = None) -> None:
+                 config: Optional[L2QConfig] = None,
+                 client: Optional[SearchClient] = None) -> None:
         self.corpus = corpus
         self.engine = engine
         self.config = config if config is not None else L2QConfig()
         self.config.validate()
+        self.client = client
 
-    def harvest_job(self, job: HarvestJob) -> HarvestResult:
+    def harvest_job(self, job: HarvestJob,
+                    client: Optional[SearchClient] = None) -> HarvestResult:
         """Execute one :class:`HarvestJob`."""
         return self.harvest(
             entity_id=job.entity_id,
@@ -138,6 +199,7 @@ class Harvester:
             num_queries=job.num_queries,
             domain_model=job.domain_model,
             seed=job.seed,
+            client=client,
         )
 
     def harvest_many(self, jobs: Sequence[HarvestJob], workers: int = 1,
@@ -161,6 +223,11 @@ class Harvester:
         :func:`~repro.search.engine.merge_run_accounting` for batch-level
         fetch statistics that are identical on every backend.
 
+        The ``serving`` backend (see :mod:`repro.serving.runner`) drives
+        the same jobs through asyncio steppers concurrently, awaiting at
+        the fetch boundary; with the instant client it too is bit-identical
+        to serial.
+
         Note: shared memo caches reachable from jobs (classifier relevance
         labels, index-view postings) rely on the GIL making dict
         get-then-set races benign under the thread backend — every thread
@@ -179,7 +246,8 @@ class Harvester:
     def harvest(self, entity_id: str, aspect: str, selector: QuerySelector,
                 relevance: RelevanceFunction, num_queries: Optional[int] = None,
                 domain_model: Optional[DomainModel] = None,
-                seed: Optional[int] = None) -> HarvestResult:
+                seed: Optional[int] = None,
+                client: Optional[SearchClient] = None) -> HarvestResult:
         """Run the full loop of Fig. 1 for one entity and aspect.
 
         Parameters
@@ -197,20 +265,32 @@ class Harvester:
             Domain-phase knowledge, if the strategy is domain aware.
         seed:
             Randomness seed for this run (defaults to the configured seed).
+        client:
+            The search client performing the fetches (defaults to the
+            harvester's configured client, then to the in-process
+            :class:`~repro.search.clients.InstantClient`).
         """
         rec = perf_recorder()
         if rec is None:
             return self._harvest(entity_id, aspect, selector, relevance,
-                                 num_queries, domain_model, seed)
+                                 num_queries, domain_model, seed, client=client)
         with rec.phase("harvest", entity=entity_id, aspect=aspect,
                        selector=selector.name):
             return self._harvest(entity_id, aspect, selector, relevance,
-                                 num_queries, domain_model, seed, rec=rec)
+                                 num_queries, domain_model, seed, rec=rec,
+                                 client=client)
 
-    def _harvest(self, entity_id: str, aspect: str, selector: QuerySelector,
-                 relevance: RelevanceFunction, num_queries: Optional[int],
-                 domain_model: Optional[DomainModel], seed: Optional[int],
-                 rec=None) -> HarvestResult:
+    def stepper(self, entity_id: str, aspect: str, selector: QuerySelector,
+                relevance: RelevanceFunction, num_queries: Optional[int] = None,
+                domain_model: Optional[DomainModel] = None,
+                seed: Optional[int] = None, rec=None) -> HarvestStepper:
+        """Build the resumable state machine for one harvesting run.
+
+        Sets up the session (seeded identically to the historical inline
+        loop), the result skeleton and the run's fetch accounting; the
+        caller drives it — synchronously via :func:`drive_stepper`, or
+        concurrently via the serving runner.
+        """
         entity = self.corpus.get_entity(entity_id)
         budget = num_queries if num_queries is not None else self.config.num_queries
         rng = SeededRandom(seed if seed is not None else self.config.random_seed)
@@ -228,41 +308,30 @@ class Harvester:
         result = HarvestResult(entity_id=entity_id, aspect=aspect,
                                selector_name=selector.name,
                                fetch_accounting=accounting)
+        return HarvestStepper(
+            session=session,
+            selector=selector,
+            result=result,
+            accounting=accounting,
+            budget=budget,
+            simulated_fetch_seconds_per_page=self.engine.simulated_fetch_seconds_per_page,
+            rec=rec,
+        )
 
-        # Iteration 0: the seed query.
-        seed_results = self.engine.seed_results(entity_id, accounting=accounting)
-        seed_pages = self.engine.fetch_pages(seed_results)
-        session.add_pages(seed_pages)
-        result.seed_page_ids = [r.page_id for r in seed_results]
-        result.timing.add(
-            FETCH_TIME, len(seed_results) * self.engine.simulated_fetch_seconds_per_page)
+    def stepper_for_job(self, job: HarvestJob, rec=None) -> HarvestStepper:
+        """Build the state machine for one :class:`HarvestJob`."""
+        return self.stepper(job.entity_id, job.aspect, job.selector,
+                            job.relevance, num_queries=job.num_queries,
+                            domain_model=job.domain_model, seed=job.seed,
+                            rec=rec)
 
-        selector.prepare(session)
-
-        for index in range(budget):
-            with Stopwatch() as select_watch:
-                query = selector.select(session)
-            if query is None:
-                break
-            results = self.engine.search(entity_id, list(query),
-                                         accounting=accounting)
-            pages = self.engine.fetch_pages(results)
-            new_pages = session.add_pages(pages)
-            session.record_query(query)
-            fetch_seconds = len(results) * self.engine.simulated_fetch_seconds_per_page
-            if rec is not None:
-                rec.record(SELECTION_TIME, select_watch.elapsed,
-                           selector=selector.name)
-            result.timing.add(SELECTION_TIME, select_watch.elapsed)
-            result.timing.add(FETCH_TIME, fetch_seconds)
-            result.iterations.append(IterationRecord(
-                index=index,
-                query=query,
-                result_page_ids=tuple(r.page_id for r in results),
-                new_page_ids=tuple(p.page_id for p in new_pages),
-                selection_seconds=select_watch.elapsed,
-                fetch_seconds=fetch_seconds,
-            ))
-            selector.observe(session, query, new_pages)
-
-        return result
+    def _harvest(self, entity_id: str, aspect: str, selector: QuerySelector,
+                 relevance: RelevanceFunction, num_queries: Optional[int],
+                 domain_model: Optional[DomainModel], seed: Optional[int],
+                 rec=None, client: Optional[SearchClient] = None) -> HarvestResult:
+        stepper = self.stepper(entity_id, aspect, selector, relevance,
+                               num_queries, domain_model, seed, rec=rec)
+        if client is None:
+            client = self.client if self.client is not None \
+                else InstantClient(self.engine)
+        return drive_stepper(stepper, client)

@@ -715,9 +715,10 @@ class ExperimentRunner:
                 for record in run.iterations:
                     rec.record("selection", record.selection_seconds,
                                method=method)
-                    rec.record("fetch", record.fetch_seconds, method=method)
+                    rec.record("fetch", record.simulated_fetch_seconds,
+                               method=method)
                     selection[method].append(record.selection_seconds)
-                    fetch.append(record.fetch_seconds)
+                    fetch.append(record.simulated_fetch_seconds)
                     queries[method] += 1
 
         return EfficiencyReport(

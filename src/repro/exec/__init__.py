@@ -10,6 +10,7 @@ instead of live object graphs.
 from repro.exec.backends import (
     BACKEND_PROCESS,
     BACKEND_SERIAL,
+    BACKEND_SERVING,
     BACKEND_THREAD,
     ExecutionBackend,
     ProcessBackend,
@@ -34,6 +35,7 @@ from repro.exec.specs import (
 __all__ = [
     "BACKEND_PROCESS",
     "BACKEND_SERIAL",
+    "BACKEND_SERVING",
     "BACKEND_THREAD",
     "ExecutionBackend",
     "ProcessBackend",

@@ -47,6 +47,7 @@ R = TypeVar("R")
 BACKEND_SERIAL = "serial"
 BACKEND_THREAD = "thread"
 BACKEND_PROCESS = "process"
+BACKEND_SERVING = "serving"
 
 
 class ExecutionBackend:
@@ -300,3 +301,12 @@ def _thread_backend(workers: int = 4) -> ThreadBackend:
 def _process_backend(workers: int = 4,
                      start_method: Optional[str] = None) -> ProcessBackend:
     return ProcessBackend(workers, start_method=start_method)
+
+
+@register_backend(BACKEND_SERVING)
+def _serving_backend(workers: int = 8, **params) -> ExecutionBackend:
+    # Lazy import: repro.serving imports the harvester, which imports this
+    # module — resolving the backend class at build time breaks the cycle.
+    from repro.serving.runner import ServingBackend
+
+    return ServingBackend(workers=workers, **params)

@@ -2,6 +2,19 @@
 pluggable rankers and the entity-scoped engine."""
 
 from repro.search.bm25 import BM25Ranker
+from repro.search.clients import (
+    CLIENT_INSTANT,
+    CLIENT_KINDS,
+    CLIENT_SIMULATED,
+    ClientSpec,
+    FetchOutcome,
+    InstantClient,
+    LatencyModel,
+    SearchClient,
+    SimulatedServiceClient,
+    TokenBucket,
+    make_client,
+)
 from repro.search.engine import (
     FetchStatistics,
     SearchEngine,
@@ -21,8 +34,18 @@ from repro.search.rankers import (
 
 __all__ = [
     "BM25Ranker",
+    "CLIENT_INSTANT",
+    "CLIENT_KINDS",
+    "CLIENT_SIMULATED",
+    "ClientSpec",
     "DirichletLanguageModel",
+    "FetchOutcome",
     "FetchStatistics",
+    "InstantClient",
+    "LatencyModel",
+    "SearchClient",
+    "SimulatedServiceClient",
+    "TokenBucket",
     "IndexView",
     "InvertedIndex",
     "RANKER_BM25",
@@ -31,6 +54,7 @@ __all__ = [
     "SearchEngine",
     "SearchResult",
     "is_registered",
+    "make_client",
     "make_ranker",
     "ranker_names",
     "register_ranker",

@@ -1,0 +1,35 @@
+"""Async, latency-aware serving layer over the step-driven harvest loop."""
+
+from repro.serving.bench import (
+    ARTIFACT_NAME,
+    DEFAULT_CONCURRENCY_LEVELS,
+    format_serving_report,
+    run_serving_bench,
+)
+from repro.serving.runner import (
+    BACKEND_SERVING,
+    DEFAULT_CONCURRENCY,
+    ServingBackend,
+    ServingReport,
+    ServingRunner,
+    SessionRecord,
+    harvest_serially,
+    percentile,
+    serve_jobs,
+)
+
+__all__ = [
+    "ARTIFACT_NAME",
+    "BACKEND_SERVING",
+    "DEFAULT_CONCURRENCY",
+    "DEFAULT_CONCURRENCY_LEVELS",
+    "format_serving_report",
+    "run_serving_bench",
+    "ServingBackend",
+    "ServingReport",
+    "ServingRunner",
+    "SessionRecord",
+    "harvest_serially",
+    "percentile",
+    "serve_jobs",
+]

@@ -1,0 +1,142 @@
+"""The serving benchmark: sessions/sec and latency tails under load.
+
+Shared by the ``serve bench`` CLI subcommand, the committed
+``benchmarks/results/BENCH_serving.json`` artifact and the perf-gated
+benchmark test: one function builds a small experiment, serves the same
+job batch at each requested concurrency level through a
+:class:`~repro.search.clients.SimulatedServiceClient`, and assembles the
+artifact dict.
+
+The artifact keeps two kinds of numbers strictly apart, per the serving
+determinism contract (see :mod:`repro.serving.runner`):
+
+* ``metrics`` / ``client_stats`` — deterministic under the client seed:
+  identical across runs, machines and concurrency levels.  The
+  acceptance check byte-compares these blocks.
+* ``wall_clock`` — measured throughput (``sessions_per_second``), which
+  the perf manifest folds in as the serving throughput axis and the perf
+  gate guards against collapse.  The concurrency-N level is expected to
+  sustain several times the concurrency-1 rate, because sessions sleep
+  through their simulated service latency while others select.
+"""
+
+from __future__ import annotations
+
+import platform
+from typing import Optional, Sequence, Tuple
+
+from repro.eval.experiments import get_scale
+from repro.eval.runner import ExperimentRunner
+from repro.search.clients import CLIENT_SIMULATED, ClientSpec
+from repro.serving.runner import ServingReport, ServingRunner
+
+SCHEMA = "BENCH_serving/v1"
+
+#: Artifact filename (under ``benchmarks/results/``).
+ARTIFACT_NAME = "BENCH_serving.json"
+
+#: Concurrency levels the committed artifact reports.
+DEFAULT_CONCURRENCY_LEVELS = (1, 8)
+
+DEFAULT_METHODS = ("RND", "MQ")
+
+#: Default client for benchmarks: the stock simulated service, seeded.
+DEFAULT_SPEC = ClientSpec(kind=CLIENT_SIMULATED)
+
+
+def run_serving_bench(scale: str = "smoke", domain: str = "researcher",
+                      methods: Sequence[str] = DEFAULT_METHODS,
+                      num_queries: int = 3,
+                      concurrency_levels: Sequence[int] = DEFAULT_CONCURRENCY_LEVELS,
+                      spec: Optional[ClientSpec] = None,
+                      time_scale: float = 1.0,
+                      max_entities: int = 4,
+                      base_seed: int = 5) -> Tuple[dict, dict]:
+    """Serve one job batch at each concurrency level; build the artifact.
+
+    Returns ``(artifact, reports)`` where ``reports`` maps concurrency
+    level to its :class:`~repro.serving.runner.ServingReport` (callers
+    asserting on raw reports — the CI smoke, the benchmark test — get
+    them without re-running anything).
+
+    Every level serves a freshly-built but identical job batch (selector
+    instances are single-use) through a *fresh* client, so levels are
+    independent measurements of the same workload; under a fixed
+    ``spec.seed`` their deterministic metrics blocks are identical.
+    """
+    experiment_scale = get_scale(scale)
+    corpus = experiment_scale.corpus_for(domain)
+    runner = ExperimentRunner(corpus, base_seed=base_seed)
+    prepared = runner.prepare(runner.default_split(0))
+    harvester = runner.harvester_for(prepared)
+    aspects = experiment_scale.aspects_for(corpus)
+    entities = list(prepared.split.test_entities)[:max_entities]
+    client_spec = spec if spec is not None else DEFAULT_SPEC
+
+    def jobs():
+        return [runner.build_job(prepared, method, entity_id, aspect,
+                                 num_queries)
+                for method in methods
+                for aspect in aspects
+                for entity_id in entities]
+
+    reports: dict = {}
+    levels: dict = {}
+    for concurrency in concurrency_levels:
+        serving = ServingRunner(harvester, client=client_spec,
+                                concurrency=concurrency,
+                                time_scale=time_scale)
+        report = serving.run(jobs())
+        reports[concurrency] = report
+        levels[str(concurrency)] = report.as_dict()
+
+    baseline = min(concurrency_levels)
+    base_rate = reports[baseline].wall_clock()["sessions_per_second"]
+    speedups = {
+        str(concurrency): (report.wall_clock()["sessions_per_second"]
+                           / base_rate if base_rate > 0 else 0.0)
+        for concurrency, report in reports.items()
+    }
+
+    artifact = {
+        "schema": SCHEMA,
+        "scale": experiment_scale.name,
+        "python": platform.python_version(),
+        "domain": domain,
+        "methods": list(methods),
+        "num_queries": num_queries,
+        "sessions": len(jobs()),
+        "client": client_spec.as_dict(),
+        "time_scale": time_scale,
+        "concurrency": levels,
+        "speedup_vs_baseline": speedups,
+    }
+    return artifact, reports
+
+
+def format_serving_report(artifact: dict) -> str:
+    """Human-readable table of one serving-bench artifact."""
+    lines = [
+        f"serving bench  scale={artifact['scale']} domain={artifact['domain']} "
+        f"sessions={artifact['sessions']} queries={artifact['num_queries']}",
+        f"client: {artifact['client']['kind']} "
+        f"p50={artifact['client']['latency_p50']}s "
+        f"p99={artifact['client']['latency_p99']}s "
+        f"timeout={artifact['client']['timeout_rate']} "
+        f"failure={artifact['client']['failure_rate']} "
+        f"retries<={artifact['client']['max_retries']}",
+        f"{'conc':>5s} {'sess/s':>9s} {'speedup':>8s} {'p50 lat':>9s} "
+        f"{'p99 lat':>9s} {'retries':>8s} {'timeouts':>9s} {'exhausted':>10s}",
+    ]
+    for level in sorted(artifact["concurrency"], key=int):
+        entry = artifact["concurrency"][level]
+        metrics = entry["metrics"]
+        wall = entry["wall_clock"]
+        speedup = artifact["speedup_vs_baseline"].get(level, 0.0)
+        lines.append(
+            f"{level:>5s} {wall['sessions_per_second']:>9.2f} "
+            f"{speedup:>7.2f}x {metrics['session_latency_p50']:>8.3f}s "
+            f"{metrics['session_latency_p99']:>8.3f}s "
+            f"{metrics['retries']:>8d} {metrics['timeouts']:>9d} "
+            f"{metrics['exhausted_requests']:>10d}")
+    return "\n".join(lines)

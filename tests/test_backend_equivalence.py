@@ -1,9 +1,11 @@
-"""Backend equivalence: serial == thread(4) == process(4), bit for bit.
+"""Backend equivalence: serial == thread(4) == process(4) == serving, bit for bit.
 
 The acceptance bar of the execution-backend refactor: swapping the engine
 must never change a result.  Harvest runs are compared on everything
 scheduling-independent (queries, result/new/seed page ids, per-job seeds)
-and scenario sweeps on their full JSON rendering.
+and scenario sweeps on their full JSON rendering.  The async serving
+backend joins the same bar with its default instant client: awaiting at
+the fetch boundary must not perturb a single page id.
 """
 
 import pytest
@@ -28,7 +30,7 @@ TINY_SCALE = ExperimentScale(
     corpus_seed=11,
 )
 
-BACKENDS = ("serial", "thread", "process")
+BACKENDS = ("serial", "thread", "process", "serving")
 
 
 def _jobs(runner, prepared, methods=("L2QBAL", "RND"), num_queries=2):
@@ -46,7 +48,7 @@ class TestHarvestEquivalence:
             _jobs(researcher_runner, researcher_prepared), backend="serial")
         return [harvest_signature(r) for r in results]
 
-    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("backend", ["thread", "process", "serving"])
     def test_backend_reproduces_serial(self, researcher_runner,
                                        researcher_prepared, backend,
                                        serial_signatures):

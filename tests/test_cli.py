@@ -363,3 +363,65 @@ class TestPerfCommand:
               "--perf-output", str(tmp_path / "perf.json")],
              out=io.StringIO())
         assert perf.recorder() is None
+
+
+class TestServingArguments:
+    def test_client_choices(self):
+        args = build_parser().parse_args(["harvest", "--client", "simulated"])
+        assert args.client == "simulated"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["harvest", "--client", "psychic"])
+
+    def test_harvest_with_simulated_client_prints_stats(self):
+        out = io.StringIO()
+        code = main(["harvest", "--domain", "researcher", "--entities", "12",
+                     "--pages", "8", "--method", "MQ", "--queries", "2",
+                     "--client", "simulated"], out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "client : simulated" in text
+        assert "retry queries charged to budget" in text
+
+    def test_harvest_instant_client_matches_default_path(self):
+        def run(extra):
+            out = io.StringIO()
+            assert main(["harvest", "--domain", "researcher", "--entities",
+                         "12", "--pages", "8", "--method", "L2QBAL",
+                         "--queries", "2"] + extra, out=out) == 0
+            return [line for line in out.getvalue().splitlines()
+                    if line.startswith(("query #", "f-score", "precision"))]
+
+        assert run(["--client", "instant"]) == run([])
+
+    def test_experiment_concurrency_conflicts_with_backend(self, tmp_path):
+        out = io.StringIO()
+        code = main(["experiment", "--figure", "fig13", "--scale", "smoke",
+                     "--backend", "thread", "--concurrency", "4"], out=out)
+        assert code == 2
+        assert "serving" in out.getvalue()
+
+    def test_serve_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serve_bench_defaults(self):
+        args = build_parser().parse_args(["serve", "bench"])
+        assert args.scale == "smoke"
+        assert args.concurrency is None  # falls back to (1, 8)
+
+    def test_serve_bench_writes_artifact(self, tmp_path):
+        import json
+
+        out = io.StringIO()
+        output = tmp_path / "BENCH_serving.json"
+        code = main(["serve", "bench", "--scale", "smoke",
+                     "--methods", "RND", "--queries", "2", "--entities", "2",
+                     "--concurrency", "1", "2", "--time-scale", "0",
+                     "--output", str(output)], out=out)
+        assert code == 0
+        artifact = json.loads(output.read_text(encoding="utf-8"))
+        assert artifact["schema"] == "BENCH_serving/v1"
+        assert set(artifact["concurrency"]) == {"1", "2"}
+        assert artifact["concurrency"]["1"]["metrics"] == \
+            artifact["concurrency"]["2"]["metrics"]
+        assert "sess/s" in out.getvalue()

@@ -84,7 +84,7 @@ def _result(seed_ids, iteration_page_ids):
         result.iterations.append(IterationRecord(
             index=index, query=("q", str(index)),
             result_page_ids=tuple(page_ids), new_page_ids=(),
-            selection_seconds=0.0, fetch_seconds=0.0))
+            selection_seconds=0.0, simulated_fetch_seconds=0.0))
     return result
 
 

@@ -1,0 +1,232 @@
+"""The search-client adapter layer: token bucket, latency model, retries.
+
+Seeded property tests for the serving satellites: the token-bucket cap
+never admits more than the configured QPS over any window, the
+retry/backoff schedule is deterministic under a fixed seed, and failed
+attempts are charged against the fetch budget through the run accounting.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.harvester import drive_stepper
+from repro.search.clients import (
+    CLIENT_INSTANT,
+    CLIENT_SIMULATED,
+    ClientSpec,
+    InstantClient,
+    LatencyModel,
+    SimulatedServiceClient,
+    TokenBucket,
+    make_client,
+)
+from repro.search.engine import RunFetchAccounting
+
+from tests.helpers import harvest_signature
+
+ASPECT = "RESEARCH"
+
+
+class _Action:
+    """A minimal stepper action for direct client tests."""
+
+    def __init__(self, entity_id, key, query=None):
+        self.entity_id = entity_id
+        self.request_key = key
+        if query is not None:
+            self.query = query
+
+
+class TestTokenBucket:
+    @pytest.mark.parametrize("rate,capacity,requests", [
+        (10.0, 1.0, 200),
+        (50.0, 5.0, 300),
+        (3.0, None, 100),
+    ])
+    def test_admissions_never_exceed_rate_over_any_window(self, rate,
+                                                          capacity, requests):
+        bucket = TokenBucket(rate, capacity)
+        capacity = bucket.capacity
+        rng = random.Random(7)
+        admissions = []
+        now = 0.0
+        for _ in range(requests):
+            now += rng.expovariate(2.0 * rate)  # arrivals faster than rate
+            wait = bucket.reserve(now)
+            assert wait >= 0.0
+            admissions.append(max(now, bucket.clock))
+        assert admissions == sorted(admissions)
+        # Over any admission-to-admission window the bucket admitted at
+        # most capacity + rate * window requests (the defining invariant).
+        for i in range(len(admissions)):
+            for j in range(i, len(admissions), 7):
+                window = admissions[j] - admissions[i]
+                admitted = j - i + 1
+                assert admitted <= capacity + rate * window + 1e-6
+
+    def test_burst_up_to_capacity_is_free(self):
+        bucket = TokenBucket(rate=10.0, capacity=5.0)
+        assert [bucket.reserve() for _ in range(5)] == [0.0] * 5
+        assert bucket.reserve() > 0.0
+
+    def test_wait_sequence_is_a_pure_function_of_request_count(self):
+        first = TokenBucket(rate=4.0, capacity=2.0)
+        second = TokenBucket(rate=4.0, capacity=2.0)
+        waits = [first.reserve() for _ in range(20)]
+        assert waits == [second.reserve() for _ in range(20)]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(10.0, capacity=0.5)
+
+
+class TestLatencyModel:
+    def test_percentiles_parametrise_the_lognormal(self):
+        model = LatencyModel(p50=0.025, p99=0.1)
+        z99 = 2.3263478740408408
+        assert math.exp(model.mu) == pytest.approx(0.025)
+        assert math.exp(model.mu + model.sigma * z99) == pytest.approx(0.1)
+
+    def test_rejects_inverted_percentiles(self):
+        with pytest.raises(ValueError):
+            LatencyModel(p50=0.1, p99=0.05)
+        with pytest.raises(ValueError):
+            LatencyModel(p50=0.0, p99=0.1)
+
+
+class TestClientSpec:
+    def test_validates_rates_and_retries(self):
+        with pytest.raises(ValueError):
+            ClientSpec(timeout_rate=1.2)
+        with pytest.raises(ValueError):
+            ClientSpec(timeout_rate=0.6, failure_rate=0.5)
+        with pytest.raises(ValueError):
+            ClientSpec(max_retries=-1)
+        with pytest.raises(ValueError):
+            ClientSpec(kind="imaginary")
+
+    def test_as_dict_round_trips(self):
+        spec = ClientSpec(kind=CLIENT_SIMULATED, seed=23, latency_p50=0.01,
+                          latency_p99=0.05)
+        assert ClientSpec(**spec.as_dict()) == spec
+
+
+class TestMakeClient:
+    def test_coercions(self, researcher_prepared):
+        engine = researcher_prepared.engine
+        assert isinstance(make_client(None, engine), InstantClient)
+        assert isinstance(make_client(CLIENT_INSTANT, engine), InstantClient)
+        assert isinstance(make_client(CLIENT_SIMULATED, engine),
+                          SimulatedServiceClient)
+        assert isinstance(make_client(ClientSpec(), engine), InstantClient)
+        simulated = make_client(ClientSpec(kind=CLIENT_SIMULATED), engine)
+        assert isinstance(simulated, SimulatedServiceClient)
+        assert make_client(simulated, engine) is simulated
+        with pytest.raises(TypeError):
+            make_client(3.14, engine)
+
+
+class TestSimulatedServiceClient:
+    SPEC = ClientSpec(kind=CLIENT_SIMULATED, seed=17)
+
+    def test_outcomes_deterministic_under_a_fixed_seed(self,
+                                                       researcher_prepared):
+        entity_id = list(researcher_prepared.split.test_entities)[0]
+        action = _Action(entity_id, (entity_id, ASPECT, "RND", "seed"))
+
+        def outcome():
+            client = SimulatedServiceClient(researcher_prepared.engine,
+                                            self.SPEC)
+            return client.fetch(action, accounting=RunFetchAccounting())
+
+        first, second = outcome(), outcome()
+        assert first.latency_seconds == second.latency_seconds
+        assert first.attempts == second.attempts
+        assert first.retries == second.retries
+        assert first.timeouts == second.timeouts
+        assert [r.page_id for r in first.results] == \
+            [r.page_id for r in second.results]
+
+    def test_draws_keyed_by_request_not_by_call_order(self,
+                                                      researcher_prepared):
+        entity_id = list(researcher_prepared.split.test_entities)[0]
+        key_a = (entity_id, ASPECT, "RND", "seed")
+        key_b = (entity_id, ASPECT, "MQ", "seed")
+        solo = SimulatedServiceClient(researcher_prepared.engine, self.SPEC)
+        alone = solo.fetch(_Action(entity_id, key_b),
+                           accounting=RunFetchAccounting())
+        shared = SimulatedServiceClient(researcher_prepared.engine, self.SPEC)
+        shared.fetch(_Action(entity_id, key_a),
+                     accounting=RunFetchAccounting())
+        interleaved = shared.fetch(_Action(entity_id, key_b),
+                                   accounting=RunFetchAccounting())
+        assert interleaved.latency_seconds == alone.latency_seconds
+        assert interleaved.attempts == alone.attempts
+
+    def test_backoff_schedule_is_deterministic_and_exponential(self):
+        spec = ClientSpec(kind=CLIENT_SIMULATED, backoff_base=0.05,
+                          backoff_multiplier=2.0, max_retries=3)
+        delays = [spec.backoff_base * spec.backoff_multiplier ** attempt
+                  for attempt in range(spec.max_retries)]
+        assert delays == [0.05, 0.1, 0.2]
+
+    def test_failed_attempts_charge_the_fetch_budget(self,
+                                                     researcher_runner,
+                                                     researcher_prepared):
+        # A flaky service: at these rates a multi-request session is all
+        # but guaranteed retries — and with a fixed seed, deterministically
+        # so (the assertion would fail loudly if the seed produced none).
+        spec = ClientSpec(kind=CLIENT_SIMULATED, timeout_rate=0.3,
+                          failure_rate=0.3, max_retries=4, seed=17)
+        client = SimulatedServiceClient(researcher_prepared.engine, spec)
+        harvester = researcher_runner.harvester_for(researcher_prepared)
+        entity_id = list(researcher_prepared.split.test_entities)[0]
+        job = researcher_runner.build_job(researcher_prepared, "RND",
+                                          entity_id, ASPECT, 3)
+        result = drive_stepper(harvester.stepper_for_job(job), client)
+        stats = client.stats
+        assert stats.retry_queries > 0
+        # Every fired query is either engine-served or a charged retry.
+        assert result.fetch_accounting.queries_fired == \
+            stats.engine_queries + stats.retry_queries
+        assert stats.attempts == stats.engine_queries + stats.retry_queries
+
+    def test_exhausted_request_returns_empty_outcome(self,
+                                                     researcher_prepared):
+        # Nearly-always-failing service with one attempt: scan seeds until
+        # the single verdict draw fails — deterministic once found.
+        entity_id = list(researcher_prepared.split.test_entities)[0]
+        action = _Action(entity_id, (entity_id, ASPECT, "RND", "seed"))
+        for seed in range(64):
+            spec = ClientSpec(kind=CLIENT_SIMULATED, timeout_rate=0.5,
+                              failure_rate=0.49, max_retries=0, seed=seed)
+            client = SimulatedServiceClient(researcher_prepared.engine, spec)
+            accounting = RunFetchAccounting()
+            outcome = client.fetch(action, accounting=accounting)
+            if outcome.exhausted:
+                assert outcome.results == ()
+                assert outcome.pages == ()
+                assert outcome.attempts == 1
+                assert accounting.queries_fired == 1
+                assert accounting.pages_fetched == 0
+                return
+        pytest.fail("no failing seed found at 99% failure rate")
+
+    def test_instant_client_keeps_historical_signatures(self,
+                                                        researcher_runner,
+                                                        researcher_prepared):
+        harvester = researcher_runner.harvester_for(researcher_prepared)
+        entity_id = list(researcher_prepared.split.test_entities)[0]
+
+        def job():
+            return researcher_runner.build_job(researcher_prepared, "L2QBAL",
+                                               entity_id, ASPECT, 2)
+
+        direct = harvester.harvest_job(job())
+        via_client = harvester.harvest_job(
+            job(), client=InstantClient(researcher_prepared.engine))
+        assert harvest_signature(via_client) == harvest_signature(direct)
