@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""CI gate: SIGKILL a live campaign, resume it, demand byte-identity.
+
+The probe drives the public CLI end to end, exactly as a user (or the
+paper-scale workflow) would:
+
+1. run an uninterrupted **control** campaign to completion;
+2. start an identical **victim** campaign with the inter-cell sleep hook
+   enabled, poll its journal until at least one cell has committed, then
+   ``SIGKILL`` the process mid-flight (no atexit, no finally);
+3. ``campaign resume`` the victim directory and assert that
+
+   * every journalled cell was **skipped**, none re-executed,
+   * skipped + executed covers the full cell list,
+   * the resumed ``matrices.json`` is **byte-identical** to the
+     control's,
+   * the journal holds each cell key exactly once.
+
+Any violated assertion exits 1 and turns the CI job red.
+
+Usage::
+
+    python benchmarks/check_campaign_resume.py [--scale smoke]
+        [--keep-dirs]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: The smoke campaign the gate runs: small enough for CI, big enough
+#: that the kill window interrupts real pending work.
+CAMPAIGN_FLAGS = ["--domains", "car", "--scenarios", "zipf-skew",
+                  "--queries", "2", "--checkpoint-every", "1"]
+
+JOURNAL = "journal.jsonl"
+MATRICES = "matrices.json"
+SLEEP_ENV = "REPRO_CAMPAIGN_INTERCELL_SLEEP"
+
+
+def _env(intercell_sleep=None) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep \
+        + env.get("PYTHONPATH", "")
+    env.pop(SLEEP_ENV, None)
+    if intercell_sleep is not None:
+        env[SLEEP_ENV] = str(intercell_sleep)
+    return env
+
+
+def _cli(verb: str, campdir: Path, scale: str) -> list:
+    cmd = [sys.executable, "-m", "repro.cli", "campaign", verb,
+           "--dir", str(campdir)]
+    if verb == "run":
+        cmd += ["--scale", scale, *CAMPAIGN_FLAGS]
+    return cmd
+
+
+def _wait_for_committed_cell(journal: Path, timeout: float) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if journal.exists():
+            data = journal.read_bytes()
+            if data.strip() and data.endswith(b"\n"):
+                return
+        time.sleep(0.1)
+    raise SystemExit(f"FAIL: no cell journalled within {timeout:.0f}s")
+
+
+def _check(condition: bool, label: str) -> None:
+    print(("ok   " if condition else "FAIL ") + label)
+    if not condition:
+        raise SystemExit(1)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="smoke",
+                        choices=["smoke", "default", "paper"])
+    parser.add_argument("--kill-window", type=float, default=300.0,
+                        help="post-commit sleep in the victim run; the "
+                             "SIGKILL must land inside it (default 300)")
+    parser.add_argument("--keep-dirs", action="store_true",
+                        help="keep the campaign directories for inspection")
+    args = parser.parse_args(argv)
+
+    workdir = Path(tempfile.mkdtemp(prefix="campaign_resume_gate_"))
+    control_dir = workdir / "control"
+    victim_dir = workdir / "victim"
+    try:
+        print(f"campaign resume gate (scale={args.scale}) in {workdir}")
+
+        control = subprocess.run(
+            _cli("run", control_dir, args.scale), env=_env(), cwd=str(REPO),
+            text=True, capture_output=True, timeout=1800)
+        print(control.stdout, end="")
+        _check(control.returncode == 0, "control campaign completed")
+        control_matrices = (control_dir / MATRICES).read_bytes()
+        total = len((control_dir / JOURNAL).read_text().splitlines())
+        _check(total >= 2, f"campaign has >= 2 cells (got {total})")
+
+        victim = subprocess.Popen(
+            _cli("run", victim_dir, args.scale),
+            env=_env(intercell_sleep=args.kill_window), cwd=str(REPO),
+            text=True, stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+        try:
+            _wait_for_committed_cell(victim_dir / JOURNAL,
+                                     timeout=args.kill_window)
+            victim.send_signal(signal.SIGKILL)
+            victim.wait(timeout=60)
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+                victim.wait()
+        _check(victim.returncode == -signal.SIGKILL,
+               f"victim died of SIGKILL (returncode {victim.returncode})")
+        journalled = len((victim_dir / JOURNAL).read_text().splitlines())
+        _check(1 <= journalled < total,
+               f"kill landed mid-campaign ({journalled}/{total} cells "
+               f"journalled)")
+        _check(not (victim_dir / MATRICES).exists(),
+               "no matrices were folded before the kill")
+
+        resume = subprocess.run(
+            _cli("resume", victim_dir, args.scale), env=_env(),
+            cwd=str(REPO), text=True, capture_output=True, timeout=1800)
+        print(resume.stdout, end="")
+        _check(resume.returncode == 0, "resume completed")
+        match = re.search(r"(\d+) skipped \(journalled\), (\d+) executed",
+                          resume.stdout)
+        _check(match is not None, "resume reported skip/execute counts")
+        skipped, executed = int(match.group(1)), int(match.group(2))
+        _check(skipped == journalled,
+               f"resume skipped every journalled cell ({skipped})")
+        _check(skipped + executed == total,
+               f"skipped + executed covers all {total} cells")
+
+        victim_matrices = (victim_dir / MATRICES).read_bytes()
+        _check(victim_matrices == control_matrices,
+               "resumed matrices byte-identical to uninterrupted control")
+        keys = [json.loads(line)["key"] for line in
+                (victim_dir / JOURNAL).read_text().splitlines()]
+        _check(len(keys) == len(set(keys)) == total,
+               "journal holds each cell exactly once")
+        print("campaign resume gate: all probes passed")
+        return 0
+    finally:
+        if args.keep_dirs:
+            print(f"keeping {workdir}")
+        else:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""Resumable harvest campaigns: journaled job store with checkpoint/resume.
+
+The fleet-scale layer over the scenario sweep.  A declarative
+:class:`CampaignSpec` (domains × scenarios × methods × seeds × scale,
+JSON round-trippable) compiles into deterministic, content-addressed
+:class:`CampaignCell` jobs; the :class:`CampaignStore` journals every
+finished cell (fsync'd artifact first, journal line second); and the
+:class:`CampaignRunner` dispatches pending cells through any execution
+backend, skipping everything a killed predecessor already committed and
+folding finished artifacts into the same robustness matrices
+:class:`~repro.eval.scenario_sweep.ScenarioSweep` emits — byte-identical
+whether the campaign ran uninterrupted or was SIGKILLed and resumed.
+"""
+
+from repro.campaign.registry import (
+    STORES_NAME,
+    clean_stale_stores,
+    register_store_handles,
+    release_all_registered,
+    release_registered,
+)
+from repro.campaign.runner import (
+    INTERCELL_SLEEP_ENV,
+    MATRICES_SCHEMA,
+    SUMMARY_SCHEMA,
+    CampaignRunReport,
+    CampaignRunner,
+    fold_matrices,
+)
+from repro.campaign.spec import (
+    SPEC_SCHEMA,
+    CampaignCell,
+    CampaignSpec,
+    compile_cells,
+    spec_from_preset,
+)
+from repro.campaign.store import (
+    CELL_SCHEMA,
+    CELLS_DIR,
+    JOURNAL_NAME,
+    MATRICES_NAME,
+    SPEC_NAME,
+    CampaignStore,
+    JournalReplay,
+)
+
+__all__ = [
+    "CELL_SCHEMA",
+    "CELLS_DIR",
+    "INTERCELL_SLEEP_ENV",
+    "JOURNAL_NAME",
+    "MATRICES_NAME",
+    "MATRICES_SCHEMA",
+    "SPEC_NAME",
+    "SPEC_SCHEMA",
+    "STORES_NAME",
+    "SUMMARY_SCHEMA",
+    "CampaignCell",
+    "CampaignRunReport",
+    "CampaignRunner",
+    "CampaignSpec",
+    "CampaignStore",
+    "JournalReplay",
+    "clean_stale_stores",
+    "compile_cells",
+    "fold_matrices",
+    "register_store_handles",
+    "release_all_registered",
+    "release_registered",
+    "spec_from_preset",
+]

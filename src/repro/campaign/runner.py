@@ -1,0 +1,289 @@
+"""Checkpointed campaign execution over the existing backend machinery.
+
+:class:`CampaignRunner` dispatches a compiled campaign's pending cells
+through any :class:`~repro.exec.backends.ExecutionBackend` — the same
+``execute_sweep_cell`` worker entry point the scenario sweep ships — and
+commits every finished cell to the journaled :class:`~repro.campaign
+.store.CampaignStore` before moving on.  A SIGKILL therefore loses at
+most the in-flight checkpoint batch; everything journalled is skipped on
+the next run, and the folded ``matrices.json`` — a pure function of the
+on-disk artifacts — comes out byte-identical to an uninterrupted run.
+
+Stores publish per (seed, domain) exactly as the sweep publishes per
+domain, but only for the domains that still have pending cells — a
+resumed campaign never pays publish cost for finished work.  Published
+handles are recorded in the crash-safe registry
+(:mod:`repro.campaign.registry`) *before* the first dispatch, so a
+campaign killed between publish and release leaks nothing a resume (or
+``campaign clean``) cannot reap.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import nullcontext
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.campaign.registry import (
+    clean_stale_stores,
+    register_store_handles,
+    release_registered,
+)
+from repro.campaign.spec import CampaignCell, CampaignSpec, compile_cells
+from repro.campaign.store import CampaignStore, JournalReplay
+from repro.eval.scenario_sweep import (
+    assemble_sweep_result,
+    execute_sweep_cell,
+    publish_domain_store,
+)
+from repro.exec.backends import ExecutionBackend, resolve_backend
+from repro.perf import recorder as perf_recorder
+from repro.store import MODE_OFF, StoreError, StoreHandle
+
+#: Identifier of the folded campaign-matrices layout.
+MATRICES_SCHEMA = "CampaignMatrices/v1"
+
+#: Identifier of the campaign summary artifact (perf-manifest food).
+SUMMARY_SCHEMA = "BENCH_campaign/v1"
+
+#: Test/CI hook: seconds to sleep after committing each cell, so an
+#: external supervisor has a deterministic window to SIGKILL a campaign
+#: "mid-flight, after >= 1 journalled cell".  Unset or 0 in production.
+INTERCELL_SLEEP_ENV = "REPRO_CAMPAIGN_INTERCELL_SLEEP"
+
+
+@dataclass
+class CampaignRunReport:
+    """What one ``run`` (or resume — same code path) accomplished."""
+
+    total: int
+    #: Cells the journal already held at start (skipped, not re-executed).
+    skipped: int
+    #: Cells this run executed and committed.
+    executed: int
+    #: Cells still pending when the run stopped (``max_cells`` budget).
+    remaining: int
+    #: Journal anomalies replay tolerated (torn/corrupt/missing-artifact).
+    warnings: List[str] = field(default_factory=list)
+    #: Duplicate journal entries replay collapsed idempotently.
+    duplicates: int = 0
+    #: Folded matrices path; ``None`` while cells remain pending.
+    matrices_path: Optional[Path] = None
+
+    @property
+    def complete(self) -> bool:
+        return self.remaining == 0
+
+
+def fold_matrices(spec: CampaignSpec, store: CampaignStore,
+                  cells: Optional[List[CampaignCell]] = None
+                  ) -> Dict[str, object]:
+    """Fold committed artifacts into per-seed robustness matrices.
+
+    A pure function of the spec and the artifacts on disk: results are
+    *always* read back from ``cells/<key>.json`` (JSON float round-trips
+    are exact), never taken from memory, so an uninterrupted run and any
+    sequence of killed-and-resumed runs produce the same bytes.  Each
+    seed's block is exactly the matrix :class:`~repro.eval.scenario_sweep
+    .ScenarioSweep` emits for that corpus realisation.
+    """
+    cells = cells if cells is not None else compile_cells(spec)
+    scenario_specs = spec.scenario_specs()
+    seeds: Dict[str, object] = {}
+    for seed in spec.seeds:
+        seed_cells = [cell for cell in cells if cell.seed == seed]
+        results = [store.read_result(cell.key) for cell in seed_cells]
+        matrix = assemble_sweep_result(
+            scale_name=spec.scale.name,
+            seed=seed,
+            num_queries=spec.num_queries,
+            methods=spec.methods,
+            domains=spec.domains,
+            specs=scenario_specs,
+            cell_results=results,
+        )
+        seeds[str(seed)] = matrix.to_json_dict()
+    return {"schema": MATRICES_SCHEMA, "campaign": spec.name, "seeds": seeds}
+
+
+class CampaignRunner:
+    """Dispatches a campaign's pending cells and folds finished artifacts.
+
+    Parameters
+    ----------
+    root:
+        Campaign directory (created on first run).
+    spec:
+        The campaign to bind the directory to.  ``None`` loads the spec
+        the directory is already bound to (the resume path).
+    backend / workers:
+        Execution engine for cell dispatch, exactly as
+        :class:`~repro.eval.scenario_sweep.ScenarioSweep` accepts them.
+    checkpoint_every:
+        Cells committed per dispatch round; the crash-loss bound.
+        Defaults to the backend's worker count, so every worker stays
+        busy within a round while a kill never loses more than one
+        round's results.
+    """
+
+    def __init__(self, root, spec: Optional[CampaignSpec] = None,
+                 backend: Union[None, str, ExecutionBackend] = None,
+                 workers: int = 1,
+                 checkpoint_every: Optional[int] = None) -> None:
+        self.store = CampaignStore(root)
+        if spec is not None:
+            self.spec = self.store.initialise(spec)
+        else:
+            self.spec = self.store.load_spec()
+        self.backend = resolve_backend(backend, workers=workers)
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self.checkpoint_every = checkpoint_every \
+            if checkpoint_every is not None else max(1, self.backend.workers)
+
+    # -- Introspection -----------------------------------------------------
+    def plan(self) -> List[CampaignCell]:
+        """The compiled, content-addressed job list (deterministic)."""
+        return compile_cells(self.spec)
+
+    def status(self) -> Tuple[List[CampaignCell], JournalReplay]:
+        """Compiled cells plus what the journal says is already done."""
+        return self.plan(), self.store.replay()
+
+    # -- Execution ---------------------------------------------------------
+    def run(self, max_cells: Optional[int] = None) -> CampaignRunReport:
+        """Execute pending cells (resume-safe) and fold when complete.
+
+        ``max_cells`` bounds how many pending cells this invocation
+        executes (``None`` = all) — useful for smoke-testing checkpoint
+        behaviour and for slicing a campaign across short-lived runners.
+        """
+        rec = perf_recorder()
+        cells = self.plan()
+        with (rec.phase("campaign-replay") if rec else nullcontext()):
+            replay = self.store.replay()
+        # Reap segments a killed predecessor leaked before publishing new
+        # ones — /dev/shm is a bounded resource.
+        clean_stale_stores(self.store.root)
+        pending = [cell for cell in cells if cell.key not in replay.completed]
+        skipped = len(cells) - len(pending)
+        budget = len(pending) if max_cells is None \
+            else max(0, min(max_cells, len(pending)))
+        to_run = pending[:budget]
+        executed = 0
+        sleep_seconds = float(os.environ.get(INTERCELL_SLEEP_ENV, "0") or 0)
+        if to_run:
+            handles = self._publish_stores(to_run, rec)
+            try:
+                for start in range(0, len(to_run), self.checkpoint_every):
+                    batch = to_run[start:start + self.checkpoint_every]
+                    specs = [self._transported_spec(cell, handles)
+                             for cell in batch]
+                    with (rec.phase("campaign-dispatch", cells=len(batch),
+                                    workers=self.backend.workers)
+                          if rec else nullcontext()):
+                        results = self.backend.map_tasks(execute_sweep_cell,
+                                                         specs)
+                    for cell, result in zip(batch, results):
+                        self.store.record(cell, result)
+                        executed += 1
+                        if sleep_seconds > 0:
+                            time.sleep(sleep_seconds)
+            finally:
+                release_registered(self.store.root)
+        report = CampaignRunReport(
+            total=len(cells),
+            skipped=skipped,
+            executed=executed,
+            remaining=len(pending) - executed,
+            warnings=list(replay.warnings),
+            duplicates=replay.duplicates,
+        )
+        if report.remaining == 0:
+            with (rec.phase("campaign-fold") if rec else nullcontext()):
+                document = fold_matrices(self.spec, self.store, cells)
+                report.matrices_path = self.store.write_matrices(document)
+        return report
+
+    def _publish_stores(self, to_run: List[CampaignCell], rec
+                        ) -> Dict[Tuple[int, str], StoreHandle]:
+        """Publish one clean base store per pending (seed, domain).
+
+        Only distributed backends attach stores (matching the sweep);
+        in-process backends rely on the process-local base caches.
+        Handles are recorded in the crash-safe registry *before* any
+        cell dispatches, so no kill window can leak a segment invisibly.
+        """
+        handles: Dict[Tuple[int, str], StoreHandle] = {}
+        if not self.backend.distributed \
+                or self.spec.corpus_store == MODE_OFF:
+            return handles
+        needed = sorted({(cell.seed, cell.domain) for cell in to_run})
+        for seed, domain in needed:
+            scale = self.spec.scale_for_seed(seed)
+            try:
+                with (rec.phase("campaign-publish", domain=domain, seed=seed)
+                      if rec else nullcontext()):
+                    handles[(seed, domain)] = publish_domain_store(
+                        scale, domain, self.spec.corpus_store, rec)
+            except StoreError:
+                break  # published domains stay usable; the rest rebuild
+        register_store_handles(
+            self.store.root,
+            {f"seed{seed}/{domain}": handle
+             for (seed, domain), handle in handles.items()})
+        return handles
+
+    @staticmethod
+    def _transported_spec(cell: CampaignCell,
+                          handles: Dict[Tuple[int, str], StoreHandle]):
+        """The cell's spec with its (seed, domain) store handle attached.
+
+        Transport only: the handle never changes the cell's denotation —
+        or its key — just how fast a worker materialises the corpus.
+        """
+        handle = handles.get((cell.seed, cell.domain))
+        if handle is None:
+            return cell.spec
+        return replace(cell.spec,
+                       corpus=replace(cell.spec.corpus, store_handle=handle))
+
+    # -- Reporting ---------------------------------------------------------
+    def summary_document(self, report: CampaignRunReport
+                         ) -> Dict[str, object]:
+        """The ``BENCH_campaign`` summary artifact for the perf manifest.
+
+        Carries the campaign's shape and checkpoint/resume counters; the
+        perf manifest folds these into its ``campaigns`` block so the
+        fleet's resume behaviour is visible next to its throughput.
+        """
+        rec = perf_recorder()
+        phases = rec.aggregates_since(0) if rec is not None else {}
+        campaign_phases = {name: stats for name, stats in phases.items()
+                           if name.startswith("campaign-")}
+        return {
+            "schema": SUMMARY_SCHEMA,
+            "campaign": self.spec.name,
+            "scale": self.spec.scale.name,
+            "backend": self.backend.name,
+            "workers": self.backend.workers,
+            "domains": list(self.spec.domains),
+            "scenarios": list(self.spec.scenarios),
+            "methods": list(self.spec.methods),
+            "seeds": list(self.spec.seeds),
+            "cells": {
+                "total": report.total,
+                "skipped_on_resume": report.skipped,
+                "executed_this_run": report.executed,
+                "remaining": report.remaining,
+            },
+            "journal": {
+                "duplicates": report.duplicates,
+                "warnings": len(report.warnings),
+            },
+            "complete": report.complete,
+            "phases": campaign_phases,
+        }

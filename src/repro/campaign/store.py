@@ -1,0 +1,244 @@
+"""Journaled on-disk campaign store: artifacts first, journal line second.
+
+The crash-safety contract, in write order:
+
+1. The cell's result artifact is written to ``cells/<key>.json.tmp``,
+   flushed and fsync'd, then atomically renamed to ``cells/<key>.json``
+   (and the directory entry fsync'd), so a reader can never observe a
+   half-written artifact under the final name.
+2. Only then is the ``{"event": "cell", "key": ...}`` line appended to
+   ``journal.jsonl`` and fsync'd.  The journal line *commits* the cell:
+   a crash between (1) and (2) leaves an orphan artifact that replay
+   ignores (the cell re-runs and rewrites it byte-identically), never a
+   journal entry without its artifact.
+
+Replay is deliberately forgiving — every corruption degrades to "re-run
+the cell", never to wrong output:
+
+* a torn final line (the classic power-cut append) is ignored with a
+  warning;
+* duplicate entries for one key are idempotent (first wins; later ones
+  are counted, not trusted differently — artifacts are content-addressed
+  so they are the same bytes anyway);
+* an entry whose artifact is missing or unreadable is dropped with a
+  loud warning and the cell re-runs.
+
+Aggregation (``matrices.json``) is a pure function of the artifacts on
+disk, so a resumed campaign's output is byte-identical to an
+uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List
+
+from repro.campaign.spec import CampaignCell, CampaignSpec
+from repro.exec.specs import SweepCellResult
+
+logger = logging.getLogger(__name__)
+
+#: File names of the on-disk layout (all relative to the campaign root).
+SPEC_NAME = "spec.json"
+JOURNAL_NAME = "journal.jsonl"
+CELLS_DIR = "cells"
+MATRICES_NAME = "matrices.json"
+
+#: Identifier of the per-cell artifact layout.
+CELL_SCHEMA = "CampaignCell/v1"
+
+
+@dataclass
+class JournalReplay:
+    """What replaying a journal established about completed work."""
+
+    #: Cell key → artifact path of every *committed* cell (journal entry
+    #: present and its artifact readable).
+    completed: Dict[str, Path] = field(default_factory=dict)
+    #: Parsed journal entries (including duplicates).
+    entries: int = 0
+    #: Entries for keys already seen earlier in the journal.
+    duplicates: int = 0
+    #: Human-readable descriptions of every anomaly replay tolerated.
+    warnings: List[str] = field(default_factory=list)
+
+
+class CampaignStore:
+    """One campaign's directory: spec, journal, artifacts, matrices."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    # -- Layout ------------------------------------------------------------
+    @property
+    def spec_path(self) -> Path:
+        return self.root / SPEC_NAME
+
+    @property
+    def journal_path(self) -> Path:
+        return self.root / JOURNAL_NAME
+
+    @property
+    def cells_dir(self) -> Path:
+        return self.root / CELLS_DIR
+
+    @property
+    def matrices_path(self) -> Path:
+        return self.root / MATRICES_NAME
+
+    def artifact_path(self, key: str) -> Path:
+        return self.cells_dir / f"{key}.json"
+
+    # -- Spec --------------------------------------------------------------
+    def initialise(self, spec: CampaignSpec) -> CampaignSpec:
+        """Bind this directory to a spec (idempotent for the same spec).
+
+        A directory already bound to a *different* spec refuses loudly:
+        resuming a campaign against changed cells would fold mismatched
+        artifacts into one matrix.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.cells_dir.mkdir(exist_ok=True)
+        if self.spec_path.exists():
+            existing = CampaignSpec.load(self.spec_path)
+            if existing.to_json() != spec.to_json():
+                raise ValueError(
+                    f"campaign directory {self.root} is already bound to "
+                    f"spec {existing.name!r} with different contents; use a "
+                    f"fresh directory or resume without passing a spec")
+            return existing
+        spec.save(self.spec_path)
+        return spec
+
+    def load_spec(self) -> CampaignSpec:
+        """The spec this directory is bound to (raises if uninitialised)."""
+        if not self.spec_path.exists():
+            raise FileNotFoundError(
+                f"{self.spec_path} does not exist; this directory holds no "
+                f"campaign (run `campaign run` with a spec first)")
+        return CampaignSpec.load(self.spec_path)
+
+    # -- Journal -----------------------------------------------------------
+    def record(self, cell: CampaignCell, result: SweepCellResult) -> Path:
+        """Commit one finished cell: fsync'd artifact, then journal line."""
+        self.cells_dir.mkdir(parents=True, exist_ok=True)
+        artifact = self.artifact_path(cell.key)
+        payload = {
+            "schema": CELL_SCHEMA,
+            "key": cell.key,
+            "seed": cell.seed,
+            "domain": cell.domain,
+            "scenario": cell.scenario,
+            "result": result.to_json_dict(),
+        }
+        tmp = artifact.with_name(artifact.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, artifact)
+        self._fsync_dir(self.cells_dir)
+        line = json.dumps({"event": "cell", "key": cell.key,
+                           "seed": cell.seed, "domain": cell.domain,
+                           "scenario": cell.scenario,
+                           "artifact": f"{CELLS_DIR}/{artifact.name}"},
+                          sort_keys=True)
+        with open(self.journal_path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        return artifact
+
+    @staticmethod
+    def _fsync_dir(path: Path) -> None:
+        """Flush a directory entry (rename durability); best-effort."""
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:  # pragma: no cover - exotic filesystems
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - fsync on dirs unsupported
+            pass
+        finally:
+            os.close(fd)
+
+    def replay(self) -> JournalReplay:
+        """Establish completed cells from the journal (corruption-tolerant)."""
+        replay = JournalReplay()
+        if not self.journal_path.exists():
+            return replay
+        raw = self.journal_path.read_bytes()
+        lines = raw.split(b"\n")
+        # A file ending in "\n" splits into [..., b""]; anything else in
+        # the final slot is a torn trailing write.
+        torn_tail = lines and lines[-1] != b""
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                if torn_tail and index == len(lines) - 1:
+                    self._warn(replay,
+                               f"journal ends in a truncated line (torn "
+                               f"write); treating the cell as incomplete")
+                else:
+                    self._warn(replay,
+                               f"journal line {index + 1} is corrupt; "
+                               f"ignoring it (its cell will re-run)")
+                continue
+            if not isinstance(entry, dict) or entry.get("event") != "cell" \
+                    or not entry.get("key"):
+                self._warn(replay,
+                           f"journal line {index + 1} is not a cell event; "
+                           f"ignoring it")
+                continue
+            replay.entries += 1
+            key = entry["key"]
+            if key in replay.completed:
+                replay.duplicates += 1
+                continue
+            artifact = self.artifact_path(key)
+            if not self._artifact_ok(artifact, key):
+                self._warn(replay,
+                           f"journal references cell {key} but its artifact "
+                           f"{artifact.name} is missing or unreadable; the "
+                           f"cell will re-run")
+                continue
+            replay.completed[key] = artifact
+        return replay
+
+    def _artifact_ok(self, artifact: Path, key: str) -> bool:
+        """Whether a committed cell's artifact is present and parseable."""
+        if not artifact.exists():
+            return False
+        try:
+            payload = json.loads(artifact.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return False
+        return isinstance(payload, dict) and payload.get("key") == key \
+            and isinstance(payload.get("result"), dict)
+
+    @staticmethod
+    def _warn(replay: JournalReplay, message: str) -> None:
+        replay.warnings.append(message)
+        logger.warning("campaign journal: %s", message)
+
+    # -- Artifacts ---------------------------------------------------------
+    def read_result(self, key: str) -> SweepCellResult:
+        """Load one committed cell's result from its artifact."""
+        payload = json.loads(
+            self.artifact_path(key).read_text(encoding="utf-8"))
+        return SweepCellResult.from_json_dict(payload["result"])
+
+    def write_matrices(self, document: Dict[str, object]) -> Path:
+        """Write the folded campaign matrices (canonical JSON)."""
+        text = json.dumps(document, indent=2, sort_keys=True) + "\n"
+        self.matrices_path.write_text(text, encoding="utf-8")
+        return self.matrices_path

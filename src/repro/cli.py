@@ -34,6 +34,18 @@ Four subcommands cover the common workflows:
     renders per-backend speedup tables, the serving table and throughput
     deltas vs the committed manifest.
 
+``repro-l2q campaign``
+    Resumable campaigns: ``campaign plan`` compiles a spec (from a JSON
+    file or inline flags) into its content-addressed cell list;
+    ``campaign run`` executes pending cells against a journaled directory
+    (checkpointing each finished cell, skipping everything already
+    journalled — a killed run loses at most one checkpoint batch);
+    ``campaign resume`` is ``run`` against an already-bound directory;
+    ``campaign status`` reports completed/pending cells and journal
+    anomalies; ``campaign clean`` reaps shared-store segments a killed
+    orchestrator leaked.  Resumed output is byte-identical to an
+    uninterrupted run (matrices fold purely from on-disk artifacts).
+
 ``harvest`` and ``experiment`` both accept ``--ranker`` to pick the
 retrieval model backing the offline search engine (any name in the ranker
 registry, ``dirichlet`` by default), plus ``--backend {serial,thread,
@@ -221,6 +233,58 @@ def build_parser() -> argparse.ArgumentParser:
                        help="artifact path "
                             "(default: benchmarks/results/BENCH_serving.json)")
 
+    campaign = subparsers.add_parser(
+        "campaign", help="plan, run, resume and inspect journaled campaigns")
+    campaign_commands = campaign.add_subparsers(dest="campaign_command",
+                                                required=True)
+    plan = campaign_commands.add_parser(
+        "plan", help="compile a campaign spec into its content-addressed "
+                     "cell list (and optionally bind a directory to it)")
+    _add_campaign_spec_arguments(plan)
+    plan.add_argument("--dir", default=None, metavar="DIR",
+                      help="campaign directory to initialise with the spec "
+                           "(default: plan only, no directory touched)")
+    for verb, text in (("run", "execute pending cells against a journaled "
+                               "campaign directory (resume-safe: journalled "
+                               "cells are skipped)"),
+                       ("resume", "resume a killed campaign (identical to "
+                                  "run, but requires an already-bound "
+                                  "directory)")):
+        sub = campaign_commands.add_parser(verb, help=text)
+        sub.add_argument("--dir", required=True, metavar="DIR",
+                         help="campaign directory (journal, artifacts, "
+                              "matrices)")
+        if verb == "run":
+            _add_campaign_spec_arguments(sub)
+        sub.add_argument("--backend", default=None, choices=backend_names(),
+                         help="execution backend for cell dispatch "
+                              "(default: serial for 1 worker, thread for "
+                              "more; results identical for any backend)")
+        sub.add_argument("--workers", type=_positive_int, default=None,
+                         help="parallel cell workers (default 1)")
+        sub.add_argument("--checkpoint-every", type=_positive_int,
+                         default=None, metavar="N",
+                         help="cells committed per dispatch round — the "
+                              "crash-loss bound (default: the worker count)")
+        sub.add_argument("--max-cells", type=_positive_int, default=None,
+                         metavar="N",
+                         help="execute at most N pending cells this "
+                              "invocation (default: all)")
+        sub.add_argument("--bench-output", default=None, metavar="PATH",
+                         help="write the BENCH_campaign summary artifact "
+                              "(cells skipped/executed, journal anomalies) "
+                              "for the perf manifest's campaigns block")
+        sub.add_argument("--perf-output", default=None, metavar="PATH",
+                         help="record campaign phase timings (replay, "
+                              "publish, dispatch, fold) to PATH")
+    status = campaign_commands.add_parser(
+        "status", help="journal-replay view: completed vs pending cells")
+    status.add_argument("--dir", required=True, metavar="DIR")
+    clean = campaign_commands.add_parser(
+        "clean", help="reap shared-store segments/mmap temp files a killed "
+                      "campaign orchestrator leaked")
+    clean.add_argument("--dir", required=True, metavar="DIR")
+
     perf_parser = subparsers.add_parser(
         "perf", help="build the perf manifest or render speedup reports")
     perf_commands = perf_parser.add_subparsers(dest="perf_command",
@@ -319,6 +383,40 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
                         help="record wall-clock phase timings (split "
                              "preparation, harvest loops, sweep cells) and "
                              "write the JSON report to PATH")
+
+
+def _add_campaign_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--spec", default=None, metavar="FILE",
+                        help="campaign spec JSON (embeds the scale by "
+                             "value); inline flags below are ignored when "
+                             "given")
+    parser.add_argument("--name", default="campaign",
+                        help="campaign name (default: campaign)")
+    parser.add_argument("--scale", choices=["smoke", "default", "paper"],
+                        default="smoke",
+                        help="corpus / split sizing preset embedded into "
+                             "the spec by value (default: smoke)")
+    parser.add_argument("--domains", nargs="+",
+                        default=list(experiments.DOMAINS),
+                        choices=available_domains())
+    parser.add_argument("--scenarios", nargs="+", default=None,
+                        metavar="SCENARIO",
+                        help="scenario names (default: all registered)")
+    parser.add_argument("--methods", nargs="+",
+                        default=list(DEFAULT_SWEEP_METHODS),
+                        metavar="METHOD",
+                        help="selectors / baselines per cell "
+                             f"(default: {' '.join(DEFAULT_SWEEP_METHODS)})")
+    parser.add_argument("--seeds", nargs="+", type=int, default=None,
+                        metavar="SEED",
+                        help="corpus seeds, one world per seed (default: "
+                             "the scale preset's corpus seed)")
+    parser.add_argument("--queries", type=_positive_int, default=3,
+                        help="query budget evaluated per run (default 3)")
+    parser.add_argument("--corpus-store", default="auto",
+                        choices=list(STORE_MODES),
+                        help="shared corpus store policy for distributed "
+                             "cell dispatch (default: auto)")
 
 
 def _parse_param_grid(text: str) -> Tuple[str, List[object]]:
@@ -588,6 +686,143 @@ def _command_serve(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _campaign_spec_from_args(args: argparse.Namespace):
+    """Resolve the campaign spec a plan/run invocation describes.
+
+    ``--spec FILE`` wins; otherwise the inline flags (name, scale,
+    domains, ...) build one, with scenarios defaulting to the full
+    registry and seeds to the preset's own corpus seed.
+    """
+    from repro.campaign import CampaignSpec, spec_from_preset
+
+    if args.spec is not None:
+        return CampaignSpec.load(args.spec)
+    scenarios = args.scenarios if args.scenarios is not None \
+        else scenario_names()
+    seeds = args.seeds if args.seeds is not None \
+        else [experiments.get_scale(args.scale).corpus_seed]
+    return spec_from_preset(args.name, args.scale, args.domains, scenarios,
+                            args.methods, seeds, num_queries=args.queries,
+                            corpus_store=args.corpus_store)
+
+
+def _command_campaign(args: argparse.Namespace, out) -> int:
+    import json
+    from pathlib import Path
+
+    # Lazy: the campaign layer pulls in the sweep + store machinery,
+    # which only this subcommand needs.
+    from repro.campaign import (
+        SPEC_NAME,
+        CampaignRunner,
+        CampaignStore,
+        clean_stale_stores,
+        compile_cells,
+    )
+
+    if args.campaign_command == "plan":
+        try:
+            spec = _campaign_spec_from_args(args)
+        except (OSError, KeyError, ValueError) as error:
+            print(str(error), file=out)
+            return 2
+        cells = compile_cells(spec)
+        print(f"campaign {spec.name!r}: {len(cells)} cells "
+              f"(scale {spec.scale.name}, {len(spec.seeds)} seed(s), "
+              f"{len(spec.domains)} domain(s), {len(spec.scenarios)} "
+              f"scenario(s) + clean)", file=out)
+        for cell in cells:
+            print(f"  {cell.key}  {cell.label()}", file=out)
+        if args.dir is not None:
+            try:
+                CampaignStore(args.dir).initialise(spec)
+            except ValueError as error:
+                print(str(error), file=out)
+                return 2
+            print(f"\nbound {Path(args.dir) / SPEC_NAME}", file=out)
+        return 0
+
+    if args.campaign_command == "status":
+        try:
+            runner = CampaignRunner(args.dir)
+        except FileNotFoundError:
+            print(f"{args.dir} is not a campaign directory "
+                  f"(no {SPEC_NAME})", file=out)
+            return 2
+        cells, replay = runner.status()
+        pending = [cell for cell in cells
+                   if cell.key not in replay.completed]
+        print(f"campaign {runner.spec.name!r}: "
+              f"{len(cells) - len(pending)}/{len(cells)} cells completed, "
+              f"{len(pending)} pending", file=out)
+        if replay.duplicates:
+            print(f"journal: {replay.duplicates} duplicate entrie(s) "
+                  f"collapsed", file=out)
+        for warning in replay.warnings:
+            print(f"warning: {warning}", file=out)
+        for cell in pending:
+            print(f"  pending  {cell.key}  {cell.label()}", file=out)
+        return 0
+
+    if args.campaign_command == "clean":
+        reaped = clean_stale_stores(args.dir)
+        if reaped:
+            print(f"reaped {len(reaped)} stale store segment(s):", file=out)
+            for name in reaped:
+                print(f"  {name}", file=out)
+        else:
+            print("no stale store segments registered", file=out)
+        return 0
+
+    # run / resume — the same resume-safe code path; resume merely
+    # refuses to start a campaign that does not exist yet.
+    root = Path(args.dir)
+    bound = (root / SPEC_NAME).exists()
+    spec = None
+    if args.campaign_command == "resume":
+        if not bound:
+            print(f"{args.dir} is not a campaign directory (no {SPEC_NAME}); "
+                  f"start one with 'campaign run'", file=out)
+            return 2
+    elif args.spec is not None or not bound:
+        # An explicit --spec is always honoured (a mismatch with a bound
+        # directory fails loudly below); inline flags only matter when
+        # the directory is fresh.
+        try:
+            spec = _campaign_spec_from_args(args)
+        except (OSError, KeyError, ValueError) as error:
+            print(str(error), file=out)
+            return 2
+    try:
+        runner = CampaignRunner(
+            root, spec=spec, backend=args.backend,
+            workers=args.workers if args.workers is not None else 1,
+            checkpoint_every=args.checkpoint_every)
+    except (FileNotFoundError, ValueError) as error:
+        print(str(error), file=out)
+        return 2
+    report = runner.run(max_cells=args.max_cells)
+    print(f"campaign {runner.spec.name!r}: {report.total} cells — "
+          f"{report.skipped} skipped (journalled), "
+          f"{report.executed} executed, {report.remaining} remaining",
+          file=out)
+    if report.duplicates:
+        print(f"journal: {report.duplicates} duplicate journal entries collapsed",
+              file=out)
+    for warning in report.warnings:
+        print(f"warning: {warning}", file=out)
+    if report.matrices_path is not None:
+        print(f"wrote {report.matrices_path}", file=out)
+    if args.bench_output is not None:
+        path = Path(args.bench_output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(runner.summary_document(report),
+                                   indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        print(f"wrote {path}", file=out)
+    return 0
+
+
 def _command_perf(args: argparse.Namespace, out) -> int:
     from pathlib import Path
 
@@ -643,6 +878,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return _command_scenarios(args, out)
         if args.command == "serve":
             return _command_serve(args, out)
+        if args.command == "campaign":
+            return _command_campaign(args, out)
         if args.command == "perf":
             return _command_perf(args, out)
         parser.error(f"unknown command {args.command!r}")

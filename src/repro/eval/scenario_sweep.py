@@ -340,6 +340,145 @@ def _evaluate_corpus(corpus: Corpus, methods: Sequence[str], num_queries: int,
             evaluation.fetch_statistics.as_dict())
 
 
+def assemble_sweep_result(*, scale_name: str, seed: int, num_queries: int,
+                          methods: Sequence[str], domains: Sequence[str],
+                          specs: Sequence[ScenarioSpec],
+                          cell_results: Sequence[SweepCellResult],
+                          param_grid: Optional[Dict[str, object]] = None
+                          ) -> ScenarioSweepResult:
+    """Fold executed cells into the robustness matrix (pure function).
+
+    The aggregation half of the sweep, fully separated from execution:
+    given the plain-data cell results — fresh from workers or replayed
+    from a campaign's on-disk artifacts — the same inputs produce the
+    same :class:`ScenarioSweepResult` (and hence the same JSON bytes).
+    This is what lets a resumed campaign emit output byte-identical to an
+    uninterrupted run.
+    """
+    result = ScenarioSweepResult(
+        scale=scale_name,
+        seed=seed,
+        num_queries=num_queries,
+        methods=list(methods),
+        scenarios=[spec.name for spec in specs],
+        param_grid=param_grid,
+    )
+    by_domain: Dict[str, Dict[Optional[str], SweepCellResult]] = {}
+    for cell in cell_results:
+        by_domain.setdefault(cell.domain, {})[cell.scenario] = cell
+    descriptions = {spec.name: spec.description for spec in specs}
+    for domain in domains:
+        cells = by_domain[domain]
+        clean = cells[None]
+        result.clean_by_domain[domain] = {
+            "corpus_digest": clean.corpus_digest,
+            "metrics": clean.metrics,
+            "absolute_metrics": clean.absolute_metrics,
+            "duplicate_waste": clean.duplicate_waste,
+            "fetch": clean.fetch,
+        }
+        folded: Dict[str, ScenarioCell] = {}
+        for spec in specs:
+            cell = cells[spec.name]
+            folded[spec.name] = ScenarioCell(
+                scenario=spec.name,
+                description=descriptions[spec.name],
+                corpus_digest=cell.corpus_digest,
+                metrics=cell.metrics,
+                absolute_metrics=cell.absolute_metrics,
+                duplicate_waste=cell.duplicate_waste,
+                fetch=cell.fetch,
+                f_delta={
+                    method: cell.metrics[method]["f_score"]
+                    - clean.metrics[method]["f_score"]
+                    for method in methods
+                },
+                absolute_f_delta={
+                    method: cell.absolute_metrics[method]["f_score"]
+                    - clean.absolute_metrics[method]["f_score"]
+                    for method in methods
+                },
+            )
+        result.cells_by_domain[domain] = folded
+    return result
+
+
+def publish_domain_store(scale: ExperimentScale, domain: str,
+                         mode: str, rec=None) -> StoreHandle:
+    """Publish one domain's clean base store plus its per-split suites.
+
+    Pages flow straight from the generator into the store writer, so the
+    publishing process never materialises the domain's full page set.
+    The store also carries the clean cell's trained aspect-classifier
+    suites (one per evaluation split, keyed exactly as
+    :meth:`~repro.eval.runner.ExperimentRunner._classifier_key` derives
+    them), so worker clean cells attach trained models instead of
+    retraining per worker; only the pages of split training entities are
+    retained in this process to train those suites.  Shared by
+    :class:`ScenarioSweep` and the campaign runner — one publish path,
+    one store format.
+    """
+    config = CorpusConfig(domain=domain,
+                          num_entities=scale.num_entities[domain],
+                          pages_per_entity=scale.pages_per_entity,
+                          seed=scale.corpus_seed)
+    generator = CorpusGenerator(config.base_config())
+    entities = generator.generate_entities()
+    writer = CorpusStoreWriter(config, entities)
+    # The clean cell's runner derives one split per index from the same
+    # base seed; training entities are the split's domain entities
+    # (test entities only in the degenerate no-domain-half case).
+    splits = [split_entities(sorted(entities),
+                             seed=derive_seed(RUNNER_BASE_SEED,
+                                              "split", index))
+              for index in range(scale.num_splits)]
+    needed = set()
+    for split in splits:
+        needed.update(split.domain_entities or split.test_entities)
+    retained = {}
+    with (rec.phase("store-publish", domain=domain)
+          if rec else nullcontext()):
+        for page in generator.generate_pages(entities):
+            writer.add_page(page)
+            if page.entity_id in needed:
+                retained[page.page_id] = page
+    training_corpus = Corpus(generator.domain_spec, entities, retained,
+                             type_system=generator.type_system)
+    for split in splits:
+        suite_seed = derive_seed(RUNNER_BASE_SEED, "classifier",
+                                 split.seed)
+        with (rec.phase("classifier-train", split_seed=split.seed)
+              if rec else nullcontext()):
+            suite = AspectClassifierSuite.train_on_corpus(
+                training_corpus.subset(
+                    split.domain_entities or split.test_entities),
+                seed=suite_seed)
+        writer.add_classifier_suite(str(suite_seed), suite)
+    with (rec.phase("store-publish", domain=domain)
+          if rec else nullcontext()):
+        return writer.publish(mode=mode)
+
+
+def publish_domain_stores(scale: ExperimentScale, domains: Sequence[str],
+                          mode: str) -> Dict[str, StoreHandle]:
+    """Stream-publish one clean base store per domain for workers.
+
+    A publish failure stops publishing (already-published domains stay
+    usable); affected cells simply rebuild.  With the store off, no
+    domain publishes and every cell rebuilds.
+    """
+    handles: Dict[str, StoreHandle] = {}
+    if mode == MODE_OFF:
+        return handles
+    rec = perf_recorder()
+    for domain in domains:
+        try:
+            handles[domain] = publish_domain_store(scale, domain, mode, rec)
+        except StoreError:
+            break
+    return handles
+
+
 def execute_sweep_cell(spec: SweepCellSpec) -> SweepCellResult:
     """Worker entry point: evaluate one (domain, scenario) cell from its spec.
 
@@ -477,20 +616,20 @@ class ScenarioSweep:
 
     def run(self) -> ScenarioSweepResult:
         """Evaluate every (domain, scenario) cell and fold in the deltas."""
-        result = ScenarioSweepResult(
-            scale=self.scale.name,
-            seed=self.scale.corpus_seed,
-            num_queries=self.num_queries,
-            methods=list(self.methods),
-            scenarios=[spec.name for spec in self.specs],
-            param_grid=self.param_grid,
-        )
         if self.backend.distributed:
             cell_results = self._run_distributed()
         else:
             cell_results = self._run_local()
-        self._fold(result, cell_results)
-        return result
+        return assemble_sweep_result(
+            scale_name=self.scale.name,
+            seed=self.scale.corpus_seed,
+            num_queries=self.num_queries,
+            methods=self.methods,
+            domains=self.domains,
+            specs=self.specs,
+            cell_results=cell_results,
+            param_grid=self.param_grid,
+        )
 
     # -- Execution paths -------------------------------------------------------
     def _run_local(self) -> List[SweepCellResult]:
@@ -538,75 +677,13 @@ class ScenarioSweep:
                 yield spec, self.scale.corpus_for(base.domain, scenario=spec)
 
     def _publish_domain_stores(self) -> Dict[str, StoreHandle]:
-        """Stream-publish one clean base store per domain for workers.
+        """One clean base store per domain (see :func:`publish_domain_stores`).
 
-        Pages flow straight from the generator into the store writer, so
-        the orchestrating process never materialises a domain's full page
-        set — the store is how large sweep corpora reach workers at all.
-        Each store also carries the clean cell's trained aspect-classifier
-        suites (one per evaluation split, keyed exactly as
-        :meth:`~repro.eval.runner.ExperimentRunner._classifier_key`
-        derives them), so worker clean cells attach trained models instead
-        of retraining per worker; only the pages of split training
-        entities are retained in this process to train those suites.
-        Scenario cells perturb the base, so their runners always retrain —
-        attached suites would describe the wrong corpus.  A publish
-        failure stops publishing (already-published domains stay usable);
-        affected cells simply rebuild.
+        Scenario cells perturb the base, so their runners always retrain
+        classifiers — attached suites would describe the wrong corpus.
         """
-        handles: Dict[str, StoreHandle] = {}
-        if self.corpus_store == MODE_OFF:
-            return handles
-        rec = perf_recorder()
-        for domain in self.domains:
-            config = CorpusConfig(domain=domain,
-                                  num_entities=self.scale.num_entities[domain],
-                                  pages_per_entity=self.scale.pages_per_entity,
-                                  seed=self.scale.corpus_seed)
-            try:
-                handles[domain] = self._publish_domain_store(domain, config, rec)
-            except StoreError:
-                break
-        return handles
-
-    def _publish_domain_store(self, domain: str, config: CorpusConfig,
-                              rec) -> StoreHandle:
-        """Publish one domain's clean store plus its per-split suites."""
-        generator = CorpusGenerator(config.base_config())
-        entities = generator.generate_entities()
-        writer = CorpusStoreWriter(config, entities)
-        # The clean cell's runner derives one split per index from the same
-        # base seed; training entities are the split's domain entities
-        # (test entities only in the degenerate no-domain-half case).
-        splits = [split_entities(sorted(entities),
-                                 seed=derive_seed(RUNNER_BASE_SEED,
-                                                  "split", index))
-                  for index in range(self.scale.num_splits)]
-        needed = set()
-        for split in splits:
-            needed.update(split.domain_entities or split.test_entities)
-        retained = {}
-        with (rec.phase("store-publish", domain=domain)
-              if rec else nullcontext()):
-            for page in generator.generate_pages(entities):
-                writer.add_page(page)
-                if page.entity_id in needed:
-                    retained[page.page_id] = page
-        training_corpus = Corpus(generator.domain_spec, entities, retained,
-                                 type_system=generator.type_system)
-        for split in splits:
-            suite_seed = derive_seed(RUNNER_BASE_SEED, "classifier",
-                                     split.seed)
-            with (rec.phase("classifier-train", split_seed=split.seed)
-                  if rec else nullcontext()):
-                suite = AspectClassifierSuite.train_on_corpus(
-                    training_corpus.subset(
-                        split.domain_entities or split.test_entities),
-                    seed=suite_seed)
-            writer.add_classifier_suite(str(suite_seed), suite)
-        with (rec.phase("store-publish", domain=domain)
-              if rec else nullcontext()):
-            return writer.publish(mode=self.corpus_store)
+        return publish_domain_stores(self.scale, self.domains,
+                                     self.corpus_store)
 
     def _run_distributed(self) -> List[SweepCellResult]:
         """Process path: shard whole (domain, scenario) cells across workers.
@@ -650,49 +727,6 @@ class ScenarioSweep:
         finally:
             for handle in handles.values():
                 release(handle)
-
-    # -- Folding ----------------------------------------------------------------
-    def _fold(self, result: ScenarioSweepResult,
-              cell_results: Sequence[SweepCellResult]) -> None:
-        """Assemble cells into the matrix and compute deltas vs clean."""
-        by_domain: Dict[str, Dict[Optional[str], SweepCellResult]] = {}
-        for cell in cell_results:
-            by_domain.setdefault(cell.domain, {})[cell.scenario] = cell
-        descriptions = {spec.name: spec.description for spec in self.specs}
-        for domain in self.domains:
-            cells = by_domain[domain]
-            clean = cells[None]
-            result.clean_by_domain[domain] = {
-                "corpus_digest": clean.corpus_digest,
-                "metrics": clean.metrics,
-                "absolute_metrics": clean.absolute_metrics,
-                "duplicate_waste": clean.duplicate_waste,
-                "fetch": clean.fetch,
-            }
-            folded: Dict[str, ScenarioCell] = {}
-            for spec in self.specs:
-                cell = cells[spec.name]
-                folded[spec.name] = ScenarioCell(
-                    scenario=spec.name,
-                    description=descriptions[spec.name],
-                    corpus_digest=cell.corpus_digest,
-                    metrics=cell.metrics,
-                    absolute_metrics=cell.absolute_metrics,
-                    duplicate_waste=cell.duplicate_waste,
-                    fetch=cell.fetch,
-                    f_delta={
-                        method: cell.metrics[method]["f_score"]
-                        - clean.metrics[method]["f_score"]
-                        for method in self.methods
-                    },
-                    absolute_f_delta={
-                        method: cell.absolute_metrics[method]["f_score"]
-                        - clean.absolute_metrics[method]["f_score"]
-                        for method in self.methods
-                    },
-                )
-            result.cells_by_domain[domain] = folded
-
 
 def run_scenario_sweep(scale: ExperimentScale = SMOKE_SCALE,
                        scenarios: Optional[Sequence[object]] = None,

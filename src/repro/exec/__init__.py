@@ -30,6 +30,7 @@ from repro.exec.specs import (
     HarvestTaskContext,
     SweepCellResult,
     SweepCellSpec,
+    stable_key,
 )
 
 __all__ = [
@@ -53,4 +54,5 @@ __all__ = [
     "HarvestTaskContext",
     "SweepCellResult",
     "SweepCellSpec",
+    "stable_key",
 ]

@@ -18,8 +18,10 @@ successive batches too.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Callable, Optional, Tuple, TypeVar
 
 from repro.core.config import L2QConfig
@@ -64,6 +66,20 @@ class _ProcessLocalCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
         return value
+
+
+def stable_key(payload: object) -> str:
+    """Content-address a plain-data payload (short sha256 hex digest).
+
+    The identity primitive of the checkpoint/resume layer: the same
+    payload yields the same key in any process on any machine, so a
+    resumed campaign recognises work journalled by a previous —
+    possibly killed — orchestrator.  ``payload`` must be JSON-encodable
+    plain data (the caller canonicalises dataclasses first).
+    """
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=repr)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 
 
 _BASE_CACHE = _ProcessLocalCache(capacity=4)
@@ -258,6 +274,24 @@ class HarvestBatchSpec:
     #: :func:`reserve_base_slots`).
     base_slots: int = 4
 
+    def cell_key(self) -> str:
+        """Stable content-addressed identity of this batch.
+
+        Only the denotation counts: cache-tuning fields
+        (``runtime_slots``, ``base_slots``) and the context corpus's
+        ``store_handle`` (transport, not meaning) are excluded, so a
+        resumed dispatch recognises the batch regardless of worker
+        count or store availability.
+        """
+        context = replace(self.context,
+                          corpus=replace(self.context.corpus,
+                                         store_handle=None))
+        return stable_key({
+            "kind": "harvest-batch",
+            "context": repr(context),
+            "specs": [repr(spec) for spec in self.specs],
+        })
+
 
 @dataclass
 class HarvestBatchOutcome:
@@ -328,6 +362,37 @@ class SweepCellSpec:
         """Scenario name, or ``None`` for the clean baseline cell."""
         return self.corpus.scenario.name if self.corpus.scenario else None
 
+    def cell_key(self) -> str:
+        """Stable content-addressed identity of this cell.
+
+        Two specs share a key exactly when they denote the same evaluated
+        cell: corpus (domain, sizes, seed, scenario pipeline), methods,
+        budgets and learner config.  Transport and cache-tuning fields
+        (``store_handle``, ``base_slots``) are excluded, so the key
+        survives resume under a different store mode or worker count —
+        the property journal replay rests on.
+        """
+        corpus = self.corpus
+        return stable_key({
+            "kind": "sweep-cell",
+            "corpus": {
+                "domain": corpus.domain,
+                "num_entities": corpus.num_entities,
+                "pages_per_entity": corpus.pages_per_entity,
+                "seed": corpus.seed,
+                # Perturbations are frozen dataclasses of primitives, so
+                # their repr is deterministic across processes.
+                "scenario": repr(corpus.scenario) if corpus.scenario else None,
+            },
+            "methods": list(self.methods),
+            "num_queries": self.num_queries,
+            "num_splits": self.num_splits,
+            "max_test_entities": self.max_test_entities,
+            "max_aspects": self.max_aspects,
+            "config": asdict(self.config) if self.config is not None else None,
+            "base_seed": self.base_seed,
+        })
+
 
 @dataclass
 class SweepCellResult:
@@ -343,3 +408,32 @@ class SweepCellResult:
     #: Merged per-run fetch accounting of the cell's harvest runs — this is
     #: how worker-side engine counters survive the process boundary.
     fetch: dict = field(default_factory=dict)
+
+    def to_json_dict(self) -> dict:
+        """Plain-JSON rendering (the campaign layer's on-disk artifact).
+
+        Every field is already JSON-plain (strings, floats, nested dicts),
+        and JSON float round-trips are exact, so
+        ``from_json_dict(to_json_dict(r))`` reproduces ``r`` bit-for-bit —
+        the property resumed-run byte-identity rests on.
+        """
+        return {
+            "domain": self.domain,
+            "scenario": self.scenario,
+            "corpus_digest": self.corpus_digest,
+            "metrics": self.metrics,
+            "absolute_metrics": self.absolute_metrics,
+            "duplicate_waste": self.duplicate_waste,
+            "fetch": self.fetch,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "SweepCellResult":
+        """Rebuild a result from its :meth:`to_json_dict` rendering."""
+        return cls(domain=data["domain"],
+                   scenario=data["scenario"],
+                   corpus_digest=data["corpus_digest"],
+                   metrics=data["metrics"],
+                   absolute_metrics=data["absolute_metrics"],
+                   duplicate_waste=data["duplicate_waste"],
+                   fetch=data["fetch"])

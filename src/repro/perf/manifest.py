@@ -46,6 +46,7 @@ MANIFEST_NAME = "BENCH_manifest.json"
 KIND_BACKEND_THROUGHPUT = "backend-throughput"
 KIND_SELECTION_LATENCY = "selection-latency"
 KIND_ROBUSTNESS_MATRIX = "robustness-matrix"
+KIND_CAMPAIGN_RUN = "campaign-run"
 KIND_UNCLASSIFIED = "unclassified"
 
 
@@ -238,6 +239,38 @@ def _scenario_entries(source: str, report: Dict[str, object]) -> List[Dict[str, 
     )]
 
 
+def _campaign_entries(source: str, report: Dict[str, object]) -> List[Dict[str, object]]:
+    """One campaign-run entry per ``BENCH_campaign*.json`` artifact.
+
+    Campaign summaries carry checkpoint/resume counters (cells total /
+    skipped / executed / remaining, journal anomalies) plus the
+    campaign-level perf phase aggregates when profiling was on.  The
+    unified timing fields stay ``None`` — the resume ledger, not a
+    throughput number, is the signal here; phase wall-clock rides along
+    in ``metrics``.
+    """
+    return [_entry(
+        source=source,
+        benchmark=Path(source).stem.replace("BENCH_", ""),
+        kind=KIND_CAMPAIGN_RUN,
+        scale=report.get("scale"),
+        backend=report.get("backend"),
+        versions={},
+        metrics={
+            "campaign": report.get("campaign"),
+            "workers": report.get("workers"),
+            "domains": report.get("domains"),
+            "scenarios": report.get("scenarios"),
+            "methods": report.get("methods"),
+            "seeds": report.get("seeds"),
+            "cells": report.get("cells"),
+            "journal": report.get("journal"),
+            "complete": report.get("complete"),
+            "phases": report.get("phases"),
+        },
+    )]
+
+
 def _unclassified_entry(source: str, report: object) -> List[Dict[str, object]]:
     """Forward-compatible fallback for artifact families this version
     predates: the manifest indexes them without interpreting them."""
@@ -275,9 +308,36 @@ def manifest_entries(results_dir) -> List[Dict[str, object]]:
         elif isinstance(report, dict) and \
                 str(report.get("schema", "")).startswith("BENCH_scenarios/"):
             entries.extend(_scenario_entries(path.name, report))
+        elif isinstance(report, dict) and \
+                str(report.get("schema", "")).startswith("BENCH_campaign/"):
+            entries.extend(_campaign_entries(path.name, report))
         else:
             entries.extend(_unclassified_entry(path.name, report))
     return entries
+
+
+def campaigns_block(entries: List[Dict[str, object]]) -> Dict[str, object]:
+    """The ``campaigns`` block: resume ledgers keyed by campaign name.
+
+    One compact record per campaign-run entry, so checkpoint/resume
+    health (cells skipped vs executed, journal anomalies, completion) is
+    readable straight off the manifest without digging through entries.
+    """
+    campaigns: Dict[str, object] = {}
+    for entry in entries:
+        if entry.get("kind") != KIND_CAMPAIGN_RUN:
+            continue
+        metrics = entry.get("metrics", {})
+        name = metrics.get("campaign") or entry["benchmark"]
+        campaigns[str(name)] = {
+            "source": entry["source"],
+            "scale": entry.get("scale"),
+            "backend": entry.get("backend"),
+            "cells": metrics.get("cells"),
+            "journal": metrics.get("journal"),
+            "complete": metrics.get("complete"),
+        }
+    return campaigns
 
 
 def build_manifest(results_dir) -> Dict[str, object]:
@@ -287,6 +347,7 @@ def build_manifest(results_dir) -> Dict[str, object]:
         "schema": MANIFEST_SCHEMA,
         "entries": entries,
         "sources": sorted({entry["source"] for entry in entries}),
+        "campaigns": campaigns_block(entries),
     }
 
 

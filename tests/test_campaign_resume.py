@@ -1,0 +1,133 @@
+"""Kill-and-resume equivalence, proven with a real SIGKILL.
+
+A campaign subprocess is started with the inter-cell sleep hook enabled,
+SIGKILLed as soon as its journal holds at least one committed cell, and
+then resumed.  The resumed directory must (a) skip every journalled cell
+instead of re-executing it and (b) fold matrices byte-identical to an
+uninterrupted control run — the two halves of the checkpoint/resume
+contract.  ``atexit``/``finally`` never run under SIGKILL, so this
+exercises the true crash path, not a polite shutdown.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.campaign import (
+    INTERCELL_SLEEP_ENV,
+    JOURNAL_NAME,
+    MATRICES_NAME,
+    CampaignRunner,
+    CampaignSpec,
+)
+from repro.eval.experiments import ExperimentScale
+
+REPO = Path(__file__).resolve().parents[1]
+
+TINY_SCALE = ExperimentScale(
+    name="tiny",
+    num_entities={"researcher": 12, "car": 10},
+    pages_per_entity=8,
+    num_splits=1,
+    max_test_entities=2,
+    max_aspects=2,
+    num_queries_list=(2,),
+    corpus_seed=11,
+)
+
+
+def tiny_spec():
+    return CampaignSpec(name="killtest", scale=TINY_SCALE, domains=("car",),
+                        scenarios=("zipf-skew",), methods=("MQ", "RND"),
+                        seeds=(11,), num_queries=2)
+
+
+def _campaign_cli(campdir, spec_path, *, intercell_sleep=None):
+    """Launch `campaign run` as a real subprocess (the kill target)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep \
+        + env.get("PYTHONPATH", "")
+    if intercell_sleep is not None:
+        env[INTERCELL_SLEEP_ENV] = str(intercell_sleep)
+    cmd = [sys.executable, "-m", "repro.cli", "campaign", "run",
+           "--dir", str(campdir), "--spec", str(spec_path),
+           "--checkpoint-every", "1"]
+    return subprocess.Popen(cmd, env=env, cwd=str(REPO), text=True,
+                            stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+
+
+def _wait_for_committed_cell(journal: Path, timeout: float = 180.0) -> None:
+    """Block until the journal holds >= 1 fully committed line."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if journal.exists():
+            data = journal.read_bytes()
+            if data.strip() and data.endswith(b"\n"):
+                return
+        time.sleep(0.05)
+    raise AssertionError("no cell was journalled before the timeout")
+
+
+def test_sigkill_mid_campaign_then_resume_is_byte_identical(tmp_path):
+    spec = tiny_spec()
+    spec_path = spec.save(tmp_path / "spec.json")
+
+    # Uninterrupted control run (in-process; same deterministic code path).
+    control = CampaignRunner(tmp_path / "control", spec=spec)
+    control_report = control.run()
+    assert control_report.complete
+
+    # Victim run: one-cell checkpoints, a long post-commit sleep as the
+    # kill window.  SIGKILL lands while the first cell is committed and
+    # the second has not started.
+    victim_dir = tmp_path / "victim"
+    proc = _campaign_cli(victim_dir, spec_path, intercell_sleep=60)
+    try:
+        _wait_for_committed_cell(victim_dir / JOURNAL_NAME)
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - cleanup on failure
+            proc.kill()
+            proc.wait()
+    assert proc.returncode == -signal.SIGKILL
+    # The kill interrupted real work: journal exists, matrices do not.
+    assert (victim_dir / JOURNAL_NAME).exists()
+    assert not (victim_dir / MATRICES_NAME).exists()
+
+    # Resume: a fresh subprocess against the same directory, no spec
+    # needed (the directory is bound) and no sleep hook.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep \
+        + env.get("PYTHONPATH", "")
+    env.pop(INTERCELL_SLEEP_ENV, None)
+    resume = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "campaign", "resume",
+         "--dir", str(victim_dir)],
+        env=env, cwd=str(REPO), text=True, capture_output=True, timeout=600)
+    assert resume.returncode == 0, resume.stdout + resume.stderr
+
+    # (a) journalled cells were skipped, not re-executed.
+    match = re.search(r"(\d+) skipped \(journalled\), (\d+) executed",
+                      resume.stdout)
+    assert match, resume.stdout
+    skipped, executed = int(match.group(1)), int(match.group(2))
+    assert skipped >= 1
+    assert skipped + executed == control_report.total
+
+    # (b) resumed output is byte-identical to the uninterrupted run.
+    victim_bytes = (victim_dir / MATRICES_NAME).read_bytes()
+    control_bytes = control_report.matrices_path.read_bytes()
+    assert victim_bytes == control_bytes
+
+    # And the resumed journal commits every cell exactly once on top of
+    # the pre-kill prefix.
+    lines = [json.loads(line) for line in
+             (victim_dir / JOURNAL_NAME).read_text().splitlines()]
+    keys = [entry["key"] for entry in lines]
+    assert len(keys) == len(set(keys)) == control_report.total

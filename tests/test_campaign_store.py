@@ -1,0 +1,156 @@
+"""Tests for the journaled campaign store (crash-safety + replay)."""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignSpec, CampaignStore, compile_cells
+from repro.eval.experiments import ExperimentScale
+from repro.exec.specs import SweepCellResult
+
+TINY_SCALE = ExperimentScale(
+    name="tiny",
+    num_entities={"researcher": 12, "car": 10},
+    pages_per_entity=8,
+    num_splits=1,
+    max_test_entities=2,
+    max_aspects=2,
+    num_queries_list=(2,),
+    corpus_seed=11,
+)
+
+
+def tiny_spec(**overrides):
+    base = dict(name="unit", scale=TINY_SCALE, domains=("car",),
+                scenarios=("zipf-skew",), methods=("MQ",), seeds=(11,),
+                num_queries=2)
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+def fake_result(cell):
+    """A synthetic but shape-correct result; store tests never harvest."""
+    return SweepCellResult(
+        domain=cell.domain,
+        scenario=cell.scenario,
+        corpus_digest=f"digest-{cell.key}",
+        metrics={"MQ": {"f_score": 0.5}},
+        absolute_metrics={"MQ": {"f_score": 0.25}},
+        duplicate_waste={"MQ": 0.0},
+        fetch={"pages_fetched": 3},
+    )
+
+
+@pytest.fixture()
+def store(tmp_path):
+    store = CampaignStore(tmp_path / "camp")
+    store.initialise(tiny_spec())
+    return store
+
+
+@pytest.fixture()
+def cells():
+    return compile_cells(tiny_spec())
+
+
+class TestSpecBinding:
+    def test_initialise_is_idempotent_for_same_spec(self, store):
+        assert store.initialise(tiny_spec()) == tiny_spec()
+
+    def test_initialise_refuses_different_spec(self, store):
+        with pytest.raises(ValueError, match="already bound"):
+            store.initialise(tiny_spec(seeds=(99,)))
+
+    def test_load_spec_requires_binding(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            CampaignStore(tmp_path / "empty").load_spec()
+
+
+class TestRecordReplay:
+    def test_record_then_replay_round_trips(self, store, cells):
+        for cell in cells:
+            store.record(cell, fake_result(cell))
+        replay = store.replay()
+        assert set(replay.completed) == {c.key for c in cells}
+        assert replay.entries == len(cells)
+        assert replay.duplicates == 0
+        assert replay.warnings == []
+        loaded = store.read_result(cells[0].key)
+        assert loaded == fake_result(cells[0])
+
+    def test_artifact_commits_before_journal_line(self, store, cells):
+        cell = cells[0]
+        store.record(cell, fake_result(cell))
+        entry = json.loads(store.journal_path.read_text().splitlines()[0])
+        assert (store.root / entry["artifact"]).exists()
+        assert entry["key"] == cell.key
+
+    def test_empty_directory_replays_empty(self, store):
+        replay = store.replay()
+        assert replay.completed == {}
+        assert replay.warnings == []
+
+    def test_orphan_artifact_without_journal_is_ignored(self, store, cells):
+        # The crash window between artifact rename and journal append.
+        cell = cells[0]
+        store.record(cell, fake_result(cell))
+        store.journal_path.unlink()
+        replay = store.replay()
+        assert replay.completed == {}
+
+
+class TestCorruptionTolerance:
+    def test_torn_last_line_reruns_only_that_cell(self, store, cells):
+        for cell in cells:
+            store.record(cell, fake_result(cell))
+        raw = store.journal_path.read_bytes()
+        torn = raw[:-(len(raw.splitlines()[-1]) // 2) - 1]
+        store.journal_path.write_bytes(torn)
+        replay = store.replay()
+        assert set(replay.completed) == {c.key for c in cells[:-1]}
+        assert any("truncated" in w for w in replay.warnings)
+
+    def test_duplicate_entries_are_idempotent(self, store, cells):
+        cell = cells[0]
+        store.record(cell, fake_result(cell))
+        store.record(cell, fake_result(cell))
+        replay = store.replay()
+        assert set(replay.completed) == {cell.key}
+        assert replay.duplicates == 1
+        assert replay.warnings == []
+
+    def test_missing_artifact_warns_loudly_and_reruns(self, store, cells):
+        cell = cells[0]
+        store.record(cell, fake_result(cell))
+        store.artifact_path(cell.key).unlink()
+        replay = store.replay()
+        assert replay.completed == {}
+        assert any(cell.key in w and "re-run" in w for w in replay.warnings)
+
+    def test_unparseable_artifact_treated_as_missing(self, store, cells):
+        cell = cells[0]
+        store.record(cell, fake_result(cell))
+        store.artifact_path(cell.key).write_text("{not json", encoding="utf-8")
+        replay = store.replay()
+        assert replay.completed == {}
+        assert len(replay.warnings) == 1
+
+    def test_corrupt_middle_line_skips_only_itself(self, store, cells):
+        for cell in cells:
+            store.record(cell, fake_result(cell))
+        lines = store.journal_path.read_text().splitlines()
+        lines.insert(1, "}}garbage{{")
+        store.journal_path.write_text("\n".join(lines) + "\n",
+                                      encoding="utf-8")
+        replay = store.replay()
+        assert set(replay.completed) == {c.key for c in cells}
+        assert any("corrupt" in w for w in replay.warnings)
+
+    def test_foreign_event_lines_are_ignored(self, store, cells):
+        cell = cells[0]
+        store.record(cell, fake_result(cell))
+        with open(store.journal_path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps({"event": "comment", "text": "hi"}) + "\n")
+        replay = store.replay()
+        assert set(replay.completed) == {cell.key}
+        assert any("not a cell event" in w for w in replay.warnings)
